@@ -1,0 +1,110 @@
+// Command hggen generates synthetic ISPD98-like benchmark instances and
+// writes them in hMETIS (.hgr) or ISPD98 (.netD + .are) format.
+//
+// Usage:
+//
+//	hggen -ibm 1 -scale 0.25 -format hgr -o ibm01q.hgr
+//	hggen -cells 20000 -nets 22000 -avgnet 3.8 -format netd -o custom
+//
+// With -format netd, two files are written: <o>.netD and <o>.are.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hgpart"
+)
+
+func main() {
+	var (
+		ibm     = flag.Int("ibm", 0, "ISPD98 profile number 1-18 (0 = use -cells/-nets)")
+		scale   = flag.Float64("scale", 1.0, "downscale factor in (0,1]")
+		cells   = flag.Int("cells", 10000, "cell count (when -ibm 0)")
+		nets    = flag.Int("nets", 11000, "net count (when -ibm 0)")
+		avgnet  = flag.Float64("avgnet", 3.6, "target average net size (when -ibm 0)")
+		unit    = flag.Bool("unit", false, "unit areas (MCNC-style) instead of actual areas")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		format  = flag.String("format", "hgr", "output format: hgr or netd")
+		outPath = flag.String("o", "", "output path (stdout for hgr if empty)")
+	)
+	flag.Parse()
+
+	var spec hgpart.GenSpec
+	if *ibm > 0 {
+		s, err := hgpart.IBMProfile(*ibm)
+		if err != nil {
+			fatal(err)
+		}
+		spec = s
+	} else {
+		spec = hgpart.GenSpec{
+			Name:          fmt.Sprintf("custom-%dc", *cells),
+			Cells:         *cells,
+			Nets:          *nets,
+			AvgNetSize:    *avgnet,
+			NumMacros:     *cells / 400,
+			MaxMacroFrac:  0.05,
+			NumGlobalNets: 2,
+			GlobalNetFrac: 0.01,
+			Locality:      2,
+		}
+	}
+	if *scale < 1 {
+		spec = hgpart.Scaled(spec, *scale)
+	}
+	spec.UnitArea = *unit
+	if *seed != 1 {
+		spec.Seed = *seed
+	}
+
+	h, err := hgpart.Generate(spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, hgpart.ComputeStats(h))
+
+	switch *format {
+	case "hgr":
+		w := os.Stdout
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := hgpart.WriteHGR(w, h); err != nil {
+			fatal(err)
+		}
+	case "netd":
+		if *outPath == "" {
+			fatal(fmt.Errorf("-format netd requires -o <basename>"))
+		}
+		nf, err := os.Create(*outPath + ".netD")
+		if err != nil {
+			fatal(err)
+		}
+		defer nf.Close()
+		if err := hgpart.WriteNetD(nf, h); err != nil {
+			fatal(err)
+		}
+		af, err := os.Create(*outPath + ".are")
+		if err != nil {
+			fatal(err)
+		}
+		defer af.Close()
+		if err := hgpart.WriteAre(af, h); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown format %q (hgr or netd)", *format))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hggen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,203 @@
+// Command hgpart bisects a hypergraph read from a file (or a generated
+// synthetic instance) and reports cut, balance and runtime.
+//
+// Usage:
+//
+//	hgpart -in circuit.hgr -tol 0.02 -starts 4
+//	hgpart -in ibm01.netD -are ibm01.are -engine flat -tol 0.10
+//	hgpart -ibm 1 -scale 0.2 -engine clip
+//
+// Input format is chosen by extension: .hgr for hMETIS, anything else is
+// parsed as ISPD98 .netD/.net (with -are supplying areas).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hgpart"
+)
+
+func main() {
+	var (
+		inPath  = flag.String("in", "", "input netlist (.hgr or .netD/.net)")
+		arePath = flag.String("are", "", "ISPD98 .are area file (optional)")
+		ibm     = flag.Int("ibm", 0, "generate ISPD98-like profile 1-18 instead of reading a file")
+		scale   = flag.Float64("scale", 1.0, "downscale factor for -ibm")
+		tol     = flag.Float64("tol", 0.02, "balance tolerance (0.02 = 49-51%)")
+		starts  = flag.Int("starts", 1, "independent starts; best kept")
+		vcycles = flag.Int("vcycles", 1, "V-cycles on the best solution (ML engine)")
+		engine  = flag.String("engine", "ml", "engine: ml, flat, clip, spectral")
+		k       = flag.Int("k", 2, "number of parts (k>2 uses recursive bisection)")
+		refineK = flag.Bool("krefine", false, "direct k-way FM refinement after recursive bisection")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		traceTo = flag.String("trace", "", "write per-pass FM trace CSV to this file (flat/clip engines)")
+		quiet   = flag.Bool("q", false, "suppress instance statistics")
+	)
+	flag.Parse()
+
+	h, err := loadInstance(*inPath, *arePath, *ibm, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		fmt.Fprint(os.Stderr, hgpart.ComputeStats(h))
+	}
+
+	if *k > 2 {
+		runKWay(h, *k, *tol, *starts, *refineK, *seed)
+		return
+	}
+
+	total := h.TotalVertexWeight()
+	bal := hgpart.NewBalance(total, *tol)
+
+	if *engine == "spectral" {
+		t0 := time.Now()
+		p, sres, err := hgpart.SpectralBisect(h, bal, hgpart.SpectralOptions{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("engine=spectral tolerance=%.3f\n", *tol)
+		fmt.Printf("cut=%d (eigensolver iterations %d)\n", sres.Cut, sres.Iterations)
+		printSides(p, total)
+		fmt.Printf("time=%.3fs\n", time.Since(t0).Seconds())
+		return
+	}
+
+	if *traceTo != "" && (*engine == "flat" || *engine == "clip") {
+		runTraced(h, bal, *engine, *traceTo, *seed)
+		return
+	}
+
+	var kind hgpart.EngineKind
+	switch *engine {
+	case "ml":
+		kind = hgpart.EngineML
+	case "flat":
+		kind = hgpart.EngineFlatFM
+	case "clip":
+		kind = hgpart.EngineFlatCLIP
+	default:
+		fatal(fmt.Errorf("unknown engine %q (ml, flat, clip, spectral)", *engine))
+	}
+
+	t0 := time.Now()
+	p, res, err := hgpart.Bisect(h, hgpart.BisectOptions{
+		Tolerance: *tol,
+		Starts:    *starts,
+		VCycles:   *vcycles,
+		Engine:    kind,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(t0)
+
+	fmt.Printf("engine=%s starts=%d tolerance=%.3f\n", *engine, *starts, *tol)
+	fmt.Printf("cut=%d\n", res.Cut)
+	printSides(p, total)
+	fmt.Printf("time=%.3fs work=%d (normalized %.3fs)\n",
+		elapsed.Seconds(), res.Work, float64(res.Work)/2e6)
+}
+
+func printSides(p *hgpart.Partition, total int64) {
+	fmt.Printf("side0=%d (%.2f%%) side1=%d (%.2f%%)\n",
+		p.Area(0), 100*float64(p.Area(0))/float64(total),
+		p.Area(1), 100*float64(p.Area(1))/float64(total))
+}
+
+// runKWay handles -k > 2 via recursive bisection.
+func runKWay(h *hgpart.Hypergraph, k int, tol float64, starts int, refine bool, seed uint64) {
+	t0 := time.Now()
+	res, err := hgpart.PartitionKWay(h, k, hgpart.KWayConfig{
+		Tolerance:    tol,
+		Starts:       starts,
+		DirectRefine: refine,
+	}, hgpart.NewRNG(seed))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("k=%d tolerance=%.3f refine=%v\n", k, tol, refine)
+	fmt.Printf("cut=%d lambda-1=%d imbalance=%.2f%%\n",
+		res.CutNets, res.ConnectivityMinusOne, 100*res.Imbalance)
+	w := hgpart.PartWeights(h, res.Parts, k)
+	for p, x := range w {
+		fmt.Printf("  part %d: weight %d (%.2f%%)\n", p, x,
+			100*float64(x)/float64(h.TotalVertexWeight()))
+	}
+	fmt.Printf("time=%.3fs\n", time.Since(t0).Seconds())
+}
+
+// runTraced runs a single traced flat start and writes the pass CSV.
+func runTraced(h *hgpart.Hypergraph, bal hgpart.Balance, engine, path string, seed uint64) {
+	cfg := hgpart.StrongFMConfig(engine == "clip")
+	r := hgpart.NewRNG(seed)
+	eng := hgpart.NewFMEngine(h, cfg, bal, r)
+	rec := &hgpart.TraceRecorder{KeepTrajectories: true}
+	eng.SetTracer(rec)
+	p := hgpart.NewPartition(h)
+	p.RandomBalanced(r, bal)
+	res := eng.Run(p)
+
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := rec.WriteSummaryCSV(f); err != nil {
+		fatal(err)
+	}
+	s := rec.Summarize()
+	fmt.Printf("engine=%s (traced single start)\n", engine)
+	fmt.Printf("cut=%d passes=%d moves=%d rolled_back=%d shortest_pass=%d\n",
+		res.Cut, s.Passes, s.TotalMoves, s.TotalRolledBack, s.ShortestPassMoves)
+	printSides(p, h.TotalVertexWeight())
+	fmt.Printf("trace written to %s\n", path)
+}
+
+func loadInstance(inPath, arePath string, ibm int, scale float64, seed uint64) (*hgpart.Hypergraph, error) {
+	if ibm > 0 {
+		spec, err := hgpart.IBMProfile(ibm)
+		if err != nil {
+			return nil, err
+		}
+		if scale < 1 {
+			spec = hgpart.Scaled(spec, scale)
+		}
+		if seed != 1 {
+			spec.Seed = seed
+		}
+		return hgpart.Generate(spec)
+	}
+	if inPath == "" {
+		return nil, fmt.Errorf("need -in <file> or -ibm <n>")
+	}
+	f, err := os.Open(inPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(inPath, ".hgr") {
+		return hgpart.ParseHGR(f, inPath)
+	}
+	var are *os.File
+	if arePath != "" {
+		are, err = os.Open(arePath)
+		if err != nil {
+			return nil, err
+		}
+		defer are.Close()
+		return hgpart.ParseNetD(f, are, inPath)
+	}
+	return hgpart.ParseNetD(f, nil, inPath)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hgpart:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,142 @@
+// Command hgplace runs the top-down recursive min-cut bisection placer —
+// the paper's driving application — on a netlist and reports half-perimeter
+// wirelength, optionally writing a Bookshelf .pl placement file.
+//
+// Usage:
+//
+//	hgplace -ibm 1 -scale 0.1
+//	hgplace -in design.hgr -tol 0.1 -pl out.pl
+//	hgplace -nodes d.nodes -nets d.nets -pl out.pl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hgpart"
+)
+
+func main() {
+	var (
+		inPath    = flag.String("in", "", "input netlist (.hgr or .netD)")
+		nodesPath = flag.String("nodes", "", "Bookshelf .nodes file (with -nets)")
+		netsPath  = flag.String("nets", "", "Bookshelf .nets file (with -nodes)")
+		ibm       = flag.Int("ibm", 0, "generate ISPD98-like profile 1-18")
+		scale     = flag.Float64("scale", 1.0, "downscale factor for -ibm")
+		tol       = flag.Float64("tol", 0.1, "per-bisection balance tolerance")
+		leaf      = flag.Int("leaf", 16, "max cells per leaf region")
+		flat      = flag.Bool("flat", false, "disable the multilevel engine")
+		quad      = flag.Bool("quad", false, "quadrisection (Suaris-Kedem) instead of alternating bisection")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		plPath    = flag.String("pl", "", "write Bookshelf .pl placement to this file")
+	)
+	flag.Parse()
+
+	h, terminals, err := load(*inPath, *nodesPath, *netsPath, *ibm, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprint(os.Stderr, hgpart.ComputeStats(h))
+	if terminals > 0 {
+		fmt.Fprintf(os.Stderr, "  (%d terminal nodes in the input)\n", terminals)
+	}
+
+	t0 := time.Now()
+	pl, err := hgpart.Place(h, hgpart.PlacerConfig{
+		MaxCellsPerRegion: *leaf,
+		Tolerance:         *tol,
+		DisableML:         *flat,
+		Quadrisection:     *quad,
+		Seed:              *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(t0)
+
+	fmt.Printf("bisections=%d with_terminals=%d (%.0f%%)\n",
+		pl.Bisections, pl.FixedTerminalInstances,
+		100*float64(pl.FixedTerminalInstances)/float64(maxInt(1, pl.Bisections)))
+	fmt.Printf("hpwl=%.3f (unit square)\n", pl.HPWL(h))
+	fmt.Printf("time=%.3fs\n", elapsed.Seconds())
+
+	if *plPath != "" {
+		f, err := os.Create(*plPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := hgpart.WriteBookshelfPl(f, pl.X, pl.Y, 1000); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("placement written to %s\n", *plPath)
+	}
+}
+
+func load(inPath, nodesPath, netsPath string, ibm int, scale float64, seed uint64) (*hgpart.Hypergraph, int, error) {
+	switch {
+	case nodesPath != "" && netsPath != "":
+		nf, err := os.Open(nodesPath)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer nf.Close()
+		ef, err := os.Open(netsPath)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer ef.Close()
+		d, err := hgpart.ParseBookshelf(nf, ef, nodesPath)
+		if err != nil {
+			return nil, 0, err
+		}
+		terms := 0
+		for _, t := range d.Terminal {
+			if t {
+				terms++
+			}
+		}
+		return d.H, terms, nil
+	case ibm > 0:
+		spec, err := hgpart.IBMProfile(ibm)
+		if err != nil {
+			return nil, 0, err
+		}
+		if scale < 1 {
+			spec = hgpart.Scaled(spec, scale)
+		}
+		if seed != 1 {
+			spec.Seed = seed
+		}
+		h, err := hgpart.Generate(spec)
+		return h, 0, err
+	case inPath != "":
+		f, err := os.Open(inPath)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer f.Close()
+		if strings.HasSuffix(inPath, ".hgr") {
+			h, err := hgpart.ParseHGR(f, inPath)
+			return h, 0, err
+		}
+		h, err := hgpart.ParseNetD(f, nil, inPath)
+		return h, 0, err
+	}
+	return nil, 0, fmt.Errorf("need -in, -nodes/-nets, or -ibm")
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hgplace:", err)
+	os.Exit(1)
+}

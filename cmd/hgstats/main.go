@@ -1,0 +1,120 @@
+// Command hgstats prints the instance statistics the paper's §2.1 calls the
+// "salient attributes of real-world inputs" for one or more netlists or
+// synthetic profiles.
+//
+// Usage:
+//
+//	hgstats circuit.hgr other.netD
+//	hgstats -ibm all -scale 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hgpart"
+)
+
+func main() {
+	var (
+		ibm   = flag.String("ibm", "", "profile number 1-18, or \"all\"")
+		mcnc  = flag.String("mcnc", "", "MCNC profile name, or \"all\"")
+		scale = flag.Float64("scale", 1.0, "downscale factor for -ibm")
+		rent  = flag.Bool("rent", false, "also estimate the Rent exponent (recursive bisection)")
+	)
+	flag.Parse()
+
+	report := func(h *hgpart.Hypergraph) {
+		fmt.Print(hgpart.ComputeStats(h))
+		if *rent {
+			est, err := hgpart.RentAnalyze(h, hgpart.RentOptions{})
+			if err != nil {
+				fmt.Printf("  rent: %v\n", err)
+			} else {
+				fmt.Printf("  rent exponent p=%.3f t=%.2f (R2=%.2f, %d blocks)\n",
+					est.P, est.T0, est.R2, len(est.Samples))
+			}
+		}
+	}
+
+	if *ibm != "" {
+		var ids []int
+		if *ibm == "all" {
+			for i := 1; i <= 18; i++ {
+				ids = append(ids, i)
+			}
+		} else {
+			n, err := strconv.Atoi(*ibm)
+			if err != nil {
+				fatal(fmt.Errorf("bad -ibm %q", *ibm))
+			}
+			ids = []int{n}
+		}
+		for _, id := range ids {
+			spec, err := hgpart.IBMProfile(id)
+			if err != nil {
+				fatal(err)
+			}
+			if *scale < 1 {
+				spec = hgpart.Scaled(spec, *scale)
+			}
+			h, err := hgpart.Generate(spec)
+			if err != nil {
+				fatal(err)
+			}
+			report(h)
+		}
+		return
+	}
+
+	if *mcnc != "" {
+		names := []string{*mcnc}
+		if *mcnc == "all" {
+			names = hgpart.MCNCNames()
+		}
+		for _, name := range names {
+			spec, err := hgpart.MCNCProfile(name)
+			if err != nil {
+				fatal(err)
+			}
+			if *scale < 1 {
+				spec = hgpart.Scaled(spec, *scale)
+			}
+			h, err := hgpart.Generate(spec)
+			if err != nil {
+				fatal(err)
+			}
+			report(h)
+		}
+		return
+	}
+
+	if flag.NArg() == 0 {
+		fatal(fmt.Errorf("usage: hgstats [-ibm N|all] [files...]"))
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		var h *hgpart.Hypergraph
+		if strings.HasSuffix(path, ".hgr") {
+			h, err = hgpart.ParseHGR(f, path)
+		} else {
+			h, err = hgpart.ParseNetD(f, nil, path)
+		}
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		report(h)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hgstats:", err)
+	os.Exit(1)
+}

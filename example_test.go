@@ -1,0 +1,99 @@
+package hgpart_test
+
+import (
+	"fmt"
+
+	"hgpart"
+)
+
+// ExampleBisect demonstrates the one-call bisection API on a tiny
+// hand-built hypergraph: two 2-pin nets and one bridge net.
+func ExampleBisect() {
+	b := hgpart.NewBuilder(4, 3)
+	b.AddVertices(4, 1)
+	b.AddEdge(1, 0, 1) // pair A
+	b.AddEdge(1, 2, 3) // pair B
+	b.AddEdge(1, 1, 2) // bridge
+	h, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	p, res, err := hgpart.Bisect(h, hgpart.BisectOptions{
+		Tolerance: 0.5,
+		Engine:    hgpart.EngineFlatFM,
+		Seed:      1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cut:", res.Cut)
+	fmt.Println("balanced:", p.Area(0) == 2 && p.Area(1) == 2)
+	// Output:
+	// cut: 1
+	// balanced: true
+}
+
+// ExampleNewBalance shows the paper's tolerance convention: 2% means each
+// side holds between 49% and 51% of total area.
+func ExampleNewBalance() {
+	bal := hgpart.NewBalance(1000, 0.02)
+	fmt.Println(bal.Lo, bal.Hi)
+	// Output:
+	// 490 510
+}
+
+// ExampleComputeStats prints the §2.1 "salient attributes" of an instance.
+func ExampleComputeStats() {
+	b := hgpart.NewBuilder(3, 2)
+	b.AddVertices(3, 2)
+	b.AddEdge(1, 0, 1)
+	b.AddEdge(1, 1, 2)
+	h, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	s := hgpart.ComputeStats(h)
+	fmt.Println(s.Vertices, s.Edges, s.Pins)
+	// Output:
+	// 3 2 4
+}
+
+// ExampleExactBisect verifies a heuristic against a proven optimum on a
+// small instance — the paper's "check your health regularly".
+func ExampleExactBisect() {
+	b := hgpart.NewBuilder(6, 3)
+	b.AddVertices(6, 1)
+	b.AddEdge(1, 0, 1, 2) // triangle-ish block
+	b.AddEdge(1, 3, 4, 5) // second block
+	b.AddEdge(1, 2, 3)    // bridge
+	h, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	bal := hgpart.NewBalance(h.TotalVertexWeight(), 0.0)
+	opt, err := hgpart.ExactBisect(h, bal, hgpart.ExactOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("optimal cut:", opt.Cut)
+	// Output:
+	// optimal cut: 1
+}
+
+// ExampleCutSize evaluates the k-way objectives over an assignment.
+func ExampleCutSize() {
+	b := hgpart.NewBuilder(4, 2)
+	b.AddVertices(4, 1)
+	b.AddEdge(1, 0, 1, 2, 3) // spans everything
+	b.AddEdge(1, 0, 1)       // local pair
+	h, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	parts := hgpart.Assignment{0, 0, 1, 2}
+	fmt.Println("cut:", hgpart.CutSize(h, parts))
+	fmt.Println("lambda-1:", hgpart.ConnectivityMinusOne(h, parts))
+	// Output:
+	// cut: 1
+	// lambda-1: 2
+}

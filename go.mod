@@ -1,0 +1,3 @@
+module hgpart
+
+go 1.22

@@ -1,0 +1,42 @@
+package core
+
+import "hgpart/internal/partition"
+
+// Boundary-only refinement support (Config.BoundaryOnly).
+
+// isBoundary reports whether v is incident to at least one cut net.
+func (e *Engine) isBoundary(p *partition.P, v int32) bool {
+	for _, edge := range e.h.IncidentEdges(v) {
+		if p.SideCount(edge, 0) > 0 && p.SideCount(edge, 1) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// insertNewBoundary is called immediately after moving v: any net of v that
+// this move just cut (its destination-side pin count went 0 -> 1) has pins
+// that were interior a moment ago; eligible absent pins enter the container
+// at their full current gain (or at zero under CLIP, matching the CLIP
+// convention that container keys are cumulative deltas since insertion).
+func (e *Engine) insertNewBoundary(p *partition.P, v int32, slack int64) {
+	to := p.Side(v) // already moved
+	for _, edge := range e.h.IncidentEdges(v) {
+		if p.SideCount(edge, to) != 1 || e.h.EdgeSize(edge) < 2 {
+			continue // this net did not just become cut
+		}
+		for _, y := range e.h.Pins(edge) {
+			if y == v || e.locked[y] || e.cont.Contains(y) || p.IsFixed(y) {
+				continue
+			}
+			if e.cfg.CorkGuard && e.h.VertexWeight(y) > slack {
+				continue
+			}
+			if e.cfg.CLIP {
+				e.cont.Insert(y, p.Side(y), 0)
+			} else {
+				e.cont.Insert(y, p.Side(y), p.Gain(y))
+			}
+		}
+	}
+}

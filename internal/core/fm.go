@@ -1,0 +1,430 @@
+package core
+
+import (
+	"math"
+
+	"hgpart/internal/gain"
+	"hgpart/internal/hypergraph"
+	"hgpart/internal/partition"
+	"hgpart/internal/rng"
+)
+
+// Result summarizes one Engine.Run.
+type Result struct {
+	// Cut is the weighted cut of the final (best legal) solution.
+	Cut int64
+	// Passes is the number of FM passes executed.
+	Passes int
+	// Moves is the total number of vertex moves made (including moves later
+	// rolled back).
+	Moves int64
+	// Work counts gain-update pin visits — the deterministic work-unit
+	// measure used to normalize "CPU time" across machines in benches, in
+	// the spirit of the paper's normalization to a reference workstation.
+	Work int64
+	// StuckTerminations counts passes that ended with movable vertices
+	// still in the gain container but every head move illegal — the
+	// signature of the corking effect. The paper reports that "traces of
+	// CLIP executions show that corking actually occurs fairly often,
+	// particularly with the more modern ISPD98 actual-area benchmarks";
+	// this counter is that trace.
+	StuckTerminations int
+	// ZeroMovePasses counts passes that made no moves at all (a fully
+	// corked CLIP pass terminates without making any moves).
+	ZeroMovePasses int
+	// CorkEvents counts selection rounds in which a side's highest-gain
+	// bucket head was an illegal move, disqualifying the whole side — the
+	// per-selection cork. Large values relative to Moves mean the engine
+	// spent much of the pass unable to use one side.
+	CorkEvents int64
+	// Pruned reports that a RunPruned predicate abandoned the start early.
+	Pruned bool
+}
+
+// Engine runs flat FM (or CLIP) passes over a partition according to a
+// Config. An Engine is bound to one hypergraph and one balance constraint;
+// it may be reused across many starts (allocations are recycled).
+type Engine struct {
+	h   *hypergraph.Hypergraph
+	cfg Config
+	bal partition.Balance
+	r   *rng.RNG
+
+	cont      *gain.Container
+	locked    []bool
+	moveStack []int32
+	work      int64
+	corks     int64
+
+	// Krishnamurthy lookahead state (allocated when LookaheadDepth >= 2).
+	immobile [][2]int32 // per net: locked/excluded pins by side
+	lookBuf  []int64
+
+	tracer Tracer
+}
+
+// Tracer observes the engine's execution — the instrumentation behind the
+// "Do collect all data possible" maxim and the corking traces of §2.3.
+// Implementations must be cheap; hooks fire on the hot path.
+type Tracer interface {
+	// PassStart fires at the beginning of each pass with the current cut.
+	PassStart(pass int, cut int64)
+	// MoveMade fires after each accepted move with the running cut.
+	MoveMade(pass int, moveIdx int64, v int32, cut int64)
+	// PassEnd fires after rollback with the pass outcome.
+	PassEnd(pass int, bestCut int64, moves int64, rolledBack int)
+}
+
+// SetTracer attaches a tracer (nil detaches). Not safe to call during Run.
+func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
+
+// NewEngine builds an engine for h under balance bal. r drives Random
+// insertion order and is required only in that case (a deterministic
+// generator may always be passed).
+func NewEngine(h *hypergraph.Hypergraph, cfg Config, bal partition.Balance, r *rng.RNG) *Engine {
+	maxKey := h.MaxWeightedDegree()
+	if cfg.CLIP {
+		// Cumulative delta gains range over twice the plain-gain range.
+		maxKey *= 2
+	}
+	var order gain.Order
+	switch cfg.Insertion {
+	case LIFO:
+		order = gain.LIFO
+	case FIFO:
+		order = gain.FIFO
+	case RandomOrder:
+		order = gain.Random
+	}
+	return &Engine{
+		h:      h,
+		cfg:    cfg,
+		bal:    bal,
+		r:      r,
+		cont:   gain.NewContainer(h.NumVertices(), maxKey, order, r),
+		locked: make([]bool, h.NumVertices()),
+	}
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Balance returns the engine's balance constraint.
+func (e *Engine) Balance() partition.Balance { return e.bal }
+
+// Run improves p in place with FM passes until a pass brings no improvement
+// (or cfg.MaxPasses is reached) and returns the outcome. p must be a
+// partition of the engine's hypergraph.
+func (e *Engine) Run(p *partition.P) Result {
+	return e.RunPruned(p, nil)
+}
+
+// RunPruned is Run with an optional pruning predicate, enabling the
+// early-termination multistart regime the paper's §3.2 describes ("pruning
+// (early termination of starts that appear unpromising relative to previous
+// starts) can be applied"). After every pass, keepGoing is consulted with
+// the pass number and current cut; returning false abandons the start
+// immediately (the partition keeps its current — already rolled-back —
+// state). A nil predicate never prunes.
+func (e *Engine) RunPruned(p *partition.P, keepGoing func(pass int, cut int64) bool) Result {
+	if p.H != e.h {
+		panic("core: partition belongs to a different hypergraph")
+	}
+	res := Result{}
+	e.work = 0
+	e.corks = 0
+	for {
+		improved, moves, stuck := e.pass(p, res.Passes+1)
+		res.Passes++
+		res.Moves += moves
+		if stuck {
+			res.StuckTerminations++
+		}
+		if moves == 0 {
+			res.ZeroMovePasses++
+		}
+		if !improved {
+			break
+		}
+		if keepGoing != nil && !keepGoing(res.Passes, p.Cut()) {
+			res.Pruned = true
+			break
+		}
+		if e.cfg.MaxPasses > 0 && res.Passes >= e.cfg.MaxPasses {
+			break
+		}
+	}
+	res.Cut = p.Cut()
+	res.Work = e.work
+	res.CorkEvents = e.corks
+	return res
+}
+
+// pass executes a single FM pass: insert movable vertices, repeatedly make
+// the best legal head move, then roll back to the best legal prefix. stuck
+// reports whether the pass ended with unlocked vertices still in the gain
+// container but every head move illegal (corking).
+func (e *Engine) pass(p *partition.P, passNo int) (improved bool, moves int64, stuck bool) {
+	e.cont.Clear()
+	for i := range e.locked {
+		e.locked[i] = false
+	}
+	e.moveStack = e.moveStack[:0]
+	lookahead := e.cfg.LookaheadDepth >= 2
+	if lookahead {
+		e.resetImmobile(p)
+	}
+
+	slack := e.bal.Slack()
+	n := e.h.NumVertices()
+	for v := 0; v < n; v++ {
+		vv := int32(v)
+		if p.IsFixed(vv) {
+			continue
+		}
+		if e.cfg.CorkGuard && e.h.VertexWeight(vv) > slack {
+			// This vertex can never move legally while the partition is
+			// feasible; left in the container it can only cork a bucket.
+			continue
+		}
+		if e.cfg.BoundaryOnly && !e.isBoundary(p, vv) {
+			continue
+		}
+		if e.cfg.CLIP {
+			e.cont.Insert(vv, p.Side(vv), 0)
+		} else {
+			e.cont.Insert(vv, p.Side(vv), p.Gain(vv))
+		}
+	}
+
+	startCut := p.Cut()
+	if e.tracer != nil {
+		e.tracer.PassStart(passNo, startCut)
+	}
+	startLegal := p.Legal(e.bal)
+	bestIdx := -1
+	bestCut := startCut
+	bestLegal := startLegal
+	bestDiff := absDiff(p.Area(0), p.Area(1))
+	if !startLegal {
+		bestCut = math.MaxInt64
+	}
+
+	var lastFrom uint8
+	hasLast := false
+
+	for {
+		v, ok := e.selectMove(p, lastFrom, hasLast)
+		if !ok {
+			stuck = e.cont.Size(0)+e.cont.Size(1) > 0
+			break
+		}
+		from := p.Side(v)
+		e.cont.Remove(v)
+		e.locked[v] = true
+		// Neighbor gain updates read pre-move pin counts; order matters.
+		e.updateNeighbors(p, v)
+		p.Move(v)
+		if lookahead {
+			e.chargeImmobile(p, v) // locked on its destination side
+		}
+		if e.cfg.BoundaryOnly {
+			e.insertNewBoundary(p, v, slack)
+		}
+		e.moveStack = append(e.moveStack, v)
+		moves++
+		lastFrom = from
+		hasLast = true
+		if e.tracer != nil {
+			e.tracer.MoveMade(passNo, moves, v, p.Cut())
+		}
+
+		cur := p.Cut()
+		if !p.Legal(e.bal) {
+			continue
+		}
+		take := false
+		if !bestLegal || cur < bestCut {
+			take = true
+		} else if cur == bestCut {
+			switch e.cfg.BestTie {
+			case FirstBest:
+				// keep the earlier one
+			case LastBest:
+				take = true
+			case MostBalanced:
+				take = absDiff(p.Area(0), p.Area(1)) < bestDiff
+			}
+		}
+		if take {
+			bestIdx = len(e.moveStack) - 1
+			bestCut = cur
+			bestLegal = true
+			bestDiff = absDiff(p.Area(0), p.Area(1))
+		}
+	}
+
+	// Roll back moves made after the best prefix.
+	for i := len(e.moveStack) - 1; i > bestIdx; i-- {
+		p.Move(e.moveStack[i])
+	}
+	if e.tracer != nil {
+		e.tracer.PassEnd(passNo, p.Cut(), moves, len(e.moveStack)-1-bestIdx)
+	}
+
+	if !startLegal {
+		return bestLegal, moves, stuck // legalizing counts as improvement
+	}
+	return bestLegal && bestCut < startCut, moves, stuck
+}
+
+// selectMove picks the next move per the paper's selection discipline: each
+// side offers only the head of its highest non-empty bucket; an illegal head
+// disqualifies the whole side (unless LookPastIllegal). Between two legal
+// candidates the higher key wins; equal keys are resolved by the Bias.
+func (e *Engine) selectMove(p *partition.P, lastFrom uint8, hasLast bool) (int32, bool) {
+	var cand [2]int32
+	var key [2]int64
+	var have [2]bool
+
+	for s := uint8(0); s < 2; s++ {
+		if e.cfg.LookaheadDepth >= 2 {
+			if v, k, ok := e.lookaheadHead(p, s); ok {
+				cand[s], key[s], have[s] = v, k, true
+			}
+			continue
+		}
+		v, k, ok := e.cont.Head(s)
+		if !ok {
+			continue
+		}
+		if p.MoveLegal(v, e.bal) {
+			cand[s], key[s], have[s] = v, k, true
+			continue
+		}
+		e.corks++
+		if e.cfg.LookPastIllegal {
+			// Scan the remainder of the head bucket for a legal move —
+			// the costly alternative the paper evaluated and rejected.
+			e.cont.WalkBucket(s, k, func(u int32) bool {
+				e.work++
+				if p.MoveLegal(u, e.bal) {
+					cand[s], key[s], have[s] = u, k, true
+					return false
+				}
+				return true
+			})
+			continue
+		}
+		if e.cfg.SkipBucketOnly {
+			// Skip only the corked bucket: examine the head of each lower
+			// bucket until a legal move appears.
+			e.cont.HeadsDown(s, func(u int32, uk int64) bool {
+				e.work++
+				if p.MoveLegal(u, e.bal) {
+					cand[s], key[s], have[s] = u, uk, true
+					return false
+				}
+				return true
+			})
+		}
+	}
+
+	switch {
+	case !have[0] && !have[1]:
+		return 0, false
+	case have[0] && !have[1]:
+		return cand[0], true
+	case have[1] && !have[0]:
+		return cand[1], true
+	}
+	if key[0] != key[1] {
+		if key[0] > key[1] {
+			return cand[0], true
+		}
+		return cand[1], true
+	}
+	// Equal keys on both sides: apply the bias.
+	var s uint8
+	switch e.cfg.Bias {
+	case Part0:
+		s = 0
+	case Away:
+		if hasLast {
+			s = 1 - lastFrom
+		}
+	case Toward:
+		if hasLast {
+			s = lastFrom
+		}
+	}
+	return cand[s], true
+}
+
+// updateNeighbors applies the delta-gain updates triggered by moving v,
+// using the straightforward method the paper describes: walk v's incident
+// nets one at a time, compute each neighbor's delta gain from the four
+// before/after criticality values of that net, and immediately update the
+// neighbor's position in the gain container. Whether a zero delta triggers
+// a reinsertion is the Update policy.
+//
+// Must be called BEFORE p.Move(v): it reads pre-move pin counts.
+func (e *Engine) updateNeighbors(p *partition.P, v int32) {
+	from := p.Side(v)
+	to := 1 - from
+	skipUnchanged := e.cfg.Update == NonzeroOnly
+	for _, edge := range e.h.IncidentEdges(v) {
+		w := e.h.EdgeWeight(edge)
+		cf := p.SideCount(edge, from)
+		ct := p.SideCount(edge, to)
+		if skipUnchanged && cf > 2 && ct > 1 {
+			// No pin of this net can change gain; with NonzeroOnly the whole
+			// net is safely skipped. Under AllDeltaGain the straightforward
+			// implementation still walks it (and reinserts at zero delta),
+			// which is exactly the churn the paper measures.
+			continue
+		}
+		for _, y := range e.h.Pins(edge) {
+			if y == v || e.locked[y] || !e.cont.Contains(y) {
+				continue
+			}
+			e.work++
+			sy := p.Side(y)
+			var bsy, both, asy, aoth int32
+			if sy == from {
+				bsy, both = cf, ct
+				asy, aoth = cf-1, ct+1
+			} else {
+				bsy, both = ct, cf
+				asy, aoth = ct+1, cf-1
+			}
+			var delta int64
+			if asy == 1 {
+				delta += w
+			}
+			if bsy == 1 {
+				delta -= w
+			}
+			if aoth == 0 {
+				delta -= w
+			}
+			if both == 0 {
+				delta += w
+			}
+			if delta == 0 {
+				if e.cfg.Update == AllDeltaGain {
+					e.cont.Update(y, 0)
+				}
+				continue
+			}
+			e.cont.Update(y, delta)
+		}
+	}
+}
+
+func absDiff(a, b int64) int64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,136 @@
+package core
+
+// Krishnamurthy lookahead gains ("An Improved Min-cut Algorithm for
+// Partitioning VLSI Networks", IEEE ToC 1984 — reference [30] of the
+// paper). Plain FM breaks ties among equal-gain moves arbitrarily (which is
+// precisely why the insertion-order and bias decisions of Table 1 matter);
+// Krishnamurthy breaks them by higher-order gains: the level-n gain of a
+// move counts nets that would become uncritical (or critical) after n-1
+// further moves, computed from the free/locked pin counts of each net.
+//
+// This implementation keeps the gain container keyed by the level-1 gain
+// and applies the lookahead vector lexicographically *within the head
+// bucket* at selection time, scanning at most LookaheadScanLimit entries —
+// a standard engineering variant that preserves the tie-breaking semantics
+// without multi-key bucket structures. Enable with Config.LookaheadDepth
+// >= 2.
+
+import (
+	"hgpart/internal/partition"
+)
+
+// gainLevels computes v's Krishnamurthy gain vector levels 2..depth (level
+// 1 is the container key and equal for all candidates in a bucket). The
+// level-n entry sums, over incident nets:
+//
+//	+w if the net has no locked pins on v's side and exactly n-1 other
+//	    free pins there (n-1 more moves make it uncritical on that side);
+//	-w if the net has no locked pins on the destination side and exactly
+//	    n-1 free pins there (n-1 more moves make it critical).
+func (e *Engine) gainLevels(p *partition.P, v int32, depth int, out []int64) []int64 {
+	out = out[:0]
+	for n := 2; n <= depth; n++ {
+		out = append(out, 0)
+	}
+	src := p.Side(v)
+	dst := 1 - src
+	for _, edge := range e.h.IncidentEdges(v) {
+		w := e.h.EdgeWeight(edge)
+		lockSrc := e.immobile[edge][src]
+		lockDst := e.immobile[edge][dst]
+		if lockSrc == 0 {
+			freeSrcOthers := int(p.SideCount(edge, src)) - 1
+			lvl := freeSrcOthers + 1
+			if lvl >= 2 && lvl <= depth {
+				out[lvl-2] += w
+			}
+		}
+		if lockDst == 0 {
+			freeDst := int(p.SideCount(edge, dst))
+			lvl := freeDst + 1
+			if lvl >= 2 && lvl <= depth {
+				out[lvl-2] -= w
+			}
+		}
+	}
+	return out
+}
+
+// lexLess reports whether a < b lexicographically (equal-length vectors).
+func lexLess(a, b []int64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// lookaheadHead returns the best legal candidate from side s's top bucket
+// under lookahead ordering: among the first LookaheadScanLimit entries of
+// the bucket, the legal move with the lexicographically largest gain vector
+// (all entries share the level-1 gain by construction).
+func (e *Engine) lookaheadHead(p *partition.P, s uint8) (int32, int64, bool) {
+	_, key, ok := e.cont.Head(s)
+	if !ok {
+		return 0, 0, false
+	}
+	depth := e.cfg.LookaheadDepth
+	limit := e.cfg.LookaheadScanLimit
+	if limit <= 0 {
+		limit = 32
+	}
+
+	var best int32 = -1
+	var bestVec []int64
+	scanned := 0
+	e.cont.WalkBucket(s, key, func(u int32) bool {
+		scanned++
+		e.work++
+		if p.MoveLegal(u, e.bal) {
+			vec := e.gainLevels(p, u, depth, e.lookBuf)
+			e.lookBuf = vec // retain capacity across calls
+			if best == -1 || lexLess(bestVec, vec) {
+				best = u
+				// Copy: lookBuf is reused on the next candidate.
+				bestVec = append(bestVec[:0], vec...)
+			}
+		}
+		return scanned < limit
+	})
+	if best == -1 {
+		// Head bucket has no legal move within the scan window: the side is
+		// skipped, matching the base engine's head-only discipline.
+		e.corks++
+		return 0, 0, false
+	}
+	return best, key, true
+}
+
+// resetImmobile clears per-net locked-pin counts at the start of a pass and
+// charges vertices that are out of play from the outset (fixed vertices and
+// cork-guarded heavy cells).
+func (e *Engine) resetImmobile(p *partition.P) {
+	if e.immobile == nil {
+		e.immobile = make([][2]int32, e.h.NumEdges())
+	}
+	for i := range e.immobile {
+		e.immobile[i] = [2]int32{}
+	}
+	slack := e.bal.Slack()
+	for v := 0; v < e.h.NumVertices(); v++ {
+		vv := int32(v)
+		excluded := p.IsFixed(vv) || (e.cfg.CorkGuard && e.h.VertexWeight(vv) > slack)
+		if excluded {
+			e.chargeImmobile(p, vv)
+		}
+	}
+}
+
+// chargeImmobile marks v's pins as locked on v's current side.
+func (e *Engine) chargeImmobile(p *partition.P, v int32) {
+	s := p.Side(v)
+	for _, edge := range e.h.IncidentEdges(v) {
+		e.immobile[edge][s]++
+	}
+}

@@ -1,0 +1,186 @@
+package eval
+
+import (
+	"math"
+	"sort"
+)
+
+// BSFPoint is one point of a best-so-far curve: the solution cost the
+// multistart regime is expected to achieve within a CPU budget.
+type BSFPoint struct {
+	// Budget is the CPU budget tau in (normalized) seconds.
+	Budget float64
+	// Starts is the number of independent starts that fit in Budget
+	// (the paper notes a time bound converts to a bound on starts via the
+	// average single-start runtime).
+	Starts int
+	// ExpectedBest is E[min of Starts draws] under the empirical
+	// single-start cut distribution.
+	ExpectedBest float64
+}
+
+// BSFCurve computes the best-so-far curve from independent single-start
+// samples. For each budget tau, the number of starts k = floor(tau / mean
+// single-start time), and the expected best-of-k is computed exactly from
+// the empirical distribution:
+//
+//	E[min of k] = sum_i c_(i) * [ ((n-i+1)/n)^k - ((n-i)/n)^k ]
+//
+// with c_(1) <= ... <= c_(n) the sorted sample cuts. Budgets too small for
+// even one start are reported with Starts == 0 and ExpectedBest == +Inf
+// (no solution available yet).
+//
+// useNormalized selects work-unit-derived normalized seconds instead of
+// wall-clock seconds as the time axis.
+func BSFCurve(samples []Outcome, budgets []float64, useNormalized bool) []BSFPoint {
+	if len(samples) == 0 {
+		return nil
+	}
+	cuts := make([]float64, len(samples))
+	var meanTime float64
+	for i, s := range samples {
+		cuts[i] = float64(s.Cut)
+		if useNormalized {
+			meanTime += s.NormalizedSeconds()
+		} else {
+			meanTime += s.Seconds
+		}
+	}
+	meanTime /= float64(len(samples))
+	sort.Float64s(cuts)
+
+	out := make([]BSFPoint, 0, len(budgets))
+	for _, tau := range budgets {
+		k := 0
+		if meanTime > 0 {
+			k = int(tau / meanTime)
+		}
+		p := BSFPoint{Budget: tau, Starts: k}
+		if k <= 0 {
+			p.ExpectedBest = math.Inf(1)
+		} else {
+			p.ExpectedBest = ExpectedBestOfK(cuts, k)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// ExpectedBestOfK returns E[min of k i.i.d. draws] from the empirical
+// distribution given by sortedCuts (ascending).
+func ExpectedBestOfK(sortedCuts []float64, k int) float64 {
+	n := float64(len(sortedCuts))
+	if n == 0 {
+		return math.Inf(1)
+	}
+	if k <= 1 {
+		var s float64
+		for _, c := range sortedCuts {
+			s += c
+		}
+		return s / n
+	}
+	var e float64
+	for i, c := range sortedCuts {
+		// P(min = c_(i)) for the i-th order statistic position (1-based).
+		hi := math.Pow((n-float64(i))/n, float64(k))
+		lo := math.Pow((n-float64(i)-1)/n, float64(k))
+		e += c * (hi - lo)
+	}
+	return e
+}
+
+// PerfPoint is one (solution cost, runtime) performance point of a
+// heuristic configuration.
+type PerfPoint struct {
+	Label   string
+	Cost    float64
+	Seconds float64
+}
+
+// Dominates reports whether a dominates b in the paper's sense: a has both
+// lower cost AND lower runtime ("no one would ever choose to run
+// configuration B over configuration A").
+func Dominates(a, b PerfPoint) bool {
+	return a.Cost < b.Cost && a.Seconds < b.Seconds
+}
+
+// ParetoFrontier returns the non-dominated subset of points, sorted by
+// increasing runtime. This is exactly the Pareto set of the multi-objective
+// (cost, runtime) comparison the paper recommends reporting.
+func ParetoFrontier(points []PerfPoint) []PerfPoint {
+	var front []PerfPoint
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i != j && Dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].Seconds != front[j].Seconds {
+			return front[i].Seconds < front[j].Seconds
+		}
+		return front[i].Cost < front[j].Cost
+	})
+	return front
+}
+
+// RankingCell is one cell of a speed-dependent ranking diagram.
+type RankingCell struct {
+	// InstanceSize is the vertex count of the instance class.
+	InstanceSize int
+	// Budget is the CPU budget in normalized seconds.
+	Budget float64
+	// Winner is the name of the heuristic with the lowest expected
+	// best-so-far cost at this (size, budget) cell; "-" if no heuristic
+	// completes a single start within the budget.
+	Winner string
+	// Expected maps each heuristic name to its expected BSF cost (may be
+	// +Inf when the heuristic cannot finish a start within Budget).
+	Expected map[string]float64
+}
+
+// RankingDiagram builds the Schreiber–Martin-style dominance diagram from
+// per-heuristic single-start samples gathered on instances of several
+// sizes. samplesBySize[size][name] holds the single-start outcomes of
+// heuristic name on the instance of that size.
+func RankingDiagram(samplesBySize map[int]map[string][]Outcome, budgets []float64, useNormalized bool) []RankingCell {
+	sizes := make([]int, 0, len(samplesBySize))
+	for sz := range samplesBySize {
+		sizes = append(sizes, sz)
+	}
+	sort.Ints(sizes)
+
+	var cells []RankingCell
+	for _, sz := range sizes {
+		names := make([]string, 0, len(samplesBySize[sz]))
+		for name := range samplesBySize[sz] {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, tau := range budgets {
+			cell := RankingCell{InstanceSize: sz, Budget: tau, Winner: "-", Expected: map[string]float64{}}
+			bestVal := math.Inf(1)
+			for _, name := range names {
+				pts := BSFCurve(samplesBySize[sz][name], []float64{tau}, useNormalized)
+				v := math.Inf(1)
+				if len(pts) == 1 {
+					v = pts[0].ExpectedBest
+				}
+				cell.Expected[name] = v
+				if v < bestVal {
+					bestVal = v
+					cell.Winner = name
+				}
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells
+}

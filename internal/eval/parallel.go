@@ -1,0 +1,73 @@
+package eval
+
+import (
+	"runtime"
+	"sync"
+
+	"hgpart/internal/rng"
+)
+
+// ParallelMultistart runs n independent starts across worker goroutines and
+// returns per-start outcomes in start order plus the best outcome.
+//
+// Heuristic implementations carry per-engine scratch state and are not safe
+// for concurrent use, so the caller provides a factory producing one
+// Heuristic per worker. Determinism is preserved regardless of worker count
+// or scheduling: start i always draws from the i-th generator split from
+// seed, and ties between equal cuts are broken by start index.
+//
+// The paper measures CPU time, not wall clock, precisely so that results
+// stay comparable across execution environments; per-start Work counters
+// are unaffected by parallel execution.
+func ParallelMultistart(factory func() Heuristic, n int, seed uint64, workers int) ([]Outcome, Outcome, int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Pre-split one generator per start so results are schedule-independent.
+	root := rng.New(seed)
+	seeds := make([]*rng.RNG, n)
+	for i := range seeds {
+		seeds[i] = root.Split()
+	}
+
+	outcomes := make([]Outcome, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := factory()
+			for i := range next {
+				outcomes[i] = h.Run(seeds[i])
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	bestIdx := 0
+	for i := 1; i < n; i++ {
+		if outcomes[i].Cut < outcomes[bestIdx].Cut {
+			bestIdx = i
+		}
+	}
+	best := outcomes[bestIdx]
+	// Strip partitions from the sample list (keep only the best's).
+	for i := range outcomes {
+		if i != bestIdx {
+			outcomes[i].P = nil
+		}
+	}
+	return outcomes, best, bestIdx
+}

@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"testing"
+
+	"hgpart/internal/core"
+	"hgpart/internal/partition"
+	"hgpart/internal/rng"
+)
+
+func TestParallelMultistartDeterministicAcrossWorkerCounts(t *testing.T) {
+	h := instance(t)
+	bal := partition.NewBalance(h.TotalVertexWeight(), 0.10)
+	factory := func() Heuristic {
+		return NewFlat("flat", h, core.StrongConfig(false), bal, rng.New(99))
+	}
+	run := func(workers int) []int64 {
+		outcomes, best, bestIdx := ParallelMultistart(factory, 9, 41, workers)
+		if best.P == nil || outcomes[bestIdx].Cut != best.Cut {
+			t.Fatal("best bookkeeping broken")
+		}
+		cuts := make([]int64, len(outcomes))
+		for i, o := range outcomes {
+			cuts[i] = o.Cut
+		}
+		return cuts
+	}
+	a := run(1)
+	b := run(4)
+	c := run(9)
+	for i := range a {
+		if a[i] != b[i] || a[i] != c[i] {
+			t.Fatalf("start %d differs across worker counts: %d/%d/%d", i, a[i], b[i], c[i])
+		}
+	}
+}
+
+func TestParallelMultistartMatchesSequential(t *testing.T) {
+	h := instance(t)
+	bal := partition.NewBalance(h.TotalVertexWeight(), 0.10)
+	factory := func() Heuristic {
+		return NewFlat("flat", h, core.StrongConfig(false), bal, rng.New(7))
+	}
+	// Sequential reference using the same per-start seed discipline.
+	root := rng.New(55)
+	ref := make([]int64, 6)
+	seqH := factory()
+	for i := range ref {
+		ref[i] = seqH.Run(root.Split()).Cut
+	}
+	outcomes, _, _ := ParallelMultistart(factory, 6, 55, 3)
+	for i := range ref {
+		if outcomes[i].Cut != ref[i] {
+			t.Fatalf("start %d: parallel %d vs sequential %d", i, outcomes[i].Cut, ref[i])
+		}
+	}
+}
+
+func TestParallelMultistartSinglePartitionRetained(t *testing.T) {
+	h := instance(t)
+	bal := partition.NewBalance(h.TotalVertexWeight(), 0.10)
+	factory := func() Heuristic {
+		return NewFlat("flat", h, core.StrongConfig(false), bal, rng.New(3))
+	}
+	outcomes, best, bestIdx := ParallelMultistart(factory, 5, 2, 2)
+	for i, o := range outcomes {
+		if i == bestIdx {
+			if o.P == nil {
+				t.Fatal("best outcome lost its partition")
+			}
+			continue
+		}
+		if o.P != nil {
+			t.Fatalf("non-best outcome %d retains a partition", i)
+		}
+	}
+	if !best.P.Legal(bal) {
+		t.Fatal("best partition illegal")
+	}
+}

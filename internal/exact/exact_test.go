@@ -1,0 +1,189 @@
+package exact
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hgpart/internal/core"
+	"hgpart/internal/hypergraph"
+	"hgpart/internal/partition"
+	"hgpart/internal/rng"
+)
+
+// brute computes the optimum by full enumeration — the oracle's oracle.
+func brute(h *hypergraph.Hypergraph, bal partition.Balance) (int64, bool) {
+	n := h.NumVertices()
+	best := int64(1) << 62
+	found := false
+	sides := make([]uint8, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		var a0, a1 int64
+		for v := 0; v < n; v++ {
+			sides[v] = uint8(mask >> v & 1)
+			if sides[v] == 0 {
+				a0 += h.VertexWeight(int32(v))
+			} else {
+				a1 += h.VertexWeight(int32(v))
+			}
+		}
+		if !bal.Contains(a0) || !bal.Contains(a1) {
+			continue
+		}
+		var cut int64
+		for e := 0; e < h.NumEdges(); e++ {
+			pins := h.Pins(int32(e))
+			s0 := sides[pins[0]]
+			for _, u := range pins[1:] {
+				if sides[u] != s0 {
+					cut += h.EdgeWeight(int32(e))
+					break
+				}
+			}
+		}
+		if cut < best {
+			best = cut
+			found = true
+		}
+	}
+	return best, found
+}
+
+func randomSmall(seed uint64, nv int) *hypergraph.Hypergraph {
+	r := rng.New(seed)
+	b := hypergraph.NewBuilder(nv, 2*nv)
+	for i := 0; i < nv; i++ {
+		b.AddVertex(int64(1 + r.Intn(4)))
+	}
+	for e := 0; e < 2*nv; e++ {
+		size := 2 + r.Intn(3)
+		pins := make([]int32, size)
+		for i := range pins {
+			pins[i] = int32(r.Intn(nv))
+		}
+		b.AddEdge(int64(1+r.Intn(2)), pins...)
+	}
+	return b.MustBuild()
+}
+
+func TestMatchesBruteForce(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		nv := 6 + int(seed%7) // 6..12 vertices
+		h := randomSmall(seed, nv)
+		bal := partition.NewBalance(h.TotalVertexWeight(), 0.25)
+		want, feasible := brute(h, bal)
+		res, err := Bisect(h, bal, Options{})
+		if !feasible {
+			return err != nil
+		}
+		if err != nil {
+			return false
+		}
+		return res.Cut == want
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultSidesAreConsistent(t *testing.T) {
+	h := randomSmall(3, 10)
+	bal := partition.NewBalance(h.TotalVertexWeight(), 0.3)
+	res, err := Bisect(h, bal, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := partition.New(h)
+	if err := p.Assign(res.Sides); err != nil {
+		t.Fatal(err)
+	}
+	if p.Cut() != res.Cut {
+		t.Fatalf("reported cut %d but sides give %d", res.Cut, p.Cut())
+	}
+	if !p.Legal(bal) {
+		t.Fatal("optimal solution violates balance")
+	}
+}
+
+func TestKnownOptimum(t *testing.T) {
+	// Two 4-cliques joined by a single bridge net: optimal cut is 1.
+	b := hypergraph.NewBuilder(8, 3)
+	b.AddVertices(8, 1)
+	b.AddEdge(1, 0, 1, 2, 3)
+	b.AddEdge(1, 4, 5, 6, 7)
+	b.AddEdge(1, 3, 4)
+	h := b.MustBuild()
+	bal := partition.NewBalance(h.TotalVertexWeight(), 0.0)
+	res, err := Bisect(h, bal, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cut != 1 {
+		t.Fatalf("optimum %d, want 1", res.Cut)
+	}
+}
+
+func TestInfeasibleBalance(t *testing.T) {
+	b := hypergraph.NewBuilder(2, 1)
+	b.AddVertex(10)
+	b.AddVertex(1)
+	b.AddEdge(1, 0, 1)
+	h := b.MustBuild()
+	// Perfect bisection of weights {10,1} is impossible.
+	if _, err := Bisect(h, partition.Balance{Lo: 5, Hi: 6}, Options{}); err == nil {
+		t.Fatal("infeasible balance accepted")
+	}
+}
+
+func TestSizeLimit(t *testing.T) {
+	h := randomSmall(4, 12)
+	bal := partition.NewBalance(h.TotalVertexWeight(), 0.3)
+	if _, err := Bisect(h, bal, Options{MaxVertices: 8}); err == nil {
+		t.Fatal("size limit not enforced")
+	}
+}
+
+func TestNodeBudget(t *testing.T) {
+	h := randomSmall(5, 20)
+	bal := partition.NewBalance(h.TotalVertexWeight(), 0.3)
+	if _, err := Bisect(h, bal, Options{MaxNodes: 10}); err == nil {
+		t.Fatal("node budget not enforced")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	b := hypergraph.NewBuilder(0, 0)
+	h := b.MustBuild()
+	if _, err := Bisect(h, partition.Balance{}, Options{}); err == nil {
+		t.Fatal("empty hypergraph accepted")
+	}
+}
+
+// TestFMReachesNearOptimum is the "health check" the paper recommends: on
+// exactly solvable instances, the tuned FM testbench with a few starts must
+// land within a modest factor of the proven optimum.
+func TestFMReachesNearOptimum(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		h := randomSmall(seed+100, 14)
+		bal := partition.NewBalance(h.TotalVertexWeight(), 0.25)
+		opt, err := Bisect(h, bal, Options{})
+		if err != nil {
+			continue // infeasible draw
+		}
+		eng := core.NewEngine(h, core.StrongConfig(false), bal, rng.New(seed))
+		r := rng.New(seed ^ 0xbeef)
+		best := int64(1) << 62
+		for s := 0; s < 10; s++ {
+			p := partition.New(h)
+			p.RandomBalanced(r.Split(), bal)
+			res := eng.Run(p)
+			if p.Legal(bal) && res.Cut < best {
+				best = res.Cut
+			}
+		}
+		if best > opt.Cut*2+2 {
+			t.Fatalf("seed %d: FM best-of-10 %d vs optimum %d", seed, best, opt.Cut)
+		}
+		if best < opt.Cut {
+			t.Fatalf("seed %d: FM (%d) beat the 'optimum' (%d) — exact solver is wrong", seed, best, opt.Cut)
+		}
+	}
+}

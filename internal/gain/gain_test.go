@@ -1,0 +1,329 @@
+package gain
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hgpart/internal/rng"
+)
+
+func TestInsertHeadSelect(t *testing.T) {
+	c := NewContainer(10, 5, LIFO, nil)
+	c.Insert(0, 0, 2)
+	c.Insert(1, 0, 4)
+	c.Insert(2, 0, -1)
+	v, key, ok := c.Head(0)
+	if !ok || v != 1 || key != 4 {
+		t.Fatalf("Head = (%d,%d,%v), want (1,4,true)", v, key, ok)
+	}
+	if c.Size(0) != 3 || c.Size(1) != 0 {
+		t.Fatalf("sizes %d/%d", c.Size(0), c.Size(1))
+	}
+}
+
+func TestSidesAreSegregated(t *testing.T) {
+	c := NewContainer(10, 5, LIFO, nil)
+	c.Insert(0, 0, 1)
+	c.Insert(1, 1, 5)
+	v, _, ok := c.Head(0)
+	if !ok || v != 0 {
+		t.Fatal("side 0 head wrong")
+	}
+	v, key, ok := c.Head(1)
+	if !ok || v != 1 || key != 5 {
+		t.Fatal("side 1 head wrong")
+	}
+}
+
+func TestLIFOOrderWithinBucket(t *testing.T) {
+	c := NewContainer(10, 5, LIFO, nil)
+	c.Insert(0, 0, 3)
+	c.Insert(1, 0, 3)
+	c.Insert(2, 0, 3)
+	v, _, _ := c.Head(0)
+	if v != 2 {
+		t.Fatalf("LIFO head = %d, want most recent (2)", v)
+	}
+}
+
+func TestFIFOOrderWithinBucket(t *testing.T) {
+	c := NewContainer(10, 5, FIFO, nil)
+	c.Insert(0, 0, 3)
+	c.Insert(1, 0, 3)
+	c.Insert(2, 0, 3)
+	v, _, _ := c.Head(0)
+	if v != 0 {
+		t.Fatalf("FIFO head = %d, want first inserted (0)", v)
+	}
+}
+
+func TestRandomOrderHeadOrTail(t *testing.T) {
+	r := rng.New(1)
+	c := NewContainer(100, 5, Random, r)
+	for v := int32(0); v < 100; v++ {
+		c.Insert(v, 0, 0)
+	}
+	if !c.CheckInvariants() {
+		t.Fatal("invariants broken under Random order")
+	}
+	// The head should rarely be the very first or very last insert every
+	// time; just confirm structure and size.
+	if c.Size(0) != 100 {
+		t.Fatal("size wrong")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := NewContainer(10, 5, LIFO, nil)
+	c.Insert(0, 0, 3)
+	c.Insert(1, 0, 3)
+	c.Insert(2, 0, 3)
+	c.Remove(1) // middle of list
+	if c.Contains(1) {
+		t.Fatal("Contains after Remove")
+	}
+	v, _, _ := c.Head(0)
+	if v != 2 {
+		t.Fatalf("head %d", v)
+	}
+	c.Remove(2) // head
+	v, _, _ = c.Head(0)
+	if v != 0 {
+		t.Fatalf("head %d after removing head", v)
+	}
+	c.Remove(0) // tail/last
+	if _, _, ok := c.Head(0); ok {
+		t.Fatal("container should be empty")
+	}
+	if !c.CheckInvariants() {
+		t.Fatal("invariants broken")
+	}
+}
+
+func TestDoubleInsertPanics(t *testing.T) {
+	c := NewContainer(4, 2, LIFO, nil)
+	c.Insert(0, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double insert did not panic")
+		}
+	}()
+	c.Insert(0, 0, 1)
+}
+
+func TestRemoveAbsentPanics(t *testing.T) {
+	c := NewContainer(4, 2, LIFO, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("remove of absent vertex did not panic")
+		}
+	}()
+	c.Remove(1)
+}
+
+func TestUpdateMovesBuckets(t *testing.T) {
+	c := NewContainer(10, 5, LIFO, nil)
+	c.Insert(0, 0, 1)
+	c.Insert(1, 0, 2)
+	c.Update(0, 4) // 0 now at key 5
+	v, key, _ := c.Head(0)
+	if v != 0 || key != 5 {
+		t.Fatalf("after update head (%d,%d)", v, key)
+	}
+	if c.Key(1) != 2 {
+		t.Fatal("unrelated key changed")
+	}
+}
+
+func TestZeroDeltaUpdateShiftsPosition(t *testing.T) {
+	// This is the All-delta-gain churn the paper studies: a zero-delta
+	// Update reinserts the vertex, moving it to the bucket head under LIFO.
+	c := NewContainer(10, 5, LIFO, nil)
+	c.Insert(0, 0, 3)
+	c.Insert(1, 0, 3) // head is 1
+	c.Update(0, 0)    // reinsert 0 at same key
+	v, _, _ := c.Head(0)
+	if v != 0 {
+		t.Fatalf("zero-delta LIFO update should move 0 to head, head=%d", v)
+	}
+}
+
+func TestKeyClamping(t *testing.T) {
+	c := NewContainer(4, 3, LIFO, nil)
+	c.Insert(0, 0, 100)  // clamped to +3 bucket
+	c.Insert(1, 0, -100) // clamped to -3 bucket
+	v, key, ok := c.Head(0)
+	if !ok || v != 0 || key != 100 {
+		t.Fatalf("clamped head (%d,%d,%v)", v, key, ok)
+	}
+	if !c.CheckInvariants() {
+		t.Fatal("invariants after clamping")
+	}
+}
+
+func TestWalkDownOrder(t *testing.T) {
+	c := NewContainer(10, 5, LIFO, nil)
+	c.Insert(0, 0, -2)
+	c.Insert(1, 0, 4)
+	c.Insert(2, 0, 1)
+	var keys []int64
+	c.WalkDown(0, func(v int32, key int64) bool {
+		keys = append(keys, key)
+		return true
+	})
+	if len(keys) != 3 || keys[0] != 4 || keys[1] != 1 || keys[2] != -2 {
+		t.Fatalf("WalkDown keys %v", keys)
+	}
+}
+
+func TestWalkBucket(t *testing.T) {
+	c := NewContainer(10, 5, FIFO, nil)
+	c.Insert(0, 0, 2)
+	c.Insert(1, 0, 2)
+	c.Insert(2, 0, 3)
+	var got []int32
+	c.WalkBucket(0, 2, func(v int32) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("WalkBucket %v", got)
+	}
+	// Early stop.
+	count := 0
+	c.WalkBucket(0, 2, func(v int32) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatal("WalkBucket ignored early stop")
+	}
+}
+
+func TestClearRetainsCapacity(t *testing.T) {
+	c := NewContainer(10, 5, LIFO, nil)
+	for v := int32(0); v < 10; v++ {
+		c.Insert(v, uint8(v%2), int64(v%5))
+	}
+	c.Clear()
+	if c.Size(0) != 0 || c.Size(1) != 0 {
+		t.Fatal("Clear left elements")
+	}
+	if _, _, ok := c.Head(0); ok {
+		t.Fatal("Head after Clear")
+	}
+	c.Insert(3, 0, 2)
+	if v, _, ok := c.Head(0); !ok || v != 3 {
+		t.Fatal("reuse after Clear broken")
+	}
+}
+
+// TestRandomOperationSequence drives the container with random operations
+// and checks invariants plus agreement with a naive reference model.
+func TestRandomOperationSequence(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		const n = 40
+		const maxKey = 8
+		c := NewContainer(n, maxKey, LIFO, r)
+		inSet := map[int32]int64{} // vertex -> key
+		sideOf := map[int32]uint8{}
+
+		for op := 0; op < 300; op++ {
+			v := int32(r.Intn(n))
+			switch r.Intn(3) {
+			case 0: // insert
+				if _, ok := inSet[v]; !ok {
+					key := int64(r.Intn(2*maxKey+1) - maxKey)
+					s := uint8(r.Intn(2))
+					c.Insert(v, s, key)
+					inSet[v] = key
+					sideOf[v] = s
+				}
+			case 1: // remove
+				if _, ok := inSet[v]; ok {
+					c.Remove(v)
+					delete(inSet, v)
+					delete(sideOf, v)
+				}
+			case 2: // update
+				if _, ok := inSet[v]; ok {
+					delta := int64(r.Intn(5) - 2)
+					c.Update(v, delta)
+					inSet[v] += delta
+				}
+			}
+		}
+		if !c.CheckInvariants() {
+			return false
+		}
+		// Head must return the max clamped key per side.
+		for s := uint8(0); s < 2; s++ {
+			var want int64 = -1 << 62
+			found := false
+			for v, key := range inSet {
+				if sideOf[v] != s {
+					continue
+				}
+				k := key
+				if k > maxKey {
+					k = maxKey
+				}
+				if k < -maxKey {
+					k = -maxKey
+				}
+				if k > want {
+					want = k
+				}
+				found = true
+			}
+			v, key, ok := c.Head(s)
+			if ok != found {
+				return false
+			}
+			if ok {
+				k := key
+				if k > maxKey {
+					k = maxKey
+				}
+				if k < -maxKey {
+					k = -maxKey
+				}
+				if k != want || sideOf[v] != s {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderString(t *testing.T) {
+	if LIFO.String() != "LIFO" || FIFO.String() != "FIFO" || Random.String() != "Random" {
+		t.Fatal("Order.String wrong")
+	}
+}
+
+func TestHeadsDown(t *testing.T) {
+	c := NewContainer(10, 5, LIFO, nil)
+	c.Insert(0, 0, 4)
+	c.Insert(1, 0, 4) // head of bucket 4
+	c.Insert(2, 0, 1)
+	c.Insert(3, 0, -2)
+	var got []int32
+	c.HeadsDown(0, func(v int32, key int64) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("HeadsDown visited %v", got)
+	}
+	// Early stop.
+	n := 0
+	c.HeadsDown(0, func(v int32, key int64) bool { n++; return false })
+	if n != 1 {
+		t.Fatal("HeadsDown ignored early stop")
+	}
+}

@@ -1,0 +1,287 @@
+package hypergraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hgpart/internal/rng"
+)
+
+// tiny builds the 4-vertex, 3-net example used across the basic tests:
+//
+//	net0 = {0,1}  net1 = {1,2,3}  net2 = {0,3}
+func tiny(t *testing.T) *Hypergraph {
+	t.Helper()
+	b := NewBuilder(4, 3)
+	b.Name = "tiny"
+	b.AddVertices(4, 1)
+	b.AddEdge(1, 0, 1)
+	b.AddEdge(2, 1, 2, 3)
+	b.AddEdge(1, 0, 3)
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestBuildBasics(t *testing.T) {
+	h := tiny(t)
+	if h.NumVertices() != 4 || h.NumEdges() != 3 || h.NumPins() != 7 {
+		t.Fatalf("got %d vertices %d edges %d pins", h.NumVertices(), h.NumEdges(), h.NumPins())
+	}
+	if h.TotalVertexWeight() != 4 {
+		t.Fatalf("total weight %d", h.TotalVertexWeight())
+	}
+	if h.EdgeWeight(1) != 2 || h.EdgeSize(1) != 3 {
+		t.Fatalf("edge 1: weight %d size %d", h.EdgeWeight(1), h.EdgeSize(1))
+	}
+	if h.MaxEdgeSize() != 3 {
+		t.Fatalf("max edge size %d", h.MaxEdgeSize())
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncidenceCrossConsistency(t *testing.T) {
+	h := tiny(t)
+	// vertex 1 is on nets 0 and 1
+	edges := h.IncidentEdges(1)
+	if len(edges) != 2 {
+		t.Fatalf("vertex 1 has %d incident edges", len(edges))
+	}
+	if h.Degree(0) != 2 || h.Degree(2) != 1 {
+		t.Fatalf("degrees: %d %d", h.Degree(0), h.Degree(2))
+	}
+}
+
+func TestPinDeduplication(t *testing.T) {
+	b := NewBuilder(3, 1)
+	b.AddVertices(3, 1)
+	b.AddEdge(1, 0, 1, 1, 0, 2)
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.EdgeSize(0) != 3 {
+		t.Fatalf("dedup failed: size %d", h.EdgeSize(0))
+	}
+}
+
+func TestSingletonNetsDropped(t *testing.T) {
+	b := NewBuilder(3, 2)
+	b.AddVertices(3, 1)
+	b.AddEdge(1, 0)       // single pin: dropped
+	b.AddEdge(1, 1, 1, 1) // dedups to single pin: dropped
+	b.AddEdge(1, 0, 2)
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != 1 {
+		t.Fatalf("expected 1 surviving net, got %d", h.NumEdges())
+	}
+}
+
+func TestKeepSingleton(t *testing.T) {
+	b := NewBuilder(2, 1)
+	b.KeepSingleton = true
+	b.AddVertices(2, 1)
+	b.AddEdge(1, 0)
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != 1 {
+		t.Fatalf("KeepSingleton dropped the net")
+	}
+}
+
+func TestBuildRejectsBadPin(t *testing.T) {
+	b := NewBuilder(2, 1)
+	b.AddVertices(2, 1)
+	b.AddEdge(1, 0, 5)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected out-of-range pin error")
+	}
+}
+
+func TestBuildRejectsBadWeight(t *testing.T) {
+	b := NewBuilder(2, 1)
+	b.AddVertices(2, 1)
+	b.AddEdge(0, 0, 1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected non-positive edge weight error")
+	}
+}
+
+func TestMaxWeightedDegree(t *testing.T) {
+	h := tiny(t)
+	// vertex 1: nets 0 (w1) + 1 (w2) = 3; vertex 3: nets 1 (2) + 2 (1) = 3
+	if got := h.MaxWeightedDegree(); got != 3 {
+		t.Fatalf("MaxWeightedDegree = %d, want 3", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	h := tiny(t)
+	s := ComputeStats(h)
+	if s.Vertices != 4 || s.Edges != 3 || s.Pins != 7 {
+		t.Fatalf("stats counts wrong: %+v", s)
+	}
+	if s.MaxNetSize != 3 || s.NetSizeHist[0] != 2 || s.NetSizeHist[1] != 1 {
+		t.Fatalf("net histogram wrong: %+v", s)
+	}
+	if s.AvgNetSize < 2.3 || s.AvgNetSize > 2.4 {
+		t.Fatalf("avg net size %.3f", s.AvgNetSize)
+	}
+	if s.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+// randomHypergraph builds a random valid hypergraph for property tests.
+func randomHypergraph(seed uint64, nv, ne int) *Hypergraph {
+	r := rng.New(seed)
+	b := NewBuilder(nv, ne)
+	for i := 0; i < nv; i++ {
+		b.AddVertex(int64(1 + r.Intn(20)))
+	}
+	for e := 0; e < ne; e++ {
+		size := 2 + r.Intn(5)
+		pins := make([]int32, size)
+		for i := range pins {
+			pins[i] = int32(r.Intn(nv))
+		}
+		b.AddEdge(int64(1+r.Intn(3)), pins...)
+	}
+	return b.MustBuild()
+}
+
+func TestRandomHypergraphsValidate(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		h := randomHypergraph(seed, 20+int(seed%30), 30+int(seed%40))
+		return h.Validate() == nil && h.sortedPinsCheck()
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContractPreservesWeight(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		h := randomHypergraph(seed, 30, 50)
+		r := rng.New(seed ^ 1)
+		k := 5 + r.Intn(10)
+		clusterOf := make([]int32, h.NumVertices())
+		for v := range clusterOf {
+			clusterOf[v] = int32(r.Intn(k))
+		}
+		coarse, _ := h.Contract(clusterOf, k)
+		return coarse.TotalVertexWeight() == h.TotalVertexWeight() &&
+			coarse.Validate() == nil
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContractCutPreservation(t *testing.T) {
+	// The cut of any coarse partition must equal the cut of its projection
+	// to the fine hypergraph. This is the central invariant multilevel
+	// partitioning relies on.
+	if err := quick.Check(func(seed uint64) bool {
+		h := randomHypergraph(seed, 40, 60)
+		r := rng.New(seed ^ 2)
+		k := 6 + r.Intn(8)
+		clusterOf := make([]int32, h.NumVertices())
+		for v := range clusterOf {
+			clusterOf[v] = int32(r.Intn(k))
+		}
+		coarse, _ := h.Contract(clusterOf, k)
+
+		coarseSide := make([]uint8, k)
+		for c := range coarseSide {
+			coarseSide[c] = uint8(r.Intn(2))
+		}
+		cutCoarse := directCut(coarse, func(v int32) uint8 { return coarseSide[v] })
+		cutFine := directCut(h, func(v int32) uint8 { return coarseSide[clusterOf[v]] })
+		return cutCoarse == cutFine
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func directCut(h *Hypergraph, side func(int32) uint8) int64 {
+	var cut int64
+	for e := 0; e < h.NumEdges(); e++ {
+		pins := h.Pins(int32(e))
+		s0 := side(pins[0])
+		for _, v := range pins[1:] {
+			if side(v) != s0 {
+				cut += h.EdgeWeight(int32(e))
+				break
+			}
+		}
+	}
+	return cut
+}
+
+func TestContractMergesParallelNets(t *testing.T) {
+	b := NewBuilder(4, 3)
+	b.AddVertices(4, 1)
+	b.AddEdge(1, 0, 1)
+	b.AddEdge(3, 2, 3)
+	b.AddEdge(2, 0, 1) // parallel to net 0 after identity contraction
+	h := b.MustBuild()
+	clusterOf := []int32{0, 1, 2, 3}
+	coarse, _ := h.Contract(clusterOf, 4)
+	if coarse.NumEdges() != 2 {
+		t.Fatalf("parallel nets not merged: %d edges", coarse.NumEdges())
+	}
+	// The merged {0,1} net must carry weight 1+2=3.
+	found := false
+	for e := 0; e < coarse.NumEdges(); e++ {
+		pins := coarse.Pins(int32(e))
+		if len(pins) == 2 && pins[0] == 0 && pins[1] == 1 {
+			found = true
+			if coarse.EdgeWeight(int32(e)) != 3 {
+				t.Fatalf("merged weight %d, want 3", coarse.EdgeWeight(int32(e)))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("merged net {0,1} missing")
+	}
+}
+
+func TestContractDropsInternalNets(t *testing.T) {
+	h := tiny(t)
+	// Merge all vertices into one cluster: every net becomes internal.
+	coarse, _ := h.Contract([]int32{0, 0, 0, 0}, 1)
+	if coarse.NumEdges() != 0 {
+		t.Fatalf("internal nets survived: %d", coarse.NumEdges())
+	}
+	if coarse.TotalVertexWeight() != h.TotalVertexWeight() {
+		t.Fatal("weight not conserved")
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	h := tiny(t)
+	h.eind[0] = 99 // out-of-range pin
+	if err := h.Validate(); err == nil {
+		t.Fatal("Validate accepted corrupted pin")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic on invalid input")
+		}
+	}()
+	b := NewBuilder(1, 1)
+	b.AddVertex(1)
+	b.AddEdge(1, 0, 7)
+	b.MustBuild()
+}

@@ -1,0 +1,224 @@
+// Package kway provides k-way hypergraph partitioning by recursive
+// bisection — the approach the paper's driving application (top-down
+// placement) uses, built from the same 2-way engines the paper studies.
+// (The paper restricts its own experiments to FM-based 2-way partitioners
+// and names multi-way partitioning as an open gap; recursive bisection is
+// the standard bridge.)
+//
+// Unequal subdivisions (k not a power of two) use the classic dummy-vertex
+// trick: to split a region's k parts into k1 and k2 (k1 >= k2), a
+// zero-connectivity vertex of weight total*(k1-k2)/k is fixed to the k2
+// side, so an ordinary symmetric bisection of the augmented instance yields
+// real-weight shares k1/k and k2/k.
+package kway
+
+import (
+	"fmt"
+
+	"hgpart/internal/core"
+	"hgpart/internal/hypergraph"
+	"hgpart/internal/kwayfm"
+	"hgpart/internal/multilevel"
+	"hgpart/internal/objective"
+	"hgpart/internal/partition"
+	"hgpart/internal/rng"
+)
+
+// Config controls the recursive bisection.
+type Config struct {
+	// Tolerance is the balance tolerance applied at every bisection.
+	// Default 0.05.
+	Tolerance float64
+	// Refine configures the FM engine. Zero value gets core.StrongConfig.
+	Refine core.Config
+	// DisableML forces flat FM at every level; by default sub-instances
+	// larger than MLThreshold use the multilevel engine.
+	DisableML bool
+	// MLThreshold is the sub-instance size above which ML is used.
+	// Default 1000.
+	MLThreshold int
+	// Starts is the number of independent starts per bisection (best kept).
+	// Default 1.
+	Starts int
+	// DirectRefine runs a Sanchis-style direct k-way FM refinement pass
+	// (internal/kwayfm) over the recursive-bisection result, optimizing the
+	// cut across all k parts at once — moves recursive bisection cannot see.
+	DirectRefine bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tolerance <= 0 {
+		c.Tolerance = 0.05
+	}
+	if c.Refine == (core.Config{}) {
+		c.Refine = core.StrongConfig(false)
+	}
+	if c.MLThreshold <= 0 {
+		c.MLThreshold = 1000
+	}
+	if c.Starts <= 0 {
+		c.Starts = 1
+	}
+	return c
+}
+
+// Result reports a k-way partitioning.
+type Result struct {
+	Parts objective.Assignment
+	K     int
+	// CutNets is the weighted number of nets spanning >1 part.
+	CutNets int64
+	// ConnectivityMinusOne is sum w(e)*(lambda-1).
+	ConnectivityMinusOne int64
+	// Imbalance is max part weight relative to ideal, minus one.
+	Imbalance float64
+	// Bisections performed.
+	Bisections int
+}
+
+// Partition splits h into k parts by recursive min-cut bisection.
+func Partition(h *hypergraph.Hypergraph, k int, cfg Config, r *rng.RNG) (Result, error) {
+	if k < 1 {
+		return Result{}, fmt.Errorf("kway: k must be >= 1, got %d", k)
+	}
+	if k > h.NumVertices() {
+		return Result{}, fmt.Errorf("kway: k=%d exceeds vertex count %d", k, h.NumVertices())
+	}
+	cfg = cfg.withDefaults()
+
+	parts := make(objective.Assignment, h.NumVertices())
+	all := make([]int32, h.NumVertices())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	res := Result{K: k}
+	bisect(h, cfg, r, all, 0, k, parts, &res)
+
+	if cfg.DirectRefine && k >= 2 {
+		// Refinement tolerance: per-part bound equivalent to the
+		// per-bisection tolerance compounded once.
+		if _, err := kwayfm.Refine(h, parts, k, kwayfm.Config{
+			Tolerance: cfg.Tolerance * 2,
+			Objective: kwayfm.CutObjective,
+		}, r.Split()); err != nil {
+			return Result{}, err
+		}
+	}
+
+	res.Parts = parts
+	res.CutNets = objective.CutSize(h, parts)
+	res.ConnectivityMinusOne = objective.ConnectivityMinusOne(h, parts)
+	res.Imbalance = objective.Imbalance(h, parts, k)
+	return res, nil
+}
+
+// bisect assigns part ids [lo, lo+kk) to cells.
+func bisect(h *hypergraph.Hypergraph, cfg Config, r *rng.RNG, cells []int32, lo, kk int, parts objective.Assignment, res *Result) {
+	if kk == 1 {
+		for _, v := range cells {
+			parts[v] = int32(lo)
+		}
+		return
+	}
+	k1 := (kk + 1) / 2 // side 0 share
+	k2 := kk - k1      // side 1 share
+
+	left, right := splitCells(h, cfg, r, cells, k1, k2)
+	res.Bisections++
+	bisect(h, cfg, r, left, lo, k1, parts, res)
+	bisect(h, cfg, r, right, lo+k1, k2, parts, res)
+}
+
+// splitCells bisects the sub-hypergraph induced on cells into shares
+// k1 : k2 by weight.
+func splitCells(h *hypergraph.Hypergraph, cfg Config, r *rng.RNG, cells []int32, k1, k2 int) (left, right []int32) {
+	local := make(map[int32]int32, len(cells))
+	var subTotal int64
+	for i, v := range cells {
+		local[v] = int32(i)
+		subTotal += h.VertexWeight(v)
+	}
+
+	b := hypergraph.NewBuilder(len(cells)+1, len(cells))
+	b.Name = "kway-sub"
+	for _, v := range cells {
+		b.AddVertex(h.VertexWeight(v))
+	}
+	// Dummy vertex balancing unequal shares; weight 0 when k1 == k2.
+	kk := k1 + k2
+	dummyWeight := subTotal * int64(k1-k2) / int64(kk)
+	dummy := b.AddVertex(dummyWeight)
+
+	seen := make(map[int32]bool)
+	for _, v := range cells {
+		for _, e := range h.IncidentEdges(v) {
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			var pins []int32
+			for _, u := range h.Pins(e) {
+				if lu, ok := local[u]; ok {
+					pins = append(pins, lu)
+				}
+			}
+			if len(pins) >= 2 {
+				b.AddEdge(h.EdgeWeight(e), pins...)
+			}
+		}
+	}
+	sub := b.MustBuild()
+	bal := partition.NewBalance(sub.TotalVertexWeight(), cfg.Tolerance)
+
+	best := runBisection(sub, dummy, cfg, bal, r)
+	for i, v := range cells {
+		if best.Side(int32(i)) == 0 {
+			left = append(left, v)
+		} else {
+			right = append(right, v)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		// Degenerate guard (e.g. one giant macro): split by count.
+		half := len(cells) * k1 / kk
+		if half == 0 {
+			half = 1
+		}
+		return cells[:half], cells[half:]
+	}
+	return left, right
+}
+
+// runBisection performs cfg.Starts independent bisections of sub with the
+// dummy fixed to side 1, returning the best legal partition.
+func runBisection(sub *hypergraph.Hypergraph, dummy int32, cfg Config, bal partition.Balance, r *rng.RNG) *partition.P {
+	var best *partition.P
+	useML := !cfg.DisableML && sub.NumVertices() > cfg.MLThreshold
+	var ml *multilevel.Partitioner
+	var eng *core.Engine
+	if useML {
+		ml = multilevel.New(sub, multilevel.Config{Refine: cfg.Refine}, bal)
+	} else {
+		eng = core.NewEngine(sub, cfg.Refine, bal, r.Split())
+	}
+	for s := 0; s < cfg.Starts; s++ {
+		var p *partition.P
+		if useML {
+			fixed := make([]int8, sub.NumVertices())
+			for i := range fixed {
+				fixed[i] = partition.Free
+			}
+			fixed[dummy] = 1
+			p, _ = ml.PartitionFixed(fixed, r.Split())
+		} else {
+			p = partition.New(sub)
+			p.Fix(dummy, 1)
+			p.RandomBalanced(r.Split(), bal)
+			eng.Run(p)
+		}
+		if best == nil || (p.Legal(bal) && (!best.Legal(bal) || p.Cut() < best.Cut())) {
+			best = p
+		}
+	}
+	return best
+}

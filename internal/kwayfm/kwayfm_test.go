@@ -1,0 +1,152 @@
+package kwayfm
+
+import (
+	"testing"
+
+	"hgpart/internal/gen"
+	"hgpart/internal/hypergraph"
+	"hgpart/internal/objective"
+	"hgpart/internal/rng"
+)
+
+func instance(tb testing.TB, cells int, seed uint64) *hypergraph.Hypergraph {
+	tb.Helper()
+	h, err := gen.Generate(gen.Spec{
+		Name: "kwayfm-test", Cells: cells, Nets: cells + cells/10,
+		AvgNetSize: 3.4, NumMacros: 2, MaxMacroFrac: 0.02,
+		NumGlobalNets: 1, GlobalNetFrac: 0.01, Locality: 2, Seed: seed,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return h
+}
+
+// randomAssignment builds a roughly balanced random k-way start.
+func randomAssignment(h *hypergraph.Hypergraph, k int, seed uint64) objective.Assignment {
+	r := rng.New(seed)
+	a := make(objective.Assignment, h.NumVertices())
+	for _, vi := range r.Perm(h.NumVertices()) {
+		a[vi] = int32(vi % k) // round-robin over a random order: balanced
+	}
+	return a
+}
+
+func TestRefineImprovesCut(t *testing.T) {
+	h := instance(t, 500, 1)
+	for _, k := range []int{2, 3, 4} {
+		a := randomAssignment(h, k, uint64(k))
+		before := objective.CutSize(h, a)
+		res, err := Refine(h, a, k, Config{Tolerance: 0.15}, rng.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Initial != before {
+			t.Fatalf("k=%d initial mismatch: %d vs %d", k, res.Initial, before)
+		}
+		after := objective.CutSize(h, a)
+		if res.Final != after {
+			t.Fatalf("k=%d final mismatch: result %d, recomputed %d", k, res.Final, after)
+		}
+		if after > before {
+			t.Fatalf("k=%d refinement worsened: %d -> %d", k, before, after)
+		}
+		if float64(after) > 0.8*float64(before) {
+			t.Fatalf("k=%d refinement too weak: %d -> %d", k, before, after)
+		}
+	}
+}
+
+func TestRefineConnectivityObjective(t *testing.T) {
+	h := instance(t, 400, 2)
+	k := 4
+	a := randomAssignment(h, k, 3)
+	before := objective.ConnectivityMinusOne(h, a)
+	res, err := Refine(h, a, k, Config{Tolerance: 0.15, Objective: ConnectivityObjective}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := objective.ConnectivityMinusOne(h, a)
+	if res.Final != after || after > before {
+		t.Fatalf("connectivity refine: result %d, recomputed %d, before %d", res.Final, after, before)
+	}
+}
+
+func TestRefineRespectsBalance(t *testing.T) {
+	h := instance(t, 400, 4)
+	k := 4
+	a := randomAssignment(h, k, 5)
+	tol := 0.12
+	if _, err := Refine(h, a, k, Config{Tolerance: tol}, rng.New(7)); err != nil {
+		t.Fatal(err)
+	}
+	if imb := objective.Imbalance(h, a, k); imb > tol+0.02 {
+		t.Fatalf("imbalance %.3f exceeds tolerance %.2f", imb, tol)
+	}
+}
+
+func TestRefineErrors(t *testing.T) {
+	h := instance(t, 100, 7)
+	a := randomAssignment(h, 2, 1)
+	if _, err := Refine(h, a, 1, Config{}, rng.New(1)); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := Refine(h, a[:10], 2, Config{}, rng.New(1)); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	bad := randomAssignment(h, 2, 1)
+	bad[0] = 7
+	if _, err := Refine(h, bad, 2, Config{}, rng.New(1)); err == nil {
+		t.Fatal("out-of-range part accepted")
+	}
+}
+
+func TestRefineDeterministic(t *testing.T) {
+	h := instance(t, 300, 8)
+	k := 3
+	a1 := randomAssignment(h, k, 2)
+	a2 := randomAssignment(h, k, 2)
+	r1, err := Refine(h, a1, k, Config{Tolerance: 0.15}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Refine(h, a2, k, Config{Tolerance: 0.15}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Final != r2.Final || r1.Moves != r2.Moves {
+		t.Fatalf("not deterministic: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestRefineMaxPasses(t *testing.T) {
+	h := instance(t, 300, 9)
+	a := randomAssignment(h, 3, 4)
+	res, err := Refine(h, a, 3, Config{Tolerance: 0.15, MaxPasses: 1}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passes != 1 {
+		t.Fatalf("MaxPasses=1 but ran %d", res.Passes)
+	}
+}
+
+func TestTwoWayAgreesWithCoreObjective(t *testing.T) {
+	// For k=2, cut and connectivity objectives coincide; both refiners must
+	// report identical objective values for the same final assignment.
+	h := instance(t, 300, 10)
+	a := randomAssignment(h, 2, 5)
+	res, err := Refine(h, a, 2, Config{Tolerance: 0.1}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final != objective.ConnectivityMinusOne(h, a) {
+		t.Fatal("k=2 cut != connectivity")
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	if CutObjective.String() != "cut" || ConnectivityObjective.String() != "connectivity" {
+		t.Fatal("objective strings")
+	}
+}

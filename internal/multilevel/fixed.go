@@ -1,0 +1,161 @@
+package multilevel
+
+import (
+	"hgpart/internal/hypergraph"
+	"hgpart/internal/partition"
+	"hgpart/internal/rng"
+)
+
+// Fixed-vertex multilevel partitioning.
+//
+// The paper (§2.1) observes that in top-down placement "almost all
+// hypergraph partitioning instances have many vertices fixed in partitions
+// due to terminal propagation or pad locations", and that fixed terminals
+// fundamentally change the problem (Caldwell, Kahng, Markov, DAC'99,
+// "Hypergraph Partitioning With Fixed Vertices"). PartitionFixed extends
+// the multilevel engine to such instances: matching never merges vertices
+// fixed to different sides, clusters inherit their members' fixed sides,
+// the coarsest-level initial partitions honor them, and every refinement
+// level re-pins the projected fixed vertices.
+
+// fixedLevel pairs a coarsening level with the fixed-side vector of its
+// coarse hypergraph.
+type fixedLevel struct {
+	level
+	coarseFixed []int8
+}
+
+// PartitionFixed runs one multilevel start honoring fixedSide: entries are
+// partition.Free (-1), 0 or 1 per fine-level vertex. The returned partition
+// has those vertices fixed (and on their required sides).
+func (m *Partitioner) PartitionFixed(fixedSide []int8, r *rng.RNG) (*partition.P, Stats) {
+	if len(fixedSide) != m.h.NumVertices() {
+		panic("multilevel: fixedSide length mismatch")
+	}
+	st := Stats{}
+	levels := m.coarsenFixed(m.h, r, fixedSide)
+	st.Levels = len(levels) + 1
+
+	coarsest := m.h
+	coarsestFixed := fixedSide
+	if len(levels) > 0 {
+		coarsest = levels[len(levels)-1].h
+		coarsestFixed = levels[len(levels)-1].coarseFixed
+	}
+	st.CoarsestVertices = coarsest.NumVertices()
+
+	p := m.initialPartitionFixed(coarsest, coarsestFixed, r, &st)
+
+	// Uncoarsen with per-level fixing.
+	for i := len(levels) - 1; i >= 0; i-- {
+		var fine *hypergraph.Hypergraph
+		var fineFixed []int8
+		if i == 0 {
+			fine = m.h
+			fineFixed = fixedSide
+		} else {
+			fine = levels[i-1].h
+			fineFixed = levels[i-1].coarseFixed
+		}
+		coarseSides := p.Sides()
+		p = partition.New(fine)
+		fineSides := make([]uint8, fine.NumVertices())
+		for v := range fineSides {
+			fineSides[v] = coarseSides[levels[i].clusterOf[v]]
+		}
+		applyFixed(p, fineFixed, fineSides)
+		if err := p.Assign(fineSides); err != nil {
+			panic(err)
+		}
+		m.refine(p, r, &st)
+	}
+	if len(levels) == 0 {
+		m.refine(p, r, &st)
+	}
+	st.Cut = p.Cut()
+	return p, st
+}
+
+// applyFixed pins the fixed vertices on p and forces the side vector to
+// agree with them before Assign.
+func applyFixed(p *partition.P, fixed []int8, sides []uint8) {
+	for v, f := range fixed {
+		if f == partition.Free {
+			continue
+		}
+		sides[v] = uint8(f)
+		p.Fix(int32(v), f)
+	}
+}
+
+// coarsenFixed builds the hierarchy with fixed-compatibility matching,
+// propagating fixed sides onto clusters.
+func (m *Partitioner) coarsenFixed(h *hypergraph.Hypergraph, r *rng.RNG, fixed []int8) []fixedLevel {
+	var levels []fixedLevel
+	cur := h
+	curFixed := fixed
+	cap64 := int64(m.cfg.ClusterCapFrac * float64(h.TotalVertexWeight()))
+	if slack := m.bal.Slack(); slack > h.TotalVertexWeight()/200 && slack < cap64 {
+		cap64 = slack
+	}
+	if cap64 < 1 {
+		cap64 = 1
+	}
+	for cur.NumVertices() > m.cfg.CoarsestSize {
+		clusterOf, numClusters := m.match(cur, r, nil, curFixed, cap64)
+		if float64(cur.NumVertices()-numClusters) < m.cfg.StallFraction*float64(cur.NumVertices()) {
+			break
+		}
+		coarse, _ := cur.Contract(clusterOf, numClusters)
+		nextFixed := make([]int8, numClusters)
+		for i := range nextFixed {
+			nextFixed[i] = partition.Free
+		}
+		for v, c := range clusterOf {
+			if curFixed[v] != partition.Free {
+				// match guarantees members agree; keep the fixed side.
+				nextFixed[c] = curFixed[v]
+			}
+		}
+		levels = append(levels, fixedLevel{
+			level:       level{h: coarse, clusterOf: clusterOf},
+			coarseFixed: nextFixed,
+		})
+		cur = coarse
+		curFixed = nextFixed
+	}
+	return levels
+}
+
+// initialPartitionFixed is initialPartition with fixed clusters pinned
+// before each random start.
+func (m *Partitioner) initialPartitionFixed(coarsest *hypergraph.Hypergraph, fixed []int8, r *rng.RNG, st *Stats) *partition.P {
+	var best *partition.P
+	var bestCut int64
+	for t := 0; t < m.cfg.InitialTries; t++ {
+		p := partition.New(coarsest)
+		for v, f := range fixed {
+			if f != partition.Free {
+				p.Fix(int32(v), f)
+			}
+		}
+		p.RandomBalanced(r.Split(), m.bal)
+		m.refine(p, r, st)
+		if !p.Legal(m.bal) {
+			continue
+		}
+		if best == nil || p.Cut() < bestCut {
+			best, bestCut = p, p.Cut()
+		}
+	}
+	if best == nil {
+		best = partition.New(coarsest)
+		for v, f := range fixed {
+			if f != partition.Free {
+				best.Fix(int32(v), f)
+			}
+		}
+		best.RandomBalanced(r.Split(), m.bal)
+	}
+	return best
+}

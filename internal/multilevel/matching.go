@@ -1,0 +1,235 @@
+package multilevel
+
+import (
+	"sort"
+
+	"hgpart/internal/hypergraph"
+	"hgpart/internal/rng"
+)
+
+// Matching selects the coarsening scheme — the hMETIS family of schemes
+// (Karypis et al., DAC'97 describes EC/HEC variants; FirstChoice arrived
+// with hMetis-1.5). Coarsening choice is one of the "metaheuristic
+// interactions" the paper says the field needs deeper understanding of
+// ("we believe that the effects of clustering in multilevel FM ... are
+// fundamental gaps in knowledge"); the ablation bench compares them.
+type Matching int
+
+const (
+	// FirstChoice scores every unmatched neighbor by total connectivity
+	// sum(w(e)/(|e|-1)) and merges with the best (the default, strongest).
+	FirstChoice Matching = iota
+	// RandomMatching merges each unmatched vertex with a uniformly random
+	// unmatched neighbor (the fastest, weakest).
+	RandomMatching
+	// HeavyEdge merges with the unmatched neighbor sharing the single
+	// heaviest (scaled) net, ignoring aggregate connectivity.
+	HeavyEdge
+	// HyperedgeCoarsening collapses entire small nets into clusters
+	// (hyperedge coarsening, "HEC"): nets are visited in increasing size
+	// and a net whose pins are all unmatched becomes one cluster; leftover
+	// vertices pair by FirstChoice.
+	HyperedgeCoarsening
+)
+
+func (m Matching) String() string {
+	switch m {
+	case FirstChoice:
+		return "FirstChoice"
+	case RandomMatching:
+		return "Random"
+	case HeavyEdge:
+		return "HeavyEdge"
+	case HyperedgeCoarsening:
+		return "HEC"
+	}
+	return "Matching(?)"
+}
+
+// matchWith dispatches to the configured scheme. sides/fixed semantics are
+// as in match (FirstChoice); schemes other than FirstChoice are only used
+// on unrestricted coarsening paths (initial descent), so restricted inputs
+// fall back to FirstChoice.
+func (m *Partitioner) matchWith(h *hypergraph.Hypergraph, r *rng.RNG, sides []uint8, fixed []int8, cap64 int64) ([]int32, int) {
+	if sides != nil || fixed != nil {
+		return m.match(h, r, sides, fixed, cap64)
+	}
+	switch m.cfg.Matching {
+	case RandomMatching:
+		return m.matchRandom(h, r, cap64)
+	case HeavyEdge:
+		return m.matchHeavyEdge(h, r, cap64)
+	case HyperedgeCoarsening:
+		return m.matchHEC(h, r, cap64)
+	default:
+		return m.match(h, r, nil, nil, cap64)
+	}
+}
+
+// matchRandom pairs each unmatched vertex with a random unmatched neighbor.
+func (m *Partitioner) matchRandom(h *hypergraph.Hypergraph, r *rng.RNG, cap64 int64) ([]int32, int) {
+	n := h.NumVertices()
+	clusterOf := make([]int32, n)
+	for i := range clusterOf {
+		clusterOf[i] = -1
+	}
+	next := int32(0)
+	cands := make([]int32, 0, 64)
+	for _, vi := range r.Perm(n) {
+		v := int32(vi)
+		if clusterOf[v] != -1 {
+			continue
+		}
+		cands = cands[:0]
+		wv := h.VertexWeight(v)
+		for _, e := range h.IncidentEdges(v) {
+			if h.EdgeSize(e) > m.cfg.MaxNetSizeForMatch {
+				continue
+			}
+			for _, u := range h.Pins(e) {
+				if u != v && clusterOf[u] == -1 && wv+h.VertexWeight(u) <= cap64 {
+					cands = append(cands, u)
+				}
+			}
+		}
+		clusterOf[v] = next
+		if len(cands) > 0 {
+			clusterOf[cands[r.Intn(len(cands))]] = next
+		}
+		next++
+	}
+	return clusterOf, int(next)
+}
+
+// matchHeavyEdge pairs each unmatched vertex with the neighbor sharing the
+// single heaviest scaled net.
+func (m *Partitioner) matchHeavyEdge(h *hypergraph.Hypergraph, r *rng.RNG, cap64 int64) ([]int32, int) {
+	n := h.NumVertices()
+	clusterOf := make([]int32, n)
+	for i := range clusterOf {
+		clusterOf[i] = -1
+	}
+	next := int32(0)
+	for _, vi := range r.Perm(n) {
+		v := int32(vi)
+		if clusterOf[v] != -1 {
+			continue
+		}
+		wv := h.VertexWeight(v)
+		var best int32 = -1
+		bestScore := 0.0
+		for _, e := range h.IncidentEdges(v) {
+			sz := h.EdgeSize(e)
+			if sz < 2 || sz > m.cfg.MaxNetSizeForMatch {
+				continue
+			}
+			score := float64(h.EdgeWeight(e)) / float64(sz-1)
+			if score <= bestScore {
+				continue
+			}
+			for _, u := range h.Pins(e) {
+				if u != v && clusterOf[u] == -1 && wv+h.VertexWeight(u) <= cap64 {
+					best = u
+					bestScore = score
+					break
+				}
+			}
+		}
+		clusterOf[v] = next
+		if best != -1 {
+			clusterOf[best] = next
+		}
+		next++
+	}
+	return clusterOf, int(next)
+}
+
+// matchHEC collapses whole small nets whose pins are all unmatched, then
+// pairs leftovers FirstChoice-style.
+func (m *Partitioner) matchHEC(h *hypergraph.Hypergraph, r *rng.RNG, cap64 int64) ([]int32, int) {
+	n := h.NumVertices()
+	clusterOf := make([]int32, n)
+	for i := range clusterOf {
+		clusterOf[i] = -1
+	}
+	next := int32(0)
+
+	// Visit nets in increasing size (heaviest scaled weight first within a
+	// size class), collapsing fully unmatched small nets.
+	order := make([]int32, h.NumEdges())
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := h.EdgeSize(order[a]), h.EdgeSize(order[b])
+		if sa != sb {
+			return sa < sb
+		}
+		return h.EdgeWeight(order[a]) > h.EdgeWeight(order[b])
+	})
+	for _, e := range order {
+		sz := h.EdgeSize(e)
+		if sz < 2 || sz > 8 { // collapse only small nets, as HEC does
+			continue
+		}
+		pins := h.Pins(e)
+		var total int64
+		ok := true
+		for _, u := range pins {
+			if clusterOf[u] != -1 {
+				ok = false
+				break
+			}
+			total += h.VertexWeight(u)
+		}
+		if !ok || total > cap64 {
+			continue
+		}
+		for _, u := range pins {
+			clusterOf[u] = next
+		}
+		next++
+	}
+	// Pair leftovers with FirstChoice restricted to unmatched vertices.
+	score := make([]float64, n)
+	touched := make([]int32, 0, 128)
+	for _, vi := range r.Perm(n) {
+		v := int32(vi)
+		if clusterOf[v] != -1 {
+			continue
+		}
+		touched = touched[:0]
+		wv := h.VertexWeight(v)
+		for _, e := range h.IncidentEdges(v) {
+			sz := h.EdgeSize(e)
+			if sz < 2 || sz > m.cfg.MaxNetSizeForMatch {
+				continue
+			}
+			contrib := float64(h.EdgeWeight(e)) / float64(sz-1)
+			for _, u := range h.Pins(e) {
+				if u == v || clusterOf[u] != -1 || wv+h.VertexWeight(u) > cap64 {
+					continue
+				}
+				if score[u] == 0 {
+					touched = append(touched, u)
+				}
+				score[u] += contrib
+			}
+		}
+		var best int32 = -1
+		bestScore := 0.0
+		for _, u := range touched {
+			if score[u] > bestScore {
+				bestScore = score[u]
+				best = u
+			}
+			score[u] = 0
+		}
+		clusterOf[v] = next
+		if best != -1 {
+			clusterOf[best] = next
+		}
+		next++
+	}
+	return clusterOf, int(next)
+}

@@ -1,0 +1,112 @@
+package multilevel
+
+import (
+	"testing"
+
+	"hgpart/internal/core"
+	"hgpart/internal/hypergraph"
+	"hgpart/internal/partition"
+	"hgpart/internal/rng"
+)
+
+func allSchemes() []Matching {
+	return []Matching{FirstChoice, RandomMatching, HeavyEdge, HyperedgeCoarsening}
+}
+
+func TestMatchingStrings(t *testing.T) {
+	want := map[Matching]string{
+		FirstChoice: "FirstChoice", RandomMatching: "Random",
+		HeavyEdge: "HeavyEdge", HyperedgeCoarsening: "HEC",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Fatalf("%v.String() = %q", int(m), m.String())
+		}
+	}
+}
+
+func TestAllSchemesProduceValidPartitions(t *testing.T) {
+	h := testInstance(t, 41, 700)
+	bal := partition.NewBalance(h.TotalVertexWeight(), 0.10)
+	for _, scheme := range allSchemes() {
+		ml := New(h, Config{Refine: core.StrongConfig(false), Matching: scheme}, bal)
+		p, st := ml.Partition(rng.New(uint64(scheme) + 7))
+		if !p.Legal(bal) {
+			t.Fatalf("%v: illegal partition", scheme)
+		}
+		if p.Cut() != p.CutFromScratch() || st.Cut != p.Cut() {
+			t.Fatalf("%v: cut inconsistent", scheme)
+		}
+		if st.Levels < 2 {
+			t.Fatalf("%v: no coarsening on 700 cells", scheme)
+		}
+	}
+}
+
+func TestSchemesReduceGraph(t *testing.T) {
+	h := testInstance(t, 43, 500)
+	bal := partition.NewBalance(h.TotalVertexWeight(), 0.10)
+	for _, scheme := range allSchemes() {
+		m := New(h, Config{Refine: core.StrongConfig(false), Matching: scheme}, bal)
+		clusterOf, k := m.matchWith(h, rng.New(3), nil, nil, h.TotalVertexWeight())
+		if k >= h.NumVertices() {
+			t.Fatalf("%v: no reduction (%d of %d)", scheme, k, h.NumVertices())
+		}
+		for v, c := range clusterOf {
+			if c < 0 || int(c) >= k {
+				t.Fatalf("%v: vertex %d has invalid cluster %d", scheme, v, c)
+			}
+		}
+	}
+}
+
+func TestHECCollapsesWholeNets(t *testing.T) {
+	h := testInstance(t, 44, 400)
+	bal := partition.NewBalance(h.TotalVertexWeight(), 0.10)
+	m := New(h, Config{Refine: core.StrongConfig(false), Matching: HyperedgeCoarsening}, bal)
+	clusterOf, k := m.matchWith(h, rng.New(5), nil, nil, h.TotalVertexWeight())
+	// HEC can produce clusters larger than 2 (whole nets); verify at least
+	// one such cluster exists on a net-rich instance.
+	counts := make([]int, k)
+	for _, c := range clusterOf {
+		counts[c]++
+	}
+	big := 0
+	for _, c := range counts {
+		if c > 2 {
+			big++
+		}
+	}
+	if big == 0 {
+		t.Fatal("HEC produced no multi-vertex net clusters")
+	}
+}
+
+func TestHeavyEdgeRecoversPlantedPairs(t *testing.T) {
+	// Plant 20 heavy pairs {2i, 2i+1} (weight 100) inside a light ring
+	// (weight 1). HeavyEdge should recover the vast majority of planted
+	// pairs regardless of visit order, because whenever either endpoint
+	// initiates a match its heaviest available net is the planted one.
+	const n = 40
+	bld := hypergraph.NewBuilder(n, 2*n)
+	bld.AddVertices(n, 1)
+	for i := 0; i < n/2; i++ {
+		bld.AddEdge(100, int32(2*i), int32(2*i+1))
+	}
+	for i := 0; i < n; i++ {
+		bld.AddEdge(1, int32(i), int32((i+1)%n))
+	}
+	h := bld.MustBuild()
+	bal := partition.NewBalance(h.TotalVertexWeight(), 0.5)
+	m := New(h, Config{Refine: core.StrongConfig(false), Matching: HeavyEdge}, bal)
+	clusterOf, _ := m.matchWith(h, rng.New(9), nil, nil, h.TotalVertexWeight())
+	recovered := 0
+	for i := 0; i < n/2; i++ {
+		if clusterOf[2*i] == clusterOf[2*i+1] {
+			recovered++
+		}
+	}
+	if recovered < n/2-2 {
+		t.Fatalf("HeavyEdge recovered only %d/%d planted pairs", recovered, n/2)
+	}
+}

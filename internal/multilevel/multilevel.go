@@ -1,0 +1,346 @@
+// Package multilevel implements a multilevel FM hypergraph bisection in the
+// style of hMETIS (Karypis, Aggarwal, Kumar, Shekhar, DAC'97) and MLPart:
+// FirstChoice-style coarsening by connectivity, initial partitioning at the
+// coarsest level, FM refinement during uncoarsening, and optional V-cycles.
+//
+// In the paper's evaluation this engine plays two roles: the "ML LIFO" /
+// "ML CLIP" rows of Table 1 (a strong optimization engine wrapped around the
+// flat testbenches, compressing — but not eliminating — the dynamic range of
+// the implicit implementation decisions), and the hMetis-1.5 stand-in for
+// the multistart evaluations of Tables 4 and 5.
+package multilevel
+
+import (
+	"sort"
+
+	"hgpart/internal/core"
+	"hgpart/internal/hypergraph"
+	"hgpart/internal/partition"
+	"hgpart/internal/rng"
+)
+
+// Config parameterizes the multilevel partitioner.
+type Config struct {
+	// Refine configures the FM engine used for refinement at every level
+	// (and for initial-partition polishing at the coarsest level). This is
+	// where "ML LIFO" vs "ML CLIP" and the Table 1 knobs plug in.
+	Refine core.Config
+
+	// CoarsestSize stops coarsening once the level has at most this many
+	// vertices. Default 150.
+	CoarsestSize int
+
+	// ClusterCapFrac caps cluster weight at this fraction of total vertex
+	// weight during matching. Default 0.04. The cap is additionally limited
+	// to the balance slack when the slack is not degenerate, so coarsening
+	// does not manufacture immovable vertices.
+	ClusterCapFrac float64
+
+	// MaxNetSizeForMatch: nets larger than this are ignored when scoring
+	// matches (huge clock-like nets carry no clustering signal and make
+	// scoring quadratic). Default 64.
+	MaxNetSizeForMatch int
+
+	// InitialTries is the number of random initial partitions attempted at
+	// the coarsest level; the best refined one is kept. Default 10.
+	InitialTries int
+
+	// StallFraction aborts coarsening when a level shrinks by less than
+	// this factor (e.g. 0.05 means "stop unless at least 5% fewer
+	// vertices"). Default 0.05.
+	StallFraction float64
+
+	// Matching selects the coarsening scheme (FirstChoice default; see
+	// Matching for the hMETIS-family alternatives). Restricted coarsening
+	// (V-cycles, fixed vertices) always uses FirstChoice.
+	Matching Matching
+}
+
+// withDefaults fills zero fields with defaults.
+func (c Config) withDefaults() Config {
+	if c.CoarsestSize <= 0 {
+		c.CoarsestSize = 150
+	}
+	if c.ClusterCapFrac <= 0 {
+		c.ClusterCapFrac = 0.04
+	}
+	if c.MaxNetSizeForMatch <= 0 {
+		c.MaxNetSizeForMatch = 64
+	}
+	if c.InitialTries <= 0 {
+		c.InitialTries = 10
+	}
+	if c.StallFraction <= 0 {
+		c.StallFraction = 0.05
+	}
+	return c
+}
+
+// Stats reports the outcome of one multilevel run.
+type Stats struct {
+	// Cut is the final weighted cut.
+	Cut int64
+	// Levels is the depth of the coarsening hierarchy (1 = no coarsening).
+	Levels int
+	// CoarsestVertices is the vertex count at the coarsest level.
+	CoarsestVertices int
+	// Work accumulates FM work units over all refinement passes.
+	Work int64
+	// Moves accumulates FM moves over all refinement passes.
+	Moves int64
+}
+
+// Partitioner is a reusable multilevel bisector for one hypergraph and
+// balance constraint.
+type Partitioner struct {
+	h   *hypergraph.Hypergraph
+	cfg Config
+	bal partition.Balance
+}
+
+// New builds a Partitioner. cfg zero-fields take defaults.
+func New(h *hypergraph.Hypergraph, cfg Config, bal partition.Balance) *Partitioner {
+	return &Partitioner{h: h, cfg: cfg.withDefaults(), bal: bal}
+}
+
+// level is one rung of the coarsening hierarchy.
+type level struct {
+	h         *hypergraph.Hypergraph
+	clusterOf []int32 // maps this level's vertices to the next-coarser level
+}
+
+// Partition runs one full multilevel start seeded by r and returns the
+// resulting fine-level partition.
+func (m *Partitioner) Partition(r *rng.RNG) (*partition.P, Stats) {
+	levels := m.coarsen(m.h, r, nil)
+	st := Stats{Levels: len(levels) + 1}
+
+	coarsest := m.h
+	if len(levels) > 0 {
+		coarsest = levels[len(levels)-1].h
+	}
+	st.CoarsestVertices = coarsest.NumVertices()
+
+	p := m.initialPartition(coarsest, r, &st)
+	p = m.uncoarsen(p, levels, r, &st)
+	st.Cut = p.Cut()
+	return p, st
+}
+
+// VCycle improves an existing fine-level partition by restricted coarsening
+// (clusters never span the cut) followed by refinement during uncoarsening —
+// the technique hMetis-1.5 applies to the best of several starts.
+func (m *Partitioner) VCycle(p *partition.P, r *rng.RNG) Stats {
+	st := Stats{}
+	sides := p.Sides()
+	levels := m.coarsen(m.h, r, sides)
+	st.Levels = len(levels) + 1
+
+	// Project the current partition down the restricted hierarchy. Because
+	// matching never crosses the cut, every cluster has a well-defined side.
+	cur := sides
+	for _, lv := range levels {
+		coarseSides := make([]uint8, lv.h.NumVertices())
+		for v, c := range lv.clusterOf {
+			coarseSides[c] = cur[v]
+		}
+		cur = coarseSides
+	}
+	coarsest := m.h
+	if len(levels) > 0 {
+		coarsest = levels[len(levels)-1].h
+	}
+	st.CoarsestVertices = coarsest.NumVertices()
+
+	cp := partition.New(coarsest)
+	if err := cp.Assign(cur); err != nil {
+		panic(err)
+	}
+	m.refine(cp, r, &st)
+	res := m.uncoarsen(cp, levels, r, &st)
+
+	// Keep the V-cycle result only if it does not worsen the cut.
+	if res.Cut() <= p.Cut() {
+		if err := p.Assign(res.Sides()); err != nil {
+			panic(err)
+		}
+	}
+	st.Cut = p.Cut()
+	return st
+}
+
+// coarsen builds the hierarchy. When restrictSides is non-nil, matching only
+// pairs vertices on the same side (V-cycle mode). The returned slice is
+// ordered fine-to-coarse; levels[i].clusterOf maps level-i vertices into
+// level i+1 (level 0 input is h itself).
+func (m *Partitioner) coarsen(h *hypergraph.Hypergraph, r *rng.RNG, restrictSides []uint8) []level {
+	var levels []level
+	cur := h
+	sides := restrictSides
+	cap64 := int64(m.cfg.ClusterCapFrac * float64(h.TotalVertexWeight()))
+	if slack := m.bal.Slack(); slack > h.TotalVertexWeight()/200 && slack < cap64 {
+		cap64 = slack
+	}
+	if cap64 < 1 {
+		cap64 = 1
+	}
+
+	for cur.NumVertices() > m.cfg.CoarsestSize {
+		clusterOf, numClusters := m.matchWith(cur, r, sides, nil, cap64)
+		if float64(cur.NumVertices()-numClusters) < m.cfg.StallFraction*float64(cur.NumVertices()) {
+			break // coarsening stalled
+		}
+		coarse, _ := cur.Contract(clusterOf, numClusters)
+		levels = append(levels, level{h: coarse, clusterOf: clusterOf})
+		if sides != nil {
+			next := make([]uint8, numClusters)
+			for v, c := range clusterOf {
+				next[c] = sides[v]
+			}
+			sides = next
+		}
+		cur = coarse
+	}
+	return levels
+}
+
+// match performs one FirstChoice-style pass: each unmatched vertex, visited
+// in random order, merges with the unmatched neighbor sharing the highest
+// connectivity score sum(w(e)/(|e|-1)) over common nets, subject to the
+// cluster weight cap, (in V-cycle mode) side agreement, and (with fixed
+// vertices) fixed-side compatibility — two vertices fixed to different
+// sides never merge.
+func (m *Partitioner) match(h *hypergraph.Hypergraph, r *rng.RNG, sides []uint8, fixed []int8, cap64 int64) ([]int32, int) {
+	n := h.NumVertices()
+	clusterOf := make([]int32, n)
+	for i := range clusterOf {
+		clusterOf[i] = -1
+	}
+	score := make([]float64, n)
+	touched := make([]int32, 0, 128)
+	next := int32(0)
+
+	order := r.Perm(n)
+	for _, vi := range order {
+		v := int32(vi)
+		if clusterOf[v] != -1 {
+			continue
+		}
+		touched = touched[:0]
+		wv := h.VertexWeight(v)
+		for _, e := range h.IncidentEdges(v) {
+			sz := h.EdgeSize(e)
+			if sz < 2 || sz > m.cfg.MaxNetSizeForMatch {
+				continue
+			}
+			contrib := float64(h.EdgeWeight(e)) / float64(sz-1)
+			for _, u := range h.Pins(e) {
+				if u == v || clusterOf[u] != -1 {
+					continue
+				}
+				if sides != nil && sides[u] != sides[v] {
+					continue
+				}
+				if fixed != nil && fixed[u] != partition.Free && fixed[v] != partition.Free && fixed[u] != fixed[v] {
+					continue
+				}
+				if wv+h.VertexWeight(u) > cap64 {
+					continue
+				}
+				if score[u] == 0 {
+					touched = append(touched, u)
+				}
+				score[u] += contrib
+			}
+		}
+		var best int32 = -1
+		bestScore := 0.0
+		for _, u := range touched {
+			if score[u] > bestScore {
+				bestScore = score[u]
+				best = u
+			}
+			score[u] = 0
+		}
+		clusterOf[v] = next
+		if best != -1 {
+			clusterOf[best] = next
+		}
+		next++
+	}
+	return clusterOf, int(next)
+}
+
+// initialPartition generates InitialTries random balanced solutions at the
+// coarsest level, refines each, and keeps the best legal one.
+func (m *Partitioner) initialPartition(coarsest *hypergraph.Hypergraph, r *rng.RNG, st *Stats) *partition.P {
+	eng := core.NewEngine(coarsest, m.cfg.Refine, m.bal, r.Split())
+	var best *partition.P
+	var bestCut int64
+	for t := 0; t < m.cfg.InitialTries; t++ {
+		p := partition.New(coarsest)
+		p.RandomBalanced(r.Split(), m.bal)
+		res := eng.Run(p)
+		st.Work += res.Work
+		st.Moves += res.Moves
+		if !p.Legal(m.bal) {
+			continue
+		}
+		if best == nil || res.Cut < bestCut {
+			best, bestCut = p, res.Cut
+		}
+	}
+	if best == nil {
+		// Every try was infeasible (pathological weights); fall back to the
+		// last random solution and let refinement legalize what it can.
+		best = partition.New(coarsest)
+		best.RandomBalanced(r.Split(), m.bal)
+	}
+	return best
+}
+
+// uncoarsen projects p up through the hierarchy, refining at each level.
+func (m *Partitioner) uncoarsen(p *partition.P, levels []level, r *rng.RNG, st *Stats) *partition.P {
+	for i := len(levels) - 1; i >= 0; i-- {
+		var fine *hypergraph.Hypergraph
+		if i == 0 {
+			fine = m.h
+		} else {
+			fine = levels[i-1].h
+		}
+		coarseSides := p.Sides()
+		fineSides := make([]uint8, fine.NumVertices())
+		for v := range fineSides {
+			fineSides[v] = coarseSides[levels[i].clusterOf[v]]
+		}
+		p = partition.New(fine)
+		if err := p.Assign(fineSides); err != nil {
+			panic(err)
+		}
+		m.refine(p, r, st)
+	}
+	if len(levels) == 0 {
+		m.refine(p, r, st)
+	}
+	return p
+}
+
+// refine runs the configured FM engine on p.
+func (m *Partitioner) refine(p *partition.P, r *rng.RNG, st *Stats) {
+	eng := core.NewEngine(p.H, m.cfg.Refine, m.bal, r.Split())
+	res := eng.Run(p)
+	st.Work += res.Work
+	st.Moves += res.Moves
+}
+
+// SortedClusterSizes returns the multiset of cluster sizes of a matching —
+// exposed for tests that verify the matcher produces only singletons and
+// pairs.
+func SortedClusterSizes(clusterOf []int32, numClusters int) []int {
+	counts := make([]int, numClusters)
+	for _, c := range clusterOf {
+		counts[c]++
+	}
+	sort.Ints(counts)
+	return counts
+}

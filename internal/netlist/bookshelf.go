@@ -1,0 +1,244 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hgpart/internal/hypergraph"
+)
+
+// Bookshelf is the UCLA placement benchmark format (ISPD 2005/2006
+// contests) — the modern descendant of the flows the paper's driving
+// application (top-down placement) comes from. A design is split across
+// files; partitioning needs two of them:
+//
+//	.nodes — "UCLA nodes 1.0", NumNodes/NumTerminals, then
+//	          "<name> <width> <height> [terminal]" per node;
+//	.nets  — "UCLA nets 1.0", NumNets/NumPins, then per net
+//	          "NetDegree : <d> [name]" followed by d pin lines
+//	          "<node> <I|O|B> [: x y]".
+//
+// Vertex weight is the cell area (width*height, minimum 1). Terminals are
+// reported via the returned terminal set so callers can fix them.
+
+// BookshelfDesign is the parsed pair of files.
+type BookshelfDesign struct {
+	H *hypergraph.Hypergraph
+	// Terminal marks pad/terminal nodes (candidates for fixing).
+	Terminal []bool
+	// Names maps vertex index to the node name from the .nodes file.
+	Names []string
+}
+
+// ParseBookshelf parses a .nodes and a .nets reader into a design.
+func ParseBookshelf(nodesR, netsR io.Reader, name string) (*BookshelfDesign, error) {
+	names, weights, terminal, err := parseBookshelfNodes(nodesR)
+	if err != nil {
+		return nil, err
+	}
+	index := make(map[string]int32, len(names))
+	for i, n := range names {
+		index[n] = int32(i)
+	}
+
+	b := hypergraph.NewBuilder(len(names), 1024)
+	b.Name = name
+	for _, w := range weights {
+		b.AddVertex(w)
+	}
+	if err := parseBookshelfNets(netsR, index, b); err != nil {
+		return nil, err
+	}
+	h, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &BookshelfDesign{H: h, Terminal: terminal, Names: names}, nil
+}
+
+func bookshelfLines(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	return sc
+}
+
+// nextContentLine returns the next non-comment, non-blank line.
+func nextContentLine(sc *bufio.Scanner) (string, bool) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return line, true
+	}
+	return "", false
+}
+
+// headerValue parses "Key : value" lines.
+func headerValue(line, key string) (int, bool) {
+	if !strings.HasPrefix(line, key) {
+		return 0, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(line, key))
+	rest = strings.TrimSpace(strings.TrimPrefix(rest, ":"))
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return 0, false
+	}
+	v, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func parseBookshelfNodes(r io.Reader) (names []string, weights []int64, terminal []bool, err error) {
+	sc := bookshelfLines(r)
+	first, ok := nextContentLine(sc)
+	if !ok || !strings.HasPrefix(first, "UCLA nodes") {
+		return nil, nil, nil, fmt.Errorf("netlist: bookshelf .nodes must start with 'UCLA nodes'")
+	}
+	numNodes := -1
+	for {
+		line, ok := nextContentLine(sc)
+		if !ok {
+			break
+		}
+		if v, is := headerValue(line, "NumNodes"); is {
+			numNodes = v
+			continue
+		}
+		if _, is := headerValue(line, "NumTerminals"); is {
+			continue
+		}
+		// Node line: <name> <width> <height> [terminal]
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, nil, nil, fmt.Errorf("netlist: bookshelf node line %q", line)
+		}
+		wd, err1 := strconv.ParseFloat(fields[1], 64)
+		ht, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			return nil, nil, nil, fmt.Errorf("netlist: bookshelf node dims in %q", line)
+		}
+		area := int64(wd * ht)
+		if area < 1 {
+			area = 1
+		}
+		names = append(names, fields[0])
+		weights = append(weights, area)
+		terminal = append(terminal, len(fields) >= 4 && strings.EqualFold(fields[3], "terminal"))
+	}
+	if numNodes >= 0 && numNodes != len(names) {
+		return nil, nil, nil, fmt.Errorf("netlist: bookshelf declares %d nodes, found %d", numNodes, len(names))
+	}
+	return names, weights, terminal, nil
+}
+
+func parseBookshelfNets(r io.Reader, index map[string]int32, b *hypergraph.Builder) error {
+	sc := bookshelfLines(r)
+	first, ok := nextContentLine(sc)
+	if !ok || !strings.HasPrefix(first, "UCLA nets") {
+		return fmt.Errorf("netlist: bookshelf .nets must start with 'UCLA nets'")
+	}
+	numNets := -1
+	netsSeen := 0
+	for {
+		line, ok := nextContentLine(sc)
+		if !ok {
+			break
+		}
+		if v, is := headerValue(line, "NumNets"); is {
+			numNets = v
+			continue
+		}
+		if _, is := headerValue(line, "NumPins"); is {
+			continue
+		}
+		deg, is := headerValue(line, "NetDegree")
+		if !is {
+			return fmt.Errorf("netlist: bookshelf expected NetDegree, got %q", line)
+		}
+		pins := make([]int32, 0, deg)
+		for i := 0; i < deg; i++ {
+			pinLine, ok := nextContentLine(sc)
+			if !ok {
+				return fmt.Errorf("netlist: bookshelf net truncated after %d of %d pins", i, deg)
+			}
+			fields := strings.Fields(pinLine)
+			v, found := index[fields[0]]
+			if !found {
+				return fmt.Errorf("netlist: bookshelf pin references unknown node %q", fields[0])
+			}
+			pins = append(pins, v)
+		}
+		b.AddEdge(1, pins...)
+		netsSeen++
+	}
+	if numNets >= 0 && numNets != netsSeen {
+		return fmt.Errorf("netlist: bookshelf declares %d nets, found %d", numNets, netsSeen)
+	}
+	return nil
+}
+
+// WriteBookshelf writes h as a .nodes/.nets pair. Vertices are named oN and
+// emitted as width=weight, height=1; terminals (per the provided set, which
+// may be nil) get the terminal attribute.
+func WriteBookshelf(nodesW, netsW io.Writer, h *hypergraph.Hypergraph, terminal []bool) error {
+	nb := bufio.NewWriter(nodesW)
+	fmt.Fprintln(nb, "UCLA nodes 1.0")
+	fmt.Fprintf(nb, "NumNodes : %d\n", h.NumVertices())
+	terms := 0
+	for v := range terminal {
+		if terminal[v] {
+			terms++
+		}
+	}
+	fmt.Fprintf(nb, "NumTerminals : %d\n", terms)
+	for v := 0; v < h.NumVertices(); v++ {
+		attr := ""
+		if terminal != nil && terminal[v] {
+			attr = " terminal"
+		}
+		fmt.Fprintf(nb, "  o%d %d 1%s\n", v, h.VertexWeight(int32(v)), attr)
+	}
+	if err := nb.Flush(); err != nil {
+		return err
+	}
+
+	wb := bufio.NewWriter(netsW)
+	fmt.Fprintln(wb, "UCLA nets 1.0")
+	fmt.Fprintf(wb, "NumNets : %d\n", h.NumEdges())
+	fmt.Fprintf(wb, "NumPins : %d\n", h.NumPins())
+	for e := 0; e < h.NumEdges(); e++ {
+		fmt.Fprintf(wb, "NetDegree : %d n%d\n", h.EdgeSize(int32(e)), e)
+		for _, v := range h.Pins(int32(e)) {
+			fmt.Fprintf(wb, "  o%d B\n", v)
+		}
+	}
+	return wb.Flush()
+}
+
+// WriteBookshelfPl writes a Bookshelf .pl placement file for coordinates in
+// the unit square, scaled by the given factor (typical flows use integer
+// site coordinates; scale 1000 gives three digits of resolution):
+//
+//	UCLA pl 1.0
+//	o0 x y : N
+func WriteBookshelfPl(w io.Writer, x, y []float64, scale float64) error {
+	if len(x) != len(y) {
+		return fmt.Errorf("netlist: pl coordinate slices differ: %d vs %d", len(x), len(y))
+	}
+	if scale <= 0 {
+		scale = 1000
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "UCLA pl 1.0")
+	for v := range x {
+		fmt.Fprintf(bw, "o%d %.1f %.1f : N\n", v, x[v]*scale, y[v]*scale)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,179 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPaToHRoundTrip(t *testing.T) {
+	h := sample(t)
+	var buf bytes.Buffer
+	if err := WritePaToH(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParsePaToH(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalGraphs(t, h, back)
+}
+
+func TestPaToHBaseOneAndUnweighted(t *testing.T) {
+	in := "1 4 2 5\n1 2 3\n3 4\n"
+	h, err := ParsePaToH(strings.NewReader(in), "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumVertices() != 4 || h.NumEdges() != 2 || h.NumPins() != 5 {
+		t.Fatalf("shape %d/%d/%d", h.NumVertices(), h.NumEdges(), h.NumPins())
+	}
+	pins := h.Pins(0)
+	if pins[0] != 0 || pins[2] != 2 {
+		t.Fatalf("base-1 conversion wrong: %v", pins)
+	}
+}
+
+func TestPaToHCellWeightsOnly(t *testing.T) {
+	in := "0 3 1 2 1\n0 1\n5 6 7\n"
+	h, err := ParsePaToH(strings.NewReader(in), "cw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.VertexWeight(0) != 5 || h.VertexWeight(2) != 7 {
+		t.Fatal("cell weights not parsed")
+	}
+	if h.EdgeWeight(0) != 1 {
+		t.Fatal("net weight should default to 1")
+	}
+}
+
+func TestPaToHComments(t *testing.T) {
+	in := "% header comment\n0 2 1 2\n% net comment\n0 1\n"
+	if _, err := ParsePaToH(strings.NewReader(in), "c"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaToHErrors(t *testing.T) {
+	cases := []string{
+		"2 2 1 2\n0 1\n",      // bad base
+		"0 2 1 2 9\n0 1\n",    // bad scheme
+		"0 2 1 3\n0 1\n",      // pin count mismatch
+		"0 2 1 2\n0 5\n",      // pin out of range
+		"0 2 2 4\n0 1\n",      // missing net line
+		"0 2 1 2 1\n0 1\nx\n", // bad cell weight
+	}
+	for i, in := range cases {
+		if _, err := ParsePaToH(strings.NewReader(in), "bad"); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+const nodesFixture = `UCLA nodes 1.0
+# comment
+NumNodes : 4
+NumTerminals : 1
+  a 2 3
+  b 1 1
+  c 4 2
+  p1 1 1 terminal
+`
+
+const netsFixture = `UCLA nets 1.0
+NumNets : 2
+NumPins : 5
+NetDegree : 3 n0
+  a I
+  b O
+  p1 B
+NetDegree : 2
+  b I
+  c O
+`
+
+func TestBookshelfParse(t *testing.T) {
+	d, err := ParseBookshelf(strings.NewReader(nodesFixture), strings.NewReader(netsFixture), "bs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.H.NumVertices() != 4 || d.H.NumEdges() != 2 || d.H.NumPins() != 5 {
+		t.Fatalf("shape %d/%d/%d", d.H.NumVertices(), d.H.NumEdges(), d.H.NumPins())
+	}
+	if d.H.VertexWeight(0) != 6 || d.H.VertexWeight(2) != 8 {
+		t.Fatalf("areas: %d %d", d.H.VertexWeight(0), d.H.VertexWeight(2))
+	}
+	if !d.Terminal[3] || d.Terminal[0] {
+		t.Fatal("terminal flags wrong")
+	}
+	if d.Names[0] != "a" || d.Names[3] != "p1" {
+		t.Fatalf("names %v", d.Names)
+	}
+}
+
+func TestBookshelfRoundTrip(t *testing.T) {
+	h := sample(t)
+	terminal := make([]bool, h.NumVertices())
+	terminal[0], terminal[5] = true, true
+	var nodes, nets bytes.Buffer
+	if err := WriteBookshelf(&nodes, &nets, h, terminal); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ParseBookshelf(&nodes, &nets, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.H.NumVertices() != h.NumVertices() || d.H.NumEdges() != h.NumEdges() ||
+		d.H.NumPins() != h.NumPins() {
+		t.Fatal("bookshelf round trip changed shape")
+	}
+	if d.H.TotalVertexWeight() != h.TotalVertexWeight() {
+		t.Fatal("bookshelf round trip changed area")
+	}
+	if !d.Terminal[0] || !d.Terminal[5] || d.Terminal[1] {
+		t.Fatal("terminal flags lost")
+	}
+}
+
+func TestBookshelfErrors(t *testing.T) {
+	// Wrong magic.
+	if _, err := ParseBookshelf(strings.NewReader("nodes\n"), strings.NewReader(netsFixture), "x"); err == nil {
+		t.Fatal("bad .nodes magic accepted")
+	}
+	if _, err := ParseBookshelf(strings.NewReader(nodesFixture), strings.NewReader("nets\n"), "x"); err == nil {
+		t.Fatal("bad .nets magic accepted")
+	}
+	// Unknown pin node.
+	badNets := strings.Replace(netsFixture, "  c O", "  zzz O", 1)
+	if _, err := ParseBookshelf(strings.NewReader(nodesFixture), strings.NewReader(badNets), "x"); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	// Truncated net.
+	trunc := strings.TrimSuffix(netsFixture, "  c O\n")
+	if _, err := ParseBookshelf(strings.NewReader(nodesFixture), strings.NewReader(trunc), "x"); err == nil {
+		t.Fatal("truncated net accepted")
+	}
+	// Node count mismatch.
+	badNodes := strings.Replace(nodesFixture, "NumNodes : 4", "NumNodes : 9", 1)
+	if _, err := ParseBookshelf(strings.NewReader(badNodes), strings.NewReader(netsFixture), "x"); err == nil {
+		t.Fatal("node count mismatch accepted")
+	}
+}
+
+func TestWriteBookshelfPl(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBookshelfPl(&buf, []float64{0.5, 0.25}, []float64{0.1, 0.9}, 100); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "UCLA pl 1.0\n") {
+		t.Fatalf("pl header: %q", out)
+	}
+	if !strings.Contains(out, "o0 50.0 10.0 : N") || !strings.Contains(out, "o1 25.0 90.0 : N") {
+		t.Fatalf("pl rows: %q", out)
+	}
+	if err := WriteBookshelfPl(&buf, []float64{1}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("mismatched slices accepted")
+	}
+}

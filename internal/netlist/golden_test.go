@@ -1,0 +1,76 @@
+package netlist
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden-file tests: the checked-in testdata files pin the on-disk formats
+// so accidental format changes are caught even when write+parse round trips
+// still agree with each other.
+
+func openGolden(t *testing.T, name string) *os.File {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestGoldenHGR(t *testing.T) {
+	h, err := ParseHGR(openGolden(t, "tiny.hgr"), "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The file was generated from the 1% ibm01 profile (128 cells).
+	if h.NumVertices() != 128 {
+		t.Fatalf("golden hgr has %d vertices", h.NumVertices())
+	}
+	if h.NumEdges() == 0 || h.NumPins() == 0 {
+		t.Fatal("golden hgr empty")
+	}
+	if h.TotalVertexWeight() <= int64(h.NumVertices()) {
+		t.Fatal("golden hgr lost actual areas")
+	}
+}
+
+func TestGoldenNetD(t *testing.T) {
+	h, err := ParseNetD(openGolden(t, "tiny.netD"), openGolden(t, "tiny.are"), "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.NumVertices() != 128 {
+		t.Fatalf("golden netD has %d vertices", h.NumVertices())
+	}
+}
+
+func TestGoldenFormatsAgree(t *testing.T) {
+	// Both golden files were generated from the same instance; their
+	// structural invariants must agree.
+	hg, err := ParseHGR(openGolden(t, "tiny.hgr"), "hgr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := ParseNetD(openGolden(t, "tiny.netD"), openGolden(t, "tiny.are"), "netd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hg.NumVertices() != nd.NumVertices() || hg.NumEdges() != nd.NumEdges() ||
+		hg.NumPins() != nd.NumPins() {
+		t.Fatalf("golden formats disagree: %d/%d/%d vs %d/%d/%d",
+			hg.NumVertices(), hg.NumEdges(), hg.NumPins(),
+			nd.NumVertices(), nd.NumEdges(), nd.NumPins())
+	}
+	if hg.TotalVertexWeight() != nd.TotalVertexWeight() {
+		t.Fatal("golden formats disagree on total area")
+	}
+}

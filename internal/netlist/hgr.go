@@ -1,0 +1,147 @@
+// Package netlist reads and writes the two file formats relevant to the
+// paper's experimental context:
+//
+//   - the hMETIS .hgr hypergraph format (Karypis & Kumar), the lingua
+//     franca of partitioning research, and
+//   - the ISPD98 benchmark-suite .netD/.net + .are netlist format (Alpert),
+//     in which the IBM instances the paper evaluates were distributed.
+//
+// With these parsers the experiment drivers run unchanged on the real
+// ISPD98 files when the user supplies them; the bundled experiments use
+// synthetic stand-ins from internal/gen.
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hgpart/internal/hypergraph"
+)
+
+// ParseHGR reads an hMETIS-format hypergraph:
+//
+//	% comment lines are ignored
+//	<numHyperedges> <numVertices> [fmt]
+//	one line per hyperedge: [weight] v1 v2 ... (1-indexed vertices)
+//	if fmt has vertex weights, numVertices weight lines follow
+//
+// fmt is 0 (default, unweighted), 1 (edge weights), 10 (vertex weights) or
+// 11 (both).
+func ParseHGR(r io.Reader, name string) (*hypergraph.Hypergraph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+
+	nextLine := func() ([]string, error) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "%") {
+				continue
+			}
+			return strings.Fields(line), nil
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+
+	header, err := nextLine()
+	if err != nil {
+		return nil, fmt.Errorf("netlist: hgr header: %w", err)
+	}
+	if len(header) < 2 || len(header) > 3 {
+		return nil, fmt.Errorf("netlist: hgr header needs 2-3 fields, got %d", len(header))
+	}
+	numEdges, err := strconv.Atoi(header[0])
+	if err != nil {
+		return nil, fmt.Errorf("netlist: hgr edge count: %w", err)
+	}
+	numVertices, err := strconv.Atoi(header[1])
+	if err != nil {
+		return nil, fmt.Errorf("netlist: hgr vertex count: %w", err)
+	}
+	if numEdges < 0 || numVertices < 0 {
+		return nil, fmt.Errorf("netlist: hgr negative counts (%d edges, %d vertices)", numEdges, numVertices)
+	}
+	format := 0
+	if len(header) == 3 {
+		format, err = strconv.Atoi(header[2])
+		if err != nil {
+			return nil, fmt.Errorf("netlist: hgr format field: %w", err)
+		}
+	}
+	edgeWeighted := format == 1 || format == 11
+	vertexWeighted := format == 10 || format == 11
+
+	b := hypergraph.NewBuilder(numVertices, numEdges)
+	b.Name = name
+	b.AddVertices(numVertices, 1)
+
+	for e := 0; e < numEdges; e++ {
+		fields, err := nextLine()
+		if err != nil {
+			return nil, fmt.Errorf("netlist: hgr edge %d: %w", e+1, err)
+		}
+		w := int64(1)
+		idx := 0
+		if edgeWeighted {
+			w, err = strconv.ParseInt(fields[0], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: hgr edge %d weight: %w", e+1, err)
+			}
+			idx = 1
+		}
+		pins := make([]int32, 0, len(fields)-idx)
+		for _, f := range fields[idx:] {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: hgr edge %d pin %q: %w", e+1, f, err)
+			}
+			if v < 1 || v > numVertices {
+				return nil, fmt.Errorf("netlist: hgr edge %d pin %d outside [1,%d]", e+1, v, numVertices)
+			}
+			pins = append(pins, int32(v-1))
+		}
+		b.AddEdge(w, pins...)
+	}
+	if vertexWeighted {
+		for v := 0; v < numVertices; v++ {
+			fields, err := nextLine()
+			if err != nil {
+				return nil, fmt.Errorf("netlist: hgr vertex weight %d: %w", v+1, err)
+			}
+			w, err := strconv.ParseInt(fields[0], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: hgr vertex weight %d: %w", v+1, err)
+			}
+			b.SetVertexWeight(int32(v), w)
+		}
+	}
+	h, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// WriteHGR writes h in hMETIS format with both edge and vertex weights
+// (fmt 11).
+func WriteHGR(w io.Writer, h *hypergraph.Hypergraph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%% %s: %d nets, %d cells, %d pins\n", h.Name, h.NumEdges(), h.NumVertices(), h.NumPins())
+	fmt.Fprintf(bw, "%d %d 11\n", h.NumEdges(), h.NumVertices())
+	for e := 0; e < h.NumEdges(); e++ {
+		fmt.Fprintf(bw, "%d", h.EdgeWeight(int32(e)))
+		for _, v := range h.Pins(int32(e)) {
+			fmt.Fprintf(bw, " %d", v+1)
+		}
+		fmt.Fprintln(bw)
+	}
+	for v := 0; v < h.NumVertices(); v++ {
+		fmt.Fprintf(bw, "%d\n", h.VertexWeight(int32(v)))
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,196 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hgpart/internal/hypergraph"
+)
+
+// ParseNetD reads an ISPD98-suite netlist (.netD or .net) and an optional
+// .are area file (pass nil for unit areas). The format, inherited from the
+// older ACM/SIGDA layout benchmarks:
+//
+//	line 1: 0
+//	line 2: number of pins
+//	line 3: number of nets
+//	line 4: number of modules
+//	line 5: pad offset (modules with index > offset are pads, named pN;
+//	        others are cells, named aN)
+//	then one line per pin: <module-name> <s|l> [direction]
+//
+// 's' marks the first pin of a new net, 'l' a continuing pin. Directions
+// (I/O/B), present only in .netD, are ignored — partitioning treats nets as
+// undirected, per the paper's problem formulation.
+//
+// The .are file holds "<module-name> <area>" lines.
+func ParseNetD(netR io.Reader, areR io.Reader, name string) (*hypergraph.Hypergraph, error) {
+	sc := bufio.NewScanner(netR)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+
+	readInt := func(what string) (int, error) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			v, err := strconv.Atoi(line)
+			if err != nil {
+				return 0, fmt.Errorf("netlist: %s: %q not an integer", what, line)
+			}
+			return v, nil
+		}
+		return 0, fmt.Errorf("netlist: missing %s line", what)
+	}
+
+	if magic, err := readInt("magic"); err != nil {
+		return nil, err
+	} else if magic != 0 {
+		return nil, fmt.Errorf("netlist: .netD must start with 0, got %d", magic)
+	}
+	numPins, err := readInt("pin count")
+	if err != nil {
+		return nil, err
+	}
+	numNets, err := readInt("net count")
+	if err != nil {
+		return nil, err
+	}
+	numModules, err := readInt("module count")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := readInt("pad offset"); err != nil {
+		return nil, err
+	}
+	if numPins < 0 || numNets < 0 || numModules < 0 {
+		return nil, fmt.Errorf("netlist: .netD negative counts (%d pins, %d nets, %d modules)",
+			numPins, numNets, numModules)
+	}
+
+	b := hypergraph.NewBuilder(numModules, numNets)
+	b.Name = name
+	b.AddVertices(numModules, 1)
+
+	moduleIdx := make(map[string]int32, numModules)
+	next := int32(0)
+	lookup := func(nm string) (int32, error) {
+		if v, ok := moduleIdx[nm]; ok {
+			return v, nil
+		}
+		if int(next) >= numModules {
+			return 0, fmt.Errorf("netlist: more distinct modules than declared (%d): %q", numModules, nm)
+		}
+		moduleIdx[nm] = next
+		next++
+		return next - 1, nil
+	}
+
+	var cur []int32
+	flush := func() {
+		if len(cur) > 0 {
+			b.AddEdge(1, cur...)
+			cur = nil
+		}
+	}
+	pinsSeen := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("netlist: malformed pin line %q", line)
+		}
+		v, err := lookup(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		switch fields[1] {
+		case "s":
+			flush()
+			cur = append(cur, v)
+		case "l":
+			cur = append(cur, v)
+		default:
+			return nil, fmt.Errorf("netlist: pin line %q: flag must be s or l", line)
+		}
+		pinsSeen++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	if pinsSeen != numPins {
+		return nil, fmt.Errorf("netlist: header declares %d pins, file has %d", numPins, pinsSeen)
+	}
+
+	if areR != nil {
+		asc := bufio.NewScanner(areR)
+		asc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+		for asc.Scan() {
+			line := strings.TrimSpace(asc.Text())
+			if line == "" {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("netlist: malformed .are line %q", line)
+			}
+			v, ok := moduleIdx[fields[0]]
+			if !ok {
+				// Modules that never appear on a net still occupy area; give
+				// them fresh indices so total area matches the design.
+				var err error
+				v, err = lookup(fields[0])
+				if err != nil {
+					return nil, err
+				}
+			}
+			area, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: .are area %q: %w", fields[1], err)
+			}
+			b.SetVertexWeight(v, area)
+		}
+		if err := asc.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// WriteNetD writes h as an ISPD98 .netD netlist. Vertices are named a0..aN-1
+// (no pad distinction). Directions are emitted as B (bidirectional).
+func WriteNetD(w io.Writer, h *hypergraph.Hypergraph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, 0)
+	fmt.Fprintln(bw, h.NumPins())
+	fmt.Fprintln(bw, h.NumEdges())
+	fmt.Fprintln(bw, h.NumVertices())
+	fmt.Fprintln(bw, h.NumVertices())
+	for e := 0; e < h.NumEdges(); e++ {
+		for i, v := range h.Pins(int32(e)) {
+			flag := "l"
+			if i == 0 {
+				flag = "s"
+			}
+			fmt.Fprintf(bw, "a%d %s B\n", v, flag)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteAre writes h's vertex areas as an ISPD98 .are file, matching the
+// names WriteNetD emits.
+func WriteAre(w io.Writer, h *hypergraph.Hypergraph) error {
+	bw := bufio.NewWriter(w)
+	for v := 0; v < h.NumVertices(); v++ {
+		fmt.Fprintf(bw, "a%d %d\n", v, h.VertexWeight(int32(v)))
+	}
+	return bw.Flush()
+}

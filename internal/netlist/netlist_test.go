@@ -1,0 +1,238 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hgpart/internal/gen"
+	"hgpart/internal/hypergraph"
+)
+
+func sample(t testing.TB) *hypergraph.Hypergraph {
+	t.Helper()
+	h, err := gen.Generate(gen.Spec{
+		Name: "rt", Cells: 200, Nets: 220, AvgNetSize: 3.4,
+		NumMacros: 3, MaxMacroFrac: 0.04, NumGlobalNets: 1,
+		GlobalNetFrac: 0.02, Locality: 2, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func equalGraphs(t *testing.T, a, b *hypergraph.Hypergraph) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() || a.NumPins() != b.NumPins() {
+		t.Fatalf("shape differs: %d/%d/%d vs %d/%d/%d",
+			a.NumVertices(), a.NumEdges(), a.NumPins(),
+			b.NumVertices(), b.NumEdges(), b.NumPins())
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		if a.VertexWeight(int32(v)) != b.VertexWeight(int32(v)) {
+			t.Fatalf("vertex %d weight differs", v)
+		}
+	}
+	for e := 0; e < a.NumEdges(); e++ {
+		if a.EdgeWeight(int32(e)) != b.EdgeWeight(int32(e)) {
+			t.Fatalf("edge %d weight differs", e)
+		}
+		pa, pb := a.Pins(int32(e)), b.Pins(int32(e))
+		if len(pa) != len(pb) {
+			t.Fatalf("edge %d size differs", e)
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("edge %d pin %d differs", e, i)
+			}
+		}
+	}
+}
+
+func TestHGRRoundTrip(t *testing.T) {
+	h := sample(t)
+	var buf bytes.Buffer
+	if err := WriteHGR(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseHGR(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalGraphs(t, h, back)
+}
+
+func TestHGRUnweighted(t *testing.T) {
+	in := `% a comment
+3 4
+1 2
+2 3 4
+1 4
+`
+	h, err := ParseHGR(strings.NewReader(in), "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumVertices() != 4 || h.NumEdges() != 3 {
+		t.Fatalf("shape %d/%d", h.NumVertices(), h.NumEdges())
+	}
+	if h.VertexWeight(0) != 1 || h.EdgeWeight(0) != 1 {
+		t.Fatal("default weights must be 1")
+	}
+	// Pins are converted to 0-based.
+	p := h.Pins(0)
+	if p[0] != 0 || p[1] != 1 {
+		t.Fatalf("pins %v", p)
+	}
+}
+
+func TestHGREdgeWeightsOnly(t *testing.T) {
+	in := "2 3 1\n5 1 2\n7 2 3\n"
+	h, err := ParseHGR(strings.NewReader(in), "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.EdgeWeight(0) != 5 || h.EdgeWeight(1) != 7 {
+		t.Fatal("edge weights not parsed")
+	}
+}
+
+func TestHGRVertexWeightsOnly(t *testing.T) {
+	in := "1 3 10\n1 2 3\n4\n5\n6\n"
+	h, err := ParseHGR(strings.NewReader(in), "vw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.VertexWeight(0) != 4 || h.VertexWeight(2) != 6 {
+		t.Fatal("vertex weights not parsed")
+	}
+}
+
+func TestHGRErrors(t *testing.T) {
+	cases := []string{
+		"",                    // empty
+		"x 3\n",               // bad edge count
+		"1\n",                 // short header
+		"1 2\n1 5\n",          // pin out of range
+		"2 3\n1 2\n",          // missing edge line
+		"1 3 10\n1 2\n4\n5\n", // missing vertex weight line
+	}
+	for i, in := range cases {
+		if _, err := ParseHGR(strings.NewReader(in), "bad"); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestNetDRoundTrip(t *testing.T) {
+	h := sample(t)
+	var nets, ares bytes.Buffer
+	if err := WriteNetD(&nets, h); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAre(&ares, h); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseNetD(&nets, &ares, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Module order in the file is first-appearance order, not index order,
+	// so compare invariants rather than exact pin identities.
+	if back.NumVertices() != h.NumVertices() || back.NumEdges() != h.NumEdges() ||
+		back.NumPins() != h.NumPins() {
+		t.Fatalf("shape differs: %d/%d/%d vs %d/%d/%d",
+			back.NumVertices(), back.NumEdges(), back.NumPins(),
+			h.NumVertices(), h.NumEdges(), h.NumPins())
+	}
+	if back.TotalVertexWeight() != h.TotalVertexWeight() {
+		t.Fatal("total area differs after round trip")
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Net size multiset must be preserved.
+	sizes := func(g *hypergraph.Hypergraph) map[int]int {
+		m := map[int]int{}
+		for e := 0; e < g.NumEdges(); e++ {
+			m[g.EdgeSize(int32(e))]++
+		}
+		return m
+	}
+	sa, sb := sizes(h), sizes(back)
+	for k, v := range sa {
+		if sb[k] != v {
+			t.Fatalf("net size %d count differs: %d vs %d", k, v, sb[k])
+		}
+	}
+}
+
+func TestNetDUnitAreasWhenNoAreFile(t *testing.T) {
+	h := sample(t)
+	var nets bytes.Buffer
+	if err := WriteNetD(&nets, h); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseNetD(&nets, nil, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalVertexWeight() != int64(back.NumVertices()) {
+		t.Fatal("missing .are should give unit areas")
+	}
+}
+
+func TestNetDParsesCanonicalForm(t *testing.T) {
+	in := `0
+7
+2
+4
+4
+a0 s O
+a1 l I
+p1 l B
+a2 s I
+a1 l O
+p1 l B
+a0 l B
+`
+	h, err := ParseNetD(strings.NewReader(in), nil, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumVertices() != 4 || h.NumEdges() != 2 {
+		t.Fatalf("shape %d/%d", h.NumVertices(), h.NumEdges())
+	}
+	if h.EdgeSize(0) != 3 || h.EdgeSize(1) != 4 {
+		t.Fatalf("net sizes %d/%d", h.EdgeSize(0), h.EdgeSize(1))
+	}
+}
+
+func TestNetDErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"badmagic", "1\n2\n1\n2\n2\na0 s\na1 l\n"},
+		{"pinmismatch", "0\n5\n1\n2\n2\na0 s\na1 l\n"},
+		{"badflag", "0\n2\n1\n2\n2\na0 s\na1 x\n"},
+		{"toomanymodules", "0\n3\n1\n2\n2\na0 s\na1 l\na2 l\n"},
+		{"shortline", "0\n2\n1\n2\n2\na0\na1 l\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseNetD(strings.NewReader(c.in), nil, c.name); err == nil {
+			t.Fatalf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestAreFileErrors(t *testing.T) {
+	nets := "0\n2\n1\n2\n2\na0 s\na1 l\n"
+	if _, err := ParseNetD(strings.NewReader(nets), strings.NewReader("a0 x\n"), "b"); err == nil {
+		t.Fatal("bad area accepted")
+	}
+	if _, err := ParseNetD(strings.NewReader(nets), strings.NewReader("a0 1 2 3\n"), "b"); err == nil {
+		t.Fatal("malformed are line accepted")
+	}
+}

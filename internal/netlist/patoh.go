@@ -1,0 +1,187 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hgpart/internal/hypergraph"
+)
+
+// ParsePaToH reads a PaToH-format hypergraph:
+//
+//	<base> <numCells> <numNets> <numPins> [weightScheme]
+//	one line per net: [weight if scheme 2 or 3] pin pin ...
+//	if scheme 1 or 3: a final line (or lines) of numCells cell weights
+//
+// base is 0 or 1 (index origin). weightScheme: 0 = unweighted,
+// 1 = cell weights, 2 = net weights, 3 = both. '%' lines are comments.
+func ParsePaToH(r io.Reader, name string) (*hypergraph.Hypergraph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+
+	var tokens []string
+	next := func() (string, error) {
+		for len(tokens) == 0 {
+			if !sc.Scan() {
+				if err := sc.Err(); err != nil {
+					return "", err
+				}
+				return "", io.EOF
+			}
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "%") {
+				continue
+			}
+			tokens = strings.Fields(line)
+		}
+		t := tokens[0]
+		tokens = tokens[1:]
+		return t, nil
+	}
+	nextInt := func(what string) (int, error) {
+		t, err := next()
+		if err != nil {
+			return 0, fmt.Errorf("netlist: patoh %s: %w", what, err)
+		}
+		v, err := strconv.Atoi(t)
+		if err != nil {
+			return 0, fmt.Errorf("netlist: patoh %s: %q not an integer", what, t)
+		}
+		return v, nil
+	}
+
+	// Header line is consumed as a whole so net lines stay line-oriented
+	// afterwards? PaToH is whitespace-oriented; nets are terminated by
+	// counts, not newlines — but pin counts are not stored per net in the
+	// header. The format is line-oriented per net, so re-scan by lines.
+	base, err := nextInt("base")
+	if err != nil {
+		return nil, err
+	}
+	if base != 0 && base != 1 {
+		return nil, fmt.Errorf("netlist: patoh base %d (want 0 or 1)", base)
+	}
+	numCells, err := nextInt("cell count")
+	if err != nil {
+		return nil, err
+	}
+	numNets, err := nextInt("net count")
+	if err != nil {
+		return nil, err
+	}
+	numPins, err := nextInt("pin count")
+	if err != nil {
+		return nil, err
+	}
+	if numCells < 0 || numNets < 0 || numPins < 0 {
+		return nil, fmt.Errorf("netlist: patoh negative counts (%d cells, %d nets, %d pins)",
+			numCells, numNets, numPins)
+	}
+	scheme := 0
+	if len(tokens) > 0 {
+		scheme, err = nextInt("weight scheme")
+		if err != nil {
+			return nil, err
+		}
+	}
+	if scheme < 0 || scheme > 3 {
+		return nil, fmt.Errorf("netlist: patoh weight scheme %d", scheme)
+	}
+	netWeighted := scheme == 2 || scheme == 3
+	cellWeighted := scheme == 1 || scheme == 3
+
+	b := hypergraph.NewBuilder(numCells, numNets)
+	b.Name = name
+	b.AddVertices(numCells, 1)
+
+	// Nets are line-oriented: flush any residual tokens (none expected) and
+	// read one line per net.
+	readNetLine := func() ([]string, error) {
+		if len(tokens) > 0 {
+			t := tokens
+			tokens = nil
+			return t, nil
+		}
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "%") {
+				continue
+			}
+			return strings.Fields(line), nil
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+
+	pinsSeen := 0
+	for e := 0; e < numNets; e++ {
+		fields, err := readNetLine()
+		if err != nil {
+			return nil, fmt.Errorf("netlist: patoh net %d: %w", e, err)
+		}
+		w := int64(1)
+		idx := 0
+		if netWeighted {
+			w, err = strconv.ParseInt(fields[0], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: patoh net %d weight: %w", e, err)
+			}
+			idx = 1
+		}
+		pins := make([]int32, 0, len(fields)-idx)
+		for _, f := range fields[idx:] {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: patoh net %d pin %q: %w", e, f, err)
+			}
+			v -= base
+			if v < 0 || v >= numCells {
+				return nil, fmt.Errorf("netlist: patoh net %d pin %d out of range", e, v)
+			}
+			pins = append(pins, int32(v))
+			pinsSeen++
+		}
+		b.AddEdge(w, pins...)
+	}
+	if pinsSeen != numPins {
+		return nil, fmt.Errorf("netlist: patoh declares %d pins, found %d", numPins, pinsSeen)
+	}
+	if cellWeighted {
+		for v := 0; v < numCells; v++ {
+			w, err := nextInt(fmt.Sprintf("cell %d weight", v))
+			if err != nil {
+				return nil, err
+			}
+			b.SetVertexWeight(int32(v), int64(w))
+		}
+	}
+	return b.Build()
+}
+
+// WritePaToH writes h in PaToH format with both net and cell weights
+// (scheme 3, base 0).
+func WritePaToH(w io.Writer, h *hypergraph.Hypergraph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%% %s\n", h.Name)
+	fmt.Fprintf(bw, "0 %d %d %d 3\n", h.NumVertices(), h.NumEdges(), h.NumPins())
+	for e := 0; e < h.NumEdges(); e++ {
+		fmt.Fprintf(bw, "%d", h.EdgeWeight(int32(e)))
+		for _, v := range h.Pins(int32(e)) {
+			fmt.Fprintf(bw, " %d", v)
+		}
+		fmt.Fprintln(bw)
+	}
+	for v := 0; v < h.NumVertices(); v++ {
+		if v > 0 {
+			fmt.Fprint(bw, " ")
+		}
+		fmt.Fprintf(bw, "%d", h.VertexWeight(int32(v)))
+	}
+	fmt.Fprintln(bw)
+	return bw.Flush()
+}

@@ -1,0 +1,115 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hgpart/internal/rng"
+)
+
+// Parser robustness: arbitrary input must produce an error or a valid
+// hypergraph — never a panic or a structurally corrupt result. These tests
+// feed random token soup and mutated valid files to every parser.
+
+// randomTokenSoup builds a whitespace-separated string of random numeric
+// and junk tokens.
+func randomTokenSoup(seed uint64, n int) string {
+	r := rng.New(seed)
+	var b strings.Builder
+	junk := []string{"-1", "0", "1", "7", "99999", "x", "%", "s", "l", "a0", "p1", "NaN", "\t", "\n"}
+	for i := 0; i < n; i++ {
+		b.WriteString(junk[r.Intn(len(junk))])
+		if r.Intn(4) == 0 {
+			b.WriteByte('\n')
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	return b.String()
+}
+
+func TestParsersNeverPanicOnSoup(t *testing.T) {
+	if err := quick.Check(func(seed uint64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		soup := randomTokenSoup(seed, 60)
+		if h, err := ParseHGR(strings.NewReader(soup), "soup"); err == nil {
+			if h.Validate() != nil {
+				return false
+			}
+		}
+		if h, err := ParseNetD(strings.NewReader(soup), nil, "soup"); err == nil {
+			if h.Validate() != nil {
+				return false
+			}
+		}
+		if h, err := ParsePaToH(strings.NewReader(soup), "soup"); err == nil {
+			if h.Validate() != nil {
+				return false
+			}
+		}
+		if d, err := ParseBookshelf(strings.NewReader(soup), strings.NewReader(soup), "soup"); err == nil {
+			if d.H.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsersSurviveTruncation(t *testing.T) {
+	// Take a valid file of each format and parse every prefix: must never
+	// panic, and any accepted result must validate.
+	h := sample(t)
+	var hgr, patoh strings.Builder
+	if err := WriteHGR(&hgr, h); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePaToH(&patoh, h); err != nil {
+		t.Fatal(err)
+	}
+	for _, full := range []struct {
+		name  string
+		text  string
+		parse func(string) error
+	}{
+		{"hgr", hgr.String(), func(s string) error {
+			g, err := ParseHGR(strings.NewReader(s), "t")
+			if err == nil {
+				return g.Validate()
+			}
+			return nil
+		}},
+		{"patoh", patoh.String(), func(s string) error {
+			g, err := ParsePaToH(strings.NewReader(s), "t")
+			if err == nil {
+				return g.Validate()
+			}
+			return nil
+		}},
+	} {
+		step := len(full.text)/23 + 1
+		for cut := 0; cut < len(full.text); cut += step {
+			if err := full.parse(full.text[:cut]); err != nil {
+				t.Fatalf("%s prefix %d: accepted invalid graph: %v", full.name, cut, err)
+			}
+		}
+	}
+}
+
+func TestHGRWhitespaceTolerance(t *testing.T) {
+	in := "  \n\n%c\n 2   3 \n  1 2\n\t2 3\n"
+	g, err := ParseHGR(strings.NewReader(in), "ws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges %d", g.NumEdges())
+	}
+}

@@ -1,0 +1,182 @@
+// Package objective evaluates partitioning objective functions over k-way
+// partitions. The paper's problem statement (§1) names cut size as the
+// standard objective and cites ratio cut (Wei & Cheng), scaled cost (Chan,
+// Schlag, Zien) and absorption (Sun & Sechen) as alternatives; this package
+// implements all of them so experiments can report any objective over the
+// same partitioning solutions (cf. footnote 2 of the paper: gain-update
+// shortcuts that are "netcut- and two-way specific" do not generalize — the
+// evaluation side must handle general objectives even when the optimizer
+// does not).
+package objective
+
+import (
+	"fmt"
+
+	"hgpart/internal/hypergraph"
+)
+
+// Assignment is a k-way partition: part index per vertex.
+type Assignment []int32
+
+// Validate checks that every vertex is assigned a part in [0, k).
+func (a Assignment) Validate(k int) error {
+	for v, p := range a {
+		if p < 0 || int(p) >= k {
+			return fmt.Errorf("objective: vertex %d assigned part %d outside [0,%d)", v, p, k)
+		}
+	}
+	return nil
+}
+
+// PartWeights returns the total vertex weight per part.
+func PartWeights(h *hypergraph.Hypergraph, a Assignment, k int) []int64 {
+	w := make([]int64, k)
+	for v := 0; v < h.NumVertices(); v++ {
+		w[a[v]] += h.VertexWeight(int32(v))
+	}
+	return w
+}
+
+// spannedParts returns how many distinct parts net e touches (its
+// connectivity lambda).
+func spannedParts(h *hypergraph.Hypergraph, a Assignment, e int32, scratch map[int32]struct{}) int {
+	for p := range scratch {
+		delete(scratch, p)
+	}
+	for _, v := range h.Pins(e) {
+		scratch[a[v]] = struct{}{}
+	}
+	return len(scratch)
+}
+
+// CutSize returns the weighted number of nets spanning more than one part —
+// the paper's standard objective.
+func CutSize(h *hypergraph.Hypergraph, a Assignment) int64 {
+	var cut int64
+	scratch := make(map[int32]struct{}, 8)
+	for e := 0; e < h.NumEdges(); e++ {
+		if spannedParts(h, a, int32(e), scratch) > 1 {
+			cut += h.EdgeWeight(int32(e))
+		}
+	}
+	return cut
+}
+
+// ConnectivityMinusOne returns sum over nets of w(e) * (lambda(e) - 1), the
+// k-way objective minimized by hMETIS-Kway and KaHyPar ("SOED - cut").
+func ConnectivityMinusOne(h *hypergraph.Hypergraph, a Assignment) int64 {
+	var total int64
+	scratch := make(map[int32]struct{}, 8)
+	for e := 0; e < h.NumEdges(); e++ {
+		lambda := spannedParts(h, a, int32(e), scratch)
+		total += h.EdgeWeight(int32(e)) * int64(lambda-1)
+	}
+	return total
+}
+
+// SumOfExternalDegrees returns sum over cut nets of w(e) * lambda(e)
+// (SOED, Sanchis).
+func SumOfExternalDegrees(h *hypergraph.Hypergraph, a Assignment) int64 {
+	var total int64
+	scratch := make(map[int32]struct{}, 8)
+	for e := 0; e < h.NumEdges(); e++ {
+		lambda := spannedParts(h, a, int32(e), scratch)
+		if lambda > 1 {
+			total += h.EdgeWeight(int32(e)) * int64(lambda)
+		}
+	}
+	return total
+}
+
+// RatioCut returns cut / (|P0|_w * |P1|_w) for a 2-way partition (Wei &
+// Cheng, ICCAD'89). It rewards balanced small cuts without a hard balance
+// constraint. Returns +Inf-like large value when a side is empty.
+func RatioCut(h *hypergraph.Hypergraph, a Assignment) float64 {
+	w := PartWeights(h, a, 2)
+	cut := CutSize(h, a)
+	if w[0] == 0 || w[1] == 0 {
+		return float64(cut) * 1e18
+	}
+	return float64(cut) / (float64(w[0]) * float64(w[1]))
+}
+
+// ScaledCost returns the Chan-Schlag-Zien scaled cost,
+//
+//	1/(n(k-1)) * sum_p cut(p)/w(p)
+//
+// where cut(p) is the weight of nets crossing part p's boundary.
+func ScaledCost(h *hypergraph.Hypergraph, a Assignment, k int) float64 {
+	partCut := make([]int64, k)
+	scratch := make(map[int32]struct{}, 8)
+	for e := 0; e < h.NumEdges(); e++ {
+		for p := range scratch {
+			delete(scratch, p)
+		}
+		for _, v := range h.Pins(int32(e)) {
+			scratch[a[v]] = struct{}{}
+		}
+		if len(scratch) > 1 {
+			for p := range scratch {
+				partCut[p] += h.EdgeWeight(int32(e))
+			}
+		}
+	}
+	w := PartWeights(h, a, k)
+	var sum float64
+	for p := 0; p < k; p++ {
+		if w[p] == 0 {
+			return 1e18
+		}
+		sum += float64(partCut[p]) / float64(w[p])
+	}
+	n := float64(h.NumVertices())
+	return sum / (n * float64(k-1))
+}
+
+// Absorption returns the Sun-Sechen absorption metric,
+//
+//	sum_e sum_p (pins(e,p)-1)/(|e|-1) * w(e)  over parts p with pins(e,p)>0,
+//
+// which rewards keeping large fractions of each net together (higher is
+// better, unlike the cut objectives).
+func Absorption(h *hypergraph.Hypergraph, a Assignment, k int) float64 {
+	counts := make([]int32, k)
+	var total float64
+	for e := 0; e < h.NumEdges(); e++ {
+		pins := h.Pins(int32(e))
+		if len(pins) < 2 {
+			continue
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, v := range pins {
+			counts[a[v]]++
+		}
+		w := float64(h.EdgeWeight(int32(e)))
+		denom := float64(len(pins) - 1)
+		for p := 0; p < k; p++ {
+			if counts[p] > 0 {
+				total += w * float64(counts[p]-1) / denom
+			}
+		}
+	}
+	return total
+}
+
+// Imbalance returns the relative deviation of the heaviest part from the
+// perfectly balanced weight: max_p w(p) / (total/k) - 1.
+func Imbalance(h *hypergraph.Hypergraph, a Assignment, k int) float64 {
+	w := PartWeights(h, a, k)
+	var maxW int64
+	for _, x := range w {
+		if x > maxW {
+			maxW = x
+		}
+	}
+	ideal := float64(h.TotalVertexWeight()) / float64(k)
+	if ideal == 0 {
+		return 0
+	}
+	return float64(maxW)/ideal - 1
+}

@@ -1,0 +1,142 @@
+package objective
+
+import (
+	"math"
+	"testing"
+
+	"hgpart/internal/hypergraph"
+)
+
+// fixture: 6 vertices, 4 nets.
+//
+//	n0={0,1} w1; n1={1,2,3} w2; n2={3,4,5} w1; n3={0,5} w3
+func fixture(t testing.TB) *hypergraph.Hypergraph {
+	t.Helper()
+	b := hypergraph.NewBuilder(6, 4)
+	b.AddVertices(6, 1)
+	b.AddEdge(1, 0, 1)
+	b.AddEdge(2, 1, 2, 3)
+	b.AddEdge(1, 3, 4, 5)
+	b.AddEdge(3, 0, 5)
+	return b.MustBuild()
+}
+
+func TestValidate(t *testing.T) {
+	a := Assignment{0, 1, 2}
+	if err := a.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(2); err == nil {
+		t.Fatal("part 2 accepted with k=2")
+	}
+	if err := (Assignment{-1}).Validate(2); err == nil {
+		t.Fatal("negative part accepted")
+	}
+}
+
+func TestPartWeights(t *testing.T) {
+	h := fixture(t)
+	a := Assignment{0, 0, 1, 1, 2, 2}
+	w := PartWeights(h, a, 3)
+	if w[0] != 2 || w[1] != 2 || w[2] != 2 {
+		t.Fatalf("weights %v", w)
+	}
+}
+
+func TestCutSizeTwoWay(t *testing.T) {
+	h := fixture(t)
+	// {0,1,2} vs {3,4,5}: n1 cut (w2), n3 cut (w3); n0, n2 internal.
+	a := Assignment{0, 0, 0, 1, 1, 1}
+	if got := CutSize(h, a); got != 5 {
+		t.Fatalf("cut %d, want 5", got)
+	}
+}
+
+func TestCutSizeAllTogether(t *testing.T) {
+	h := fixture(t)
+	a := Assignment{0, 0, 0, 0, 0, 0}
+	if CutSize(h, a) != 0 {
+		t.Fatal("single-part cut must be 0")
+	}
+}
+
+func TestConnectivityMinusOne(t *testing.T) {
+	h := fixture(t)
+	// Three parts {0,1},{2,3},{4,5}:
+	// n0 lambda=1 (0); n1 lambda=2 (+2); n2 lambda=2 (+1); n3 lambda=2 (+3).
+	a := Assignment{0, 0, 1, 1, 2, 2}
+	if got := ConnectivityMinusOne(h, a); got != 6 {
+		t.Fatalf("(lambda-1) sum %d, want 6", got)
+	}
+	// For 2-way partitions, connectivity-1 equals cut size.
+	b2 := Assignment{0, 0, 0, 1, 1, 1}
+	if ConnectivityMinusOne(h, b2) != CutSize(h, b2) {
+		t.Fatal("2-way connectivity-1 must equal cut")
+	}
+}
+
+func TestSumOfExternalDegrees(t *testing.T) {
+	h := fixture(t)
+	a := Assignment{0, 0, 1, 1, 2, 2}
+	// Cut nets: n1 lambda=2 w2 -> 4; n2 lambda=2 w1 -> 2; n3 lambda=2 w3 -> 6.
+	if got := SumOfExternalDegrees(h, a); got != 12 {
+		t.Fatalf("SOED %d, want 12", got)
+	}
+	// SOED = (lambda-1) + cut for any partition.
+	if SumOfExternalDegrees(h, a) != ConnectivityMinusOne(h, a)+CutSize(h, a) {
+		t.Fatal("SOED identity broken")
+	}
+}
+
+func TestRatioCut(t *testing.T) {
+	h := fixture(t)
+	a := Assignment{0, 0, 0, 1, 1, 1}
+	want := 5.0 / (3.0 * 3.0)
+	if got := RatioCut(h, a); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ratio cut %v, want %v", got, want)
+	}
+	// Empty side is heavily penalized.
+	empty := Assignment{0, 0, 0, 0, 0, 0}
+	if RatioCut(h, empty) < 0 {
+		t.Fatal("empty side not penalized")
+	}
+}
+
+func TestScaledCost(t *testing.T) {
+	h := fixture(t)
+	a := Assignment{0, 0, 0, 1, 1, 1}
+	// cut(p)=5 for both parts, w(p)=3; n=6, k=2.
+	want := (5.0/3 + 5.0/3) / (6 * 1)
+	if got := ScaledCost(h, a, 2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("scaled cost %v, want %v", got, want)
+	}
+	if ScaledCost(h, Assignment{0, 0, 0, 0, 0, 0}, 2) < 1e17 {
+		t.Fatal("empty part not penalized")
+	}
+}
+
+func TestAbsorption(t *testing.T) {
+	h := fixture(t)
+	all := Assignment{0, 0, 0, 0, 0, 0}
+	// Full absorption: each net contributes its full weight.
+	want := 1.0 + 2 + 1 + 3
+	if got := Absorption(h, all, 1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("full absorption %v, want %v", got, want)
+	}
+	// Any split absorbs strictly less.
+	split := Assignment{0, 0, 0, 1, 1, 1}
+	if Absorption(h, split, 2) >= want {
+		t.Fatal("split should absorb less than whole")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	h := fixture(t)
+	if got := Imbalance(h, Assignment{0, 0, 0, 1, 1, 1}, 2); math.Abs(got) > 1e-12 {
+		t.Fatalf("balanced split imbalance %v", got)
+	}
+	// 5-1 split: max part 5 vs ideal 3 -> 2/3.
+	if got := Imbalance(h, Assignment{0, 0, 0, 0, 0, 1}, 2); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("imbalance %v, want 2/3", got)
+	}
+}

@@ -1,0 +1,197 @@
+package placer
+
+import (
+	"testing"
+
+	"hgpart/internal/gen"
+	"hgpart/internal/hypergraph"
+	"hgpart/internal/rng"
+)
+
+func netlistForPlacement(tb testing.TB, cells int) *hypergraph.Hypergraph {
+	tb.Helper()
+	h, err := gen.Generate(gen.Spec{
+		Name: "place-test", Cells: cells, Nets: cells + cells/8,
+		AvgNetSize: 3.3, NumMacros: 2, MaxMacroFrac: 0.02,
+		NumGlobalNets: 1, GlobalNetFrac: 0.01, Locality: 2, Seed: 5,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return h
+}
+
+func TestPlaceCoordinatesInBounds(t *testing.T) {
+	h := netlistForPlacement(t, 500)
+	pl, err := Place(h, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < h.NumVertices(); v++ {
+		x, y := pl.X[v], pl.Y[v]
+		if x < 0 || x > 1 || y < 0 || y > 1 {
+			t.Fatalf("cell %d at (%f,%f) outside unit square", v, x, y)
+		}
+	}
+	if pl.Bisections == 0 {
+		t.Fatal("no bisections performed")
+	}
+}
+
+func TestPlaceBeatsRandomHPWL(t *testing.T) {
+	h := netlistForPlacement(t, 600)
+	pl, err := Place(h, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	placed := pl.HPWL(h)
+
+	// Random placement baseline.
+	r := rng.New(3)
+	rand := &Placement{X: make([]float64, h.NumVertices()), Y: make([]float64, h.NumVertices())}
+	for v := range rand.X {
+		rand.X[v] = r.Float64()
+		rand.Y[v] = r.Float64()
+	}
+	random := rand.HPWL(h)
+	if placed > 0.7*random {
+		t.Fatalf("placement HPWL %.1f not clearly better than random %.1f", placed, random)
+	}
+}
+
+func TestTerminalPropagationHappens(t *testing.T) {
+	h := netlistForPlacement(t, 400)
+	pl, err := Place(h, Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's observation: nearly every partitioning instance in
+	// top-down placement carries fixed terminals. The top-level bisection
+	// has none; essentially all others should.
+	if pl.Bisections >= 4 && pl.FixedTerminalInstances < pl.Bisections/2 {
+		t.Fatalf("only %d of %d bisections had terminals",
+			pl.FixedTerminalInstances, pl.Bisections)
+	}
+}
+
+func TestPlaceEmptyNetlist(t *testing.T) {
+	b := hypergraph.NewBuilder(0, 0)
+	h := b.MustBuild()
+	if _, err := Place(h, Config{}); err == nil {
+		t.Fatal("empty netlist accepted")
+	}
+}
+
+func TestPlaceTinyNetlist(t *testing.T) {
+	b := hypergraph.NewBuilder(3, 1)
+	b.AddVertices(3, 1)
+	b.AddEdge(1, 0, 1, 2)
+	h := b.MustBuild()
+	pl, err := Place(h, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Bisections != 0 {
+		t.Fatal("tiny netlist should be a single leaf region")
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	h := netlistForPlacement(t, 300)
+	a, err := Place(h, Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Place(h, Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.X {
+		if a.X[v] != b.X[v] || a.Y[v] != b.Y[v] {
+			t.Fatalf("placement not deterministic at cell %d", v)
+		}
+	}
+}
+
+func TestHPWLZeroForCoincident(t *testing.T) {
+	b := hypergraph.NewBuilder(3, 1)
+	b.AddVertices(3, 1)
+	b.AddEdge(2, 0, 1, 2)
+	h := b.MustBuild()
+	pl := &Placement{X: []float64{0.5, 0.5, 0.5}, Y: []float64{0.5, 0.5, 0.5}}
+	if pl.HPWL(h) != 0 {
+		t.Fatal("coincident pins should have zero HPWL")
+	}
+	pl2 := &Placement{X: []float64{0, 1, 0}, Y: []float64{0, 0, 1}}
+	// bbox 1x1, weight 2 -> HPWL 4.
+	if got := pl2.HPWL(h); got != 4 {
+		t.Fatalf("HPWL %v, want 4", got)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.MaxCellsPerRegion != 16 || c.Tolerance != 0.1 || c.MLThreshold != 2000 {
+		t.Fatalf("defaults: %+v", c)
+	}
+}
+
+func TestQuadrisectionPlacement(t *testing.T) {
+	h := netlistForPlacement(t, 600)
+	pl, err := Place(h, Config{Seed: 8, Quadrisection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < h.NumVertices(); v++ {
+		if pl.X[v] < 0 || pl.X[v] > 1 || pl.Y[v] < 0 || pl.Y[v] > 1 {
+			t.Fatalf("cell %d outside unit square", v)
+		}
+	}
+	// Quality: same ballpark as bisection placement, far better than random.
+	bis, err := Place(h, Config{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, b := pl.HPWL(h), bis.HPWL(h)
+	if q > 1.6*b {
+		t.Fatalf("quadrisection HPWL %.1f much worse than bisection %.1f", q, b)
+	}
+}
+
+func TestQuadrisectionDeterministic(t *testing.T) {
+	h := netlistForPlacement(t, 300)
+	a, err := Place(h, Config{Seed: 9, Quadrisection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Place(h, Config{Seed: 9, Quadrisection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.X {
+		if a.X[v] != b.X[v] || a.Y[v] != b.Y[v] {
+			t.Fatalf("quadrisection not deterministic at %d", v)
+		}
+	}
+}
+
+func TestPermutations4(t *testing.T) {
+	perms := permutations4()
+	if len(perms) != 24 {
+		t.Fatalf("%d permutations", len(perms))
+	}
+	seen := map[[4]int]bool{}
+	for _, p := range perms {
+		if seen[p] {
+			t.Fatalf("duplicate permutation %v", p)
+		}
+		seen[p] = true
+		var used [4]bool
+		for _, x := range p {
+			if x < 0 || x > 3 || used[x] {
+				t.Fatalf("invalid permutation %v", p)
+			}
+			used[x] = true
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package plot renders simple ASCII line charts and scatter plots for the
+// methodology artifacts (best-so-far curves, non-dominated frontiers) so
+// cmd/hgeval and the examples can show the *shape* of a comparison directly
+// in a terminal, in the spirit of the paper's insistence that the
+// quality-runtime tradeoff curve — not a single number — is the result.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named sequence of (X, Y) points.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker rune // distinct glyph; 0 picks automatically
+}
+
+// Chart is an ASCII plot canvas.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height of the plot area in characters (defaults 64 x 20).
+	Width, Height int
+	// LogX plots the x axis logarithmically (useful for CPU budgets).
+	LogX bool
+
+	series []Series
+}
+
+// markers cycled for series without an explicit glyph.
+var markers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Add appends a series. Points with non-finite coordinates are dropped at
+// render time.
+func (c *Chart) Add(s Series) {
+	if s.Marker == 0 {
+		s.Marker = markers[len(c.series)%len(markers)]
+	}
+	c.series = append(c.series, s)
+}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 20
+	}
+
+	type pt struct{ x, y float64 }
+	var pts [][]pt
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		var ps []pt
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if c.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			if math.IsInf(x, 0) || math.IsNaN(x) || math.IsInf(y, 0) || math.IsNaN(y) {
+				continue
+			}
+			ps = append(ps, pt{x, y})
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+		pts = append(pts, ps)
+	}
+	if math.IsInf(minX, 1) {
+		return c.Title + "\n(no finite points)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, h)
+	for i := range grid {
+		grid[i] = make([]rune, w)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	plotAt := func(x, y float64, m rune) {
+		col := int(math.Round((x - minX) / (maxX - minX) * float64(w-1)))
+		row := int(math.Round((maxY - y) / (maxY - minY) * float64(h-1)))
+		if col >= 0 && col < w && row >= 0 && row < h {
+			if grid[row][col] != ' ' && grid[row][col] != m {
+				grid[row][col] = '?' // collision of different series
+			} else {
+				grid[row][col] = m
+			}
+		}
+	}
+	for si, s := range c.series {
+		ps := pts[si]
+		sort.Slice(ps, func(a, b int) bool { return ps[a].x < ps[b].x })
+		for i, p := range ps {
+			plotAt(p.x, p.y, s.Marker)
+			// Linear interpolation toward the next point for a line feel.
+			if i+1 < len(ps) {
+				q := ps[i+1]
+				steps := 2 * w / maxInt(len(ps), 1)
+				for st := 1; st < steps; st++ {
+					f := float64(st) / float64(steps)
+					ix := p.x + (q.x-p.x)*f
+					iy := p.y + (q.y-p.y)*f
+					col := int(math.Round((ix - minX) / (maxX - minX) * float64(w-1)))
+					row := int(math.Round((maxY - iy) / (maxY - minY) * float64(h-1)))
+					if col >= 0 && col < w && row >= 0 && row < h && grid[row][col] == ' ' {
+						grid[row][col] = '.'
+					}
+				}
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintln(&b, c.Title)
+	}
+	yHi := formatTick(maxY)
+	yLo := formatTick(minY)
+	labelW := maxInt(len(yHi), len(yLo))
+	for i, row := range grid {
+		label := strings.Repeat(" ", labelW)
+		if i == 0 {
+			label = fmt.Sprintf("%*s", labelW, yHi)
+		} else if i == h-1 {
+			label = fmt.Sprintf("%*s", labelW, yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", w))
+	xLo, xHi := minX, maxX
+	if c.LogX {
+		xLo, xHi = math.Pow(10, minX), math.Pow(10, maxX)
+	}
+	axis := fmt.Sprintf("%s%s", formatTick(xLo), strings.Repeat(" ", maxInt(1, w-len(formatTick(xLo))-len(formatTick(xHi)))))
+	fmt.Fprintf(&b, "%s  %s%s", strings.Repeat(" ", labelW), axis, formatTick(xHi))
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "   [%s]", c.XLabel)
+	}
+	fmt.Fprintln(&b)
+	// Legend.
+	for _, s := range c.series {
+		fmt.Fprintf(&b, "  %c %s\n", s.Marker, s.Name)
+	}
+	return b.String()
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av != 0 && (av < 0.01 || av >= 100000):
+		return fmt.Sprintf("%.1e", v)
+	case av < 10:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,83 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	c := Chart{Title: "demo", XLabel: "sec", Width: 40, Height: 10}
+	c.Add(Series{Name: "a", X: []float64{1, 2, 3}, Y: []float64{3, 2, 1}})
+	c.Add(Series{Name: "b", X: []float64{1, 2, 3}, Y: []float64{1, 2, 3}})
+	out := c.Render()
+	if !strings.Contains(out, "demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "[sec]") {
+		t.Fatal("missing x label")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("missing plotted markers")
+	}
+	lines := strings.Split(out, "\n")
+	plotLines := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotLines++
+		}
+	}
+	if plotLines != 10 {
+		t.Fatalf("plot area %d rows, want 10", plotLines)
+	}
+}
+
+func TestRenderDropsNonFinite(t *testing.T) {
+	c := Chart{Width: 20, Height: 5}
+	c.Add(Series{Name: "x", X: []float64{1, 2}, Y: []float64{math.Inf(1), 5}})
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("finite point not plotted:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := Chart{Title: "empty"}
+	c.Add(Series{Name: "none", X: []float64{1}, Y: []float64{math.NaN()}})
+	out := c.Render()
+	if !strings.Contains(out, "no finite points") {
+		t.Fatalf("expected empty notice, got:\n%s", out)
+	}
+}
+
+func TestLogXRejectsNonPositive(t *testing.T) {
+	c := Chart{LogX: true, Width: 30, Height: 6}
+	c.Add(Series{Name: "s", X: []float64{0, 0.1, 1, 10}, Y: []float64{9, 4, 2, 1}})
+	out := c.Render()
+	// x=0 dropped; the rest plot fine.
+	if !strings.Contains(out, "*") {
+		t.Fatalf("log chart missing points:\n%s", out)
+	}
+}
+
+func TestMarkerCollision(t *testing.T) {
+	c := Chart{Width: 10, Height: 3}
+	c.Add(Series{Name: "a", X: []float64{1}, Y: []float64{1}})
+	c.Add(Series{Name: "b", X: []float64{1}, Y: []float64{1}})
+	out := c.Render()
+	if !strings.Contains(out, "?") {
+		t.Fatalf("collision glyph missing:\n%s", out)
+	}
+}
+
+func TestSinglePointDegenerateRanges(t *testing.T) {
+	c := Chart{Width: 12, Height: 4}
+	c.Add(Series{Name: "p", X: []float64{5}, Y: []float64{7}})
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}

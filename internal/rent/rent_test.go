@@ -1,0 +1,110 @@
+package rent
+
+import (
+	"testing"
+
+	"hgpart/internal/gen"
+	"hgpart/internal/hypergraph"
+	"hgpart/internal/rng"
+)
+
+func TestGeneratedInstanceHasRealisticExponent(t *testing.T) {
+	h := gen.MustGenerate(gen.Spec{
+		Name: "rent-test", Cells: 1200, Nets: 1320, AvgNetSize: 3.5,
+		NumMacros: 0, NumGlobalNets: 0, Locality: 2, Seed: 9, UnitArea: true,
+	})
+	est, err := Analyze(h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.P < 0.3 || est.P > 0.92 {
+		t.Fatalf("synthetic instance Rent exponent %.3f outside the plausible band", est.P)
+	}
+	if est.R2 < 0.5 {
+		t.Fatalf("log-log fit very poor: R2=%.3f", est.R2)
+	}
+	if len(est.Samples) < 10 {
+		t.Fatalf("only %d samples", len(est.Samples))
+	}
+}
+
+func TestRandomGraphHasHigherExponentThanLocal(t *testing.T) {
+	// Structureless random hypergraph: exponent should be clearly higher
+	// than a strongly local instance of the same size.
+	r := rng.New(4)
+	b := hypergraph.NewBuilder(800, 900)
+	b.AddVertices(800, 1)
+	for e := 0; e < 900; e++ {
+		b.AddEdge(1, int32(r.Intn(800)), int32(r.Intn(800)), int32(r.Intn(800)))
+	}
+	random := b.MustBuild()
+	randomEst, err := Analyze(random, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	local := gen.MustGenerate(gen.Spec{
+		Name: "local", Cells: 800, Nets: 900, AvgNetSize: 3.0,
+		Locality: 3, Seed: 5, UnitArea: true,
+	})
+	localEst, err := Analyze(local, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if randomEst.P <= localEst.P {
+		t.Fatalf("random exponent %.3f not above local %.3f", randomEst.P, localEst.P)
+	}
+}
+
+func TestAnalyzeTooSmall(t *testing.T) {
+	b := hypergraph.NewBuilder(10, 5)
+	b.AddVertices(10, 1)
+	for i := int32(0); i < 5; i++ {
+		b.AddEdge(1, i, i+5)
+	}
+	h := b.MustBuild()
+	if _, err := Analyze(h, Options{}); err == nil {
+		t.Fatal("tiny instance accepted")
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	h := gen.MustGenerate(gen.Spec{
+		Name: "det", Cells: 600, Nets: 660, AvgNetSize: 3.2,
+		Locality: 2, Seed: 6, UnitArea: true,
+	})
+	a, err := Analyze(h, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Analyze(h, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.P != b.P || a.T0 != b.T0 {
+		t.Fatalf("not deterministic: %.4f/%.4f vs %.4f/%.4f", a.P, a.T0, b.P, b.T0)
+	}
+}
+
+func TestSamplesCoverSizes(t *testing.T) {
+	h := gen.MustGenerate(gen.Spec{
+		Name: "sizes", Cells: 600, Nets: 650, AvgNetSize: 3.2,
+		Locality: 2, Seed: 7, UnitArea: true,
+	})
+	est, err := Analyze(h, Options{MinBlock: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := false, false
+	for _, s := range est.Samples {
+		if s.Cells <= 32 {
+			small = true
+		}
+		if s.Cells >= 150 {
+			large = true
+		}
+	}
+	if !small || !large {
+		t.Fatal("samples do not span block sizes")
+	}
+}

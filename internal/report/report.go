@@ -1,0 +1,118 @@
+// Package report renders experiment results as aligned ASCII tables (the
+// layouts of the paper's Tables 1-5) and as CSV for downstream analysis.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, missing
+// cells are blank.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends a row built from format/args pairs alternating: each cell
+// is its own fmt.Sprintf. Convenience for numeric rows.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		row = append(row, fmt.Sprint(c))
+	}
+	t.AddRow(row...)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	var sep strings.Builder
+	for i := range t.Headers {
+		sep.WriteString(strings.Repeat("-", widths[i]+2))
+		if i < len(t.Headers)-1 {
+			sep.WriteString("+")
+		}
+	}
+	line := sep.String()
+	printRow := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(w, " %-*s ", widths[i], c)
+			if i < len(cells)-1 {
+				fmt.Fprint(w, "|")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	printRow(t.Headers)
+	fmt.Fprintln(w, line)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// WriteCSV writes the table as CSV (no quoting beyond replacing commas,
+// since all producers emit comma-free cells).
+func (t *Table) WriteCSV(w io.Writer) {
+	clean := func(s string) string { return strings.ReplaceAll(s, ",", ";") }
+	cells := make([]string, len(t.Headers))
+	for i, h := range t.Headers {
+		cells[i] = clean(h)
+	}
+	fmt.Fprintln(w, strings.Join(cells, ","))
+	for _, row := range t.Rows {
+		for i, c := range row {
+			cells[i] = clean(c)
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}
+
+// MinAvg formats the paper's "minimum/average" cell style, e.g. "333/639".
+func MinAvg(min, avg float64) string {
+	return fmt.Sprintf("%.0f/%.0f", min, avg)
+}
+
+// CutTime formats the Tables 4/5 "average cut / average CPU time" cell
+// style, e.g. "265.7/6.4".
+func CutTime(cut, seconds float64) string {
+	return fmt.Sprintf("%.1f/%.1f", cut, seconds)
+}

@@ -1,0 +1,79 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tab := NewTable("Title", "A", "Column")
+	tab.AddRow("x", "1")
+	tab.AddRow("longer", "2")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Fatalf("title line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "A") || !strings.Contains(lines[1], "Column") {
+		t.Fatalf("header %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "-") || !strings.Contains(lines[2], "+") {
+		t.Fatalf("separator %q", lines[2])
+	}
+	// All data lines must have identical lengths (alignment).
+	if len(lines[3]) != len(lines[4]) {
+		t.Fatalf("misaligned rows: %q vs %q", lines[3], lines[4])
+	}
+}
+
+func TestAddRowPadding(t *testing.T) {
+	tab := NewTable("", "A", "B", "C")
+	tab.AddRow("1")                // short: pad
+	tab.AddRow("1", "2", "3", "4") // long: truncate
+	if len(tab.Rows[0]) != 3 || len(tab.Rows[1]) != 3 {
+		t.Fatalf("row lengths %d/%d", len(tab.Rows[0]), len(tab.Rows[1]))
+	}
+	if tab.Rows[0][2] != "" || tab.Rows[1][2] != "3" {
+		t.Fatal("padding/truncation wrong")
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tab := NewTable("", "A", "B")
+	tab.AddRowf(42, 3.5)
+	if tab.Rows[0][0] != "42" || tab.Rows[0][1] != "3.5" {
+		t.Fatalf("AddRowf row %v", tab.Rows[0])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tab := NewTable("t", "A", "B")
+	tab.AddRow("x,y", "2")
+	var buf bytes.Buffer
+	tab.WriteCSV(&buf)
+	got := buf.String()
+	if !strings.HasPrefix(got, "A,B\n") {
+		t.Fatalf("csv header: %q", got)
+	}
+	if !strings.Contains(got, "x;y,2") {
+		t.Fatalf("comma not sanitized: %q", got)
+	}
+}
+
+func TestMinAvgAndCutTime(t *testing.T) {
+	if MinAvg(333, 639.4) != "333/639" {
+		t.Fatalf("MinAvg: %q", MinAvg(333, 639.4))
+	}
+	if CutTime(265.72, 6.44) != "265.7/6.4" {
+		t.Fatalf("CutTime: %q", CutTime(265.72, 6.44))
+	}
+}
+
+func TestEmptyTitleOmitted(t *testing.T) {
+	tab := NewTable("", "A")
+	tab.AddRow("1")
+	if strings.HasPrefix(tab.String(), "\n") {
+		t.Fatal("empty title printed a blank line")
+	}
+}

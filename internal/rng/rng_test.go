@@ -1,0 +1,262 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestReseed(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 10)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Seed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("reseeded stream differs at %d: %d != %d", i, got, first[i])
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPowerOfTwoAndGeneral(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.Uint64n(16); v >= 16 {
+			t.Fatalf("Uint64n(16) = %d", v)
+		}
+		if v := r.Uint64n(10); v >= 10 {
+			t.Fatalf("Uint64n(10) = %d", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(4)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Float64 mean %.4f far from 0.5", mean)
+	}
+}
+
+func TestIntnApproximatelyUniform(t *testing.T) {
+	r := New(5)
+	const buckets = 10
+	const draws = 100000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	expect := float64(draws) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-expect) > 0.05*expect {
+			t.Fatalf("bucket %d count %d deviates >5%% from %f", b, c, expect)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(6)
+	s := []int{1, 2, 2, 3, 5, 8, 13}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	r.ShuffleInts(s)
+	got := 0
+	for _, v := range s {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset sum: %d != %d", got, sum)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(8)
+	const p = 0.25
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(r.Geometric(p))
+	}
+	mean := sum / n
+	want := (1 - p) / p // mean of failures-before-success geometric
+	if math.Abs(mean-want) > 0.1 {
+		t.Fatalf("Geometric(%.2f) mean %.3f, want about %.3f", p, mean, want)
+	}
+}
+
+func TestGeometricP1(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 100; i++ {
+		if r.Geometric(1) != 0 {
+			t.Fatal("Geometric(1) must be 0")
+		}
+	}
+}
+
+func TestGeometricPanicsOnBadP(t *testing.T) {
+	for _, p := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Geometric(%v) did not panic", p)
+				}
+			}()
+			New(1).Geometric(p)
+		}()
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(10)
+	child := r.Split()
+	// Child draws must not be identical to parent's subsequent draws.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if child.Uint64() == r.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("Split stream mirrors parent: %d/100 matches", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(11).Split()
+	b := New(11).Split()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	r := New(12)
+	trues := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	if math.Abs(float64(trues)/n-0.5) > 0.02 {
+		t.Fatalf("Bool true fraction %.4f far from 0.5", float64(trues)/n)
+	}
+}
+
+func TestUint32AndInt63(t *testing.T) {
+	r := New(20)
+	seenHigh := false
+	for i := 0; i < 1000; i++ {
+		v := r.Uint32()
+		if v > 1<<31 {
+			seenHigh = true
+		}
+	}
+	if !seenHigh {
+		t.Fatal("Uint32 never exceeded 2^31 in 1000 draws")
+	}
+	for i := 0; i < 1000; i++ {
+		if r.Int63() < 0 {
+			t.Fatal("Int63 returned negative")
+		}
+	}
+}
+
+func TestShuffleFunc(t *testing.T) {
+	r := New(21)
+	s := []string{"a", "b", "c", "d", "e"}
+	orig := append([]string(nil), s...)
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	// Multiset preserved.
+	count := map[string]int{}
+	for _, x := range s {
+		count[x]++
+	}
+	for _, x := range orig {
+		if count[x] != 1 {
+			t.Fatalf("shuffle lost %q", x)
+		}
+	}
+}
