@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test race vet fuzz bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-enabled run of the concurrency-sensitive packages plus the full suite.
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over every netlist parser (regression corpora always run
+# as part of plain `make test`; this explores beyond them).
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzParseHGR -fuzztime=10s ./internal/netlist
+	$(GO) test -run=^$$ -fuzz=FuzzParsePaToH -fuzztime=10s ./internal/netlist
+	$(GO) test -run=^$$ -fuzz=FuzzParseNetD -fuzztime=10s ./internal/netlist
+	$(GO) test -run=^$$ -fuzz=FuzzParseBookshelf -fuzztime=10s ./internal/netlist
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# What CI runs: build, vet, and the full test suite under the race detector.
+ci: build vet race

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,20 +26,26 @@ import (
 
 func main() {
 	var (
-		table  = flag.Int("table", 0, "regenerate paper table 1-5")
-		extra  = flag.String("extra", "", "extra experiment: corking, insertion, significance, regimes, era")
-		figure = flag.String("figure", "", "regenerate methodology figure: bsf, pareto, ranking")
-		all    = flag.Bool("all", false, "regenerate every table and figure")
-		full   = flag.Bool("full", false, "use the paper's full protocol (hours of CPU)")
-		scale  = flag.Float64("scale", 0, "instance downscale factor (default 0.15)")
-		runs   = flag.Int("runs", 0, "single-start trials per cell for Tables 1-3 (paper: 100)")
-		reps   = flag.Int("reps", 0, "repetitions per configuration for Tables 4-5 (paper: 50)")
-		seed   = flag.Uint64("seed", 0, "experiment seed (default 1999)")
-		csv    = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		plotIt = flag.Bool("plot", false, "also render ASCII charts where available (figure bsf)")
-		spread = flag.Bool("dist", false, "append distribution descriptors (stddev) to Tables 4/5 cells")
+		table    = flag.Int("table", 0, "regenerate paper table 1-5")
+		extra    = flag.String("extra", "", "extra experiment: corking, insertion, significance, regimes, era")
+		figure   = flag.String("figure", "", "regenerate methodology figure: bsf, pareto, ranking")
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		full     = flag.Bool("full", false, "use the paper's full protocol (hours of CPU)")
+		scale    = flag.Float64("scale", 0, "instance downscale factor (default 0.15)")
+		runs     = flag.Int("runs", 0, "single-start trials per cell for Tables 1-3 (paper: 100)")
+		reps     = flag.Int("reps", 0, "repetitions per configuration for Tables 4-5 (paper: 50)")
+		seed     = flag.Uint64("seed", 0, "experiment seed (default 1999)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		plotIt   = flag.Bool("plot", false, "also render ASCII charts where available (figure bsf)")
+		spread   = flag.Bool("dist", false, "append distribution descriptors (stddev) to Tables 4/5 cells")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget; unevaluated cells are marked, not fabricated")
+		checkInv = flag.Bool("check-invariants", false, "run engines in debug mode and verify every start's outcome")
 	)
 	flag.Parse()
+
+	if *scale > 1 || *scale < 0 {
+		fatal(fmt.Errorf("-scale %g out of range (0,1]", *scale))
+	}
 
 	opt := experiments.DefaultOptions()
 	if *full {
@@ -57,6 +64,12 @@ func main() {
 		opt.Seed = *seed
 	}
 	opt.Spread = *spread
+	opt.CheckInvariants = *checkInv
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opt.Ctx = ctx
+	}
 
 	emit := func(t *report.Table) {
 		if *csv {

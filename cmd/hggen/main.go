@@ -31,6 +31,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if *scale <= 0 || *scale > 1 {
+		fatal(fmt.Errorf("-scale %g out of range (0,1]", *scale))
+	}
+
 	var spec hgpart.GenSpec
 	if *ibm > 0 {
 		s, err := hgpart.IBMProfile(*ibm)

@@ -7,11 +7,21 @@
 //	hgpart -in ibm01.netD -are ibm01.are -engine flat -tol 0.10
 //	hgpart -ibm 1 -scale 0.2 -engine clip
 //
+// Long multistart runs can be made fault tolerant: -timeout bounds the run
+// (partial results are reported, not discarded), -checkpoint journals every
+// completed start so -resume continues an interrupted run with identical
+// statistics, -retries reseeds failed starts, and -check-invariants verifies
+// every partition against a from-scratch recomputation:
+//
+//	hgpart -ibm 18 -starts 100 -timeout 2m -checkpoint run.jsonl
+//	hgpart -ibm 18 -starts 100 -checkpoint run.jsonl -resume
+//
 // Input format is chosen by extension: .hgr for hMETIS, anything else is
 // parsed as ISPD98 .netD/.net (with -are supplying areas).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,7 +36,7 @@ func main() {
 		inPath  = flag.String("in", "", "input netlist (.hgr or .netD/.net)")
 		arePath = flag.String("are", "", "ISPD98 .are area file (optional)")
 		ibm     = flag.Int("ibm", 0, "generate ISPD98-like profile 1-18 instead of reading a file")
-		scale   = flag.Float64("scale", 1.0, "downscale factor for -ibm")
+		scale   = flag.Float64("scale", 1.0, "downscale factor for -ibm, in (0,1]")
 		tol     = flag.Float64("tol", 0.02, "balance tolerance (0.02 = 49-51%)")
 		starts  = flag.Int("starts", 1, "independent starts; best kept")
 		vcycles = flag.Int("vcycles", 1, "V-cycles on the best solution (ML engine)")
@@ -36,8 +46,27 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		traceTo = flag.String("trace", "", "write per-pass FM trace CSV to this file (flat/clip engines)")
 		quiet   = flag.Bool("q", false, "suppress instance statistics")
+
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget; undone starts are skipped, partial results reported")
+		workers    = flag.Int("workers", 0, "concurrent starts (robust harness; 0 = GOMAXPROCS)")
+		checkpoint = flag.String("checkpoint", "", "journal completed starts to this JSONL file")
+		resume     = flag.Bool("resume", false, "resume from -checkpoint instead of starting over")
+		retries    = flag.Int("retries", 0, "retry a failed start up to this many times with a reseeded generator")
+		checkInv   = flag.Bool("check-invariants", false, "debug mode: verify partition and gain-structure invariants")
 	)
 	flag.Parse()
+
+	// Validate user input at the boundary; deeper layers treat bad values as
+	// programming errors and panic.
+	if *scale <= 0 || *scale > 1 {
+		fatal(fmt.Errorf("-scale %g out of range (0,1]", *scale))
+	}
+	if *tol <= 0 || *tol >= 1 {
+		fatal(fmt.Errorf("-tol %g out of range (0,1)", *tol))
+	}
+	if *resume && *checkpoint == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint <file>"))
+	}
 
 	h, err := loadInstance(*inPath, *arePath, *ibm, *scale, *seed)
 	if err != nil {
@@ -85,6 +114,12 @@ func main() {
 		fatal(fmt.Errorf("unknown engine %q (ml, flat, clip, spectral)", *engine))
 	}
 
+	if *timeout > 0 || *workers != 0 || *checkpoint != "" || *retries > 0 || *checkInv {
+		runRobust(h, bal, *engine, *starts, *vcycles, *seed,
+			*timeout, *workers, *checkpoint, *resume, *retries, *checkInv)
+		return
+	}
+
 	t0 := time.Now()
 	p, res, err := hgpart.Bisect(h, hgpart.BisectOptions{
 		Tolerance: *tol,
@@ -103,6 +138,76 @@ func main() {
 	printSides(p, total)
 	fmt.Printf("time=%.3fs work=%d (normalized %.3fs)\n",
 		elapsed.Seconds(), res.Work, float64(res.Work)/2e6)
+}
+
+// runRobust runs the multistart through the fault-tolerant harness:
+// wall-clock budget, parallel workers, panic isolation with optional retries,
+// invariant verification and checkpoint/resume.
+func runRobust(h *hgpart.Hypergraph, bal hgpart.Balance, engine string, starts, vcycles int,
+	seed uint64, timeout time.Duration, workers int, checkpointPath string, resume bool,
+	retries int, checkInv bool) {
+	cfg := hgpart.StrongFMConfig(engine == "clip")
+	cfg.CheckInvariants = checkInv
+	factory := func() hgpart.Heuristic {
+		if engine == "ml" {
+			return hgpart.NewMLHeuristic("ML", h, hgpart.MLConfig{Refine: cfg}, bal, vcycles)
+		}
+		return hgpart.NewFlatHeuristic("flat-"+engine, h, cfg, bal, hgpart.NewRNG(seed))
+	}
+
+	opt := hgpart.RunOptions{
+		Workers:    workers,
+		WallBudget: timeout,
+		MaxRetries: retries,
+	}
+	if checkInv {
+		opt.Verify = hgpart.VerifyOutcome(bal)
+	}
+	if checkpointPath != "" {
+		cp, err := hgpart.OpenCheckpoint(checkpointPath, engine, seed, starts, resume)
+		if err != nil {
+			fatal(err)
+		}
+		defer cp.Close()
+		opt.Checkpoint = cp
+		if resume && cp.Resumed() > 0 {
+			fmt.Fprintf(os.Stderr, "hgpart: resuming %d journaled starts from %s\n", cp.Resumed(), checkpointPath)
+		}
+	}
+
+	t0 := time.Now()
+	rep := hgpart.RunMultistart(context.Background(), factory, starts, seed, opt)
+
+	fmt.Printf("engine=%s starts=%d workers=%d retries=%d check-invariants=%v\n",
+		engine, starts, workers, retries, checkInv)
+	fmt.Println(rep.Summary())
+	if rep.Incomplete {
+		fmt.Printf("incomplete: %s (%d of %d starts skipped)\n", rep.Reason, rep.Skipped, starts)
+	}
+	if rep.BestIdx < 0 {
+		fatal(fmt.Errorf("no start succeeded"))
+	}
+	best := rep.Best
+	if best.P != nil {
+		// Polish the best solution the way the plain path does (ML V-cycles).
+		if polish := factory().PolishBest(best.P, hgpart.NewRNG(seed^0x9e3779b97f4a7c15)); polish.P != nil {
+			best = polish
+		}
+		fmt.Printf("cut=%d (best start %d)\n", best.P.Cut(), rep.BestIdx)
+		printSides(best.P, h.TotalVertexWeight())
+	} else {
+		// The best start was loaded from the journal: its cut is known but
+		// its partition was not persisted.
+		fmt.Printf("cut=%d (best start %d, resumed from checkpoint; partition not retained)\n",
+			best.Cut, rep.BestIdx)
+	}
+	fmt.Printf("time=%.3fs work=%d (normalized %.3fs)\n",
+		time.Since(t0).Seconds(), rep.TotalWork, float64(rep.TotalWork)/2e6)
+	if opt.Checkpoint != nil {
+		if err := opt.Checkpoint.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "hgpart: checkpoint journal error (resume may be unreliable): %v\n", err)
+		}
+	}
 }
 
 func printSides(p *hgpart.Partition, total int64) {

@@ -35,6 +35,13 @@ func main() {
 	)
 	flag.Parse()
 
+	if *scale <= 0 || *scale > 1 {
+		fatal(fmt.Errorf("-scale %g out of range (0,1]", *scale))
+	}
+	if *tol <= 0 || *tol >= 1 {
+		fatal(fmt.Errorf("-tol %g out of range (0,1)", *tol))
+	}
+
 	h, terminals, err := load(*inPath, *nodesPath, *netsPath, *ibm, *scale, *seed)
 	if err != nil {
 		fatal(err)

@@ -27,6 +27,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if *scale <= 0 || *scale > 1 {
+		fatal(fmt.Errorf("-scale %g out of range (0,1]", *scale))
+	}
+
 	report := func(h *hgpart.Hypergraph) {
 		fmt.Print(hgpart.ComputeStats(h))
 		if *rent {

@@ -27,6 +27,7 @@
 package hgpart
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -78,6 +79,14 @@ type (
 	Heuristic = eval.Heuristic
 	// Outcome is the result of one heuristic start.
 	Outcome = eval.Outcome
+	// RunOptions configures the fault-tolerant multistart harness.
+	RunOptions = eval.RunOptions
+	// RunReport is the harness's full per-start and aggregate result.
+	RunReport = eval.RunReport
+	// StartResult is the fate of one harness start.
+	StartResult = eval.StartResult
+	// Checkpoint journals completed starts for interrupt/resume.
+	Checkpoint = eval.Checkpoint
 )
 
 // Re-exported FM configuration enums.
@@ -263,6 +272,28 @@ func NewFlatHeuristic(label string, h *Hypergraph, cfg FMConfig, bal Balance, r 
 func NewMLHeuristic(label string, h *Hypergraph, cfg MLConfig, bal Balance, vcycles int) Heuristic {
 	return eval.NewML(label, h, cfg, bal, vcycles)
 }
+
+// RunMultistart runs n independent starts of the heuristic produced by
+// factory through the fault-tolerant evaluation harness: cancellation via
+// ctx, wall-clock and work-unit budgets, panic isolation, bounded
+// retry-with-reseed, per-start verification and checkpoint/resume, all while
+// preserving per-start determinism (see internal/eval.RunMultistart).
+func RunMultistart(ctx context.Context, factory func() Heuristic, n int, seed uint64, opt RunOptions) *RunReport {
+	return eval.RunMultistart(ctx, factory, n, seed, opt)
+}
+
+// OpenCheckpoint opens (or, with resume, reloads) a JSONL start journal for
+// an experiment identified by (name, seed, n); pass it via
+// RunOptions.Checkpoint so an interrupted multistart can be resumed with
+// identical aggregate statistics.
+func OpenCheckpoint(path, name string, seed uint64, n int, resume bool) (*Checkpoint, error) {
+	return eval.OpenCheckpoint(path, name, seed, n, resume)
+}
+
+// VerifyOutcome returns the standard per-start verifier for
+// RunOptions.Verify: partition-state consistency, the balance constraint and
+// cut agreement.
+func VerifyOutcome(bal Balance) func(Outcome) error { return eval.VerifyOutcome(bal) }
 
 // MCNCProfile returns a synthetic stand-in spec for a classic MCNC test
 // case (unit areas, no macros) — the old-era benchmark class the paper

@@ -186,6 +186,16 @@ type Config struct {
 	// move. Quality on cold starts is worse; use it as the MLConfig.Refine
 	// engine, not as a flat partitioner.
 	BoundaryOnly bool
+
+	// CheckInvariants enables debug mode: after every pass the engine
+	// cross-checks the incremental partition state (cut, per-net side counts,
+	// areas) against a from-scratch recomputation and verifies the gain
+	// container's linked-list structure. A disagreement panics with an
+	// *InvariantViolation, which the evaluation harness recovers into a
+	// failed start — silent corruption becomes a recorded error instead of a
+	// wrong number in a table. Adds O(pins) per pass; leave off in
+	// production sweeps.
+	CheckInvariants bool
 }
 
 // String renders the configuration compactly, e.g.

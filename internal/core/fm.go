@@ -137,6 +137,11 @@ func (e *Engine) RunPruned(p *partition.P, keepGoing func(pass int, cut int64) b
 		improved, moves, stuck := e.pass(p, res.Passes+1)
 		res.Passes++
 		res.Moves += moves
+		if e.cfg.CheckInvariants {
+			if err := e.verifyAfterPass(p); err != nil {
+				panic(err)
+			}
+		}
 		if stuck {
 			res.StuckTerminations++
 		}

@@ -1,0 +1,97 @@
+// Invariant checking: the debug-mode safety net behind the fault-tolerant
+// evaluation harness. The paper's methodology rests on trusting the numbers
+// an experiment reports; a partitioner whose incremental cut drifts from the
+// true cut, or whose gain structure silently corrupts, poisons every
+// downstream table. The checks here recompute the redundant state from
+// scratch and convert any disagreement into a structured error the harness
+// (internal/eval) can record as a failed start instead of publishing bogus
+// statistics.
+package core
+
+import (
+	"fmt"
+
+	"hgpart/internal/partition"
+)
+
+// InvariantViolation is a structured invariant-check failure. Engine debug
+// mode panics with *InvariantViolation (an internal-corruption signal, per
+// the library's panic policy); the evaluation harness recovers it into a
+// failed outcome.
+type InvariantViolation struct {
+	// Kind names the violated invariant: "cut", "net-counts", "areas",
+	// "balance", "gain-structure".
+	Kind string
+	// Detail is a human-readable description of the disagreement.
+	Detail string
+}
+
+func (e *InvariantViolation) Error() string {
+	return fmt.Sprintf("core: invariant %q violated: %s", e.Kind, e.Detail)
+}
+
+// VerifyPartitionState cross-checks all incrementally maintained partition
+// state against a from-scratch recomputation: the weighted cut, the per-net
+// side pin counts and the per-side areas. It returns nil when everything
+// agrees and an *InvariantViolation describing the first disagreement
+// otherwise. Cost is O(pins); intended for debug mode and for the harness's
+// per-start verification, not hot loops.
+func VerifyPartitionState(p *partition.P) error {
+	h := p.H
+	if got, want := p.Cut(), p.CutFromScratch(); got != want {
+		return &InvariantViolation{Kind: "cut",
+			Detail: fmt.Sprintf("incremental cut %d, recomputed %d", got, want)}
+	}
+	var areas [2]int64
+	for v := 0; v < h.NumVertices(); v++ {
+		areas[p.Side(int32(v))] += h.VertexWeight(int32(v))
+	}
+	for s := uint8(0); s < 2; s++ {
+		if p.Area(s) != areas[s] {
+			return &InvariantViolation{Kind: "areas",
+				Detail: fmt.Sprintf("side %d area %d, recomputed %d", s, p.Area(s), areas[s])}
+		}
+	}
+	for e := 0; e < h.NumEdges(); e++ {
+		var c [2]int32
+		for _, v := range h.Pins(int32(e)) {
+			c[p.Side(v)]++
+		}
+		for s := uint8(0); s < 2; s++ {
+			if p.SideCount(int32(e), s) != c[s] {
+				return &InvariantViolation{Kind: "net-counts",
+					Detail: fmt.Sprintf("net %d side %d count %d, recomputed %d",
+						e, s, p.SideCount(int32(e), s), c[s])}
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyPartition is VerifyPartitionState plus the balance constraint: a
+// finished start must return a legal partition.
+func VerifyPartition(p *partition.P, bal partition.Balance) error {
+	if err := VerifyPartitionState(p); err != nil {
+		return err
+	}
+	if !p.Legal(bal) {
+		return &InvariantViolation{Kind: "balance",
+			Detail: fmt.Sprintf("areas (%d,%d) outside [%d,%d]", p.Area(0), p.Area(1), bal.Lo, bal.Hi)}
+	}
+	return nil
+}
+
+// verifyAfterPass runs the debug-mode checks the engine performs after every
+// pass when Config.CheckInvariants is set: partition state consistency and
+// gain-container structure. Balance is deliberately not checked — passes
+// that legalize an infeasible initial solution leave the partition illegal
+// until they succeed.
+func (e *Engine) verifyAfterPass(p *partition.P) error {
+	if err := VerifyPartitionState(p); err != nil {
+		return err
+	}
+	if err := e.cont.VerifyInvariants(); err != nil {
+		return &InvariantViolation{Kind: "gain-structure", Detail: err.Error()}
+	}
+	return nil
+}

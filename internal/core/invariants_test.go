@@ -1,0 +1,67 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hgpart/internal/partition"
+	"hgpart/internal/rng"
+)
+
+func TestVerifyPartitionStateHealthy(t *testing.T) {
+	h := randomGraph(1, 100, 150, 4)
+	bal := partition.NewBalance(h.TotalVertexWeight(), 0.10)
+	p := prepared(h, bal, 2)
+	if err := VerifyPartitionState(p); err != nil {
+		t.Fatalf("fresh balanced partition flagged: %v", err)
+	}
+	// Moves maintain all incremental state; checks must stay quiet.
+	r := rng.New(3)
+	for i := 0; i < 50; i++ {
+		p.Move(int32(r.Intn(h.NumVertices())))
+	}
+	if err := VerifyPartitionState(p); err != nil {
+		t.Fatalf("after random moves: %v", err)
+	}
+}
+
+func TestVerifyPartitionReportsBalance(t *testing.T) {
+	h := randomGraph(4, 60, 90, 3)
+	bal := partition.NewBalance(h.TotalVertexWeight(), 0.10)
+	p := partition.New(h) // everything on side 0: consistent but illegal
+	if err := VerifyPartitionState(p); err != nil {
+		t.Fatalf("state check should pass on an unbalanced partition: %v", err)
+	}
+	err := VerifyPartition(p, bal)
+	var iv *InvariantViolation
+	if !errors.As(err, &iv) || iv.Kind != "balance" {
+		t.Fatalf("want balance violation, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "invariant") {
+		t.Fatalf("error message lacks context: %v", err)
+	}
+	p.RandomBalanced(rng.New(5), bal)
+	if err := VerifyPartition(p, bal); err != nil {
+		t.Fatalf("legal partition flagged: %v", err)
+	}
+}
+
+// Debug mode must be a pure observer: same cuts, same work, no panics on a
+// healthy engine, across the full config grid.
+func TestCheckInvariantsIsTransparent(t *testing.T) {
+	h := randomGraph(8, 120, 180, 4)
+	bal := partition.NewBalance(h.TotalVertexWeight(), 0.10)
+	for i, cfg := range allConfigs() {
+		run := func(check bool) Result {
+			c := cfg
+			c.CheckInvariants = check
+			p := prepared(h, bal, uint64(i+40))
+			return NewEngine(h, c, bal, rng.New(uint64(i))).Run(p)
+		}
+		plain, checked := run(false), run(true)
+		if plain.Cut != checked.Cut || plain.Work != checked.Work || plain.Moves != checked.Moves {
+			t.Fatalf("cfg %v: debug mode changed the run: %+v vs %+v", cfg, plain, checked)
+		}
+	}
+}

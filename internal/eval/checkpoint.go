@@ -1,0 +1,243 @@
+package eval
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Checkpoint journals completed starts to a JSONL file so an interrupted
+// multistart experiment resumes exactly where it stopped: a killed 1000-start
+// sweep loses only the starts in flight, and the resumed run reproduces the
+// uninterrupted run's aggregate statistics because each start's outcome is a
+// pure function of its pre-split seed.
+//
+// File layout: a header line identifying the experiment (heuristic name,
+// root seed, start count) followed by one record per completed start, in
+// completion order:
+//
+//	{"kind":"header","name":"ML","seed":1999,"n":100}
+//	{"kind":"start","start":3,"status":"ok","cut":412,"seconds":0.8,"work":1693412,"attempts":1}
+//	{"kind":"start","start":0,"status":"failed","attempts":3,"err":"..."}
+//
+// Records are flushed per start; a crash can lose at most the final,
+// partially written line, which resume detects and drops. Resuming under a
+// different name, seed or start count is refused — a journal replayed into
+// the wrong experiment would silently fabricate statistics.
+type Checkpoint struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	done map[int]StartResult
+	err  error
+}
+
+type checkpointHeader struct {
+	Kind string `json:"kind"`
+	Name string `json:"name"`
+	Seed uint64 `json:"seed"`
+	N    int    `json:"n"`
+}
+
+type startRecord struct {
+	Kind     string  `json:"kind"`
+	Start    int     `json:"start"`
+	Status   string  `json:"status"`
+	Cut      int64   `json:"cut,omitempty"`
+	Seconds  float64 `json:"seconds,omitempty"`
+	Work     int64   `json:"work,omitempty"`
+	Attempts int     `json:"attempts"`
+	Err      string  `json:"err,omitempty"`
+}
+
+// OpenCheckpoint opens (or creates) the journal at path for an experiment
+// identified by (name, seed, n). With resume set, an existing journal with a
+// matching header is loaded and its completed starts will be skipped by
+// RunMultistart; a header mismatch is an error. Without resume, any existing
+// journal is truncated and a fresh header written.
+func OpenCheckpoint(path, name string, seed uint64, n int, resume bool) (*Checkpoint, error) {
+	cp := &Checkpoint{done: make(map[int]StartResult)}
+	if resume {
+		if err := cp.load(path, name, seed, n); err != nil {
+			return nil, err
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY
+	if len(cp.done) > 0 || resume && fileHasHeader(path) {
+		flags |= os.O_APPEND
+	} else {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("eval: open checkpoint: %w", err)
+	}
+	cp.f = f
+	cp.w = bufio.NewWriter(f)
+	if flags&os.O_TRUNC != 0 {
+		hdr := checkpointHeader{Kind: "header", Name: name, Seed: seed, N: n}
+		if err := cp.writeLine(hdr); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return cp, nil
+}
+
+// fileHasHeader reports whether path exists and starts with a header line —
+// i.e. appending records to it is meaningful.
+func fileHasHeader(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() {
+		return false
+	}
+	var hdr checkpointHeader
+	return json.Unmarshal(sc.Bytes(), &hdr) == nil && hdr.Kind == "header"
+}
+
+// load reads an existing journal, validating the header against the
+// experiment identity and collecting completed starts. A missing file is not
+// an error (resume of a run that never started is a fresh run); a trailing
+// torn line is dropped.
+func (c *Checkpoint) load(path, name string, seed uint64, n int) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("eval: open checkpoint for resume: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil // empty file: fresh run
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Kind != "header" {
+		return fmt.Errorf("eval: checkpoint %s has no valid header line", path)
+	}
+	if hdr.Name != name || hdr.Seed != seed || hdr.N != n {
+		return fmt.Errorf("eval: checkpoint %s belongs to experiment (name=%q seed=%d n=%d), not (name=%q seed=%d n=%d)",
+			path, hdr.Name, hdr.Seed, hdr.N, name, seed, n)
+	}
+	for sc.Scan() {
+		var rec startRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			break // torn final line from a crash: drop it and everything after
+		}
+		if rec.Kind != "start" || rec.Start < 0 || rec.Start >= n {
+			continue
+		}
+		sr := StartResult{
+			Start:    rec.Start,
+			Resumed:  true,
+			Attempts: rec.Attempts,
+			Outcome:  Outcome{Cut: rec.Cut, Seconds: rec.Seconds, Work: rec.Work},
+		}
+		switch rec.Status {
+		case "ok":
+			sr.Status = StartOK
+		case "failed":
+			sr.Status = StartFailed
+			sr.Err = errors.New(rec.Err)
+		default:
+			continue
+		}
+		c.done[rec.Start] = sr
+	}
+	if err := sc.Err(); err != nil && err != io.EOF {
+		return fmt.Errorf("eval: read checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Completed returns the journaled result for start i, if any.
+func (c *Checkpoint) Completed(i int) (StartResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sr, ok := c.done[i]
+	return sr, ok
+}
+
+// Resumed returns how many starts were loaded from the journal.
+func (c *Checkpoint) Resumed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// record journals a completed or failed start. Skipped starts are not
+// recorded — they have not happened. Errors are retained (see Err) rather
+// than propagated so a full disk cannot destroy the in-memory results.
+func (c *Checkpoint) record(sr StartResult) {
+	if sr.Status == StartSkipped || sr.Resumed {
+		return
+	}
+	rec := startRecord{
+		Kind:     "start",
+		Start:    sr.Start,
+		Status:   sr.Status.String(),
+		Cut:      sr.Outcome.Cut,
+		Seconds:  sr.Outcome.Seconds,
+		Work:     sr.Outcome.Work,
+		Attempts: sr.Attempts,
+	}
+	if sr.Err != nil {
+		rec.Err = sr.Err.Error()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.writeLine(rec); err != nil && c.err == nil {
+		c.err = err
+	}
+}
+
+// writeLine marshals v, writes it with a trailing newline and flushes, so
+// every record is durable once the call returns. Callers hold c.mu (or have
+// exclusive access during Open).
+func (c *Checkpoint) writeLine(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("eval: encode checkpoint record: %w", err)
+	}
+	if _, err := c.w.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("eval: write checkpoint record: %w", err)
+	}
+	return c.w.Flush()
+}
+
+// Err returns the first journaling error encountered, if any. A run whose
+// checkpoint hit an error still returns complete in-memory results; callers
+// should surface Err so the user knows the journal is not trustworthy for a
+// future resume.
+func (c *Checkpoint) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Close flushes and closes the journal file.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	ferr := c.w.Flush()
+	cerr := c.f.Close()
+	c.f = nil
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}

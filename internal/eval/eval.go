@@ -16,6 +16,7 @@
 package eval
 
 import (
+	"context"
 	"time"
 
 	"hgpart/internal/core"
@@ -185,10 +186,30 @@ type ConfigurationPoint struct {
 // of startCounts, run the best-of-k configuration reps times and average
 // the best cut and total CPU time.
 func EvaluateConfigurations(h Heuristic, startCounts []int, reps int, r *rng.RNG) []ConfigurationPoint {
-	points := make([]ConfigurationPoint, 0, len(startCounts))
+	points, _ := EvaluateConfigurationsCtx(context.Background(), h, startCounts, reps, r)
+	return points
+}
+
+// EvaluateConfigurationsCtx is EvaluateConfigurations under a context: the
+// sweep stops between repetitions when ctx is cancelled, returning the fully
+// evaluated configurations so far plus an incomplete flag. Partially
+// evaluated configurations are dropped — an average over fewer repetitions
+// than requested is not comparable to its neighbors. The per-repetition
+// generator splits happen in the same order as the uncancelled sweep, so a
+// run that is not interrupted is byte-identical to EvaluateConfigurations.
+func EvaluateConfigurationsCtx(ctx context.Context, h Heuristic, startCounts []int, reps int, r *rng.RNG) (points []ConfigurationPoint, incomplete bool) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	points = make([]ConfigurationPoint, 0, len(startCounts))
 	for _, k := range startCounts {
 		cp := ConfigurationPoint{Starts: k, Cuts: make([]float64, 0, reps)}
 		for rep := 0; rep < reps; rep++ {
+			select {
+			case <-ctx.Done():
+				return points, true
+			default:
+			}
 			best, secs, work := BestOfK(h, k, r.Split())
 			cp.AvgBestCut += float64(best.Cut)
 			cp.AvgSeconds += secs
@@ -200,5 +221,5 @@ func EvaluateConfigurations(h Heuristic, startCounts []int, reps int, r *rng.RNG
 		cp.AvgNormalizedSecs /= float64(reps)
 		points = append(points, cp)
 	}
-	return points
+	return points, false
 }

@@ -1,0 +1,334 @@
+package eval_test
+
+// Harness acceptance tests: fault isolation, cancellation, budgets,
+// retry-with-reseed, verification and checkpoint/resume — each proved with
+// injected faults per the issue's acceptance criteria. These live in an
+// external test package because internal/faultinject imports eval.
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hgpart/internal/core"
+	"hgpart/internal/eval"
+	"hgpart/internal/faultinject"
+	"hgpart/internal/gen"
+	"hgpart/internal/hypergraph"
+	"hgpart/internal/partition"
+	"hgpart/internal/rng"
+)
+
+func harnessInstance(tb testing.TB) (*hypergraph.Hypergraph, partition.Balance) {
+	tb.Helper()
+	h, err := gen.Generate(gen.Spec{
+		Name: "harness-test", Cells: 300, Nets: 330, AvgNetSize: 3.3,
+		NumMacros: 2, MaxMacroFrac: 0.03, NumGlobalNets: 1,
+		GlobalNetFrac: 0.02, Locality: 2, Seed: 5,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return h, partition.NewBalance(h.TotalVertexWeight(), 0.10)
+}
+
+func flatFactory(h *hypergraph.Hypergraph, bal partition.Balance) func() eval.Heuristic {
+	return func() eval.Heuristic {
+		return eval.NewFlat("flat", h, core.StrongConfig(false), bal, rng.New(17))
+	}
+}
+
+func faultyFactory(h *hypergraph.Hypergraph, bal partition.Balance, cfg faultinject.Config) func() eval.Heuristic {
+	inner := flatFactory(h, bal)
+	return func() eval.Heuristic { return faultinject.Wrap(inner(), cfg) }
+}
+
+// A panicking start must be recorded as failed without aborting sibling
+// starts, and the surviving outcomes must match a fault-free schedule of the
+// same seeds.
+func TestHarnessPanicIsolation(t *testing.T) {
+	h, bal := harnessInstance(t)
+	factory := faultyFactory(h, bal, faultinject.Config{PanicProb: 0.4, Salt: 9})
+	rep := eval.RunMultistart(context.Background(), factory, 12, 31, eval.RunOptions{Workers: 4})
+
+	if rep.Failed == 0 || rep.Completed == 0 {
+		t.Fatalf("want a mix of failed and completed starts, got ok=%d failed=%d", rep.Completed, rep.Failed)
+	}
+	if rep.Incomplete || rep.Skipped != 0 {
+		t.Fatalf("panics must not skip siblings: %+v", rep)
+	}
+	for _, sr := range rep.Results {
+		if sr.Status != eval.StartFailed {
+			continue
+		}
+		var pe *eval.PanicError
+		if !errors.As(sr.Err, &pe) || !errors.Is(sr.Err, faultinject.ErrInjectedPanic) {
+			t.Fatalf("start %d: failure not a recovered injected panic: %v", sr.Start, sr.Err)
+		}
+	}
+	// The process survived and the successful starts are deterministic:
+	// compare against a single-worker schedule.
+	ref := eval.RunMultistart(context.Background(), factory, 12, 31, eval.RunOptions{Workers: 1})
+	for i := range rep.Results {
+		if rep.Results[i].Status != ref.Results[i].Status ||
+			rep.Results[i].Outcome.Cut != ref.Results[i].Outcome.Cut {
+			t.Fatalf("start %d differs from single-worker schedule", i)
+		}
+	}
+}
+
+// Bounded retry-with-reseed turns probabilistic panics into completed starts
+// while recording the attempt count.
+func TestHarnessRetryWithReseed(t *testing.T) {
+	h, bal := harnessInstance(t)
+	factory := faultyFactory(h, bal, faultinject.Config{PanicProb: 0.6, Salt: 3})
+	rep := eval.RunMultistart(context.Background(), factory, 10, 44, eval.RunOptions{Workers: 3, MaxRetries: 16})
+	if rep.Failed != 0 {
+		t.Fatalf("retries should recover every start at p=0.6: %d failed", rep.Failed)
+	}
+	retried := 0
+	for _, sr := range rep.Results {
+		if sr.Attempts > 1 {
+			retried++
+		}
+	}
+	if retried == 0 {
+		t.Fatal("no start needed a retry at PanicProb 0.6 over 10 starts — injection broken?")
+	}
+}
+
+// cancellingHeuristic cancels the run's context after its third completed
+// start, modeling an external kill arriving mid-sweep.
+type cancellingHeuristic struct {
+	eval.Heuristic
+	runs   *atomic.Int64
+	cancel context.CancelFunc
+}
+
+func (c *cancellingHeuristic) Run(r *rng.RNG) eval.Outcome {
+	o := c.Heuristic.Run(r)
+	if c.runs.Add(1) == 3 {
+		c.cancel()
+	}
+	return o
+}
+
+// A cancelled context returns partial outcomes marked incomplete.
+func TestHarnessCancellationReturnsPartialResults(t *testing.T) {
+	h, bal := harnessInstance(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var runs atomic.Int64
+	inner := flatFactory(h, bal)
+	factory := func() eval.Heuristic {
+		return &cancellingHeuristic{Heuristic: inner(), runs: &runs, cancel: cancel}
+	}
+	rep := eval.RunMultistart(ctx, factory, 30, 7, eval.RunOptions{Workers: 2})
+	if !rep.Incomplete || rep.Reason != "cancelled" {
+		t.Fatalf("want incomplete/cancelled, got %+v", rep)
+	}
+	if rep.Completed < 3 || rep.Skipped == 0 {
+		t.Fatalf("want partial completion, got ok=%d skipped=%d", rep.Completed, rep.Skipped)
+	}
+	// Completed outcomes are real results, not placeholders.
+	for _, sr := range rep.Results {
+		if sr.Status == eval.StartOK && sr.Outcome.Cut <= 0 {
+			t.Fatalf("start %d completed with implausible cut %d", sr.Start, sr.Outcome.Cut)
+		}
+	}
+	if rep.BestIdx < 0 || rep.Best.P == nil {
+		t.Fatal("partial run should still surface a best partition")
+	}
+}
+
+// A wall-clock budget stops dispatching but lets in-flight (stalled) starts
+// finish.
+func TestHarnessWallBudget(t *testing.T) {
+	h, bal := harnessInstance(t)
+	factory := faultyFactory(h, bal, faultinject.Config{StallProb: 1, StallFor: 30 * time.Millisecond})
+	rep := eval.RunMultistart(context.Background(), factory, 16, 21,
+		eval.RunOptions{Workers: 2, WallBudget: 45 * time.Millisecond})
+	if !rep.Incomplete || rep.Reason != "wall-clock budget exhausted" {
+		t.Fatalf("want wall-budget incomplete, got %+v", rep)
+	}
+	if rep.Completed == 0 || rep.Skipped == 0 {
+		t.Fatalf("want partial completion under wall budget, got ok=%d skipped=%d", rep.Completed, rep.Skipped)
+	}
+}
+
+// A work-unit budget is deterministic: with one worker, exactly one start
+// completes before the counter trips.
+func TestHarnessWorkBudget(t *testing.T) {
+	h, bal := harnessInstance(t)
+	rep := eval.RunMultistart(context.Background(), flatFactory(h, bal), 6, 13,
+		eval.RunOptions{Workers: 1, WorkBudget: 1})
+	if rep.Completed != 1 || rep.Skipped != 5 {
+		t.Fatalf("work budget 1 with 1 worker: want 1 completed/5 skipped, got %d/%d", rep.Completed, rep.Skipped)
+	}
+	if !rep.Incomplete || rep.Reason != "work budget exhausted" {
+		t.Fatalf("want work-budget incomplete, got %q", rep.Reason)
+	}
+}
+
+// Same seed ⇒ same per-start outcomes regardless of worker count, even with
+// panics and corruption firing and retries in play.
+func TestHarnessDeterministicAcrossWorkersUnderFaults(t *testing.T) {
+	h, bal := harnessInstance(t)
+	cfg := faultinject.Config{PanicProb: 0.3, CorruptProb: 0.25, Salt: 12}
+	opt := func(workers int) eval.RunOptions {
+		return eval.RunOptions{Workers: workers, MaxRetries: 3, Verify: eval.VerifyOutcome(bal)}
+	}
+	base := eval.RunMultistart(context.Background(), faultyFactory(h, bal, cfg), 14, 64, opt(1))
+	for _, workers := range []int{3, 8} {
+		rep := eval.RunMultistart(context.Background(), faultyFactory(h, bal, cfg), 14, 64, opt(workers))
+		for i := range base.Results {
+			a, b := base.Results[i], rep.Results[i]
+			if a.Status != b.Status || a.Attempts != b.Attempts || a.Outcome.Cut != b.Outcome.Cut || a.Outcome.Work != b.Outcome.Work {
+				t.Fatalf("workers=%d start %d: (%v,%d,%d,%d) vs (%v,%d,%d,%d)", workers, i,
+					a.Status, a.Attempts, a.Outcome.Cut, a.Outcome.Work,
+					b.Status, b.Attempts, b.Outcome.Cut, b.Outcome.Work)
+			}
+		}
+		if rep.Summary() != base.Summary() {
+			t.Fatalf("workers=%d summary differs:\n%s\n%s", workers, base.Summary(), rep.Summary())
+		}
+	}
+}
+
+// Silent corruption — a partition modified after its cut was measured — must
+// be converted into a recorded failure by outcome verification.
+func TestHarnessVerifyCatchesSilentCorruption(t *testing.T) {
+	h, bal := harnessInstance(t)
+	factory := faultyFactory(h, bal, faultinject.Config{CorruptProb: 1})
+	rep := eval.RunMultistart(context.Background(), factory, 5, 3,
+		eval.RunOptions{Workers: 2, Verify: eval.VerifyOutcome(bal)})
+	if rep.Failed != 5 || rep.Completed != 0 {
+		t.Fatalf("all corrupted starts must fail verification: ok=%d failed=%d", rep.Completed, rep.Failed)
+	}
+	var iv *core.InvariantViolation
+	if !errors.As(rep.Results[0].Err, &iv) {
+		t.Fatalf("failure should be a structured invariant violation, got %v", rep.Results[0].Err)
+	}
+	// Without verification the corruption passes silently — the check is
+	// what converts it into an error.
+	unverified := eval.RunMultistart(context.Background(), factory, 5, 3, eval.RunOptions{Workers: 2})
+	if unverified.Completed != 5 {
+		t.Fatalf("control run without verify should complete: %+v", unverified)
+	}
+}
+
+// A killed-then-resumed checkpointed run reproduces byte-identical aggregate
+// statistics to an uninterrupted run with the same seed.
+func TestHarnessCheckpointResumeReproducesStats(t *testing.T) {
+	h, bal := harnessInstance(t)
+	factory := flatFactory(h, bal)
+	const n, seed = 10, 77
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+
+	uninterrupted := eval.RunMultistart(context.Background(), factory, n, seed, eval.RunOptions{Workers: 3})
+
+	// "Kill" a checkpointed run early via a tiny work budget.
+	cp1, err := eval.OpenCheckpoint(path, "flat", seed, n, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed := eval.RunMultistart(context.Background(), factory, n, seed,
+		eval.RunOptions{Workers: 3, WorkBudget: 1, Checkpoint: cp1})
+	if err := cp1.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !killed.Incomplete || killed.Completed == 0 || killed.Skipped == 0 {
+		t.Fatalf("interrupted run not actually partial: %+v", killed)
+	}
+
+	// Resume: journaled starts are skipped, the rest run fresh.
+	cp2, err := eval.OpenCheckpoint(path, "flat", seed, n, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if cp2.Resumed() != killed.Completed+killed.Failed {
+		t.Fatalf("journal holds %d starts, interrupted run finished %d", cp2.Resumed(), killed.Completed+killed.Failed)
+	}
+	resumed := eval.RunMultistart(context.Background(), factory, n, seed,
+		eval.RunOptions{Workers: 3, Checkpoint: cp2})
+	if resumed.Resumed == 0 {
+		t.Fatal("resume did not reuse any journaled start")
+	}
+	if resumed.Incomplete {
+		t.Fatalf("resumed run incomplete: %+v", resumed)
+	}
+	for i := range uninterrupted.Results {
+		if uninterrupted.Results[i].Outcome.Cut != resumed.Results[i].Outcome.Cut {
+			t.Fatalf("start %d: uninterrupted cut %d vs resumed %d", i,
+				uninterrupted.Results[i].Outcome.Cut, resumed.Results[i].Outcome.Cut)
+		}
+	}
+	if a, b := uninterrupted.Summary(), resumed.Summary(); a != b {
+		t.Fatalf("aggregate statistics differ:\nuninterrupted: %s\nresumed:       %s", a, b)
+	}
+
+	// A journal must never be replayed into a different experiment.
+	if _, err := eval.OpenCheckpoint(path, "flat", seed+1, n, true); err == nil {
+		t.Fatal("resume with a different seed must be refused")
+	}
+	if _, err := eval.OpenCheckpoint(path, "ml", seed, n, true); err == nil {
+		t.Fatal("resume with a different heuristic name must be refused")
+	}
+}
+
+// Debug-mode engine invariant checking must not change results — it only
+// observes — and the harness must convert an engine-internal violation
+// (delivered as a panic) into a failed start. The healthy engine is its own
+// control here.
+func TestHarnessEngineDebugModeIsTransparent(t *testing.T) {
+	h, bal := harnessInstance(t)
+	checked := func() eval.Heuristic {
+		cfg := core.StrongConfig(false)
+		cfg.CheckInvariants = true
+		return eval.NewFlat("flat", h, cfg, bal, rng.New(17))
+	}
+	plain := eval.RunMultistart(context.Background(), flatFactory(h, bal), 6, 11, eval.RunOptions{Workers: 2})
+	debug := eval.RunMultistart(context.Background(), checked, 6, 11, eval.RunOptions{Workers: 2})
+	if debug.Failed != 0 {
+		t.Fatalf("healthy engine failed its own invariants: %v", debug.Results)
+	}
+	for i := range plain.Results {
+		if plain.Results[i].Outcome.Cut != debug.Results[i].Outcome.Cut {
+			t.Fatalf("start %d: debug mode changed the result", i)
+		}
+	}
+}
+
+// MultistartRobust with no faults must reproduce Multistart exactly — the
+// experiment drivers rely on this to keep published tables stable.
+func TestMultistartRobustMatchesMultistart(t *testing.T) {
+	h, bal := harnessInstance(t)
+	f := flatFactory(h, bal)
+	a, abest := eval.Multistart(f(), 7, rng.New(23))
+	b, bbest, info := eval.MultistartRobust(context.Background(), f(), 7, rng.New(23), eval.VerifyOutcome(bal))
+	if info.Failed != 0 || info.Incomplete || info.Completed != 7 {
+		t.Fatalf("robust run misbehaved: %+v", info)
+	}
+	if len(a) != len(b) || abest.Cut != bbest.Cut {
+		t.Fatalf("sample counts or best differ: %d/%d, %d/%d", len(a), len(b), abest.Cut, bbest.Cut)
+	}
+	for i := range a {
+		if a[i].Cut != b[i].Cut || a[i].Work != b[i].Work {
+			t.Fatalf("sample %d differs: cut %d/%d work %d/%d", i, a[i].Cut, b[i].Cut, a[i].Work, b[i].Work)
+		}
+	}
+	// And a cancelled context stops between starts.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s, _, info2 := eval.MultistartRobust(ctx, f(), 7, rng.New(23), nil)
+	if !info2.Incomplete || len(s) != 0 {
+		t.Fatalf("pre-cancelled robust multistart should do nothing: %+v", info2)
+	}
+}

@@ -1,14 +1,11 @@
 package eval
 
-import (
-	"runtime"
-	"sync"
-
-	"hgpart/internal/rng"
-)
+import "context"
 
 // ParallelMultistart runs n independent starts across worker goroutines and
-// returns per-start outcomes in start order plus the best outcome.
+// returns per-start outcomes in start order plus the best outcome and its
+// index. It is a thin compatibility wrapper over RunMultistart with no
+// budgets, no retries and no checkpointing.
 //
 // Heuristic implementations carry per-engine scratch state and are not safe
 // for concurrent use, so the caller provides a factory producing one
@@ -16,58 +13,21 @@ import (
 // or scheduling: start i always draws from the i-th generator split from
 // seed, and ties between equal cuts are broken by start index.
 //
+// A start that panics is isolated by the harness and reported as a zero
+// Outcome here (use RunMultistart directly for per-start status and errors).
+// n <= 0 returns no outcomes, a zero best and index -1.
+//
 // The paper measures CPU time, not wall clock, precisely so that results
 // stay comparable across execution environments; per-start Work counters
 // are unaffected by parallel execution.
 func ParallelMultistart(factory func() Heuristic, n int, seed uint64, workers int) ([]Outcome, Outcome, int) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	rep := RunMultistart(context.Background(), factory, n, seed, RunOptions{Workers: workers})
+	if n <= 0 {
+		return nil, Outcome{}, -1
 	}
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
-	// Pre-split one generator per start so results are schedule-independent.
-	root := rng.New(seed)
-	seeds := make([]*rng.RNG, n)
-	for i := range seeds {
-		seeds[i] = root.Split()
-	}
-
 	outcomes := make([]Outcome, n)
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			h := factory()
-			for i := range next {
-				outcomes[i] = h.Run(seeds[i])
-			}
-		}()
+	for i, sr := range rep.Results {
+		outcomes[i] = sr.Outcome
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-
-	bestIdx := 0
-	for i := 1; i < n; i++ {
-		if outcomes[i].Cut < outcomes[bestIdx].Cut {
-			bestIdx = i
-		}
-	}
-	best := outcomes[bestIdx]
-	// Strip partitions from the sample list (keep only the best's).
-	for i := range outcomes {
-		if i != bestIdx {
-			outcomes[i].P = nil
-		}
-	}
-	return outcomes, best, bestIdx
+	return outcomes, rep.Best, rep.BestIdx
 }

@@ -56,6 +56,52 @@ func TestParallelMultistartMatchesSequential(t *testing.T) {
 	}
 }
 
+// Regression: n=0 used to index outcomes[bestIdx] on an empty slice and
+// panic. It must return an empty result set and index -1, for any workers.
+func TestParallelMultistartZeroStarts(t *testing.T) {
+	h := instance(t)
+	bal := partition.NewBalance(h.TotalVertexWeight(), 0.10)
+	factory := func() Heuristic {
+		return NewFlat("flat", h, core.StrongConfig(false), bal, rng.New(3))
+	}
+	for _, workers := range []int{-1, 0, 1, 4} {
+		outcomes, best, bestIdx := ParallelMultistart(factory, 0, 1, workers)
+		if len(outcomes) != 0 || best.P != nil || bestIdx != -1 {
+			t.Fatalf("workers=%d: want empty result for n=0, got %d outcomes bestIdx=%d", workers, len(outcomes), bestIdx)
+		}
+	}
+}
+
+// More workers than starts, and non-positive worker counts, must behave like
+// a sane default and keep per-start determinism.
+func TestParallelMultistartWorkerCountEdges(t *testing.T) {
+	h := instance(t)
+	bal := partition.NewBalance(h.TotalVertexWeight(), 0.10)
+	factory := func() Heuristic {
+		return NewFlat("flat", h, core.StrongConfig(false), bal, rng.New(6))
+	}
+	run := func(workers int) []int64 {
+		outcomes, best, bestIdx := ParallelMultistart(factory, 3, 77, workers)
+		if bestIdx < 0 || best.P == nil {
+			t.Fatalf("workers=%d: no best outcome", workers)
+		}
+		cuts := make([]int64, len(outcomes))
+		for i, o := range outcomes {
+			cuts[i] = o.Cut
+		}
+		return cuts
+	}
+	ref := run(1)
+	for _, workers := range []int{-3, 0, 16} {
+		got := run(workers)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d start %d: cut %d vs %d", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
 func TestParallelMultistartSinglePartitionRetained(t *testing.T) {
 	h := instance(t)
 	bal := partition.NewBalance(h.TotalVertexWeight(), 0.10)

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"hgpart/internal/core"
@@ -45,6 +46,16 @@ type Options struct {
 	// descriptors of the distributions" the paper says were omitted from
 	// the printed medium but belong in any flexible presentation.
 	Spread bool
+	// Ctx, when non-nil, bounds table generation: on cancellation the sweep
+	// stops between cells and the table reports which cells were not
+	// evaluated instead of silently publishing a truncated protocol. Nil
+	// means run to completion.
+	Ctx context.Context
+	// CheckInvariants runs every engine in debug mode (per-pass partition and
+	// gain-structure verification) and verifies every completed start's
+	// outcome. Roughly doubles runtime; results are unchanged on a healthy
+	// build.
+	CheckInvariants bool
 }
 
 // DefaultOptions returns a laptop-scale protocol: 15%-size instances and
@@ -96,15 +107,55 @@ func (o Options) instance(i int) *hypergraph.Hypergraph {
 	return gen.MustGenerate(spec)
 }
 
-// minAvgOfRuns runs n independent single starts of heuristic h and returns
-// (min cut, avg cut).
-func minAvgOfRuns(h eval.Heuristic, n int, r *rng.RNG) (float64, float64) {
-	samples, _ := eval.Multistart(h, n, r)
+// ctx returns the options' context, defaulting to Background.
+func (o Options) ctx() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
+}
+
+// debug stamps the options' invariant-checking mode onto an engine config.
+func (o Options) debug(cfg core.Config) core.Config {
+	cfg.CheckInvariants = o.CheckInvariants
+	return cfg
+}
+
+// cancelledCell marks a table cell whose evaluation never ran because the
+// context was cancelled first.
+const cancelledCell = "(cancelled)"
+
+// minAvgCell runs n independent single starts of heuristic h through the
+// robust sequential harness and renders the (min cut, avg cut) cell. The
+// generator-split discipline matches eval.Multistart exactly, so table values
+// are unchanged by the harness on a fault-free run. Failed starts (recovered
+// panics, outcomes rejected by verification under CheckInvariants) and
+// cancellation are annotated in the cell rather than silently absorbed into
+// the statistics.
+func (o Options) minAvgCell(h eval.Heuristic, bal partition.Balance, n int, r *rng.RNG) string {
+	var verify func(eval.Outcome) error
+	if o.CheckInvariants {
+		verify = eval.VerifyOutcome(bal)
+	}
+	samples, _, info := eval.MultistartRobust(o.ctx(), h, n, r, verify)
+	if len(samples) == 0 {
+		if info.Incomplete {
+			return cancelledCell
+		}
+		return fmt.Sprintf("(all %d starts failed)", n)
+	}
 	cuts := make([]float64, len(samples))
 	for i, s := range samples {
 		cuts[i] = float64(s.Cut)
 	}
-	return stats.Min(cuts), stats.Mean(cuts)
+	cell := report.MinAvg(stats.Min(cuts), stats.Mean(cuts))
+	if info.Failed > 0 {
+		cell += fmt.Sprintf(" [%d failed]", info.Failed)
+	}
+	if info.Incomplete {
+		cell += fmt.Sprintf(" [stopped at %d/%d]", info.Completed+info.Failed, n)
+	}
+	return cell
 }
 
 // table1Engines enumerates the four optimization engines of Table 1 in the
@@ -171,15 +222,14 @@ func Table1(o Options) *report.Table {
 			cells := make([]string, 0, len(instances))
 			for _, h := range hs {
 				bal := partition.NewBalance(h.TotalVertexWeight(), 0.02)
-				cfg := table1Config(engine.clip, combo.update, combo.bias)
+				cfg := o.debug(table1Config(engine.clip, combo.update, combo.bias))
 				var heur eval.Heuristic
 				if engine.ml {
 					heur = eval.NewML(engine.name, h, multilevel.Config{Refine: cfg}, bal, 0)
 				} else {
 					heur = eval.NewFlat(engine.name, h, cfg, bal, root.Split())
 				}
-				mn, avg := minAvgOfRuns(heur, o.Runs, root.Split())
-				cells = append(cells, report.MinAvg(mn, avg))
+				cells = append(cells, o.minAvgCell(heur, bal, o.Runs, root.Split()))
 			}
 			t.AddRow(append([]string{engine.name, combo.update.String(), combo.bias.String()}, cells...)...)
 		}
@@ -233,9 +283,8 @@ func tableReportedVsOurs(o Options, clip bool, title string) *report.Table {
 			cells := make([]string, 0, len(instances))
 			for _, h := range hs {
 				bal := partition.NewBalance(h.TotalVertexWeight(), tol)
-				heur := eval.NewFlat(variant.label, h, variant.cfg, bal, root.Split())
-				mn, avg := minAvgOfRuns(heur, o.Runs, root.Split())
-				cells = append(cells, report.MinAvg(mn, avg))
+				heur := eval.NewFlat(variant.label, h, o.debug(variant.cfg), bal, root.Split())
+				cells = append(cells, o.minAvgCell(heur, bal, o.Runs, root.Split()))
 			}
 			t.AddRow(append([]string{fmt.Sprintf("%02.0f%%", tol*100), variant.label}, cells...)...)
 		}
@@ -271,8 +320,8 @@ func Table45(o Options, tolerance float64) *report.Table {
 	for _, inst := range table45Instances {
 		h := o.instance(inst)
 		bal := partition.NewBalance(h.TotalVertexWeight(), tolerance)
-		heur := eval.NewML("ML", h, multilevel.Config{Refine: core.StrongConfig(false)}, bal, 1)
-		points := eval.EvaluateConfigurations(heur, o.StartCounts, o.Reps, root.Split())
+		heur := eval.NewML("ML", h, multilevel.Config{Refine: o.debug(core.StrongConfig(false))}, bal, 1)
+		points, incomplete := eval.EvaluateConfigurationsCtx(o.ctx(), heur, o.StartCounts, o.Reps, root.Split())
 		row := []string{fmt.Sprintf("ibm%02d", inst)}
 		for _, p := range points {
 			cell := report.CutTime(p.AvgBestCut, p.AvgNormalizedSecs)
@@ -281,7 +330,15 @@ func Table45(o Options, tolerance float64) *report.Table {
 			}
 			row = append(row, cell)
 		}
+		// Never publish a truncated protocol as if it were complete: cells
+		// the cancelled sweep did not reach are marked, not omitted.
+		for len(row) < len(headers) {
+			row = append(row, cancelledCell)
+		}
 		t.AddRow(row...)
+		if incomplete {
+			break
+		}
 	}
 	return t
 }

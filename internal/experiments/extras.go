@@ -102,9 +102,8 @@ func TableInsertion(o Options) *report.Table {
 		cells := make([]string, 0, len(instances))
 		for _, h := range hs {
 			bal := partition.NewBalance(h.TotalVertexWeight(), 0.02)
-			heur := eval.NewFlat(ins.String(), h, cfg, bal, root.Split())
-			mn, avg := minAvgOfRuns(heur, o.Runs, root.Split())
-			cells = append(cells, report.MinAvg(mn, avg))
+			heur := eval.NewFlat(ins.String(), h, o.debug(cfg), bal, root.Split())
+			cells = append(cells, o.minAvgCell(heur, bal, o.Runs, root.Split()))
 		}
 		t.AddRow(append([]string{ins.String()}, cells...)...)
 	}
@@ -227,12 +226,19 @@ func TableBenchmarkEra(o Options) *report.Table {
 		h     *hypergraph.Hypergraph
 	}
 	var instances []inst
+	// MCNC instances are small; run them at double scale, clamped to the
+	// generator's (0,1] domain so a user-chosen -scale above 0.5 cannot
+	// panic deep inside gen.Scaled.
+	mcncScale := o.Scale * 2
+	if mcncScale > 1 {
+		mcncScale = 1
+	}
 	for _, name := range []string{"prim2", "avqsmall"} {
 		spec, err := gen.MCNCProfile(name)
 		if err != nil {
 			panic(err)
 		}
-		instances = append(instances, inst{"MCNC", gen.MustGenerate(gen.Scaled(spec, o.Scale*2))})
+		instances = append(instances, inst{"MCNC", gen.MustGenerate(gen.Scaled(spec, mcncScale))})
 	}
 	for _, id := range []int{1, 2} {
 		instances = append(instances, inst{"ISPD98", gen.MustGenerate(gen.Scaled(gen.MustIBMProfile(id), o.Scale))})

@@ -1,0 +1,108 @@
+// Package faultinject wraps any eval.Heuristic with deterministic, seeded
+// fault injection: panics, stalls and silent partition corruption at
+// configurable rates. It exists to prove the evaluation harness's
+// fault-tolerance claims the same way the paper proves algorithmic claims —
+// by experiment: harness tests inject faults and assert that a panicking
+// start is recorded as failed without aborting its siblings, that corrupted
+// outcomes are caught by invariant verification, and that per-start results
+// stay deterministic across worker counts even when faults fire.
+//
+// All fault decisions derive from the start's own generator (one draw from
+// the per-start RNG seeds a private fault stream), so whether a given start
+// faults is a pure function of the root seed and start index — never of
+// scheduling. The injected panic value is ErrInjectedPanic, so tests can
+// distinguish injected faults from real bugs.
+package faultinject
+
+import (
+	"errors"
+	"time"
+
+	"hgpart/internal/eval"
+	"hgpart/internal/partition"
+	"hgpart/internal/rng"
+)
+
+// ErrInjectedPanic is the value injected panics carry.
+var ErrInjectedPanic = errors.New("faultinject: injected panic")
+
+// Config sets per-start fault probabilities. All probabilities are
+// independent and evaluated in a fixed order (stall, panic, corrupt) from
+// the start's private fault stream.
+type Config struct {
+	// PanicProb is the probability that a start panics before running.
+	PanicProb float64
+	// StallProb is the probability that a start sleeps for StallFor before
+	// running — a model of a hung I/O or a scheduling stall.
+	StallProb float64
+	// StallFor is the stall duration (default 10ms when StallProb > 0).
+	StallFor time.Duration
+	// CorruptProb is the probability that a completed start's partition is
+	// silently modified after its cut was measured: a random free vertex is
+	// flipped, so the outcome reports a cut its partition no longer has.
+	// Harness-level verification (eval.VerifyOutcome) must catch this.
+	CorruptProb float64
+	// Salt perturbs the fault stream without touching the heuristic's
+	// randomness, so different fault scenarios can share a root seed.
+	Salt uint64
+}
+
+// Faulty is a Heuristic wrapped with fault injection.
+type Faulty struct {
+	inner eval.Heuristic
+	cfg   Config
+}
+
+// Wrap returns h with faults injected per cfg.
+func Wrap(h eval.Heuristic, cfg Config) *Faulty {
+	if cfg.StallProb > 0 && cfg.StallFor <= 0 {
+		cfg.StallFor = 10 * time.Millisecond
+	}
+	return &Faulty{inner: h, cfg: cfg}
+}
+
+// Name implements eval.Heuristic.
+func (f *Faulty) Name() string { return f.inner.Name() + "+faults" }
+
+// Run implements eval.Heuristic: it draws the start's fault decisions, then
+// delegates to the wrapped heuristic. The single Uint64 drawn from r to seed
+// the fault stream shifts the inner heuristic's randomness relative to an
+// unwrapped run, but identically so for every execution schedule — the
+// determinism contract of the harness is preserved.
+func (f *Faulty) Run(r *rng.RNG) eval.Outcome {
+	fr := rng.New(r.Uint64() ^ f.cfg.Salt)
+	if f.cfg.StallProb > 0 && fr.Float64() < f.cfg.StallProb {
+		time.Sleep(f.cfg.StallFor)
+	}
+	if f.cfg.PanicProb > 0 && fr.Float64() < f.cfg.PanicProb {
+		panic(ErrInjectedPanic)
+	}
+	o := f.inner.Run(r)
+	if f.cfg.CorruptProb > 0 && fr.Float64() < f.cfg.CorruptProb && o.P != nil {
+		corrupt(o.P, fr)
+	}
+	return o
+}
+
+// PolishBest implements eval.Heuristic by delegating; polish runs once on
+// the best solution and is not a fault-injection target.
+func (f *Faulty) PolishBest(p *partition.P, r *rng.RNG) eval.Outcome {
+	return f.inner.PolishBest(p, r)
+}
+
+// corrupt flips one random movable vertex of p — after the outcome's cut was
+// recorded, so the reported number silently disagrees with the partition.
+func corrupt(p *partition.P, fr *rng.RNG) {
+	n := p.H.NumVertices()
+	if n == 0 {
+		return
+	}
+	at := fr.Intn(n)
+	for i := 0; i < n; i++ {
+		v := int32((at + i) % n)
+		if !p.IsFixed(v) {
+			p.Move(v)
+			return
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hgpart/internal/core"
+	"hgpart/internal/eval"
+	"hgpart/internal/gen"
+	"hgpart/internal/hypergraph"
+	"hgpart/internal/partition"
+	"hgpart/internal/rng"
+)
+
+func testInstance(tb testing.TB) (*hypergraph.Hypergraph, partition.Balance) {
+	tb.Helper()
+	h, err := gen.Generate(gen.Spec{
+		Name: "faultinject-test", Cells: 120, Nets: 140, AvgNetSize: 3.0,
+		NumMacros: 1, MaxMacroFrac: 0.03, NumGlobalNets: 1,
+		GlobalNetFrac: 0.02, Locality: 2, Seed: 2,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return h, partition.NewBalance(h.TotalVertexWeight(), 0.10)
+}
+
+func newFaulty(tb testing.TB, cfg Config) *Faulty {
+	h, bal := testInstance(tb)
+	return Wrap(eval.NewFlat("flat", h, core.StrongConfig(false), bal, rng.New(17)), cfg)
+}
+
+// panicPattern runs one start per seed and records which seeds panic.
+func panicPattern(f *Faulty, seeds []uint64) []bool {
+	out := make([]bool, len(seeds))
+	for i, s := range seeds {
+		out[i] = func() (panicked bool) {
+			defer func() {
+				if recover() != nil {
+					panicked = true
+				}
+			}()
+			f.Run(rng.New(s))
+			return false
+		}()
+	}
+	return out
+}
+
+// Fault decisions must be a pure function of the start's seed: the same seeds
+// panic on every replay, different salts reshuffle the pattern.
+func TestFaultDecisionsAreSeedDeterministic(t *testing.T) {
+	seeds := make([]uint64, 32)
+	for i := range seeds {
+		seeds[i] = uint64(1000 + i)
+	}
+	f := newFaulty(t, Config{PanicProb: 0.5, Salt: 4})
+	a := panicPattern(f, seeds)
+	b := panicPattern(f, seeds)
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed %d: fault decision changed across replays", seeds[i])
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(seeds) {
+		t.Fatalf("p=0.5 over 32 seeds produced %d panics — stream looks degenerate", hits)
+	}
+	salted := panicPattern(newFaulty(t, Config{PanicProb: 0.5, Salt: 999}), seeds)
+	same := true
+	for i := range a {
+		if a[i] != salted[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("changing Salt left the fault pattern unchanged")
+	}
+}
+
+func TestInjectedPanicCarriesSentinel(t *testing.T) {
+	f := newFaulty(t, Config{PanicProb: 1})
+	defer func() {
+		v := recover()
+		err, ok := v.(error)
+		if !ok || !errors.Is(err, ErrInjectedPanic) {
+			t.Fatalf("panic value %v is not ErrInjectedPanic", v)
+		}
+	}()
+	f.Run(rng.New(1))
+	t.Fatal("PanicProb=1 did not panic")
+}
+
+// Corruption mutates the partition only after the outcome's cut was taken, so
+// the reported cut disagrees with the partition — exactly the silent failure
+// eval.VerifyOutcome exists to catch.
+func TestCorruptionBreaksCutAgreement(t *testing.T) {
+	f := newFaulty(t, Config{CorruptProb: 1})
+	o := f.Run(rng.New(8))
+	if o.P == nil {
+		t.Fatal("no partition returned")
+	}
+	if o.Cut == o.P.Cut() {
+		t.Fatal("CorruptProb=1 left outcome cut and partition cut in agreement")
+	}
+	if err := core.VerifyPartitionState(o.P); err != nil {
+		t.Fatalf("corruption must keep the partition internally consistent, got %v", err)
+	}
+}
+
+func TestStallDelaysRun(t *testing.T) {
+	f := newFaulty(t, Config{StallProb: 1, StallFor: 30 * time.Millisecond})
+	begin := time.Now()
+	f.Run(rng.New(5))
+	if d := time.Since(begin); d < 25*time.Millisecond {
+		t.Fatalf("StallFor=30ms but run returned after %v", d)
+	}
+	if Wrap(nil, Config{StallProb: 0.5}).cfg.StallFor <= 0 {
+		t.Fatal("default StallFor not applied")
+	}
+}
+
+func TestNameMarksWrappedHeuristic(t *testing.T) {
+	f := newFaulty(t, Config{})
+	if f.Name() != "flat+faults" {
+		t.Fatalf("Name() = %q", f.Name())
+	}
+}

@@ -15,7 +15,11 @@
 // cumulative delta gains; all elements start in the zero bucket).
 package gain
 
-import "hgpart/internal/rng"
+import (
+	"fmt"
+
+	"hgpart/internal/rng"
+)
 
 // Order selects where an element lands within its bucket's list.
 type Order int
@@ -257,40 +261,55 @@ func (c *Container) Clear() {
 
 // CheckInvariants verifies the internal linked-list structure; used by
 // property-based tests. It returns false if any invariant is violated.
-func (c *Container) CheckInvariants() bool {
+func (c *Container) CheckInvariants() bool { return c.VerifyInvariants() == nil }
+
+// VerifyInvariants is CheckInvariants with a structured error describing the
+// first violation found: dangling tails, broken back-links, elements filed in
+// the wrong bucket, list cycles and size-counter drift. Debug-mode engine
+// runs (core.Config.CheckInvariants) use it to convert silent gain-structure
+// corruption into an error the evaluation harness can record.
+func (c *Container) VerifyInvariants() error {
 	counted := [2]int{}
 	for s := uint8(0); s < 2; s++ {
 		for idx := 0; idx < c.nbucket; idx++ {
 			h := c.head[s][idx]
 			if h == nilIdx {
 				if c.tail[s][idx] != nilIdx {
-					return false
+					return fmt.Errorf("gain: side %d bucket %d has nil head but tail %d", s, idx, c.tail[s][idx])
 				}
 				continue
 			}
 			if c.prev[h] != nilIdx {
-				return false
+				return fmt.Errorf("gain: side %d bucket %d head %d has a predecessor", s, idx, h)
 			}
 			var last int32 = nilIdx
 			for v := h; v != nilIdx; v = c.next[v] {
-				if !c.in[v] || c.side[v] != s || c.clampIdx(c.key[v]) != idx {
-					return false
+				if !c.in[v] {
+					return fmt.Errorf("gain: vertex %d linked but not marked in", v)
+				}
+				if c.side[v] != s || c.clampIdx(c.key[v]) != idx {
+					return fmt.Errorf("gain: vertex %d filed under side %d bucket %d but carries side %d key %d",
+						v, s, idx, c.side[v], c.key[v])
 				}
 				if c.next[v] != nilIdx && c.prev[c.next[v]] != v {
-					return false
+					return fmt.Errorf("gain: back-link of %d does not return to %d", c.next[v], v)
 				}
 				last = v
 				counted[s]++
 				if counted[s] > len(c.in) {
-					return false // cycle
+					return fmt.Errorf("gain: cycle detected on side %d", s)
 				}
 			}
 			if c.tail[s][idx] != last {
-				return false
+				return fmt.Errorf("gain: side %d bucket %d tail is %d, list ends at %d", s, idx, c.tail[s][idx], last)
 			}
 		}
 	}
-	return counted[0] == c.size[0] && counted[1] == c.size[1]
+	if counted[0] != c.size[0] || counted[1] != c.size[1] {
+		return fmt.Errorf("gain: size counters (%d,%d) disagree with linked elements (%d,%d)",
+			c.size[0], c.size[1], counted[0], counted[1])
+	}
+	return nil
 }
 
 // HeadsDown calls fn for the head of each non-empty bucket on side s in

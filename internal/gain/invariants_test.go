@@ -1,0 +1,79 @@
+package gain
+
+import (
+	"strings"
+	"testing"
+)
+
+// filled builds a small container with a few elements on both sides.
+func filled() *Container {
+	c := NewContainer(8, 4, LIFO, nil)
+	c.Insert(0, 0, 2)
+	c.Insert(1, 0, 2)
+	c.Insert(2, 0, -1)
+	c.Insert(3, 1, 0)
+	c.Insert(4, 1, 3)
+	return c
+}
+
+func TestVerifyInvariantsHealthy(t *testing.T) {
+	c := filled()
+	if err := c.VerifyInvariants(); err != nil {
+		t.Fatalf("healthy container flagged: %v", err)
+	}
+	c.Update(1, -3)
+	c.Remove(4)
+	if err := c.VerifyInvariants(); err != nil {
+		t.Fatalf("after update/remove: %v", err)
+	}
+	if !c.CheckInvariants() {
+		t.Fatal("CheckInvariants disagrees with VerifyInvariants")
+	}
+}
+
+// Each corruption below simulates a distinct internal bug; VerifyInvariants
+// must name the right violation in its error.
+func TestVerifyInvariantsDetectsCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(c *Container)
+		want    string
+	}{
+		{"dangling tail", func(c *Container) {
+			idx := c.clampIdx(1) // empty bucket
+			c.tail[0][idx] = 2
+		}, "nil head but tail"},
+		{"head with predecessor", func(c *Container) {
+			c.prev[c.head[0][c.clampIdx(2)]] = 3
+		}, "has a predecessor"},
+		{"linked but not marked in", func(c *Container) {
+			c.in[0] = false
+			c.size[0]-- // keep size counters consistent so the in-flag check fires first
+		}, "not marked in"},
+		{"wrong bucket", func(c *Container) {
+			c.key[2] = 3 // element sits in bucket for key -1
+		}, "filed under"},
+		{"broken back-link", func(c *Container) {
+			c.prev[c.next[c.head[0][c.clampIdx(2)]]] = 5
+		}, "back-link"},
+		{"size drift", func(c *Container) {
+			c.size[1] = 7
+		}, "size counters"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := filled()
+			tc.corrupt(c)
+			err := c.VerifyInvariants()
+			if err == nil {
+				t.Fatal("corruption not detected")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("wrong violation reported: %v (want substring %q)", err, tc.want)
+			}
+			if c.CheckInvariants() {
+				t.Fatal("CheckInvariants returned true on corrupted container")
+			}
+		})
+	}
+}

@@ -213,6 +213,11 @@ func (b *Builder) AddEdge(weight int64, pins ...int32) int32 {
 // Build validates the accumulated data and produces the CSR hypergraph.
 func (b *Builder) Build() (*Hypergraph, error) {
 	nv := len(b.vertexWeights)
+	for v, w := range b.vertexWeights {
+		if w < 0 {
+			return nil, fmt.Errorf("hypergraph: vertex %d has negative weight %d", v, w)
+		}
+	}
 	for e, ps := range b.pins {
 		for _, p := range ps {
 			if p < 0 || int(p) >= nv {

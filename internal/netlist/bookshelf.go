@@ -162,7 +162,10 @@ func parseBookshelfNets(r io.Reader, index map[string]int32, b *hypergraph.Build
 		if !is {
 			return fmt.Errorf("netlist: bookshelf expected NetDegree, got %q", line)
 		}
-		pins := make([]int32, 0, deg)
+		if err := checkDeclared("bookshelf", "net degree", deg); err != nil {
+			return err
+		}
+		pins := make([]int32, 0, preallocCap(deg))
 		for i := 0; i < deg; i++ {
 			pinLine, ok := nextContentLine(sc)
 			if !ok {

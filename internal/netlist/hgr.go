@@ -63,8 +63,11 @@ func ParseHGR(r io.Reader, name string) (*hypergraph.Hypergraph, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netlist: hgr vertex count: %w", err)
 	}
-	if numEdges < 0 || numVertices < 0 {
-		return nil, fmt.Errorf("netlist: hgr negative counts (%d edges, %d vertices)", numEdges, numVertices)
+	if err := checkDeclared("hgr", "edge count", numEdges); err != nil {
+		return nil, err
+	}
+	if err := checkDeclared("hgr", "vertex count", numVertices); err != nil {
+		return nil, err
 	}
 	format := 0
 	if len(header) == 3 {
@@ -76,7 +79,7 @@ func ParseHGR(r io.Reader, name string) (*hypergraph.Hypergraph, error) {
 	edgeWeighted := format == 1 || format == 11
 	vertexWeighted := format == 10 || format == 11
 
-	b := hypergraph.NewBuilder(numVertices, numEdges)
+	b := hypergraph.NewBuilder(preallocCap(numVertices), preallocCap(numEdges))
 	b.Name = name
 	b.AddVertices(numVertices, 1)
 

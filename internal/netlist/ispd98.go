@@ -66,16 +66,21 @@ func ParseNetD(netR io.Reader, areR io.Reader, name string) (*hypergraph.Hypergr
 	if _, err := readInt("pad offset"); err != nil {
 		return nil, err
 	}
-	if numPins < 0 || numNets < 0 || numModules < 0 {
-		return nil, fmt.Errorf("netlist: .netD negative counts (%d pins, %d nets, %d modules)",
-			numPins, numNets, numModules)
+	if err := checkDeclared(".netD", "pin count", numPins); err != nil {
+		return nil, err
+	}
+	if err := checkDeclared(".netD", "net count", numNets); err != nil {
+		return nil, err
+	}
+	if err := checkDeclared(".netD", "module count", numModules); err != nil {
+		return nil, err
 	}
 
-	b := hypergraph.NewBuilder(numModules, numNets)
+	b := hypergraph.NewBuilder(preallocCap(numModules), preallocCap(numNets))
 	b.Name = name
 	b.AddVertices(numModules, 1)
 
-	moduleIdx := make(map[string]int32, numModules)
+	moduleIdx := make(map[string]int32, preallocCap(numModules))
 	next := int32(0)
 	lookup := func(nm string) (int32, error) {
 		if v, ok := moduleIdx[nm]; ok {

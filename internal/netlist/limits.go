@@ -1,0 +1,38 @@
+package netlist
+
+import "fmt"
+
+// maxDeclaredCount caps every count read from a file header before any
+// allocation proportional to it. Parsers must never trust a declared size: a
+// corrupt or malicious header like "999999999999 3" would otherwise drive a
+// multi-gigabyte allocation (or an out-of-memory abort) before the first net
+// is read. 1<<24 (~16.8M) is comfortably above the largest real netlists
+// (ISPD98 tops out around 210k cells; modern contest designs in the low
+// millions) while keeping the worst-case pre-allocation in the low hundreds
+// of megabytes.
+const maxDeclaredCount = 1 << 24
+
+// checkDeclared validates a header-declared count for a parser.
+func checkDeclared(format, what string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("netlist: %s %s is negative (%d)", format, what, v)
+	}
+	if v > maxDeclaredCount {
+		return fmt.Errorf("netlist: %s %s %d exceeds the sanity cap %d", format, what, v, maxDeclaredCount)
+	}
+	return nil
+}
+
+// preallocCap bounds a capacity hint derived from untrusted input: the slice
+// still grows to whatever the file actually contains, but a lying header
+// cannot force a huge up-front allocation.
+func preallocCap(n int) int {
+	const limit = 1 << 16
+	if n < 0 {
+		return 0
+	}
+	if n > limit {
+		return limit
+	}
+	return n
+}

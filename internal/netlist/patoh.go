@@ -76,9 +76,14 @@ func ParsePaToH(r io.Reader, name string) (*hypergraph.Hypergraph, error) {
 	if err != nil {
 		return nil, err
 	}
-	if numCells < 0 || numNets < 0 || numPins < 0 {
-		return nil, fmt.Errorf("netlist: patoh negative counts (%d cells, %d nets, %d pins)",
-			numCells, numNets, numPins)
+	if err := checkDeclared("patoh", "cell count", numCells); err != nil {
+		return nil, err
+	}
+	if err := checkDeclared("patoh", "net count", numNets); err != nil {
+		return nil, err
+	}
+	if err := checkDeclared("patoh", "pin count", numPins); err != nil {
+		return nil, err
 	}
 	scheme := 0
 	if len(tokens) > 0 {
@@ -93,7 +98,7 @@ func ParsePaToH(r io.Reader, name string) (*hypergraph.Hypergraph, error) {
 	netWeighted := scheme == 2 || scheme == 3
 	cellWeighted := scheme == 1 || scheme == 3
 
-	b := hypergraph.NewBuilder(numCells, numNets)
+	b := hypergraph.NewBuilder(preallocCap(numCells), preallocCap(numNets))
 	b.Name = name
 	b.AddVertices(numCells, 1)
 
