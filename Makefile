@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fuzz bench ci
+.PHONY: all build test race vet lint fuzz bench ci
 
 all: build
 
@@ -12,6 +12,13 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Determinism and reproducibility analyzers (internal/lint via cmd/hglint):
+# banned randomness/wall-clock in algorithm packages, result-affecting map
+# iteration, RNG sharing across goroutines, panic boundary policy, and
+# cancellable experiment sweeps. Fails on any unannotated finding.
+lint: vet
+	$(GO) run ./cmd/hglint ./...
 
 # Race-enabled run of the concurrency-sensitive packages plus the full suite.
 race:
@@ -28,5 +35,6 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
-# What CI runs: build, vet, and the full test suite under the race detector.
-ci: build vet race
+# What CI runs: build, static checks (vet + hglint), and the full test suite
+# under the race detector.
+ci: build lint race

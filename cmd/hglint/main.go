@@ -1,0 +1,143 @@
+// hglint runs the repository's determinism and reproducibility analyzers
+// (internal/lint) over module packages, multichecker-style.
+//
+// Usage:
+//
+//	hglint [flags] [packages]
+//
+// Packages are module-relative patterns ("./...", "internal/eval",
+// "internal/..."); the default is ./... . Exit status is 0 when no findings
+// are reported, 1 when findings are reported, 2 on usage or load errors.
+//
+// Flags:
+//
+//	-json         emit findings as a JSON array of
+//	              {analyzer, file, line, col, message} objects
+//	-fix          apply suggested fixes to the source, then report what
+//	              remains
+//	-analyzers    comma-separated subset of analyzers to run
+//	-list         print the available analyzers and exit
+//
+// Findings are suppressed with an in-source annotation carrying a mandatory
+// reason: //hglint:ignore <analyzer> <reason> (see internal/lint/analysis).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"hgpart/internal/lint"
+	"hgpart/internal/lint/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hglint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	fix := fs.Bool("fix", false, "apply suggested fixes, then report what remains")
+	subset := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	list := fs.Bool("list", false, "print the available analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	all := lint.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := all
+	if *subset != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*subset, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "hglint: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	modRoot, modPath, err := analysis.FindModule(".")
+	if err != nil {
+		fmt.Fprintf(stderr, "hglint: %v\n", err)
+		return 2
+	}
+	loader := analysis.NewLoader(modRoot, modPath)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "hglint: %v\n", err)
+		return 2
+	}
+	findings, err := analysis.Run(modRoot, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "hglint: %v\n", err)
+		return 2
+	}
+
+	if *fix {
+		changed, err := analysis.ApplyFixes(loader.Fset(), findings)
+		for _, f := range changed {
+			fmt.Fprintf(stderr, "hglint: fixed %s\n", f)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "hglint: applying fixes: %v\n", err)
+			return 2
+		}
+		// Re-analyze from scratch so fixed findings disappear and the
+		// remaining ones carry correct positions.
+		loader = analysis.NewLoader(modRoot, modPath)
+		pkgs, err = loader.Load(patterns...)
+		if err != nil {
+			fmt.Fprintf(stderr, "hglint: reloading after fixes: %v\n", err)
+			return 2
+		}
+		findings, err = analysis.Run(modRoot, pkgs, analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "hglint: %v\n", err)
+			return 2
+		}
+	}
+
+	if *jsonOut {
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "hglint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hgpart/internal/lint"
+	"hgpart/internal/lint/analysis"
+)
+
+func TestJSONOutput(t *testing.T) {
+	t.Chdir("testdata/mod")
+	var stdout, stderr strings.Builder
+	code := run([]string{"-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (findings present); stderr: %s", code, stderr.String())
+	}
+	var findings []analysis.Finding
+	if err := json.Unmarshal([]byte(stdout.String()), &findings); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings decoded")
+	}
+	f := findings[0]
+	if f.Analyzer != "detrand" {
+		t.Errorf("finding analyzer = %q, want detrand", f.Analyzer)
+	}
+	if f.File != "internal/kway/kway.go" {
+		t.Errorf("finding file = %q, want internal/kway/kway.go", f.File)
+	}
+	if f.Line <= 0 || f.Col <= 0 {
+		t.Errorf("finding position %d:%d not positive", f.Line, f.Col)
+	}
+	if !strings.Contains(f.Message, "math/rand") {
+		t.Errorf("finding message %q does not mention math/rand", f.Message)
+	}
+}
+
+func TestJSONEmptyOnCleanPackage(t *testing.T) {
+	t.Chdir("testdata/mod")
+	var stdout, stderr strings.Builder
+	code := run([]string{"-json", "internal/util"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("clean run output = %q, want []", got)
+	}
+}
+
+func TestPlainOutput(t *testing.T) {
+	t.Chdir("testdata/mod")
+	var stdout, stderr strings.Builder
+	code := run([]string{"./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "internal/kway/kway.go:") || !strings.Contains(out, ": detrand: ") {
+		t.Errorf("plain output lacks file:line: analyzer: message form:\n%s", out)
+	}
+}
+
+func TestAnalyzerSubset(t *testing.T) {
+	t.Chdir("testdata/mod")
+	var stdout, stderr strings.Builder
+	// mapiter alone has nothing to say about the fixture module.
+	if code := run([]string{"-analyzers", "mapiter", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if code := run([]string{"-analyzers", "nosuch", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown analyzer: exit code = %d, want 2", code)
+	}
+}
+
+func TestList(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, a := range lint.Analyzers() {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list output lacks analyzer %s", a.Name)
+		}
+	}
+}

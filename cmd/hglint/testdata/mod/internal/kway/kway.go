@@ -1,0 +1,9 @@
+// Fixture module for the hglint CLI tests: an algorithm package with a
+// banned import.
+package kway
+
+import "math/rand"
+
+func Shuffle(n int) int {
+	return rand.Intn(n)
+}

@@ -1,0 +1,4 @@
+// Fixture module for the hglint CLI tests: a clean package.
+package util
+
+func Add(a, b int) int { return a + b }

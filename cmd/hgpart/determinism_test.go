@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The worker-count invariance contract, end to end through the CLI: the same
+// seed must produce byte-identical reports at -workers=1 and -workers=4.
+// This is the user-visible face of the pre-split seed discipline that the
+// seedflow analyzer guards statically.
+
+var (
+	buildOnce sync.Once
+	buildBin  string
+	buildErr  error
+)
+
+func hgpartBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "hgpart-bin-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		buildBin = filepath.Join(dir, "hgpart")
+		out, err := exec.Command("go", "build", "-o", buildBin, ".").CombinedOutput()
+		if err != nil {
+			buildErr = err
+			buildBin = ""
+			t.Logf("go build output:\n%s", out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building hgpart: %v", buildErr)
+	}
+	return buildBin
+}
+
+var (
+	timeLineRE = regexp.MustCompile(`(?m)^time=[^\n]*\n`)
+	workersRE  = regexp.MustCompile(`workers=\d+`)
+)
+
+// normalize strips the report lines that legitimately vary between runs:
+// wall-clock timing and the echo of the -workers flag itself.
+func normalize(out []byte) string {
+	s := timeLineRE.ReplaceAllString(string(out), "")
+	return workersRE.ReplaceAllString(s, "workers=N")
+}
+
+func runHgpart(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(hgpartBinary(t), args...)
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("hgpart %v: %v\nstderr: %s", args, err, stderr.String())
+	}
+	return normalize(out)
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the hgpart binary")
+	}
+	base := []string{"-ibm", "1", "-scale", "0.1", "-starts", "8", "-seed", "7", "-q"}
+	for _, engine := range []string{"ml", "flat"} {
+		args := append([]string{"-engine", engine}, base...)
+		serial := runHgpart(t, append(args, "-workers", "1")...)
+		parallel := runHgpart(t, append(args, "-workers", "4")...)
+		if serial != parallel {
+			t.Errorf("engine %s: -workers=1 and -workers=4 reports differ\n--- workers=1 ---\n%s--- workers=4 ---\n%s",
+				engine, serial, parallel)
+		}
+	}
+}
+
+func TestRunToRunDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the hgpart binary")
+	}
+	args := []string{"-ibm", "1", "-scale", "0.1", "-starts", "8", "-seed", "11", "-q", "-workers", "4"}
+	first := runHgpart(t, args...)
+	second := runHgpart(t, args...)
+	if first != second {
+		t.Errorf("two identical invocations differ\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+}

@@ -83,10 +83,11 @@ func (f *Flat) Name() string { return f.Label }
 
 // Run implements Heuristic.
 func (f *Flat) Run(r *rng.RNG) Outcome {
-	t0 := time.Now()
+	t0 := time.Now() //hglint:ignore detrand wall clock feeds the reported Seconds only, never the search
 	p := partition.New(f.H)
 	p.RandomBalanced(r, f.Bal)
 	res := f.eng.Run(p)
+	//hglint:ignore detrand wall clock feeds the reported Seconds only, never the search
 	return Outcome{P: p, Cut: res.Cut, Seconds: time.Since(t0).Seconds(), Work: res.Work}
 }
 
@@ -111,8 +112,9 @@ func (m *ML) Name() string { return m.Label }
 
 // Run implements Heuristic.
 func (m *ML) Run(r *rng.RNG) Outcome {
-	t0 := time.Now()
+	t0 := time.Now() //hglint:ignore detrand wall clock feeds the reported Seconds only, never the search
 	p, st := m.P.Partition(r)
+	//hglint:ignore detrand wall clock feeds the reported Seconds only, never the search
 	return Outcome{P: p, Cut: st.Cut, Seconds: time.Since(t0).Seconds(), Work: st.Work}
 }
 
@@ -121,7 +123,7 @@ func (m *ML) PolishBest(p *partition.P, r *rng.RNG) Outcome {
 	if m.VCycles <= 0 || p == nil {
 		return Outcome{}
 	}
-	t0 := time.Now()
+	t0 := time.Now() //hglint:ignore detrand wall clock feeds the reported Seconds only, never the search
 	var work int64
 	var cut int64 = p.Cut()
 	for i := 0; i < m.VCycles; i++ {
@@ -129,6 +131,7 @@ func (m *ML) PolishBest(p *partition.P, r *rng.RNG) Outcome {
 		work += st.Work
 		cut = st.Cut
 	}
+	//hglint:ignore detrand wall clock feeds the reported Seconds only, never the search
 	return Outcome{P: p, Cut: cut, Seconds: time.Since(t0).Seconds(), Work: work}
 }
 
@@ -136,16 +139,12 @@ func (m *ML) PolishBest(p *partition.P, r *rng.RNG) Outcome {
 // (without partitions, to bound memory) plus the best outcome with its
 // partition. Each start gets a generator split from r, so results are
 // reproducible from a single seed regardless of how many starts ran.
+//
+// Multistart is the plain, uncancellable convenience form of
+// MultistartRobust; callers running sweeps long enough to deserve a deadline
+// should use MultistartRobust directly.
 func Multistart(h Heuristic, n int, r *rng.RNG) (samples []Outcome, best Outcome) {
-	samples = make([]Outcome, 0, n)
-	for i := 0; i < n; i++ {
-		o := h.Run(r.Split())
-		if best.P == nil || o.Cut < best.Cut {
-			best = o
-		}
-		o.P = nil
-		samples = append(samples, o)
-	}
+	samples, best, _ = MultistartRobust(context.Background(), h, n, r, nil)
 	return samples, best
 }
 

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -23,10 +24,14 @@ import (
 
 // BestWithinBudget runs starts of h until the cumulative normalized CPU
 // (work units / WorkUnitsPerSecond) reaches budgetNormSeconds, keeping the
-// best legal outcome. At least one start always runs. Returns the best
+// best legal outcome. At least one start always runs; a cancelled ctx (nil
+// means Background) stops the sweep between starts. Returns the best
 // outcome, the number of starts performed and the total normalized seconds
 // actually spent.
-func BestWithinBudget(h Heuristic, budgetNormSeconds float64, r *rng.RNG) (Outcome, int, float64) {
+func BestWithinBudget(ctx context.Context, h Heuristic, budgetNormSeconds float64, r *rng.RNG) (Outcome, int, float64) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var best Outcome
 	starts := 0
 	var spent float64
@@ -37,7 +42,7 @@ func BestWithinBudget(h Heuristic, budgetNormSeconds float64, r *rng.RNG) (Outco
 		if best.P == nil || o.Cut < best.Cut {
 			best = o
 		}
-		if spent >= budgetNormSeconds {
+		if spent >= budgetNormSeconds || ctx.Err() != nil {
 			break
 		}
 	}
@@ -53,9 +58,13 @@ func BestWithinBudget(h Heuristic, budgetNormSeconds float64, r *rng.RNG) (Outco
 // a start whose cut after `afterPass` passes exceeds pruneFactor times the
 // best final cut seen so far. It returns the best outcome, the per-start
 // results and how many starts were pruned. The first start always runs to
-// completion (there is no reference yet).
-func PrunedMultistart(h *hypergraph.Hypergraph, cfg core.Config, bal partition.Balance,
+// completion (there is no reference yet). A cancelled ctx (nil means
+// Background) stops the sweep between starts.
+func PrunedMultistart(ctx context.Context, h *hypergraph.Hypergraph, cfg core.Config, bal partition.Balance,
 	n int, afterPass int, pruneFactor float64, r *rng.RNG) (best Outcome, cuts []int64, pruned int) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if afterPass < 1 {
 		afterPass = 1
 	}
@@ -65,6 +74,9 @@ func PrunedMultistart(h *hypergraph.Hypergraph, cfg core.Config, bal partition.B
 	eng := core.NewEngine(h, cfg, bal, r.Split())
 	bestCut := int64(math.MaxInt64)
 	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
 		p := partition.New(h)
 		p.RandomBalanced(r.Split(), bal)
 		var keep func(int, int64) bool

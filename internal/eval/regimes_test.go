@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestBestWithinBudget(t *testing.T) {
 	one := f.Run(rng.New(22))
 	perStart := one.NormalizedSeconds()
 
-	best, starts, spent := BestWithinBudget(f, perStart*5, rng.New(23))
+	best, starts, spent := BestWithinBudget(context.Background(), f, perStart*5, rng.New(23))
 	if best.P == nil || !best.P.Legal(bal) {
 		t.Fatal("budget regime produced no legal result")
 	}
@@ -29,7 +30,7 @@ func TestBestWithinBudget(t *testing.T) {
 		t.Fatal("spent less than one start")
 	}
 	// Tiny budget: still exactly one start.
-	_, starts1, _ := BestWithinBudget(f, perStart/100, rng.New(24))
+	_, starts1, _ := BestWithinBudget(context.Background(), f, perStart/100, rng.New(24))
 	if starts1 != 1 {
 		t.Fatalf("tiny budget ran %d starts, want 1", starts1)
 	}
@@ -38,7 +39,7 @@ func TestBestWithinBudget(t *testing.T) {
 func TestPrunedMultistart(t *testing.T) {
 	h := instance(t)
 	bal := partition.NewBalance(h.TotalVertexWeight(), 0.10)
-	best, cuts, pruned := PrunedMultistart(h, core.StrongConfig(false), bal, 12, 1, 1.05, rng.New(25))
+	best, cuts, pruned := PrunedMultistart(context.Background(), h, core.StrongConfig(false), bal, 12, 1, 1.05, rng.New(25))
 	if best.P == nil || !best.P.Legal(bal) {
 		t.Fatal("pruned multistart no result")
 	}

@@ -158,6 +158,15 @@ func (o Options) minAvgCell(h eval.Heuristic, bal partition.Balance, n int, r *r
 	return cell
 }
 
+// samples draws n single starts of h through the cancellable robust harness.
+// The generator-split discipline matches eval.Multistart exactly, so on an
+// uncancelled fault-free run the outcomes are identical; a cancelled context
+// yields just the starts finished so far.
+func (o Options) samples(h eval.Heuristic, n int, r *rng.RNG) []eval.Outcome {
+	out, _, _ := eval.MultistartRobust(o.ctx(), h, n, r, nil)
+	return out
+}
+
 // table1Engines enumerates the four optimization engines of Table 1 in the
 // paper's order of increasing strength reversed (the paper lists Flat LIFO,
 // Flat CLIP, ML LIFO, ML CLIP).

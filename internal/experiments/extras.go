@@ -58,7 +58,11 @@ func TableCorking(o Options) *report.Table {
 				r := root.Split()
 				var passes int
 				var corks, moves, cutSum int64
+				done := 0
 				for i := 0; i < o.Runs; i++ {
+					if o.ctx().Err() != nil {
+						break
+					}
 					p := partition.New(h)
 					p.RandomBalanced(r.Split(), bal)
 					res := eng.Run(p)
@@ -66,6 +70,12 @@ func TableCorking(o Options) *report.Table {
 					corks += res.CorkEvents
 					moves += res.Moves
 					cutSum += res.Cut
+					done++
+				}
+				if done < o.Runs {
+					t.AddRow(fmt.Sprintf("ibm%02d", inst), areas, fmt.Sprint(guard),
+						cancelledCell, cancelledCell, cancelledCell, cancelledCell)
+					continue
 				}
 				movesPerPass := 0.0
 				if passes > 0 {
@@ -184,7 +194,7 @@ func TableRegimes(o Options) *report.Table {
 		fmt.Sprint(kBest.Cut), fmt.Sprintf("%.3f", float64(kWork)/eval.WorkUnitsPerSecond))
 
 	// Pruned multistart: same start count, tighter total cost.
-	pBest, _, pruned := eval.PrunedMultistart(h, core.StrongConfig(false), bal, 8, 1, 1.15, root.Split())
+	pBest, _, pruned := eval.PrunedMultistart(o.ctx(), h, core.StrongConfig(false), bal, 8, 1, 1.15, root.Split())
 	t.AddRow("pruned", fmt.Sprintf("flat FM, k=8, %d pruned", pruned),
 		fmt.Sprint(pBest.Cut), fmt.Sprintf("%.3f", float64(pBest.Work)/eval.WorkUnitsPerSecond))
 
@@ -192,7 +202,7 @@ func TableRegimes(o Options) *report.Table {
 	ml := eval.NewML("ML", h, multilevel.Config{Refine: core.StrongConfig(false)}, bal, 0)
 	one := ml.Run(root.Split())
 	budget := 4 * one.NormalizedSeconds()
-	bBest, starts, spent := eval.BestWithinBudget(ml, budget, root.Split())
+	bBest, starts, spent := eval.BestWithinBudget(o.ctx(), ml, budget, root.Split())
 	t.AddRow("budget", fmt.Sprintf("ML, %d starts in budget", starts),
 		fmt.Sprint(bBest.Cut), fmt.Sprintf("%.3f", spent))
 
@@ -247,20 +257,33 @@ func TableBenchmarkEra(o Options) *report.Table {
 	root := rng.New(o.Seed + 900)
 	for _, in := range instances {
 		bal := partition.NewBalance(in.h.TotalVertexWeight(), 0.02)
-		avg := func(guard bool) float64 {
+		avg := func(guard bool) (float64, bool) {
 			cfg := core.StrongConfig(true)
 			cfg.CorkGuard = guard
 			eng := core.NewEngine(in.h, cfg, bal, root.Split())
 			r := root.Split()
 			var sum int64
+			done := 0
 			for i := 0; i < o.Runs; i++ {
+				if o.ctx().Err() != nil {
+					break
+				}
 				p := partition.New(in.h)
 				p.RandomBalanced(r.Split(), bal)
 				sum += eng.Run(p).Cut
+				done++
 			}
-			return float64(sum) / float64(o.Runs)
+			if done < o.Runs {
+				return 0, false
+			}
+			return float64(sum) / float64(o.Runs), true
 		}
-		un, gu := avg(false), avg(true)
+		un, unOK := avg(false)
+		gu, guOK := avg(true)
+		if !unOK || !guOK {
+			t.AddRow(in.suite, in.h.Name, cancelledCell, cancelledCell, cancelledCell)
+			continue
+		}
 		t.AddRow(in.suite, in.h.Name,
 			fmt.Sprintf("%.1f", un), fmt.Sprintf("%.1f", gu),
 			fmt.Sprintf("%.2fx", un/gu))

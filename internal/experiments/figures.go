@@ -50,8 +50,11 @@ func FigureBSF(o Options) *report.Table {
 	sampleSets := make([][]eval.Outcome, len(heuristics))
 	var maxMean float64
 	for i, heur := range heuristics {
-		samples, _ := eval.Multistart(heur, o.Runs, root.Split())
+		samples := o.samples(heur, o.Runs, root.Split())
 		sampleSets[i] = samples
+		if len(samples) == 0 {
+			continue
+		}
 		var mean float64
 		for _, s := range samples {
 			mean += s.NormalizedSeconds()
@@ -110,7 +113,7 @@ func FigurePareto(o Options) *report.Table {
 		heuristics := figureHeuristics(h, 0.02, root)
 		var points []eval.PerfPoint
 		for _, heur := range heuristics {
-			cps := eval.EvaluateConfigurations(heur, startCounts, maxI(2, o.Reps), root.Split())
+			cps, _ := eval.EvaluateConfigurationsCtx(o.ctx(), heur, startCounts, maxI(2, o.Reps), root.Split())
 			for _, cp := range cps {
 				points = append(points, eval.PerfPoint{
 					Label:   fmt.Sprintf("%s x%d", heur.Name(), cp.Starts),
@@ -151,9 +154,9 @@ func FigureRanking(o Options) *report.Table {
 		heuristics := figureHeuristics(h, 0.02, root)
 		bySz := map[string][]eval.Outcome{}
 		for _, heur := range heuristics {
-			samples, _ := eval.Multistart(heur, maxI(10, o.Runs/2), root.Split())
+			samples := o.samples(heur, maxI(10, o.Runs/2), root.Split())
 			bySz[heur.Name()] = samples
-			if f == sizes[len(sizes)-1] && heur.Name() == "ML" {
+			if f == sizes[len(sizes)-1] && heur.Name() == "ML" && len(samples) > 0 {
 				var mean float64
 				for _, s := range samples {
 					mean += s.NormalizedSeconds()
@@ -214,7 +217,10 @@ func FigureBSFChart(o Options) string {
 		Height: 22,
 	}
 	for _, heur := range heuristics {
-		samples, _ := eval.Multistart(heur, o.Runs, root.Split())
+		samples := o.samples(heur, o.Runs, root.Split())
+		if len(samples) == 0 {
+			continue
+		}
 		var mean float64
 		for _, s := range samples {
 			mean += s.NormalizedSeconds()

@@ -1,0 +1,111 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass, Diagnostic,
+// SuggestedFix) plus a module-aware package loader and a driver.
+//
+// The repository's determinism lints (cmd/hglint) are expressed against this
+// package exactly as they would be against x/tools; only the driver plumbing
+// differs. Everything here is built on the standard library's go/ast,
+// go/parser, go/types and go/importer so the lint suite works in hermetic
+// build environments with no module downloads.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in //hglint:ignore
+	// directives. It must be a single lower-case word.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings through
+	// pass.Report.
+	Run func(*Pass) error
+}
+
+// Pass is the interface between one analyzer and one package being analyzed.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions to file locations.
+	Fset *token.FileSet
+	// Files are the package's parsed source files (tests excluded).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo carries the type-checker's expression and object maps.
+	TypesInfo *types.Info
+	// report collects diagnostics; use Report/Reportf.
+	report func(Diagnostic)
+}
+
+// Report records a diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf records a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	// Pos is where the finding anchors (start of the offending node).
+	Pos token.Pos
+	// End optionally marks the end of the offending range.
+	End token.Pos
+	// Message describes the finding.
+	Message string
+	// SuggestedFixes optionally carry mechanical repairs (applied by
+	// hglint -fix).
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is one self-contained repair.
+type SuggestedFix struct {
+	// Message describes the repair.
+	Message string
+	// TextEdits are the byte-range replacements implementing it.
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces the source bytes in [Pos, End) with NewText.
+// Pos == End inserts.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}
+
+// PathMatchesAny reports whether the import path pkgPath lies inside any of
+// the package roots in roots. A root is a module-relative path fragment such
+// as "internal/core" or "cmd"; pkgPath matches when one of its
+// slash-separated suffixstrings starts with the root — e.g.
+// "hgpart/internal/core" and "hgpart/internal/core/sub" both match
+// "internal/core", while "hgpart/internal/corext" does not.
+func PathMatchesAny(pkgPath string, roots []string) bool {
+	for _, root := range roots {
+		if pathMatches(pkgPath, root) {
+			return true
+		}
+	}
+	return false
+}
+
+func pathMatches(pkgPath, root string) bool {
+	for {
+		if pkgPath == root || strings.HasPrefix(pkgPath, root+"/") {
+			return true
+		}
+		i := strings.Index(pkgPath, "/")
+		if i < 0 {
+			return false
+		}
+		pkgPath = pkgPath[i+1:]
+	}
+}

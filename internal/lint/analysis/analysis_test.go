@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadRepo loads and type-checks the whole module the way cmd/hglint
+// does, proving the source-based loader is sound against real code.
+func TestLoadRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the full module from source")
+	}
+	modRoot, modPath, err := FindModule(".")
+	if err != nil {
+		t.Fatalf("FindModule: %v", err)
+	}
+	if modPath != "hgpart" {
+		t.Fatalf("module path = %q, want hgpart", modPath)
+	}
+	l := NewLoader(modRoot, modPath)
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("Load ./...: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded %d packages, expected at least 20", len(pkgs))
+	}
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		seen[pkg.PkgPath] = true
+		if pkg.Types == nil || pkg.TypesInfo == nil || len(pkg.Files) == 0 {
+			t.Errorf("%s: incomplete package", pkg.PkgPath)
+		}
+	}
+	for _, want := range []string{"hgpart/internal/eval", "hgpart/internal/experiments", "hgpart/cmd/hgpart"} {
+		if !seen[want] {
+			t.Errorf("package %s not loaded", want)
+		}
+	}
+}
+
+func TestPathMatchesAny(t *testing.T) {
+	cases := []struct {
+		path  string
+		roots []string
+		want  bool
+	}{
+		{"hgpart/internal/eval", []string{"internal/eval"}, true},
+		{"hgpart/internal/eval/sub", []string{"internal/eval"}, true},
+		{"internal/eval", []string{"internal/eval"}, true},
+		{"hgpart/internal/evaluate", []string{"internal/eval"}, false},
+		{"hgpart/cmd/hgpart", []string{"cmd"}, true},
+		{"hgpart/internal/report", []string{"internal/eval", "internal/core"}, false},
+	}
+	for _, c := range cases {
+		if got := PathMatchesAny(c.path, c.roots); got != c.want {
+			t.Errorf("PathMatchesAny(%q, %v) = %v, want %v", c.path, c.roots, got, c.want)
+		}
+	}
+}
+
+func TestParseDirectives(t *testing.T) {
+	src := `package p
+
+func a() {
+	bad() //hglint:ignore alpha reason here
+}
+
+func b() {
+	//hglint:ignore alpha,beta covers the next line
+	bad()
+}
+
+//hglint:file-ignore beta whole file exempt
+
+func c() {
+	bad() //hglint:ignore alpha
+	bad() //hglint:ignore gamma unknown analyzer
+}
+`
+	dir := t.TempDir()
+	name := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(name, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{"alpha": true, "beta": true}
+	d := parseDirectives(fset, f, known, "p.go")
+
+	if !d.suppressed("alpha", 4) {
+		t.Error("trailing directive should suppress alpha on its own line (4)")
+	}
+	if !d.suppressed("alpha", 9) || !d.suppressed("alpha", 8) {
+		t.Error("standalone directive should suppress alpha on lines 8 and 9")
+	}
+	if !d.suppressed("beta", 9) {
+		t.Error("comma list should suppress beta on line 9")
+	}
+	if !d.suppressed("beta", 16) {
+		t.Error("file-ignore should suppress beta anywhere")
+	}
+	if d.suppressed("alpha", 16) {
+		t.Error("alpha must not be suppressed on line 16")
+	}
+
+	if len(d.problems) != 2 {
+		t.Fatalf("got %d directive problems, want 2: %v", len(d.problems), d.problems)
+	}
+	for _, p := range d.problems {
+		if p.Analyzer != DirectiveAnalyzer {
+			t.Errorf("problem reported under %q, want %q", p.Analyzer, DirectiveAnalyzer)
+		}
+	}
+	if d.problems[0].Line != 15 {
+		t.Errorf("missing-reason problem on line %d, want 15", d.problems[0].Line)
+	}
+	if d.problems[1].Line != 16 {
+		t.Errorf("unknown-analyzer problem on line %d, want 16", d.problems[1].Line)
+	}
+}

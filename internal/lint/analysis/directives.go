@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// Ignore directives are the lint suite's escape hatch. The format is
+//
+//	//hglint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// which suppresses the named analyzers' findings on the directive's own line
+// — or, when the directive stands alone on its line, on the next source
+// line. The reason is mandatory: an unexplained suppression is exactly the
+// kind of implicit decision the paper's methodology forbids. A whole file
+// can be exempted with
+//
+//	//hglint:file-ignore <analyzer>[,<analyzer>...] <reason>
+//
+// Malformed directives (unknown analyzer, missing reason) are themselves
+// reported as findings under the pseudo-analyzer name "hglint", so a typo
+// cannot silently disable a check.
+
+const (
+	ignorePrefix     = "//hglint:ignore "
+	fileIgnorePrefix = "//hglint:file-ignore "
+	// DirectiveAnalyzer is the pseudo-analyzer name under which malformed
+	// directives are reported.
+	DirectiveAnalyzer = "hglint"
+)
+
+// directives is the parsed suppression state of one file.
+type directives struct {
+	// line maps analyzer name -> set of suppressed lines.
+	line map[string]map[int]bool
+	// file is the set of analyzers suppressed for the whole file.
+	file map[string]bool
+	// problems are malformed-directive findings.
+	problems []Finding
+}
+
+func (d *directives) suppressed(analyzer string, line int) bool {
+	if d.file[analyzer] {
+		return true
+	}
+	return d.line[analyzer][line]
+}
+
+// parseDirectives extracts hglint directives from one parsed file. known is
+// the set of valid analyzer names. src may be nil, in which case the file is
+// read from disk to decide whether a directive stands alone on its line.
+func parseDirectives(fset *token.FileSet, f *ast.File, known map[string]bool, relFile string) *directives {
+	d := &directives{line: map[string]map[int]bool{}, file: map[string]bool{}}
+	var src []byte
+	if tf := fset.File(f.Pos()); tf != nil {
+		src, _ = os.ReadFile(tf.Name())
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			isFile := strings.HasPrefix(text, fileIgnorePrefix)
+			if !isFile && !strings.HasPrefix(text, ignorePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimPrefix(strings.TrimPrefix(text, fileIgnorePrefix), ignorePrefix)
+			names, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+			if strings.TrimSpace(reason) == "" {
+				d.problems = append(d.problems, Finding{
+					Analyzer: DirectiveAnalyzer, File: relFile, Line: pos.Line, Col: pos.Column,
+					Message: "ignore directive needs a reason: //hglint:ignore <analyzer> <reason>",
+				})
+				continue
+			}
+			for _, name := range strings.Split(names, ",") {
+				name = strings.TrimSpace(name)
+				if !known[name] {
+					d.problems = append(d.problems, Finding{
+						Analyzer: DirectiveAnalyzer, File: relFile, Line: pos.Line, Col: pos.Column,
+						Message: "ignore directive names unknown analyzer " + strconvQuote(name),
+					})
+					continue
+				}
+				if isFile {
+					d.file[name] = true
+					continue
+				}
+				if d.line[name] == nil {
+					d.line[name] = map[int]bool{}
+				}
+				d.line[name][pos.Line] = true
+				if standsAlone(src, fset, c.Pos()) {
+					d.line[name][pos.Line+1] = true
+				}
+			}
+		}
+	}
+	return d
+}
+
+// standsAlone reports whether only whitespace precedes the token at pos on
+// its source line (so an ignore directive on its own line covers the next
+// line, the statement it annotates).
+func standsAlone(src []byte, fset *token.FileSet, pos token.Pos) bool {
+	if src == nil {
+		return false
+	}
+	p := fset.Position(pos)
+	if p.Offset > len(src) {
+		return false
+	}
+	lineStart := p.Offset - (p.Column - 1)
+	if lineStart < 0 {
+		return false
+	}
+	return strings.TrimSpace(string(src[lineStart:p.Offset])) == ""
+}
+
+func strconvQuote(s string) string { return `"` + s + `"` }

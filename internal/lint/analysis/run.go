@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Finding is one reported, unsuppressed diagnostic in driver form: stable,
+// machine-readable file/line/analyzer/message coordinates (the JSON shape
+// hglint -json emits for pre-commit hooks and CI annotations).
+type Finding struct {
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string `json:"analyzer"`
+	// File is the module-root-relative, slash-separated file path.
+	File string `json:"file"`
+	// Line and Col are the finding's 1-based position.
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Message describes the finding.
+	Message string `json:"message"`
+	// Fixes carries any suggested repairs (not serialized; applied by
+	// hglint -fix).
+	Fixes []SuggestedFix `json:"-"`
+}
+
+// String renders the finding in the conventional file:line:col style.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings (ignore directives applied), sorted by file, line, column and
+// analyzer. modRoot anchors the relative file paths. Malformed ignore
+// directives are reported as findings under the "hglint" pseudo-analyzer.
+func Run(modRoot string, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var findings []Finding
+	for _, pkg := range pkgs {
+		// Parse each file's suppression directives once per package.
+		dirs := make([]*directives, len(pkg.Files))
+		for i, f := range pkg.Files {
+			dirs[i] = parseDirectives(pkg.Fset, f, known, relPath(modRoot, pkg.Fset, f.Pos()))
+			findings = append(findings, dirs[i].problems...)
+		}
+		for _, a := range analyzers {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				suppressed := false
+				for i, f := range pkg.Files {
+					tf := pkg.Fset.File(f.Pos())
+					if tf != nil && tf.Name() == pos.Filename && dirs[i].suppressed(a.Name, pos.Line) {
+						suppressed = true
+						break
+					}
+				}
+				if suppressed {
+					continue
+				}
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					File:     relTo(modRoot, pos.Filename),
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Message:  d.Message,
+					Fixes:    d.SuggestedFixes,
+				})
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}
+
+func relPath(modRoot string, fset *token.FileSet, pos token.Pos) string {
+	tf := fset.File(pos)
+	if tf == nil {
+		return ""
+	}
+	return relTo(modRoot, tf.Name())
+}
+
+func relTo(modRoot, path string) string {
+	if rel, err := filepath.Rel(modRoot, path); err == nil && !filepath.IsAbs(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(path)
+}
+
+// ApplyFixes applies every suggested fix attached to findings to the files
+// on disk and returns the changed file names. Edits are applied
+// last-position-first per file; overlapping edits are an error.
+func ApplyFixes(fset *token.FileSet, findings []Finding) ([]string, error) {
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	byFile := map[string][]edit{}
+	for _, f := range findings {
+		for _, fix := range f.Fixes {
+			for _, te := range fix.TextEdits {
+				p := fset.Position(te.Pos)
+				end := p.Offset
+				if te.End.IsValid() {
+					end = fset.Position(te.End).Offset
+				}
+				byFile[p.Filename] = append(byFile[p.Filename], edit{p.Offset, end, te.NewText})
+			}
+		}
+	}
+	var changed []string
+	for file, edits := range byFile {
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return changed, err
+		}
+		prevStart := len(src) + 1
+		for _, e := range edits {
+			if e.end > prevStart || e.start > e.end || e.end > len(src) {
+				return changed, fmt.Errorf("%s: overlapping or out-of-range suggested fixes", file)
+			}
+			src = append(src[:e.start], append(append([]byte{}, e.text...), src[e.end:]...)...)
+			prevStart = e.start
+		}
+		if err := os.WriteFile(file, src, 0o644); err != nil {
+			return changed, err
+		}
+		changed = append(changed, file)
+	}
+	sort.Strings(changed)
+	return changed, nil
+}

@@ -1,0 +1,15 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"hgpart/internal/lint/ctxflow"
+	"hgpart/internal/lint/linttest"
+)
+
+func TestCtxflow(t *testing.T) {
+	linttest.Run(t, "testdata", ctxflow.Analyzer,
+		"hgpart/internal/eval",
+		"other",
+	)
+}

@@ -1,0 +1,131 @@
+// Fixture: a driver package (path suffix internal/eval) exercising every
+// ctxflow rule.
+package eval
+
+import "context"
+
+type Heuristic interface {
+	Run(seed uint64) int
+}
+
+// NoCtx loops over starts with no way to cancel.
+func NoCtx(h Heuristic, n int) int { // want "accepts no context.Context"
+	best := 0
+	for i := 0; i < n; i++ {
+		best += h.Run(uint64(i))
+	}
+	return best
+}
+
+// WithCtx consults the context inside the sweep.
+func WithCtx(ctx context.Context, h Heuristic, n int) int {
+	best := 0
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		best += h.Run(uint64(i))
+	}
+	return best
+}
+
+// Options carries the context for table/figure drivers.
+type Options struct {
+	Ctx  context.Context
+	Runs int
+}
+
+func (o Options) ctx() context.Context { return o.Ctx }
+
+func (o Options) minAvgCell(h Heuristic) int {
+	total := 0
+	for i := 0; i < o.Runs; i++ {
+		if o.ctx() != nil && o.ctx().Err() != nil {
+			break
+		}
+		total += h.Run(uint64(i))
+	}
+	return total
+}
+
+// CarrierThreaded hands each iteration to a method on the carrier, which
+// consults the Ctx it carries.
+func CarrierThreaded(o Options, hs []Heuristic) int {
+	total := 0
+	for _, h := range hs {
+		total += o.minAvgCell(h)
+	}
+	return total
+}
+
+// CarrierUnthreaded accepts the carrier but never lets its context reach
+// the sweep.
+func CarrierUnthreaded(o Options, h Heuristic) int {
+	total := 0
+	for i := 0; i < o.Runs; i++ { // want "cancellation cannot reach"
+		total += h.Run(uint64(i))
+	}
+	return total
+}
+
+// PassThrough threads ctx into the callee each start.
+func PassThrough(ctx context.Context, h Heuristic, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += observe(ctx, h.Run(uint64(i)))
+	}
+	return total
+}
+
+func observe(ctx context.Context, v int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return v
+}
+
+// Workers drains starts on a goroutine; the dispatcher consults ctx.
+func Workers(ctx context.Context, h Heuristic, n int) int {
+	next := make(chan int)
+	done := make(chan int)
+	go func() {
+		total := 0
+		for i := range next {
+			total += h.Run(uint64(i))
+		}
+		done <- total
+	}()
+	count := 0
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+			count++
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(next)
+	return count + <-done
+}
+
+// Mean is a pure reduction: no starts, no context needed.
+func Mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	return s / float64(len(xs))
+}
+
+//hglint:ignore ctxflow bounded demo sweep, always runs exactly three starts
+func TinySweep(h Heuristic) int {
+	total := 0
+	for i := 0; i < 3; i++ {
+		total += h.Run(uint64(i))
+	}
+	return total
+}

@@ -1,0 +1,14 @@
+// Fixture: a package outside the driver layer — ctxflow must stay silent.
+package other
+
+type Heuristic interface {
+	Run(seed uint64) int
+}
+
+func Sweep(h Heuristic, n int) int {
+	best := 0
+	for i := 0; i < n; i++ {
+		best += h.Run(uint64(i))
+	}
+	return best
+}

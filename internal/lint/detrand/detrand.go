@@ -1,0 +1,94 @@
+// Package detrand bans nondeterministic randomness and wall-clock reads
+// from the repository's algorithm packages.
+//
+// The paper's methodology requires every randomized implementation decision
+// to be replayable from a single seed. The library funnels all randomness
+// through internal/rng (a pinned xoshiro256** stream); an algorithm package
+// that imports math/rand (whose global stream is shared and whose sequence
+// is not stable across Go releases) or crypto/rand (true entropy), or that
+// derives behavior from time.Now, silently breaks that contract. Wall-clock
+// reads that only *measure* (never steer) a computation are legitimate in
+// timing/budget code and are annotated:
+//
+//	t0 := time.Now() //hglint:ignore detrand wall-clock only measures elapsed time
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"hgpart/internal/lint/analysis"
+)
+
+// AlgorithmPackages are the module-relative package roots in which results
+// must be a pure function of (input, seed). Subpackages are included.
+var AlgorithmPackages = []string{
+	"internal/core",
+	"internal/gain",
+	"internal/kway",
+	"internal/kwayfm",
+	"internal/multilevel",
+	"internal/partition",
+	"internal/spectral",
+	"internal/exact",
+	"internal/gen",
+	"internal/eval",
+}
+
+// bannedImports maps forbidden import paths to the reason they break
+// reproducibility.
+var bannedImports = map[string]string{
+	"math/rand":    "its global stream is shared and not stable across Go releases; draw from internal/rng",
+	"math/rand/v2": "its stream is not the pinned experiment stream; draw from internal/rng",
+	"crypto/rand":  "true entropy is unreplayable; draw from internal/rng",
+}
+
+// wallClockFuncs are time-package functions that read the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Tick": true, "After": true, "NewTicker": true, "NewTimer": true, "AfterFunc": true,
+}
+
+// Analyzer is the detrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid math/rand, crypto/rand and wall-clock reads in algorithm packages; all randomness must flow through internal/rng",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathMatchesAny(pass.Pkg.Path(), AlgorithmPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := bannedImports[path]; ok {
+				pass.Reportf(imp.Pos(), "algorithm package imports %s: %s", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"algorithm package reads the wall clock (time.%s); results must be a pure function of (input, seed) — keep wall-clock use in timing code and annotate it with //hglint:ignore detrand <reason>",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"hgpart/internal/lint/detrand"
+	"hgpart/internal/lint/linttest"
+)
+
+func TestDetrand(t *testing.T) {
+	linttest.Run(t, "testdata", detrand.Analyzer,
+		"hgpart/internal/kway",
+		"hgpart/internal/report",
+	)
+}

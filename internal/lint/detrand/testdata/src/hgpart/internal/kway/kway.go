@@ -1,0 +1,36 @@
+// Fixture: an algorithm package (path suffix internal/kway) exercising
+// every detrand rule.
+package kway
+
+import (
+	crand "crypto/rand" // want "algorithm package imports crypto/rand"
+	mrand "math/rand"   // want "algorithm package imports math/rand"
+	"time"
+)
+
+func shuffle(n int) int {
+	return mrand.Intn(n)
+}
+
+func entropy() []byte {
+	b := make([]byte, 8)
+	crand.Read(b)
+	return b
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "reads the wall clock"
+}
+
+func elapsed(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // want "reads the wall clock"
+}
+
+func annotatedTrailing(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() //hglint:ignore detrand wall-clock only measures elapsed time
+}
+
+func annotatedStandalone(t0 time.Time) float64 {
+	//hglint:ignore detrand wall-clock only measures elapsed time
+	return time.Since(t0).Seconds()
+}

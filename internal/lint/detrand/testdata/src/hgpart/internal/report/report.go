@@ -1,0 +1,14 @@
+// Fixture: NOT an algorithm package — detrand must stay silent here even
+// though both banned imports and wall-clock reads appear.
+package report
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Jitter() time.Duration {
+	return time.Duration(rand.Intn(10)) * time.Millisecond
+}
+
+func Stamp() time.Time { return time.Now() }

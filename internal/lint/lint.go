@@ -1,0 +1,26 @@
+// Package lint registers the repository's determinism and reproducibility
+// analyzers — the mechanical enforcement of the methodology's "make every
+// implicit decision explicit" demand. cmd/hglint runs them; see each
+// subpackage for what its analyzer enforces and DESIGN.md ("Static
+// enforcement of reproducibility") for the policy rationale.
+package lint
+
+import (
+	"hgpart/internal/lint/analysis"
+	"hgpart/internal/lint/ctxflow"
+	"hgpart/internal/lint/detrand"
+	"hgpart/internal/lint/mapiter"
+	"hgpart/internal/lint/panicdiscipline"
+	"hgpart/internal/lint/seedflow"
+)
+
+// Analyzers returns every analyzer of the suite, in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detrand.Analyzer,
+		mapiter.Analyzer,
+		seedflow.Analyzer,
+		panicdiscipline.Analyzer,
+		ctxflow.Analyzer,
+	}
+}

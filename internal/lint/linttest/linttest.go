@@ -1,0 +1,127 @@
+// Package linttest runs an analyzer over fixture packages and checks its
+// findings against // want comments, mirroring the x/tools analysistest
+// convention:
+//
+//	bad()  // want "regexp matching the finding message"
+//
+// A line may carry several quoted regexps, one per expected finding. Every
+// expectation must be matched by a finding on its line and every finding
+// must be matched by an expectation; any mismatch fails the test.
+//
+// Fixtures live under <testdata>/src/<pkgpath>/, with import paths equal to
+// the directory path below src — so a fixture directory
+// testdata/src/hgpart/internal/kway is analyzed as the package
+// "hgpart/internal/kway", which is how package-scoped analyzers are
+// exercised. Fixture imports resolve against the same src tree (stub
+// dependency packages) and then the standard library.
+package linttest
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hgpart/internal/lint/analysis"
+)
+
+// expectation is one // want entry.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+var quoteRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// Run analyzes the fixture packages pkgPaths under testdata/src with a and
+// reports any divergence from the // want expectations via t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	loader := analysis.NewLoader(src, "")
+	pkgs, err := loader.Load(pkgPaths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(pkgs) != len(pkgPaths) {
+		t.Fatalf("loaded %d packages for %d patterns", len(pkgs), len(pkgPaths))
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			wants = append(wants, parseWants(t, pkg, f)...)
+		}
+	}
+
+	findings, err := analysis.Run(src, pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, f := range findings {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.File && w.line == f.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func parseWants(t *testing.T, pkg *analysis.Package, f *ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	tf := pkg.Fset.File(f.Pos())
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			for _, q := range quoteRE.FindAllString(m[1], -1) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %s: %v", tf.Name(), pos.Line, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", tf.Name(), pos.Line, pat, err)
+				}
+				wants = append(wants, &expectation{
+					file: relToSrc(pkg, tf.Name()),
+					line: pos.Line,
+					re:   re,
+				})
+			}
+		}
+	}
+	return wants
+}
+
+// relToSrc converts an absolute fixture file name to the src-relative path
+// that analysis.Run reports (pkg.Dir is <src>/<pkgpath>).
+func relToSrc(pkg *analysis.Package, name string) string {
+	src := strings.TrimSuffix(filepath.ToSlash(pkg.Dir), "/"+pkg.PkgPath)
+	rel, err := filepath.Rel(src, name)
+	if err != nil {
+		return filepath.ToSlash(name)
+	}
+	return filepath.ToSlash(rel)
+}

@@ -1,0 +1,399 @@
+// Package mapiter flags range statements over maps whose loop body feeds a
+// result that depends on iteration order.
+//
+// Go randomizes map iteration order on purpose, so a map range that appends
+// to a slice, writes output, sends on a channel or accumulates a float makes
+// the program's observable result differ from run to run — the exact
+// nondeterminism the paper's reproducible-reporting methodology forbids
+// (tables and figures must be byte-comparable across runs and machines).
+//
+// The canonical repair is recognized and exempted automatically: collect the
+// keys, sort them, and iterate the sorted slice —
+//
+//	keys := make([]string, 0, len(m))
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Strings(keys) // ← makes the collection loop above clean
+//	for _, k := range keys { ... }
+//
+// A map range whose only order-dependent effect is collecting into slices
+// that are all sorted later in the same block is not reported. For the
+// simple collect-keys form the analyzer attaches a suggested fix inserting
+// the sort call (applied by hglint -fix). Anything else needs either a key
+// sort or an explicit //hglint:ignore mapiter <reason> annotation.
+package mapiter
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"hgpart/internal/lint/analysis"
+)
+
+// Analyzer is the mapiter pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "forbid result-affecting iteration over maps in unsorted key order (appends, output writes, channel sends, float accumulation)",
+	Run:  run,
+}
+
+// sink is one order-dependent effect inside a map-range body.
+type sink struct {
+	pos  token.Pos
+	desc string
+	// appendTo is the outer slice appended to, when the sink is an append
+	// (the only sink kind the sorted-later exemption applies to).
+	appendTo types.Object
+	// appendsKeyOnly reports that the append's sole added element is the
+	// range key variable itself (the collect-keys idiom).
+	appendsKeyOnly bool
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmts := stmtList(n)
+			for i, s := range stmts {
+				rs, ok := s.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				checkRange(pass, file, rs, stmts[i+1:])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// stmtList returns the statement list of nodes that carry one.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+func checkRange(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt, after []ast.Stmt) {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	sinks := collectSinks(pass, rs)
+	if len(sinks) == 0 {
+		return
+	}
+
+	// Sorted-later exemption: every sink is an append, and every appended-to
+	// slice is sorted in a following statement of the same block.
+	allSortedAppends := true
+	for _, s := range sinks {
+		if s.appendTo == nil || !sortedLater(pass, s.appendTo, after) {
+			allSortedAppends = false
+			break
+		}
+	}
+	if allSortedAppends {
+		return
+	}
+
+	d := analysis.Diagnostic{
+		Pos: rs.Pos(),
+		Message: fmt.Sprintf(
+			"range over map %s: %s depends on nondeterministic iteration order; iterate sorted keys or annotate //hglint:ignore mapiter <reason>",
+			exprString(pass, rs.X), sinks[0].desc),
+	}
+	if fix, ok := sortKeysFix(pass, file, rs, sinks); ok {
+		d.SuggestedFixes = []analysis.SuggestedFix{fix}
+	}
+	pass.Report(d)
+}
+
+// collectSinks walks the range body for order-dependent effects.
+func collectSinks(pass *analysis.Pass, rs *ast.RangeStmt) []sink {
+	var sinks []sink
+	keyObj := rangeKeyObject(pass, rs)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			sinks = append(sinks, assignSinks(pass, rs, n, keyObj)...)
+		case *ast.SendStmt:
+			sinks = append(sinks, sink{pos: n.Pos(), desc: "a channel send"})
+		case *ast.CallExpr:
+			if desc, ok := outputCall(pass, n); ok {
+				sinks = append(sinks, sink{pos: n.Pos(), desc: desc})
+			}
+		}
+		return true
+	})
+	return sinks
+}
+
+func rangeKeyObject(pass *analysis.Pass, rs *ast.RangeStmt) types.Object {
+	id, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+func assignSinks(pass *analysis.Pass, rs *ast.RangeStmt, as *ast.AssignStmt, keyObj types.Object) []sink {
+	var sinks []sink
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass, call) || i >= len(as.Lhs) {
+				continue
+			}
+			target := baseObject(pass, as.Lhs[i])
+			if target == nil || declaredWithin(target, rs) {
+				continue
+			}
+			keyOnly := len(call.Args) == 2 && !call.Ellipsis.IsValid() &&
+				keyObj != nil && baseObject(pass, call.Args[1]) == keyObj
+			sinks = append(sinks, sink{
+				pos:            as.Pos(),
+				desc:           fmt.Sprintf("an append to %s declared outside the loop", target.Name()),
+				appendTo:       target,
+				appendsKeyOnly: keyOnly,
+			})
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		// Float accumulation is order-dependent (float addition is not
+		// associative); integer accumulation is order-free and allowed.
+		for _, lhs := range as.Lhs {
+			target := baseObject(pass, lhs)
+			if target == nil || declaredWithin(target, rs) {
+				continue
+			}
+			if b, ok := target.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+				sinks = append(sinks, sink{
+					pos:  as.Pos(),
+					desc: fmt.Sprintf("a float accumulation into %s (float addition is not associative)", target.Name()),
+				})
+			}
+		}
+	}
+	return sinks
+}
+
+// outputCall reports calls that externalize data: fmt printers,
+// io.WriteString, and methods conventionally writing to a sink (Write*,
+// Encode, AddRow).
+func outputCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	name := fn.Name()
+	if fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt":
+			if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") {
+				return "output written via fmt." + name, true
+			}
+		case "io":
+			if name == "WriteString" {
+				return "output written via io.WriteString", true
+			}
+		}
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		switch {
+		case strings.HasPrefix(name, "Write"), name == "Encode", name == "AddRow":
+			return "output written via " + name, true
+		}
+	}
+	return "", false
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// baseObject resolves an expression to its root variable: x, x.f and x[i]
+// all resolve to x.
+func baseObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func declaredWithin(obj types.Object, n ast.Node) bool {
+	return obj.Pos() >= n.Pos() && obj.Pos() < n.End()
+}
+
+// sortedLater reports whether a sort call mentioning obj appears in the
+// statements following the range loop.
+func sortedLater(pass *analysis.Pass, obj types.Object, after []ast.Stmt) bool {
+	for _, s := range after {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				mentioned := false
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+						mentioned = true
+					}
+					return !mentioned
+				})
+				if mentioned {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// sortKeysFix builds the suggested fix for the collect-keys idiom: a single
+// append target collecting only the range key, with a sortable element
+// type. The fix inserts the matching sort call right after the loop.
+func sortKeysFix(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt, sinks []sink) (analysis.SuggestedFix, bool) {
+	var target types.Object
+	for _, s := range sinks {
+		if s.appendTo == nil || !s.appendsKeyOnly {
+			return analysis.SuggestedFix{}, false
+		}
+		if target != nil && s.appendTo != target {
+			return analysis.SuggestedFix{}, false
+		}
+		target = s.appendTo
+	}
+	if target == nil {
+		return analysis.SuggestedFix{}, false
+	}
+	slice, ok := target.Type().Underlying().(*types.Slice)
+	if !ok {
+		return analysis.SuggestedFix{}, false
+	}
+	elem, ok := slice.Elem().(*types.Basic)
+	if !ok {
+		return analysis.SuggestedFix{}, false
+	}
+	var sortFn string
+	switch elem.Kind() {
+	case types.String:
+		sortFn = "sort.Strings"
+	case types.Int:
+		sortFn = "sort.Ints"
+	case types.Float64:
+		sortFn = "sort.Float64s"
+	default:
+		return analysis.SuggestedFix{}, false
+	}
+
+	indent := strings.Repeat("\t", pass.Fset.Position(rs.Pos()).Column-1)
+	insert := fmt.Sprintf("\n%s%s(%s)", indent, sortFn, target.Name())
+	edits := []analysis.TextEdit{{Pos: rs.End(), End: rs.End(), NewText: []byte(insert)}}
+	if edit, ok := ensureImport(file, "sort"); ok {
+		edits = append(edits, edit)
+	} else if !hasImport(file, "sort") {
+		return analysis.SuggestedFix{}, false
+	}
+	return analysis.SuggestedFix{
+		Message:   fmt.Sprintf("sort the collected keys: insert %s(%s) after the loop", sortFn, target.Name()),
+		TextEdits: edits,
+	}, true
+}
+
+func hasImport(file *ast.File, path string) bool {
+	for _, imp := range file.Imports {
+		if p, err := strconv.Unquote(imp.Path.Value); err == nil && p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// ensureImport returns an edit adding path to the file's parenthesized
+// import block, or ok=false when the import already exists or there is no
+// block to extend.
+func ensureImport(file *ast.File, path string) (analysis.TextEdit, bool) {
+	if hasImport(file, path) {
+		return analysis.TextEdit{}, false
+	}
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT || !gd.Lparen.IsValid() || len(gd.Specs) == 0 {
+			continue
+		}
+		last := gd.Specs[len(gd.Specs)-1]
+		text := fmt.Sprintf("\n\t%q", path)
+		return analysis.TextEdit{Pos: last.End(), End: last.End(), NewText: []byte(text)}, true
+	}
+	return analysis.TextEdit{}, false
+}
+
+func exprString(pass *analysis.Pass, e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		return exprString(pass, sel.X) + "." + sel.Sel.Name
+	}
+	return "expression"
+}

@@ -1,0 +1,90 @@
+package mapiter_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hgpart/internal/lint/analysis"
+	"hgpart/internal/lint/linttest"
+	"hgpart/internal/lint/mapiter"
+)
+
+func TestMapiter(t *testing.T) {
+	linttest.Run(t, "testdata", mapiter.Analyzer, "mapitertest", "mapiterfix")
+}
+
+// TestSortKeysFix applies the suggested fix to a copy of the mapiterfix
+// fixture and checks the rewritten file sorts the keys, imports sort, and
+// still parses.
+func TestSortKeysFix(t *testing.T) {
+	tmp := t.TempDir()
+	dir := filepath.Join(tmp, "src", "mapiterfix")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "mapiterfix", "fix.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := filepath.Join(dir, "fix.go")
+	if err := os.WriteFile(target, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	loader := analysis.NewLoader(filepath.Join(tmp, "src"), "")
+	pkgs, err := loader.Load("mapiterfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run(filepath.Join(tmp, "src"), pkgs, []*analysis.Analyzer{mapiter.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	if len(findings[0].Fixes) != 1 {
+		t.Fatalf("finding carries %d fixes, want 1", len(findings[0].Fixes))
+	}
+
+	changed, err := analysis.ApplyFixes(loader.Fset(), findings)
+	if err != nil {
+		t.Fatalf("applying fixes: %v", err)
+	}
+	if len(changed) != 1 {
+		t.Fatalf("changed %d files, want 1: %v", len(changed), changed)
+	}
+
+	fixed, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(fixed)
+	if !strings.Contains(text, "sort.Ints(keys)") {
+		t.Errorf("fixed file lacks sort.Ints(keys):\n%s", text)
+	}
+	if !strings.Contains(text, `"sort"`) {
+		t.Errorf("fixed file lacks the sort import:\n%s", text)
+	}
+	if _, err := parser.ParseFile(token.NewFileSet(), target, fixed, 0); err != nil {
+		t.Errorf("fixed file no longer parses: %v", err)
+	}
+
+	// The fixed fixture must now be clean.
+	loader2 := analysis.NewLoader(filepath.Join(tmp, "src"), "")
+	pkgs2, err := loader2.Load("mapiterfix")
+	if err != nil {
+		t.Fatalf("reloading fixed fixture: %v", err)
+	}
+	after, err := analysis.Run(filepath.Join(tmp, "src"), pkgs2, []*analysis.Analyzer{mapiter.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != 0 {
+		t.Errorf("fixed fixture still has findings: %v", after)
+	}
+}

@@ -1,0 +1,16 @@
+// Fixture for the suggested fix: collect-keys idiom with no "sort" import,
+// so the fix must both insert the sort call and extend the import block.
+package mapiterfix
+
+import (
+	"fmt"
+)
+
+func Collect(m map[int]string) []int {
+	var keys []int
+	for k := range m { // want "range over map m"
+		keys = append(keys, k)
+	}
+	fmt.Println(keys)
+	return keys
+}

@@ -1,0 +1,96 @@
+// Fixture: every mapiter sink kind plus the exemptions.
+package mapitertest
+
+import (
+	"fmt"
+	"sort"
+)
+
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "range over map m"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // clean: sorted in a following statement
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectSortedSlice(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // clean: sort.Slice mentions the target
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func printLoop(m map[string]int) {
+	for k, v := range m { // want "range over map m"
+		fmt.Println(k, v)
+	}
+}
+
+func floatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "range over map m"
+		sum += v
+	}
+	return sum
+}
+
+func intAccum(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // clean: integer accumulation is order-free
+		sum += v
+	}
+	return sum
+}
+
+func sendLoop(m map[string]int, ch chan string) {
+	for k := range m { // want "range over map m"
+		ch <- k
+	}
+}
+
+func annotated(m map[string]int) []string {
+	var keys []string
+	//hglint:ignore mapiter key order is irrelevant for this probe
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func buildIndex(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m { // clean: keyed writes are order-free
+		inv[v] = k
+	}
+	return inv
+}
+
+func localOnly(m map[string]int) int {
+	n := 0
+	for k := range m { // clean: append target is loop-local
+		parts := []byte(k)
+		parts = append(parts, '.')
+		n += len(parts)
+	}
+	return n
+}
+
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs { // clean: not a map
+		out = append(out, x)
+	}
+	return out
+}

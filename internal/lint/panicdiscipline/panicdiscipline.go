@@ -1,0 +1,103 @@
+// Package panicdiscipline enforces the repository's panic boundary policy
+// (DESIGN.md "Boundary policy from the panic audit"): user-reachable code —
+// command-line tools and the netlist parsers that consume arbitrary user
+// bytes — validates input and returns errors; it never panics on bad data.
+//
+// Within those packages a panic is allowed only when it is
+//
+//   - a *core.InvariantViolation (the structured internal-corruption signal
+//     the evaluation harness knows how to recover), or
+//   - inside an init function or a must*/Must* helper, whose documented
+//     contract is to crash on programmer error during setup.
+//
+// Everything else must surface as an error. Deeper internal packages keep
+// panicking on out-of-contract arguments (programming errors); they are not
+// in this analyzer's scope.
+package panicdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hgpart/internal/lint/analysis"
+)
+
+// UserReachablePackages are the module-relative package roots where user
+// input arrives: the CLI binaries and the netlist parsers.
+var UserReachablePackages = []string{
+	"cmd",
+	"internal/netlist",
+}
+
+// Analyzer is the panicdiscipline pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "panicdiscipline",
+	Doc:  "in user-reachable packages (cmd, internal/netlist), panic only with *core.InvariantViolation or inside init/must* helpers; user input gets errors",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathMatchesAny(pass.Pkg.Path(), UserReachablePackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if exemptFunc(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				if len(call.Args) == 1 && isInvariantViolation(pass, call.Args[0]) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"panic in user-reachable package %s: boundary policy is to validate input and return an error (or panic with *core.InvariantViolation, or move the check into an init/must* helper)",
+					pass.Pkg.Path())
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func exemptFunc(name string) bool {
+	return name == "init" || strings.HasPrefix(name, "must") || strings.HasPrefix(name, "Must")
+}
+
+// isInvariantViolation reports whether the expression's type is
+// core.InvariantViolation or a pointer to it.
+func isInvariantViolation(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "InvariantViolation" || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == "internal/core" || strings.HasSuffix(p, "/internal/core")
+}

@@ -1,0 +1,15 @@
+package panicdiscipline_test
+
+import (
+	"testing"
+
+	"hgpart/internal/lint/linttest"
+	"hgpart/internal/lint/panicdiscipline"
+)
+
+func TestPanicDiscipline(t *testing.T) {
+	linttest.Run(t, "testdata", panicdiscipline.Analyzer,
+		"hgpart/cmd/ptool",
+		"hgpart/internal/engine",
+	)
+}

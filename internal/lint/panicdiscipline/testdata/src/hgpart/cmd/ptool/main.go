@@ -1,0 +1,50 @@
+// Fixture: a user-reachable CLI package exercising the panic boundary
+// policy.
+package main
+
+import "hgpart/internal/core"
+
+func main() {
+	if bad() {
+		panic("boom") // want "panic in user-reachable package"
+	}
+	run()
+}
+
+func bad() bool { return false }
+
+func run() {
+	panic("cannot parse input") // want "panic in user-reachable package"
+}
+
+func checkInvariant() {
+	panic(&core.InvariantViolation{Kind: "cut mismatch"}) // clean: structured invariant signal
+}
+
+func checkInvariantValue() {
+	panic(core.InvariantViolation{Kind: "cut mismatch"}) // clean: value form allowed too
+}
+
+func mustParse(s string) string {
+	if s == "" {
+		panic("empty flag value") // clean: must* helper crashes on programmer error
+	}
+	return s
+}
+
+func MustEnv(k string) string {
+	if k == "" {
+		panic("empty key") // clean: Must* helper
+	}
+	return k
+}
+
+func init() {
+	if bad() {
+		panic("inconsistent build configuration") // clean: init-time setup
+	}
+}
+
+func annotated() {
+	panic("legacy path") //hglint:ignore panicdiscipline scheduled for removal, tracked in ROADMAP
+}

@@ -1,0 +1,7 @@
+// Stub of the real internal/core package: the structured panic payload the
+// boundary policy permits.
+package core
+
+type InvariantViolation struct{ Kind string }
+
+func (e *InvariantViolation) Error() string { return e.Kind }

@@ -1,0 +1,10 @@
+// Fixture: a deep internal package, outside the user-reachable set — panics
+// on contract violations are the documented policy here.
+package engine
+
+func Step(n int) int {
+	if n < 0 {
+		panic("Step: negative n (caller bug)")
+	}
+	return n + 1
+}

@@ -1,0 +1,115 @@
+// Package seedflow enforces the parallel-seed discipline: a *rng.RNG is a
+// mutable stream owned by exactly one goroutine.
+//
+// Worker-count invariance — the property that a multistart sweep produces
+// identical results at -workers=1 and -workers=8 — holds only because
+// parallel work pre-splits seeds: start i derives its generator from the
+// i-th split of the root seed before any goroutine launches
+// (eval.RunMultistart's contract). A goroutine that captures a shared
+// generator, or a generator sent through a channel, draws from the stream
+// in scheduler order and silently destroys that invariance. The analyzer
+// flags:
+//
+//   - a `go` closure capturing an outer *rng.RNG variable;
+//   - a `go f(r)` call passing an existing *rng.RNG variable (as opposed to
+//     a fresh r.Split() / rng.New(seed) expression evaluated at spawn);
+//   - sending a *rng.RNG on a channel.
+//
+// The fix is always the same: split or reseed before going parallel, and
+// move seeds — plain uint64s — across goroutine boundaries instead of
+// generators.
+package seedflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hgpart/internal/lint/analysis"
+)
+
+// Analyzer is the seedflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedflow",
+	Doc:  "forbid sharing *rng.RNG across goroutines (closure capture, go-call arguments, channel sends); parallel work must pre-split seeds",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				checkGo(pass, n)
+			case *ast.SendStmt:
+				if tv, ok := pass.TypesInfo.Types[n.Value]; ok && isRNG(tv.Type) {
+					pass.Reportf(n.Pos(),
+						"*rng.RNG sent on a channel: generators are single-owner; send a seed (uint64) and reconstruct with rng.New on the receiving side")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGo(pass *analysis.Pass, g *ast.GoStmt) {
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		checkCapture(pass, lit)
+	}
+	for _, arg := range g.Call.Args {
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || !isRNG(tv.Type) {
+			continue
+		}
+		// A call expression (r.Split(), rng.New(seed)) hands the goroutine a
+		// fresh generator it exclusively owns — the sanctioned pattern. A
+		// plain variable shares live state with the spawner.
+		if _, fresh := arg.(*ast.CallExpr); fresh {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"*rng.RNG passed to a goroutine: the spawner and the goroutine would share one stream; pass r.Split() or a pre-split seed instead")
+	}
+}
+
+// checkCapture reports uses, inside the goroutine's closure, of RNG-typed
+// variables declared outside it.
+func checkCapture(pass *analysis.Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || !isRNG(obj.Type()) {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true // the closure's own parameter or local
+		}
+		pass.Reportf(id.Pos(),
+			"goroutine captures *rng.RNG %s from the enclosing scope: results now depend on goroutine scheduling; pre-split seeds (rng.Split) before going parallel", id.Name)
+		return true
+	})
+}
+
+// isRNG reports whether t is rng.RNG or *rng.RNG from the internal/rng
+// package.
+func isRNG(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	} else if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "RNG" || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == "internal/rng" || strings.HasSuffix(p, "/internal/rng")
+}

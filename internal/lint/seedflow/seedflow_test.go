@@ -1,0 +1,12 @@
+package seedflow_test
+
+import (
+	"testing"
+
+	"hgpart/internal/lint/linttest"
+	"hgpart/internal/lint/seedflow"
+)
+
+func TestSeedflow(t *testing.T) {
+	linttest.Run(t, "testdata", seedflow.Analyzer, "seedflowtest")
+}

@@ -1,0 +1,11 @@
+// Stub of the real internal/rng package: just enough surface for the
+// seedflow fixtures (the analyzer matches the type by name and path suffix).
+package rng
+
+type RNG struct{ s uint64 }
+
+func New(seed uint64) *RNG { return &RNG{s: seed} }
+
+func (r *RNG) Uint64() uint64 { r.s++; return r.s }
+
+func (r *RNG) Split() *RNG { return New(r.Uint64()) }

@@ -1,0 +1,47 @@
+// Fixture: sharing violations and the sanctioned pre-split patterns.
+package seedflowtest
+
+import "hgpart/internal/rng"
+
+func capture(r *rng.RNG) {
+	go func() {
+		_ = r.Uint64() // want "goroutine captures \\*rng.RNG r"
+	}()
+}
+
+func passShared(r *rng.RNG) {
+	go worker(r) // want "passed to a goroutine"
+}
+
+func passSplit(r *rng.RNG) {
+	go worker(r.Split()) // clean: fresh generator per goroutine
+}
+
+func passFresh(seed uint64) {
+	go worker(rng.New(seed)) // clean: constructed at spawn
+}
+
+func send(ch chan *rng.RNG, r *rng.RNG) {
+	ch <- r // want "sent on a channel"
+}
+
+func ownParam(seed uint64) {
+	go func(r *rng.RNG) {
+		_ = r.Uint64() // clean: the closure's own parameter
+	}(rng.New(seed))
+}
+
+func ownLocal(seed uint64) {
+	go func() {
+		r := rng.New(seed)
+		_ = r.Uint64() // clean: declared inside the goroutine
+	}()
+}
+
+func annotated(r *rng.RNG) {
+	go func() {
+		_ = r.Uint64() //hglint:ignore seedflow single goroutine owns r after this point
+	}()
+}
+
+func worker(r *rng.RNG) { _ = r.Uint64() }
