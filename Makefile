@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fuzz bench ci
+.PHONY: all build test race vet lint fuzz bench bench-smoke bench-go ci
 
 all: build
 
@@ -32,9 +32,23 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParseNetD -fuzztime=10s ./internal/netlist
 	$(GO) test -run=^$$ -fuzz=FuzzParseBookshelf -fuzztime=10s ./internal/netlist
 
+# Reproducible micro-suite benchmark (cmd/hgbench): fixed seeds, warmup,
+# median-of-k ns/move and allocs/move for the frozen-reference vs optimized
+# engine pairs. Refreshes the committed baseline.
 bench:
+	$(GO) run ./cmd/hgbench -out BENCH_pr3.json
+
+# CI gate: a quick run that must show zero steady-state allocations on the
+# zero-alloc cases and no case more than 10% slower (ns/move, normalized by
+# the co-measured frozen reference to cancel machine-state drift) than the
+# committed BENCH_pr3.json baseline.
+bench-smoke:
+	$(GO) run ./cmd/hgbench -reps 5 -warmup 1 -assert-zero-allocs -check BENCH_pr3.json -tolerance 0.10
+
+# Plain go-test benchmarks across all packages.
+bench-go:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
-# What CI runs: build, static checks (vet + hglint), and the full test suite
-# under the race detector.
-ci: build lint race
+# What CI runs: build, static checks (vet + hglint), the full test suite
+# under the race detector, and the benchmark smoke gate.
+ci: build lint race bench-smoke

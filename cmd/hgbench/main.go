@@ -1,0 +1,139 @@
+// Command hgbench runs the pinned performance micro-suite (internal/perf)
+// and reports ns/move and allocs/move for the frozen reference FM
+// implementations versus the optimized arena engines.
+//
+// Typical uses:
+//
+//	hgbench -out BENCH_pr3.json                # refresh the committed baseline
+//	hgbench -reps 3 -warmup 1 \
+//	        -check BENCH_pr3.json -assert-zero-allocs
+//	                                           # CI smoke: fail on >10% ns/move
+//	                                           # regression or any steady-state
+//	                                           # allocation in a pinned case
+//
+// The emitted JSON carries no timestamps or host identity — only schema,
+// toolchain, platform and measured numbers — so reruns on the same machine
+// and toolchain are comparable byte-for-byte up to timing jitter.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hgpart/internal/perf"
+)
+
+func main() {
+	var (
+		reps            = flag.Int("reps", 5, "measured repetitions per case (ns/move is the median)")
+		warmup          = flag.Int("warmup", 2, "discarded warmup runs per case (sizes the arenas)")
+		out             = flag.String("out", "", "write the JSON report to this file")
+		check           = flag.String("check", "", "compare against a committed baseline report and fail on regression")
+		tolerance       = flag.Float64("tolerance", 0.10, "allowed fractional ns/move regression in -check mode")
+		assertZeroAlloc = flag.Bool("assert-zero-allocs", false, "fail unless steady-state cases measured exactly 0 allocs/move")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "hgbench: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+	if *reps < 1 || *warmup < 0 {
+		fmt.Fprintln(os.Stderr, "hgbench: need -reps >= 1 and -warmup >= 0")
+		os.Exit(2)
+	}
+
+	// Read the baseline before measuring anything: a missing or malformed
+	// -check file should fail in milliseconds, not after the full suite.
+	var baseline perf.Report
+	if *check != "" {
+		var err error
+		baseline, err = readReport(*check)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hgbench: %v\n", err)
+			os.Exit(1)
+		}
+		if baseline.Suite != perf.MicroSuiteName {
+			fmt.Fprintf(os.Stderr, "hgbench: baseline suite %q does not match current suite %q\n",
+				baseline.Suite, perf.MicroSuiteName)
+			os.Exit(1)
+		}
+	}
+
+	runner := perf.Runner{Warmup: *warmup, Reps: *reps}
+	cases := perf.MicroSuite()
+	report, err := runner.RunSuite(perf.MicroSuiteName, cases)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hgbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	printTable(report)
+
+	failed := false
+	if *assertZeroAlloc {
+		if problems := perf.CheckZeroAllocs(report, cases); len(problems) != 0 {
+			fmt.Fprintf(os.Stderr, "hgbench: zero-alloc assertion failed:\n  %s\n", strings.Join(problems, "\n  "))
+			failed = true
+		} else {
+			fmt.Println("zero-alloc assertion: ok")
+		}
+	}
+	if *check != "" {
+		if problems := perf.CheckRegression(report, baseline, *tolerance); len(problems) != 0 {
+			fmt.Fprintf(os.Stderr, "hgbench: regression check against %s failed:\n  %s\n",
+				*check, strings.Join(problems, "\n  "))
+			failed = true
+		} else {
+			fmt.Printf("regression check against %s: ok (tolerance %.0f%%)\n", *check, *tolerance*100)
+		}
+	}
+	if *out != "" {
+		if err := writeReport(*out, report); err != nil {
+			fmt.Fprintf(os.Stderr, "hgbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func printTable(r perf.Report) {
+	fmt.Printf("suite %s  %s %s/%s  warmup=%d reps=%d\n",
+		r.Suite, r.GoVersion, r.GOOS, r.GOARCH, r.Warmup, r.Reps)
+	fmt.Printf("%-26s %12s %12s %8s %14s %10s\n",
+		"case", "ref ns/move", "opt ns/move", "speedup", "opt allocs/mv", "moves")
+	for _, c := range r.Cases {
+		fmt.Printf("%-26s %12.1f %12.1f %7.2fx %14.6f %10d\n",
+			c.Name, c.Reference.NsPerMove, c.Optimized.NsPerMove, c.Speedup,
+			c.Optimized.AllocsPerMove, c.Optimized.Moves)
+	}
+	fmt.Printf("geomean speedup: %.2fx\n", r.GeomeanSpeedup)
+}
+
+func readReport(path string) (perf.Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return perf.Report{}, err
+	}
+	var r perf.Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return perf.Report{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if r.Schema != perf.SchemaV1 {
+		return perf.Report{}, fmt.Errorf("%s: unsupported schema %q (want %q)", path, r.Schema, perf.SchemaV1)
+	}
+	return r, nil
+}
+
+func writeReport(path string, r perf.Report) error {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -94,3 +94,29 @@ func TestRunToRunDeterminism(t *testing.T) {
 		t.Errorf("two identical invocations differ\n--- first ---\n%s--- second ---\n%s", first, second)
 	}
 }
+
+// The optimized arena engine must be a pure performance change: with the same
+// seed, `-impl optimized` (the default) and `-impl reference` (the frozen seed
+// implementation) must emit byte-identical reports — same cuts, same
+// balances, same best-start indices — across every engine and the direct
+// k-way refinement path. This is the end-to-end face of the package-level
+// differential tests in internal/core and internal/kwayfm.
+func TestImplEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the hgpart binary")
+	}
+	cases := [][]string{
+		{"-engine", "ml", "-ibm", "1", "-scale", "0.1", "-starts", "6", "-seed", "17", "-q"},
+		{"-engine", "flat", "-ibm", "1", "-scale", "0.1", "-starts", "6", "-seed", "17", "-q"},
+		{"-engine", "clip", "-ibm", "1", "-scale", "0.1", "-starts", "6", "-seed", "17", "-q"},
+		{"-k", "4", "-krefine", "-ibm", "1", "-scale", "0.1", "-starts", "2", "-seed", "19", "-q"},
+	}
+	for _, args := range cases {
+		optimized := runHgpart(t, append([]string{"-impl", "optimized"}, args...)...)
+		reference := runHgpart(t, append([]string{"-impl", "reference"}, args...)...)
+		if optimized != reference {
+			t.Errorf("%v: -impl optimized and -impl reference reports differ\n--- optimized ---\n%s--- reference ---\n%s",
+				args, optimized, reference)
+		}
+	}
+}

@@ -41,6 +41,7 @@ func main() {
 		starts  = flag.Int("starts", 1, "independent starts; best kept")
 		vcycles = flag.Int("vcycles", 1, "V-cycles on the best solution (ML engine)")
 		engine  = flag.String("engine", "ml", "engine: ml, flat, clip, spectral")
+		impl    = flag.String("impl", "optimized", "FM implementation: optimized (arena engine) or reference (frozen seed); results are bit-identical")
 		k       = flag.Int("k", 2, "number of parts (k>2 uses recursive bisection)")
 		refineK = flag.Bool("krefine", false, "direct k-way FM refinement after recursive bisection")
 		seed    = flag.Uint64("seed", 1, "random seed")
@@ -67,6 +68,10 @@ func main() {
 	if *resume && *checkpoint == "" {
 		fatal(fmt.Errorf("-resume requires -checkpoint <file>"))
 	}
+	if *impl != "optimized" && *impl != "reference" {
+		fatal(fmt.Errorf("-impl %q must be optimized or reference", *impl))
+	}
+	reference := *impl == "reference"
 
 	h, err := loadInstance(*inPath, *arePath, *ibm, *scale, *seed)
 	if err != nil {
@@ -77,7 +82,7 @@ func main() {
 	}
 
 	if *k > 2 {
-		runKWay(h, *k, *tol, *starts, *refineK, *seed)
+		runKWay(h, *k, *tol, *starts, *refineK, *seed, reference)
 		return
 	}
 
@@ -98,7 +103,7 @@ func main() {
 	}
 
 	if *traceTo != "" && (*engine == "flat" || *engine == "clip") {
-		runTraced(h, bal, *engine, *traceTo, *seed)
+		runTraced(h, bal, *engine, *traceTo, *seed, reference)
 		return
 	}
 
@@ -116,17 +121,18 @@ func main() {
 
 	if *timeout > 0 || *workers != 0 || *checkpoint != "" || *retries > 0 || *checkInv {
 		runRobust(h, bal, *engine, *starts, *vcycles, *seed,
-			*timeout, *workers, *checkpoint, *resume, *retries, *checkInv)
+			*timeout, *workers, *checkpoint, *resume, *retries, *checkInv, reference)
 		return
 	}
 
 	t0 := time.Now()
 	p, res, err := hgpart.Bisect(h, hgpart.BisectOptions{
-		Tolerance: *tol,
-		Starts:    *starts,
-		VCycles:   *vcycles,
-		Engine:    kind,
-		Seed:      *seed,
+		Tolerance:     *tol,
+		Starts:        *starts,
+		VCycles:       *vcycles,
+		Engine:        kind,
+		Seed:          *seed,
+		ReferenceImpl: reference,
 	})
 	if err != nil {
 		fatal(err)
@@ -145,9 +151,10 @@ func main() {
 // invariant verification and checkpoint/resume.
 func runRobust(h *hgpart.Hypergraph, bal hgpart.Balance, engine string, starts, vcycles int,
 	seed uint64, timeout time.Duration, workers int, checkpointPath string, resume bool,
-	retries int, checkInv bool) {
+	retries int, checkInv bool, reference bool) {
 	cfg := hgpart.StrongFMConfig(engine == "clip")
 	cfg.CheckInvariants = checkInv
+	cfg.ReferenceImpl = reference
 	factory := func() hgpart.Heuristic {
 		if engine == "ml" {
 			return hgpart.NewMLHeuristic("ML", h, hgpart.MLConfig{Refine: cfg}, bal, vcycles)
@@ -217,13 +224,16 @@ func printSides(p *hgpart.Partition, total int64) {
 }
 
 // runKWay handles -k > 2 via recursive bisection.
-func runKWay(h *hgpart.Hypergraph, k int, tol float64, starts int, refine bool, seed uint64) {
-	t0 := time.Now()
-	res, err := hgpart.PartitionKWay(h, k, hgpart.KWayConfig{
+func runKWay(h *hgpart.Hypergraph, k int, tol float64, starts int, refine bool, seed uint64, reference bool) {
+	cfg := hgpart.KWayConfig{
 		Tolerance:    tol,
 		Starts:       starts,
 		DirectRefine: refine,
-	}, hgpart.NewRNG(seed))
+	}
+	cfg.Refine = hgpart.StrongFMConfig(false)
+	cfg.Refine.ReferenceImpl = reference
+	t0 := time.Now()
+	res, err := hgpart.PartitionKWay(h, k, cfg, hgpart.NewRNG(seed))
 	if err != nil {
 		fatal(err)
 	}
@@ -239,8 +249,9 @@ func runKWay(h *hgpart.Hypergraph, k int, tol float64, starts int, refine bool, 
 }
 
 // runTraced runs a single traced flat start and writes the pass CSV.
-func runTraced(h *hgpart.Hypergraph, bal hgpart.Balance, engine, path string, seed uint64) {
+func runTraced(h *hgpart.Hypergraph, bal hgpart.Balance, engine, path string, seed uint64, reference bool) {
 	cfg := hgpart.StrongFMConfig(engine == "clip")
+	cfg.ReferenceImpl = reference
 	r := hgpart.NewRNG(seed)
 	eng := hgpart.NewFMEngine(h, cfg, bal, r)
 	rec := &hgpart.TraceRecorder{KeepTrajectories: true}

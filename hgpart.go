@@ -206,6 +206,11 @@ type BisectOptions struct {
 	Engine EngineKind
 	// Seed drives all randomization (default 1).
 	Seed uint64
+	// ReferenceImpl runs the frozen seed FM implementation instead of the
+	// arena-based engine. Results are bit-identical either way (the
+	// differential tests enforce it); the reference exists for exactly that
+	// comparison, and for honest before/after timing via cmd/hgbench.
+	ReferenceImpl bool
 }
 
 // BisectResult reports the outcome of Bisect.
@@ -239,11 +244,17 @@ func Bisect(h *Hypergraph, opt BisectOptions) (*Partition, BisectResult, error) 
 	var heur eval.Heuristic
 	switch opt.Engine {
 	case EngineML:
-		heur = eval.NewML("ML", h, multilevel.Config{Refine: core.StrongConfig(false)}, bal, opt.VCycles)
+		refine := core.StrongConfig(false)
+		refine.ReferenceImpl = opt.ReferenceImpl
+		heur = eval.NewML("ML", h, multilevel.Config{Refine: refine}, bal, opt.VCycles)
 	case EngineFlatFM:
-		heur = eval.NewFlat("flat-FM", h, core.StrongConfig(false), bal, r.Split())
+		cfg := core.StrongConfig(false)
+		cfg.ReferenceImpl = opt.ReferenceImpl
+		heur = eval.NewFlat("flat-FM", h, cfg, bal, r.Split())
 	case EngineFlatCLIP:
-		heur = eval.NewFlat("flat-CLIP", h, core.StrongConfig(true), bal, r.Split())
+		cfg := core.StrongConfig(true)
+		cfg.ReferenceImpl = opt.ReferenceImpl
+		heur = eval.NewFlat("flat-CLIP", h, cfg, bal, r.Split())
 	default:
 		return nil, BisectResult{}, fmt.Errorf("hgpart: unknown engine %d", opt.Engine)
 	}

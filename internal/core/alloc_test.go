@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+
+	"hgpart/internal/partition"
+	"hgpart/internal/rng"
+)
+
+// TestEngineSteadyStateDoesNotAllocate: once an engine's arenas are sized
+// (gain container, locked flags, gain buffer, move stack), running further
+// starts must not allocate at all — the multistart harness reuses one
+// engine per worker, and pass-loop allocations are exactly what the
+// hot-path rework eliminated. cmd/hgbench asserts the same property on the
+// pinned micro-suite; this test keeps it from regressing at the unit level.
+func TestEngineSteadyStateDoesNotAllocate(t *testing.T) {
+	h := randomGraph(91, 300, 450, 4)
+	bal := partition.NewBalance(h.TotalVertexWeight(), 0.10)
+	for _, cfg := range []Config{StrongConfig(false), StrongConfig(true), NaiveConfig(false)} {
+		eng := NewEngine(h, cfg, bal, rng.New(1))
+		p := partition.New(h)
+		p.RandomBalanced(rng.New(7), bal)
+		start := p.Sides()
+
+		rerun := func() {
+			if err := p.Assign(start); err != nil {
+				t.Fatal(err)
+			}
+			eng.Run(p)
+		}
+		for i := 0; i < 3; i++ {
+			rerun() // size the move stack and container arenas
+		}
+		if allocs := testing.AllocsPerRun(5, rerun); allocs != 0 {
+			t.Errorf("%v: steady-state Run allocates %.1f times per start, want 0", cfg, allocs)
+		}
+	}
+}

@@ -2,12 +2,16 @@ package core
 
 import "hgpart/internal/partition"
 
-// Boundary-only refinement support (Config.BoundaryOnly).
+// Boundary-only refinement support (Config.BoundaryOnly). These helpers run
+// mid-pass and therefore read the engine's partition mirror — the source of
+// truth while a pass is in flight; p supplies only the fixed-vertex flags,
+// which never change during a pass.
 
 // isBoundary reports whether v is incident to at least one cut net.
-func (e *Engine) isBoundary(p *partition.P, v int32) bool {
+func (e *Engine) isBoundary(v int32) bool {
 	for _, edge := range e.h.IncidentEdges(v) {
-		if p.SideCount(edge, 0) > 0 && p.SideCount(edge, 1) > 0 {
+		c := e.cnt[edge]
+		if c[0] > 0 && c[1] > 0 {
 			return true
 		}
 	}
@@ -20,9 +24,9 @@ func (e *Engine) isBoundary(p *partition.P, v int32) bool {
 // at their full current gain (or at zero under CLIP, matching the CLIP
 // convention that container keys are cumulative deltas since insertion).
 func (e *Engine) insertNewBoundary(p *partition.P, v int32, slack int64) {
-	to := p.Side(v) // already moved
+	to := e.side[v] // already moved
 	for _, edge := range e.h.IncidentEdges(v) {
-		if p.SideCount(edge, to) != 1 || e.h.EdgeSize(edge) < 2 {
+		if e.cnt[edge][to] != 1 || e.h.EdgeSize(edge) < 2 {
 			continue // this net did not just become cut
 		}
 		for _, y := range e.h.Pins(edge) {
@@ -33,9 +37,9 @@ func (e *Engine) insertNewBoundary(p *partition.P, v int32, slack int64) {
 				continue
 			}
 			if e.cfg.CLIP {
-				e.cont.Insert(y, p.Side(y), 0)
+				e.cont.Insert(y, e.side[y], 0)
 			} else {
-				e.cont.Insert(y, p.Side(y), p.Gain(y))
+				e.cont.Insert(y, e.side[y], e.mirrorGain(y))
 			}
 		}
 	}

@@ -187,6 +187,18 @@ type Config struct {
 	// engine, not as a flat partitioner.
 	BoundaryOnly bool
 
+	// ReferenceImpl runs the frozen seed implementation of the pass loop
+	// (reference.go) on the legacy gain container instead of the optimized
+	// hot path. The two paths are bit-identical by construction — same move
+	// sequence, cut, work count and cork trace for any seed — which the
+	// differential test layer enforces; the reference path simply allocates
+	// and recomputes the straightforward way. cmd/hgbench times both to
+	// report the speedup; it is not a knob the paper's tables vary, so
+	// Config.String() deliberately omits it (reports must be byte-identical
+	// across implementations). Incompatible with LookaheadDepth >= 2 and
+	// BoundaryOnly, which postdate the seed.
+	ReferenceImpl bool
+
 	// CheckInvariants enables debug mode: after every pass the engine
 	// cross-checks the incremental partition state (cut, per-net side counts,
 	// areas) against a from-scratch recomputation and verifies the gain

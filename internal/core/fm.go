@@ -51,10 +51,27 @@ type Engine struct {
 	r   *rng.RNG
 
 	cont      *gain.Container
+	refCont   *gain.LegacyContainer // reference path only (Config.ReferenceImpl)
 	locked    []bool
+	gainBuf   []int64 // per-vertex initial gains, filled net-centrically
 	moveStack []int32
 	work      int64
 	corks     int64
+
+	// Partition mirror: during an optimized pass the engine is the source of
+	// truth for side assignment, per-net side pin counts, side areas and the
+	// running cut. Owning the state lets one sweep per move update counts,
+	// cut and neighbor gains together (the seed pays two sweeps: p.Move plus
+	// the per-net gain updates), makes rollback a byte flip per move instead
+	// of a full counted move, and turns every mid-pass p.Cut/p.Legal/
+	// p.MoveLegal call into a local read. The mirror is loaded from p at Run
+	// start and written back with one p.Assign per Run (per pass in debug
+	// mode, so invariant checks see a synchronized partition).
+	side        []uint8
+	cnt         [][2]int32
+	area        [2]int64
+	cut         int64
+	mirrorDirty bool // counts/cut/areas stale (bulk rollback); sides are always valid
 
 	// Krishnamurthy lookahead state (allocated when LookaheadDepth >= 2).
 	immobile [][2]int32 // per net: locked/excluded pins by side
@@ -82,27 +99,83 @@ func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
 // insertion order and is required only in that case (a deterministic
 // generator may always be passed).
 func NewEngine(h *hypergraph.Hypergraph, cfg Config, bal partition.Balance, r *rng.RNG) *Engine {
+	e := &Engine{
+		h:      h,
+		cfg:    cfg,
+		bal:    bal,
+		r:      r,
+		locked: make([]bool, h.NumVertices()),
+	}
+	if cfg.ReferenceImpl {
+		if cfg.LookaheadDepth >= 2 || cfg.BoundaryOnly {
+			panic("core: ReferenceImpl supports neither lookahead nor boundary-only refinement")
+		}
+		e.refCont = gain.NewLegacyContainer(h.NumVertices(), containerMaxKey(h, cfg), containerOrder(cfg), r)
+	} else {
+		e.cont = gain.NewContainer(h.NumVertices(), containerMaxKey(h, cfg), containerOrder(cfg), r)
+		e.side = make([]uint8, h.NumVertices())
+		e.cnt = make([][2]int32, h.NumEdges())
+	}
+	return e
+}
+
+// Rebind re-targets the engine at a different hypergraph and balance
+// constraint, recycling every scratch allocation (gain container arrays,
+// locked flags, gain and move buffers). Multilevel refinement rebinds one
+// scratch engine across the levels of the uncoarsening sweep instead of
+// constructing an engine per level; the engine behaves exactly as a freshly
+// constructed one (gain.Container.Reinit guarantees no state leaks). A
+// non-nil r re-arms the random stream driving Random insertion order; nil
+// keeps the current stream (the multilevel case: one stream per start spans
+// all levels). Under ReferenceImpl a fresh legacy container is constructed
+// instead — the reference path deliberately keeps the seed's allocation
+// behavior.
+func (e *Engine) Rebind(h *hypergraph.Hypergraph, bal partition.Balance, r *rng.RNG) {
+	e.h = h
+	e.bal = bal
+	if r != nil {
+		e.r = r
+	}
+	if e.cfg.ReferenceImpl {
+		e.refCont = gain.NewLegacyContainer(h.NumVertices(), containerMaxKey(h, e.cfg), containerOrder(e.cfg), e.r)
+	} else {
+		e.cont.Reinit(h.NumVertices(), containerMaxKey(h, e.cfg), containerOrder(e.cfg), e.r)
+		if cap(e.side) < h.NumVertices() {
+			e.side = make([]uint8, h.NumVertices())
+		} else {
+			e.side = e.side[:h.NumVertices()]
+		}
+		if cap(e.cnt) < h.NumEdges() {
+			e.cnt = make([][2]int32, h.NumEdges())
+		} else {
+			e.cnt = e.cnt[:h.NumEdges()]
+		}
+	}
+	if cap(e.locked) < h.NumVertices() {
+		e.locked = make([]bool, h.NumVertices())
+	} else {
+		e.locked = e.locked[:h.NumVertices()]
+	}
+}
+
+// containerMaxKey is the gain-key magnitude bound the container must cover.
+func containerMaxKey(h *hypergraph.Hypergraph, cfg Config) int64 {
 	maxKey := h.MaxWeightedDegree()
 	if cfg.CLIP {
 		// Cumulative delta gains range over twice the plain-gain range.
 		maxKey *= 2
 	}
-	var order gain.Order
+	return maxKey
+}
+
+func containerOrder(cfg Config) gain.Order {
 	switch cfg.Insertion {
-	case LIFO:
-		order = gain.LIFO
 	case FIFO:
-		order = gain.FIFO
+		return gain.FIFO
 	case RandomOrder:
-		order = gain.Random
-	}
-	return &Engine{
-		h:      h,
-		cfg:    cfg,
-		bal:    bal,
-		r:      r,
-		cont:   gain.NewContainer(h.NumVertices(), maxKey, order, r),
-		locked: make([]bool, h.NumVertices()),
+		return gain.Random
+	default:
+		return gain.LIFO
 	}
 }
 
@@ -133,11 +206,32 @@ func (e *Engine) RunPruned(p *partition.P, keepGoing func(pass int, cut int64) b
 	res := Result{}
 	e.work = 0
 	e.corks = 0
+	reference := e.cfg.ReferenceImpl
+	if !reference {
+		e.mirrorInit(p)
+		e.rebuildMirror()
+		e.mirrorDirty = false
+	}
+	synced := reference
 	for {
-		improved, moves, stuck := e.pass(p, res.Passes+1)
+		var improved bool
+		var moves int64
+		var stuck bool
+		var curCut int64
+		if reference {
+			improved, moves, stuck = e.referencePass(p, res.Passes+1)
+			curCut = p.Cut()
+		} else {
+			improved, moves, stuck, curCut = e.pass(p, res.Passes+1)
+			synced = false
+		}
 		res.Passes++
 		res.Moves += moves
 		if e.cfg.CheckInvariants {
+			if !synced {
+				e.syncPartition(p)
+				synced = true
+			}
 			if err := e.verifyAfterPass(p); err != nil {
 				panic(err)
 			}
@@ -151,7 +245,7 @@ func (e *Engine) RunPruned(p *partition.P, keepGoing func(pass int, cut int64) b
 		if !improved {
 			break
 		}
-		if keepGoing != nil && !keepGoing(res.Passes, p.Cut()) {
+		if keepGoing != nil && !keepGoing(res.Passes, curCut) {
 			res.Pruned = true
 			break
 		}
@@ -159,21 +253,98 @@ func (e *Engine) RunPruned(p *partition.P, keepGoing func(pass int, cut int64) b
 			break
 		}
 	}
+	if !synced {
+		e.syncPartition(p)
+	}
 	res.Cut = p.Cut()
 	res.Work = e.work
 	res.CorkEvents = e.corks
 	return res
 }
 
+// mirrorInit loads the current side assignment from p; rebuildMirror then
+// derives counts, areas and cut from it.
+func (e *Engine) mirrorInit(p *partition.P) {
+	for v := range e.side {
+		e.side[v] = p.Side(int32(v))
+	}
+}
+
+// rebuildMirror recomputes the derived mirror state (per-net counts, areas,
+// cut) from the mirror side vector — the same O(vertices + pins) recount
+// p.Assign performs, run once per Run against arena storage; passes keep the
+// mirror valid incrementally (applyMove forward, unmove on rollback).
+func (e *Engine) rebuildMirror() {
+	e.area = [2]int64{}
+	for v := range e.side {
+		e.area[e.side[v]] += e.h.VertexWeight(int32(v))
+	}
+	e.cut = 0
+	for ei := range e.cnt {
+		var c [2]int32
+		for _, v := range e.h.Pins(int32(ei)) {
+			c[e.side[v]]++
+		}
+		e.cnt[ei] = c
+		if c[0] > 0 && c[1] > 0 {
+			e.cut += e.h.EdgeWeight(int32(ei))
+		}
+	}
+}
+
+// syncPartition writes the mirror's side vector back into p, which rebuilds
+// its own derived state. The mirror only ever makes legal FM moves of
+// non-fixed vertices, so Assign cannot fail.
+func (e *Engine) syncPartition(p *partition.P) {
+	if err := p.Assign(e.side); err != nil {
+		panic("core: mirror sync rejected: " + err.Error())
+	}
+}
+
+// mirrorLegal is p.Legal against the mirror.
+func (e *Engine) mirrorLegal() bool {
+	return e.bal.Contains(e.area[0]) && e.bal.Contains(e.area[1])
+}
+
+// mirrorMoveLegal is p.MoveLegal against the mirror. The fixed-vertex check
+// is unnecessary: fixed vertices are never inserted into the gain container,
+// and only container members are proposed.
+func (e *Engine) mirrorMoveLegal(v int32) bool {
+	w := e.h.VertexWeight(v)
+	from := e.side[v]
+	return e.bal.Contains(e.area[from]-w) && e.bal.Contains(e.area[1-from]+w)
+}
+
+// mirrorGain is p.Gain against the mirror.
+func (e *Engine) mirrorGain(v int32) int64 {
+	from := e.side[v]
+	to := 1 - from
+	var g int64
+	for _, edge := range e.h.IncidentEdges(v) {
+		c := e.cnt[edge]
+		w := e.h.EdgeWeight(edge)
+		if c[from] == 1 {
+			g += w
+		}
+		if c[to] == 0 {
+			g -= w
+		}
+	}
+	return g
+}
+
 // pass executes a single FM pass: insert movable vertices, repeatedly make
 // the best legal head move, then roll back to the best legal prefix. stuck
 // reports whether the pass ended with unlocked vertices still in the gain
-// container but every head move illegal (corking).
-func (e *Engine) pass(p *partition.P, passNo int) (improved bool, moves int64, stuck bool) {
-	e.cont.Clear()
-	for i := range e.locked {
-		e.locked[i] = false
+// container but every head move illegal (corking). curCut is the cut of the
+// solution left in the mirror after rollback (the caller syncs p lazily).
+func (e *Engine) pass(p *partition.P, passNo int) (improved bool, moves int64, stuck bool, curCut int64) {
+	if e.mirrorDirty {
+		e.rebuildMirror()
+		e.mirrorDirty = false
 	}
+	e.cont.Clear()
+	clear(e.locked)
 	e.moveStack = e.moveStack[:0]
 	lookahead := e.cfg.LookaheadDepth >= 2
 	if lookahead {
@@ -182,6 +353,9 @@ func (e *Engine) pass(p *partition.P, passNo int) (improved bool, moves int64, s
 
 	slack := e.bal.Slack()
 	n := e.h.NumVertices()
+	if !e.cfg.CLIP {
+		e.computeAllGains()
+	}
 	for v := 0; v < n; v++ {
 		vv := int32(v)
 		if p.IsFixed(vv) {
@@ -192,25 +366,25 @@ func (e *Engine) pass(p *partition.P, passNo int) (improved bool, moves int64, s
 			// feasible; left in the container it can only cork a bucket.
 			continue
 		}
-		if e.cfg.BoundaryOnly && !e.isBoundary(p, vv) {
+		if e.cfg.BoundaryOnly && !e.isBoundary(vv) {
 			continue
 		}
 		if e.cfg.CLIP {
-			e.cont.Insert(vv, p.Side(vv), 0)
+			e.cont.Insert(vv, e.side[vv], 0)
 		} else {
-			e.cont.Insert(vv, p.Side(vv), p.Gain(vv))
+			e.cont.Insert(vv, e.side[vv], e.gainBuf[vv])
 		}
 	}
 
-	startCut := p.Cut()
+	startCut := e.cut
 	if e.tracer != nil {
 		e.tracer.PassStart(passNo, startCut)
 	}
-	startLegal := p.Legal(e.bal)
+	startLegal := e.mirrorLegal()
 	bestIdx := -1
 	bestCut := startCut
 	bestLegal := startLegal
-	bestDiff := absDiff(p.Area(0), p.Area(1))
+	bestDiff := absDiff(e.area[0], e.area[1])
 	if !startLegal {
 		bestCut = math.MaxInt64
 	}
@@ -219,19 +393,17 @@ func (e *Engine) pass(p *partition.P, passNo int) (improved bool, moves int64, s
 	hasLast := false
 
 	for {
-		v, ok := e.selectMove(p, lastFrom, hasLast)
+		v, ok := e.selectMove(lastFrom, hasLast)
 		if !ok {
 			stuck = e.cont.Size(0)+e.cont.Size(1) > 0
 			break
 		}
-		from := p.Side(v)
+		from := e.side[v]
 		e.cont.Remove(v)
 		e.locked[v] = true
-		// Neighbor gain updates read pre-move pin counts; order matters.
-		e.updateNeighbors(p, v)
-		p.Move(v)
+		e.applyMove(v)
 		if lookahead {
-			e.chargeImmobile(p, v) // locked on its destination side
+			e.chargeImmobile(v) // locked on its destination side
 		}
 		if e.cfg.BoundaryOnly {
 			e.insertNewBoundary(p, v, slack)
@@ -241,11 +413,11 @@ func (e *Engine) pass(p *partition.P, passNo int) (improved bool, moves int64, s
 		lastFrom = from
 		hasLast = true
 		if e.tracer != nil {
-			e.tracer.MoveMade(passNo, moves, v, p.Cut())
+			e.tracer.MoveMade(passNo, moves, v, e.cut)
 		}
 
-		cur := p.Cut()
-		if !p.Legal(e.bal) {
+		cur := e.cut
+		if !e.mirrorLegal() {
 			continue
 		}
 		take := false
@@ -258,43 +430,61 @@ func (e *Engine) pass(p *partition.P, passNo int) (improved bool, moves int64, s
 			case LastBest:
 				take = true
 			case MostBalanced:
-				take = absDiff(p.Area(0), p.Area(1)) < bestDiff
+				take = absDiff(e.area[0], e.area[1]) < bestDiff
 			}
 		}
 		if take {
 			bestIdx = len(e.moveStack) - 1
 			bestCut = cur
 			bestLegal = true
-			bestDiff = absDiff(p.Area(0), p.Area(1))
+			bestDiff = absDiff(e.area[0], e.area[1])
 		}
 	}
 
-	// Roll back moves made after the best prefix.
-	for i := len(e.moveStack) - 1; i > bestIdx; i-- {
-		p.Move(e.moveStack[i])
+	// Roll back moves made after the best prefix. A short suffix is reversed
+	// incrementally (unmove repairs counts, cut and areas as it goes); a long
+	// one — common when a pass moves every vertex and keeps a small prefix —
+	// just flips the side bytes back and leaves the derived state to one
+	// recount at the next pass. Either way the seed pays more: a fully
+	// counted p.Move per rolled move.
+	rolled := len(e.moveStack) - 1 - bestIdx
+	if rolled <= e.h.NumVertices()/4 {
+		for i := len(e.moveStack) - 1; i > bestIdx; i-- {
+			e.unmove(e.moveStack[i])
+		}
+	} else {
+		for i := len(e.moveStack) - 1; i > bestIdx; i-- {
+			u := e.moveStack[i]
+			e.side[u] = 1 - e.side[u]
+		}
+		e.mirrorDirty = true
+	}
+	curCut = startCut
+	if bestIdx >= 0 {
+		curCut = bestCut
 	}
 	if e.tracer != nil {
-		e.tracer.PassEnd(passNo, p.Cut(), moves, len(e.moveStack)-1-bestIdx)
+		e.tracer.PassEnd(passNo, curCut, moves, len(e.moveStack)-1-bestIdx)
 	}
 
 	if !startLegal {
-		return bestLegal, moves, stuck // legalizing counts as improvement
+		return bestLegal, moves, stuck, curCut // legalizing counts as improvement
 	}
-	return bestLegal && bestCut < startCut, moves, stuck
+	return bestLegal && bestCut < startCut, moves, stuck, curCut
 }
 
 // selectMove picks the next move per the paper's selection discipline: each
 // side offers only the head of its highest non-empty bucket; an illegal head
 // disqualifies the whole side (unless LookPastIllegal). Between two legal
 // candidates the higher key wins; equal keys are resolved by the Bias.
-func (e *Engine) selectMove(p *partition.P, lastFrom uint8, hasLast bool) (int32, bool) {
+func (e *Engine) selectMove(lastFrom uint8, hasLast bool) (int32, bool) {
 	var cand [2]int32
 	var key [2]int64
 	var have [2]bool
 
 	for s := uint8(0); s < 2; s++ {
 		if e.cfg.LookaheadDepth >= 2 {
-			if v, k, ok := e.lookaheadHead(p, s); ok {
+			if v, k, ok := e.lookaheadHead(s); ok {
 				cand[s], key[s], have[s] = v, k, true
 			}
 			continue
@@ -303,7 +493,7 @@ func (e *Engine) selectMove(p *partition.P, lastFrom uint8, hasLast bool) (int32
 		if !ok {
 			continue
 		}
-		if p.MoveLegal(v, e.bal) {
+		if e.mirrorMoveLegal(v) {
 			cand[s], key[s], have[s] = v, k, true
 			continue
 		}
@@ -313,7 +503,7 @@ func (e *Engine) selectMove(p *partition.P, lastFrom uint8, hasLast bool) (int32
 			// the costly alternative the paper evaluated and rejected.
 			e.cont.WalkBucket(s, k, func(u int32) bool {
 				e.work++
-				if p.MoveLegal(u, e.bal) {
+				if e.mirrorMoveLegal(u) {
 					cand[s], key[s], have[s] = u, k, true
 					return false
 				}
@@ -326,7 +516,7 @@ func (e *Engine) selectMove(p *partition.P, lastFrom uint8, hasLast bool) (int32
 			// bucket until a legal move appears.
 			e.cont.HeadsDown(s, func(u int32, uk int64) bool {
 				e.work++
-				if p.MoveLegal(u, e.bal) {
+				if e.mirrorMoveLegal(u) {
 					cand[s], key[s], have[s] = u, uk, true
 					return false
 				}
@@ -366,63 +556,143 @@ func (e *Engine) selectMove(p *partition.P, lastFrom uint8, hasLast bool) (int32
 	return cand[s], true
 }
 
-// updateNeighbors applies the delta-gain updates triggered by moving v,
-// using the straightforward method the paper describes: walk v's incident
-// nets one at a time, compute each neighbor's delta gain from the four
-// before/after criticality values of that net, and immediately update the
-// neighbor's position in the gain container. Whether a zero delta triggers
-// a reinsertion is the Update policy.
-//
-// Must be called BEFORE p.Move(v): it reads pre-move pin counts.
-func (e *Engine) updateNeighbors(p *partition.P, v int32) {
-	from := p.Side(v)
+// applyMove moves v in the mirror with one sweep over its incident nets,
+// folding together what the seed does in two: the partition update (pin
+// counts, cut, areas — p.Move) and the neighbor delta-gain application. Per
+// net, the paper's pin-count state transitions are batched: a neighbor's
+// delta through one net depends only on the neighbor's side and the net's
+// pre-move (from, to) pin counts, so both possible deltas are computed once
+// per net and applied to each eligible pin by a side lookup — no per-pin
+// criticality recomputation. Bit-identical to the reference per-pin method
+// (reference.go): a from-side neighbor implies cf >= 2 and a to-side
+// neighbor implies ct >= 1, which collapses the four-term formula to the
+// two-term ones below; the NonzeroOnly net skip (both deltas zero) is
+// exactly the seed's cf > 2 && ct > 1 condition; and the per-pin work
+// counter is maintained identically. The seed's locked-pin test is subsumed
+// by the membership test: a locked vertex has been removed from the
+// container, so Contains is false. Interleaving the count updates with the
+// neighbor sweep is safe because each net's deltas read only that net's own
+// pre-move counts and the (not yet flipped) side vector.
+func (e *Engine) applyMove(v int32) {
+	from := e.side[v]
 	to := 1 - from
-	skipUnchanged := e.cfg.Update == NonzeroOnly
+	allDelta := e.cfg.Update == AllDeltaGain
+	cont := e.cont
 	for _, edge := range e.h.IncidentEdges(v) {
+		c := &e.cnt[edge]
+		cf := c[from]
+		ct := c[to]
 		w := e.h.EdgeWeight(edge)
-		cf := p.SideCount(edge, from)
-		ct := p.SideCount(edge, to)
-		if skipUnchanged && cf > 2 && ct > 1 {
+		var dFrom, dTo int64
+		if cf == 2 {
+			dFrom += w // from side leaves criticality 2 -> 1
+		}
+		if ct == 0 {
+			dFrom += w // net was uncut; from-side pins stop paying for it
+		}
+		if ct == 1 {
+			dTo -= w // to side leaves criticality 1 -> 2
+		}
+		if cf == 1 {
+			dTo -= w // net becomes uncut on the to side
+		}
+		// Cut maintenance: v sits on from, so the net was cut iff ct > 0.
+		if ct == 0 {
+			if cf > 1 {
+				e.cut += w // uncut net gains its first to-side pin
+			}
+		} else if cf == 1 {
+			e.cut -= w // v was the last from-side pin
+		}
+		c[from] = cf - 1
+		c[to] = ct + 1
+		if dFrom == 0 && dTo == 0 && !allDelta {
 			// No pin of this net can change gain; with NonzeroOnly the whole
 			// net is safely skipped. Under AllDeltaGain the straightforward
 			// implementation still walks it (and reinserts at zero delta),
 			// which is exactly the churn the paper measures.
 			continue
 		}
-		for _, y := range e.h.Pins(edge) {
-			if y == v || e.locked[y] || !e.cont.Contains(y) {
-				continue
+		e.work += int64(cont.ApplyDeltaPins(e.h.Pins(edge), v, from, dFrom, dTo, allDelta))
+	}
+	e.side[v] = to
+	w := e.h.VertexWeight(v)
+	e.area[from] -= w
+	e.area[to] += w
+}
+
+// unmove reverses a move during rollback: counts, cut, areas and side are
+// restored with one sweep; no gain bookkeeping is needed because the pass is
+// over. This is what keeps the mirror valid across passes — the seed pays a
+// fully counted p.Move per rolled move plus per-pass recounts.
+func (e *Engine) unmove(v int32) {
+	from := e.side[v] // the to-side of the original move
+	to := 1 - from
+	for _, edge := range e.h.IncidentEdges(v) {
+		c := &e.cnt[edge]
+		cf := c[from]
+		ct := c[to]
+		w := e.h.EdgeWeight(edge)
+		if ct == 0 {
+			if cf > 1 {
+				e.cut += w
 			}
-			e.work++
-			sy := p.Side(y)
-			var bsy, both, asy, aoth int32
-			if sy == from {
-				bsy, both = cf, ct
-				asy, aoth = cf-1, ct+1
-			} else {
-				bsy, both = ct, cf
-				asy, aoth = ct+1, cf-1
+		} else if cf == 1 {
+			e.cut -= w
+		}
+		c[from] = cf - 1
+		c[to] = ct + 1
+	}
+	e.side[v] = to
+	w := e.h.VertexWeight(v)
+	e.area[from] -= w
+	e.area[to] += w
+}
+
+// computeAllGains fills e.gainBuf with every vertex's current gain by a
+// single net-centric sweep over the mirror instead of NumVertices
+// partition.Gain calls. Only nets in a critical state contribute: a cut net
+// with a lone pin on one side gives that pin +w, and an uncut multi-pin net
+// charges every pin -w (single-pin nets cancel to zero). Everything else is
+// skipped without touching its pin list, so the sweep is O(nets + critical
+// pins) rather than O(pins) — and the buffer is an arena, so pass startup
+// allocates nothing in steady state.
+func (e *Engine) computeAllGains() {
+	n := e.h.NumVertices()
+	if cap(e.gainBuf) < n {
+		e.gainBuf = make([]int64, n)
+	} else {
+		e.gainBuf = e.gainBuf[:n]
+		clear(e.gainBuf)
+	}
+	g := e.gainBuf
+	for ei := range e.cnt {
+		edge := int32(ei)
+		c0 := e.cnt[ei][0]
+		c1 := e.cnt[ei][1]
+		w := e.h.EdgeWeight(edge)
+		if c0 == 0 || c1 == 0 {
+			if c0+c1 <= 1 {
+				continue // single-pin (+w-w) or empty net: no contribution
 			}
-			var delta int64
-			if asy == 1 {
-				delta += w
+			for _, y := range e.h.Pins(edge) {
+				g[y] -= w
 			}
-			if bsy == 1 {
-				delta -= w
-			}
-			if aoth == 0 {
-				delta -= w
-			}
-			if both == 0 {
-				delta += w
-			}
-			if delta == 0 {
-				if e.cfg.Update == AllDeltaGain {
-					e.cont.Update(y, 0)
+			continue
+		}
+		if c0 == 1 {
+			for _, y := range e.h.Pins(edge) {
+				if e.side[y] == 0 {
+					g[y] += w
 				}
-				continue
 			}
-			e.cont.Update(y, delta)
+		}
+		if c1 == 1 {
+			for _, y := range e.h.Pins(edge) {
+				if e.side[y] == 1 {
+					g[y] += w
+				}
+			}
 		}
 	}
 }

@@ -90,8 +90,14 @@ func (e *Engine) verifyAfterPass(p *partition.P) error {
 	if err := VerifyPartitionState(p); err != nil {
 		return err
 	}
-	if err := e.cont.VerifyInvariants(); err != nil {
-		return &InvariantViolation{Kind: "gain-structure", Detail: err.Error()}
+	gainErr := error(nil)
+	if e.cfg.ReferenceImpl {
+		gainErr = e.refCont.VerifyInvariants()
+	} else {
+		gainErr = e.cont.VerifyInvariants()
+	}
+	if gainErr != nil {
+		return &InvariantViolation{Kind: "gain-structure", Detail: gainErr.Error()}
 	}
 	return nil
 }

@@ -19,6 +19,10 @@ import (
 	"hgpart/internal/partition"
 )
 
+// The mid-pass helpers here read the engine's partition mirror (e.side,
+// e.cnt, e.area) rather than p: during an optimized pass the mirror is the
+// source of truth. p appears only where fixed-vertex flags are needed.
+
 // gainLevels computes v's Krishnamurthy gain vector levels 2..depth (level
 // 1 is the container key and equal for all candidates in a bucket). The
 // level-n entry sums, over incident nets:
@@ -27,26 +31,26 @@ import (
 //	    free pins there (n-1 more moves make it uncritical on that side);
 //	-w if the net has no locked pins on the destination side and exactly
 //	    n-1 free pins there (n-1 more moves make it critical).
-func (e *Engine) gainLevels(p *partition.P, v int32, depth int, out []int64) []int64 {
+func (e *Engine) gainLevels(v int32, depth int, out []int64) []int64 {
 	out = out[:0]
 	for n := 2; n <= depth; n++ {
 		out = append(out, 0)
 	}
-	src := p.Side(v)
+	src := e.side[v]
 	dst := 1 - src
 	for _, edge := range e.h.IncidentEdges(v) {
 		w := e.h.EdgeWeight(edge)
 		lockSrc := e.immobile[edge][src]
 		lockDst := e.immobile[edge][dst]
 		if lockSrc == 0 {
-			freeSrcOthers := int(p.SideCount(edge, src)) - 1
+			freeSrcOthers := int(e.cnt[edge][src]) - 1
 			lvl := freeSrcOthers + 1
 			if lvl >= 2 && lvl <= depth {
 				out[lvl-2] += w
 			}
 		}
 		if lockDst == 0 {
-			freeDst := int(p.SideCount(edge, dst))
+			freeDst := int(e.cnt[edge][dst])
 			lvl := freeDst + 1
 			if lvl >= 2 && lvl <= depth {
 				out[lvl-2] -= w
@@ -70,7 +74,7 @@ func lexLess(a, b []int64) bool {
 // under lookahead ordering: among the first LookaheadScanLimit entries of
 // the bucket, the legal move with the lexicographically largest gain vector
 // (all entries share the level-1 gain by construction).
-func (e *Engine) lookaheadHead(p *partition.P, s uint8) (int32, int64, bool) {
+func (e *Engine) lookaheadHead(s uint8) (int32, int64, bool) {
 	_, key, ok := e.cont.Head(s)
 	if !ok {
 		return 0, 0, false
@@ -87,8 +91,8 @@ func (e *Engine) lookaheadHead(p *partition.P, s uint8) (int32, int64, bool) {
 	e.cont.WalkBucket(s, key, func(u int32) bool {
 		scanned++
 		e.work++
-		if p.MoveLegal(u, e.bal) {
-			vec := e.gainLevels(p, u, depth, e.lookBuf)
+		if e.mirrorMoveLegal(u) {
+			vec := e.gainLevels(u, depth, e.lookBuf)
 			e.lookBuf = vec // retain capacity across calls
 			if best == -1 || lexLess(bestVec, vec) {
 				best = u
@@ -111,25 +115,25 @@ func (e *Engine) lookaheadHead(p *partition.P, s uint8) (int32, int64, bool) {
 // charges vertices that are out of play from the outset (fixed vertices and
 // cork-guarded heavy cells).
 func (e *Engine) resetImmobile(p *partition.P) {
-	if e.immobile == nil {
+	if cap(e.immobile) < e.h.NumEdges() {
 		e.immobile = make([][2]int32, e.h.NumEdges())
-	}
-	for i := range e.immobile {
-		e.immobile[i] = [2]int32{}
+	} else {
+		e.immobile = e.immobile[:e.h.NumEdges()]
+		clear(e.immobile)
 	}
 	slack := e.bal.Slack()
 	for v := 0; v < e.h.NumVertices(); v++ {
 		vv := int32(v)
 		excluded := p.IsFixed(vv) || (e.cfg.CorkGuard && e.h.VertexWeight(vv) > slack)
 		if excluded {
-			e.chargeImmobile(p, vv)
+			e.chargeImmobile(vv)
 		}
 	}
 }
 
-// chargeImmobile marks v's pins as locked on v's current side.
-func (e *Engine) chargeImmobile(p *partition.P, v int32) {
-	s := p.Side(v)
+// chargeImmobile marks v's pins as locked on v's current (mirror) side.
+func (e *Engine) chargeImmobile(v int32) {
+	s := e.side[v]
 	for _, edge := range e.h.IncidentEdges(v) {
 		e.immobile[edge][s]++
 	}

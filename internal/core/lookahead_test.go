@@ -85,8 +85,10 @@ func TestGainLevelsAgainstHandComputation(t *testing.T) {
 	if err := p.Assign([]uint8{0, 0, 0, 1}); err != nil {
 		t.Fatal(err)
 	}
+	eng.mirrorInit(p)
+	eng.rebuildMirror()
 	eng.resetImmobile(p)
-	vec := eng.gainLevels(p, 1, 3, nil)
+	vec := eng.gainLevels(1, 3, nil)
 	if len(vec) != 2 {
 		t.Fatalf("vector length %d", len(vec))
 	}
@@ -95,7 +97,7 @@ func TestGainLevelsAgainstHandComputation(t *testing.T) {
 	}
 	// v=2 (side 0): net {1,2}: freeSrcOthers=1 -> +1 at level 2.
 	// net {2,3}: freeSrcOthers=0 -> level 1; dst side ({3}) free=1 -> -1 at level 2.
-	vec = eng.gainLevels(p, 2, 3, nil)
+	vec = eng.gainLevels(2, 3, nil)
 	if vec[0] != 0 {
 		t.Fatalf("level-2 gain of v2 = %d, want 0", vec[0])
 	}
@@ -114,19 +116,23 @@ func TestGainLevelsRespectLockedPins(t *testing.T) {
 	if err := p.Assign([]uint8{0, 0, 1}); err != nil {
 		t.Fatal(err)
 	}
+	eng.mirrorInit(p)
+	eng.rebuildMirror()
 	eng.resetImmobile(p)
 	// Without locks, for v0 (side 0 -> 1) on net {0,1,2}:
 	// src: freeSrcOthers=1 -> +1 at level 2; dst: freeDst=1 -> -1 at level
 	// 2. They cancel: level-2 gain 0.
-	vec := eng.gainLevels(p, 0, 3, nil)
+	vec := eng.gainLevels(0, 3, nil)
 	if vec[0] != 0 {
 		t.Fatalf("unlocked level-2 = %d, want 0", vec[0])
 	}
 	// Fix v1 on side 0: the source side now has a locked pin, so the +1
 	// source term disappears and only the -1 destination term remains.
 	p.Fix(1, 0)
+	eng.mirrorInit(p)
+	eng.rebuildMirror()
 	eng.resetImmobile(p)
-	vec = eng.gainLevels(p, 0, 3, nil)
+	vec = eng.gainLevels(0, 3, nil)
 	if vec[0] != -1 {
 		t.Fatalf("locked level-2 = %d, want -1", vec[0])
 	}

@@ -13,10 +13,20 @@
 //
 // The same container serves plain FM (keys are gains) and CLIP (keys are
 // cumulative delta gains; all elements start in the zero bucket).
+//
+// This is the optimized arena implementation of the structure: membership is
+// an epoch stamp (Clear is O(touched buckets), not O(vertices)), links and
+// bucket heads are encoded as vertex+1 so empty slots are zero and bucket
+// resets compile to memclr, and Update relinks in place instead of paying a
+// full Remove+Insert. The original, straightforward seed implementation is
+// preserved verbatim as LegacyContainer (legacy.go) and serves as the
+// differential-testing oracle: TestLegacyEquivalence drives both under long
+// random operation interleavings and requires identical observable behavior.
 package gain
 
 import (
 	"fmt"
+	"math"
 
 	"hgpart/internal/rng"
 )
@@ -50,22 +60,27 @@ func (o Order) String() string {
 	return "Order(?)"
 }
 
-const nilIdx int32 = -1
-
 // Container holds movable vertices keyed by gain, segregated by source side.
+//
+// Internal encoding: head/tail/next/prev hold vertex+1, with 0 meaning
+// "none" — zeroing a bucket range empties it, which is what lets Clear use
+// the runtime's bulk memclr. gen[v] == cur marks v as present; bumping cur
+// evicts every vertex in O(1) without touching per-vertex state, so stale
+// key/side entries from a previous pass can never leak into the next one.
 type Container struct {
 	offset  int64 // bucket index = key + offset
 	nbucket int
 
-	head [2][]int32
+	head [2][]int32 // vertex+1; 0 = empty bucket
 	tail [2][]int32
 
-	next, prev []int32
+	next, prev []int32 // vertex+1; 0 = end of list
 	key        []int64
 	side       []uint8
-	in         []bool
+	gen        []uint32 // gen[v] == cur ⇔ v is in the container
+	cur        uint32
 
-	maxIdx [2]int // index of highest possibly-non-empty bucket; -1 when empty
+	maxIdx [2]int // cached max-gain cursor: highest possibly-non-empty bucket; -1 when empty
 	size   [2]int
 
 	order Order
@@ -78,31 +93,71 @@ type Container struct {
 // from Hypergraph.MaxWeightedDegree is exact and clamping never triggers).
 // r may be nil unless order is Random.
 func NewContainer(numVertices int, maxKey int64, order Order, r *rng.RNG) *Container {
+	c := &Container{}
+	c.Reinit(numVertices, maxKey, order, r)
+	return c
+}
+
+// Reinit rebinds the container to a new vertex count and key range, reusing
+// the existing backing arrays whenever their capacity suffices. It leaves the
+// container empty (like Clear) and is the arena-reuse entry point for engines
+// that walk a multilevel hierarchy: one scratch container serves every level
+// instead of a fresh allocation per level.
+func (c *Container) Reinit(numVertices int, maxKey int64, order Order, r *rng.RNG) {
 	if maxKey < 1 {
 		maxKey = 1
 	}
 	n := int(2*maxKey + 1)
-	c := &Container{
-		offset:  maxKey,
-		nbucket: n,
-		next:    make([]int32, numVertices),
-		prev:    make([]int32, numVertices),
-		key:     make([]int64, numVertices),
-		side:    make([]uint8, numVertices),
-		in:      make([]bool, numVertices),
-		order:   order,
-		r:       r,
+	c.offset = maxKey
+	c.nbucket = n
+	c.order = order
+	c.r = r
+
+	c.next = grow32(c.next, numVertices)
+	c.prev = grow32(c.prev, numVertices)
+	c.key = grow64(c.key, numVertices)
+	if cap(c.side) >= numVertices {
+		c.side = c.side[:numVertices]
+	} else {
+		c.side = make([]uint8, numVertices)
 	}
+	// Membership must be a full reset: a grown-within-capacity gen slice may
+	// expose stale stamps equal to cur, so restart the epoch from scratch.
+	if cap(c.gen) >= numVertices {
+		c.gen = c.gen[:numVertices]
+		clear(c.gen)
+	} else {
+		c.gen = make([]uint32, numVertices)
+	}
+	c.cur = 1
+
 	for s := 0; s < 2; s++ {
-		c.head[s] = make([]int32, n)
-		c.tail[s] = make([]int32, n)
-		for i := range c.head[s] {
-			c.head[s][i] = nilIdx
-			c.tail[s][i] = nilIdx
+		if cap(c.head[s]) >= n {
+			c.head[s] = c.head[s][:n]
+			c.tail[s] = c.tail[s][:n]
+			clear(c.head[s])
+			clear(c.tail[s])
+		} else {
+			c.head[s] = make([]int32, n)
+			c.tail[s] = make([]int32, n)
 		}
 		c.maxIdx[s] = -1
+		c.size[s] = 0
 	}
-	return c
+}
+
+func grow32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
+}
+
+func grow64(s []int64, n int) []int64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int64, n)
 }
 
 func (c *Container) clampIdx(key int64) int {
@@ -117,7 +172,7 @@ func (c *Container) clampIdx(key int64) int {
 }
 
 // Contains reports whether v is currently in the container.
-func (c *Container) Contains(v int32) bool { return c.in[v] }
+func (c *Container) Contains(v int32) bool { return c.gen[v] == c.cur }
 
 // Key returns v's current key; only meaningful while Contains(v).
 func (c *Container) Key(v int32) int64 { return c.key[v] }
@@ -128,17 +183,11 @@ func (c *Container) SideOf(v int32) uint8 { return c.side[v] }
 // Size returns the number of elements filed under side s.
 func (c *Container) Size(s uint8) int { return c.size[s] }
 
-// Insert files v under side s with the given key. v must not already be in
-// the container.
-func (c *Container) Insert(v int32, s uint8, key int64) {
-	if c.in[v] {
-		panic("gain: double insert")
-	}
-	c.in[v] = true
-	c.key[v] = key
-	c.side[v] = s
-	idx := c.clampIdx(key)
-
+// link files v (already carrying key/side state) into bucket idx of side s,
+// at the head or tail per the insertion order. Exactly one RNG draw happens
+// for Random order regardless of bucket occupancy, matching the legacy
+// container's draw sequence bit for bit.
+func (c *Container) link(v int32, s uint8, idx int) {
 	atHead := true
 	switch c.order {
 	case FIFO:
@@ -146,59 +195,146 @@ func (c *Container) Insert(v int32, s uint8, key int64) {
 	case Random:
 		atHead = c.r.Bool()
 	}
-	h, t := c.head[s][idx], c.tail[s][idx]
-	if h == nilIdx {
-		c.head[s][idx], c.tail[s][idx] = v, v
-		c.next[v], c.prev[v] = nilIdx, nilIdx
+	n := v + 1
+	h := c.head[s][idx]
+	if h == 0 {
+		c.head[s][idx], c.tail[s][idx] = n, n
+		c.next[v], c.prev[v] = 0, 0
 	} else if atHead {
 		c.next[v] = h
-		c.prev[v] = nilIdx
-		c.prev[h] = v
-		c.head[s][idx] = v
+		c.prev[v] = 0
+		c.prev[h-1] = n
+		c.head[s][idx] = n
 	} else {
+		t := c.tail[s][idx]
 		c.prev[v] = t
-		c.next[v] = nilIdx
-		c.next[t] = v
-		c.tail[s][idx] = v
+		c.next[v] = 0
+		c.next[t-1] = n
+		c.tail[s][idx] = n
 	}
 	if idx > c.maxIdx[s] {
 		c.maxIdx[s] = idx
 	}
+}
+
+// unlink removes v from bucket idx of side s without touching membership.
+func (c *Container) unlink(v int32, s uint8, idx int) {
+	pv, nx := c.prev[v], c.next[v]
+	if pv != 0 {
+		c.next[pv-1] = nx
+	} else {
+		c.head[s][idx] = nx
+	}
+	if nx != 0 {
+		c.prev[nx-1] = pv
+	} else {
+		c.tail[s][idx] = pv
+	}
+}
+
+// Insert files v under side s with the given key. v must not already be in
+// the container.
+func (c *Container) Insert(v int32, s uint8, key int64) {
+	if c.gen[v] == c.cur {
+		panic("gain: double insert")
+	}
+	c.gen[v] = c.cur
+	c.key[v] = key
+	c.side[v] = s
+	c.link(v, s, c.clampIdx(key))
 	c.size[s]++
 }
 
 // Remove unfiles v. v must be in the container.
 func (c *Container) Remove(v int32) {
-	if !c.in[v] {
+	if c.gen[v] != c.cur {
 		panic("gain: remove of absent vertex")
 	}
 	s := c.side[v]
-	idx := c.clampIdx(c.key[v])
-	if c.prev[v] != nilIdx {
-		c.next[c.prev[v]] = c.next[v]
-	} else {
-		c.head[s][idx] = c.next[v]
-	}
-	if c.next[v] != nilIdx {
-		c.prev[c.next[v]] = c.prev[v]
-	} else {
-		c.tail[s][idx] = c.prev[v]
-	}
-	c.in[v] = false
+	c.unlink(v, s, c.clampIdx(c.key[v]))
+	c.gen[v] = c.cur - 1
 	c.size[s]--
 	// maxIdx is lazily repaired in Head.
 }
 
-// Update changes v's key by delta, removing and reinserting it so its
-// position within the target bucket follows the insertion order. Calling
-// Update with delta == 0 is meaningful: under the paper's "AllDeltaGain"
-// policy a zero-delta update still reinserts the vertex and thereby shifts
-// its position within the same bucket.
+// Update changes v's key by delta, relinking it so its position within the
+// target bucket follows the insertion order. Calling Update with delta == 0
+// is meaningful: under the paper's "AllDeltaGain" policy a zero-delta update
+// still reinserts the vertex and thereby shifts its position within the same
+// bucket. The relink is fused — membership, side and size bookkeeping are
+// untouched — which is what makes the delta-gain churn of an FM pass cheap.
 func (c *Container) Update(v int32, delta int64) {
+	if c.gen[v] != c.cur {
+		panic("gain: remove of absent vertex")
+	}
 	s := c.side[v]
+	oldIdx := c.clampIdx(c.key[v])
 	k := c.key[v] + delta
-	c.Remove(v)
-	c.Insert(v, s, k)
+	c.key[v] = k
+	c.unlink(v, s, oldIdx)
+	c.link(v, s, c.clampIdx(k))
+}
+
+// ApplyDelta is the fused per-pin form of Contains + side dispatch + Update
+// for the FM neighbor sweep: when moving a vertex off side from, every
+// neighbor pin of an affected net receives one of two per-net deltas
+// depending on which side it sits on. If y is absent (locked, fixed or never
+// inserted) nothing happens and false is returned. Otherwise the delta
+// matching y's stored side is applied — dFrom when y sits on from, dTo
+// otherwise — and true is returned so the caller can charge its work
+// counter. A zero chosen delta relinks only when zeroReinsert is set (the
+// AllDeltaGain churn policy); the relink is observably identical to
+// Update(y, 0). Using the container's own side record is sound because a
+// member's side cannot change while it is filed: movers are removed before
+// their neighbors are updated.
+func (c *Container) ApplyDelta(y int32, from uint8, dFrom, dTo int64, zeroReinsert bool) bool {
+	if c.gen[y] != c.cur {
+		return false
+	}
+	s := c.side[y]
+	delta := dTo
+	if s == from {
+		delta = dFrom
+	}
+	if delta == 0 && !zeroReinsert {
+		return true
+	}
+	oldIdx := c.clampIdx(c.key[y])
+	k := c.key[y] + delta
+	c.key[y] = k
+	c.unlink(y, s, oldIdx)
+	c.link(y, s, c.clampIdx(k))
+	return true
+}
+
+// ApplyDeltaPins applies ApplyDelta to every pin of a net except the mover
+// and returns how many pins were present (the engine's work-counter charge).
+// Batching the whole pin list into one call keeps the container's arrays hot
+// in registers across the inner loop of the FM neighbor sweep — the single
+// hottest loop in the library — instead of re-establishing them per pin.
+func (c *Container) ApplyDeltaPins(pins []int32, mover int32, from uint8, dFrom, dTo int64, zeroReinsert bool) int {
+	visited := 0
+	gen, cur := c.gen, c.cur
+	for _, y := range pins {
+		if y == mover || gen[y] != cur {
+			continue
+		}
+		visited++
+		s := c.side[y]
+		delta := dTo
+		if s == from {
+			delta = dFrom
+		}
+		if delta == 0 && !zeroReinsert {
+			continue
+		}
+		oldIdx := c.clampIdx(c.key[y])
+		k := c.key[y] + delta
+		c.key[y] = k
+		c.unlink(y, s, oldIdx)
+		c.link(y, s, c.clampIdx(k))
+	}
+	return visited
 }
 
 // Head returns the first vertex of the highest non-empty bucket for side s.
@@ -210,13 +346,14 @@ func (c *Container) Head(s uint8) (v int32, key int64, ok bool) {
 		c.maxIdx[s] = -1
 		return 0, 0, false
 	}
-	for c.maxIdx[s] >= 0 && c.head[s][c.maxIdx[s]] == nilIdx {
+	head := c.head[s]
+	for c.maxIdx[s] >= 0 && head[c.maxIdx[s]] == 0 {
 		c.maxIdx[s]--
 	}
 	if c.maxIdx[s] < 0 {
 		return 0, 0, false
 	}
-	v = c.head[s][c.maxIdx[s]]
+	v = head[c.maxIdx[s]] - 1
 	return v, c.key[v], true
 }
 
@@ -225,8 +362,8 @@ func (c *Container) Head(s uint8) (v int32, key int64, ok bool) {
 // "look beyond the first move" ablation (LookPastIllegal).
 func (c *Container) WalkBucket(s uint8, key int64, fn func(v int32) bool) {
 	idx := c.clampIdx(key)
-	for v := c.head[s][idx]; v != nilIdx; v = c.next[v] {
-		if !fn(v) {
+	for n := c.head[s][idx]; n != 0; n = c.next[n-1] {
+		if !fn(n - 1) {
 			return
 		}
 	}
@@ -236,8 +373,8 @@ func (c *Container) WalkBucket(s uint8, key int64, fn func(v int32) bool) {
 // stopping early if fn returns false.
 func (c *Container) WalkDown(s uint8, fn func(v int32, key int64) bool) {
 	for idx := c.maxIdx[s]; idx >= 0; idx-- {
-		for v := c.head[s][idx]; v != nilIdx; v = c.next[v] {
-			if !fn(v, c.key[v]) {
+		for n := c.head[s][idx]; n != 0; n = c.next[n-1] {
+			if !fn(n-1, c.key[n-1]) {
 				return
 			}
 		}
@@ -245,18 +382,28 @@ func (c *Container) WalkDown(s uint8, fn func(v int32, key int64) bool) {
 }
 
 // Clear empties the container, retaining its allocations for the next pass.
+// Cost is proportional to the touched bucket range, not the vertex count:
+// membership dies with one epoch bump, and only bucket slots up to the
+// max-gain cursor are zeroed (slots above it are empty by the cursor
+// invariant). This is what makes engine/arena reuse across starts free —
+// and, because stale per-vertex key/side entries are unreachable once the
+// epoch moves on, reuse cannot leak state between starts.
 func (c *Container) Clear() {
 	for s := 0; s < 2; s++ {
-		for i := 0; i <= c.maxIdx[s]; i++ {
-			c.head[s][i] = nilIdx
-			c.tail[s][i] = nilIdx
+		if c.maxIdx[s] >= 0 {
+			clear(c.head[s][:c.maxIdx[s]+1])
+			clear(c.tail[s][:c.maxIdx[s]+1])
 		}
 		c.maxIdx[s] = -1
 		c.size[s] = 0
 	}
-	for i := range c.in {
-		c.in[i] = false
+	if c.cur == math.MaxUint32 {
+		// Epoch wraparound: restart from a clean slate so ancient stamps can
+		// never collide with the new epoch.
+		clear(c.gen)
+		c.cur = 0
 	}
+	c.cur++
 }
 
 // CheckInvariants verifies the internal linked-list structure; used by
@@ -273,35 +420,39 @@ func (c *Container) VerifyInvariants() error {
 	for s := uint8(0); s < 2; s++ {
 		for idx := 0; idx < c.nbucket; idx++ {
 			h := c.head[s][idx]
-			if h == nilIdx {
-				if c.tail[s][idx] != nilIdx {
-					return fmt.Errorf("gain: side %d bucket %d has nil head but tail %d", s, idx, c.tail[s][idx])
+			if h == 0 {
+				if c.tail[s][idx] != 0 {
+					return fmt.Errorf("gain: side %d bucket %d has nil head but tail %d", s, idx, c.tail[s][idx]-1)
 				}
 				continue
 			}
-			if c.prev[h] != nilIdx {
-				return fmt.Errorf("gain: side %d bucket %d head %d has a predecessor", s, idx, h)
+			if idx > c.maxIdx[s] {
+				return fmt.Errorf("gain: side %d bucket %d non-empty above max-gain cursor %d", s, idx, c.maxIdx[s])
 			}
-			var last int32 = nilIdx
-			for v := h; v != nilIdx; v = c.next[v] {
-				if !c.in[v] {
+			if c.prev[h-1] != 0 {
+				return fmt.Errorf("gain: side %d bucket %d head %d has a predecessor", s, idx, h-1)
+			}
+			var last int32 = 0
+			for n := h; n != 0; n = c.next[n-1] {
+				v := n - 1
+				if c.gen[v] != c.cur {
 					return fmt.Errorf("gain: vertex %d linked but not marked in", v)
 				}
 				if c.side[v] != s || c.clampIdx(c.key[v]) != idx {
 					return fmt.Errorf("gain: vertex %d filed under side %d bucket %d but carries side %d key %d",
 						v, s, idx, c.side[v], c.key[v])
 				}
-				if c.next[v] != nilIdx && c.prev[c.next[v]] != v {
-					return fmt.Errorf("gain: back-link of %d does not return to %d", c.next[v], v)
+				if c.next[v] != 0 && c.prev[c.next[v]-1] != n {
+					return fmt.Errorf("gain: back-link of %d does not return to %d", c.next[v]-1, v)
 				}
-				last = v
+				last = n
 				counted[s]++
-				if counted[s] > len(c.in) {
+				if counted[s] > len(c.gen) {
 					return fmt.Errorf("gain: cycle detected on side %d", s)
 				}
 			}
 			if c.tail[s][idx] != last {
-				return fmt.Errorf("gain: side %d bucket %d tail is %d, list ends at %d", s, idx, c.tail[s][idx], last)
+				return fmt.Errorf("gain: side %d bucket %d tail is %d, list ends at %d", s, idx, c.tail[s][idx]-1, last-1)
 			}
 		}
 	}
@@ -318,11 +469,11 @@ func (c *Container) VerifyInvariants() error {
 // examine the next bucket's head.
 func (c *Container) HeadsDown(s uint8, fn func(v int32, key int64) bool) {
 	for idx := c.maxIdx[s]; idx >= 0; idx-- {
-		v := c.head[s][idx]
-		if v == nilIdx {
+		n := c.head[s][idx]
+		if n == 0 {
 			continue
 		}
-		if !fn(v, c.key[v]) {
+		if !fn(n-1, c.key[n-1]) {
 			return
 		}
 	}

@@ -41,24 +41,29 @@ func TestVerifyInvariantsDetectsCorruption(t *testing.T) {
 	}{
 		{"dangling tail", func(c *Container) {
 			idx := c.clampIdx(1) // empty bucket
-			c.tail[0][idx] = 2
+			c.tail[0][idx] = 2 + 1
 		}, "nil head but tail"},
 		{"head with predecessor", func(c *Container) {
-			c.prev[c.head[0][c.clampIdx(2)]] = 3
+			c.prev[c.head[0][c.clampIdx(2)]-1] = 3 + 1
 		}, "has a predecessor"},
 		{"linked but not marked in", func(c *Container) {
-			c.in[0] = false
-			c.size[0]-- // keep size counters consistent so the in-flag check fires first
+			c.gen[0] = c.cur - 1
+			c.size[0]-- // keep size counters consistent so the membership check fires first
 		}, "not marked in"},
 		{"wrong bucket", func(c *Container) {
 			c.key[2] = 3 // element sits in bucket for key -1
 		}, "filed under"},
 		{"broken back-link", func(c *Container) {
-			c.prev[c.next[c.head[0][c.clampIdx(2)]]] = 5
+			h := c.head[0][c.clampIdx(2)] - 1
+			c.prev[c.next[h]-1] = 5 + 1
 		}, "back-link"},
 		{"size drift", func(c *Container) {
 			c.size[1] = 7
 		}, "size counters"},
+		{"bucket above cursor", func(c *Container) {
+			c.head[0][c.nbucket-1] = 1 + 1
+			c.tail[0][c.nbucket-1] = 1 + 1
+		}, "above max-gain cursor"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

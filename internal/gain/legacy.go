@@ -1,0 +1,278 @@
+// The seed gain container, frozen verbatim as the differential-testing
+// oracle for the optimized Container in gain.go.
+//
+// DO NOT OPTIMIZE OR OTHERWISE EDIT THIS FILE. Its value is precisely that
+// it is the straightforward implementation whose behavior the seed test
+// suite and the paper-reproduction experiments were validated against: the
+// optimized container must remain observably indistinguishable from it
+// (TestLegacyEquivalence), and internal/core's reference FM pass
+// (Config.ReferenceImpl) runs on it so cmd/hgbench can report an honest
+// baseline-vs-optimized speedup on identical move sequences.
+package gain
+
+import (
+	"fmt"
+
+	"hgpart/internal/rng"
+)
+
+const nilIdx int32 = -1
+
+// LegacyContainer is the seed implementation of the gain-bucket structure:
+// boolean membership flags reset in O(vertices), nilIdx-encoded links, and
+// Update as a full Remove+Insert.
+type LegacyContainer struct {
+	offset  int64 // bucket index = key + offset
+	nbucket int
+
+	head [2][]int32
+	tail [2][]int32
+
+	next, prev []int32
+	key        []int64
+	side       []uint8
+	in         []bool
+
+	maxIdx [2]int // index of highest possibly-non-empty bucket; -1 when empty
+	size   [2]int
+
+	order Order
+	r     *rng.RNG
+}
+
+// NewLegacyContainer creates a legacy container with the same contract as
+// NewContainer.
+func NewLegacyContainer(numVertices int, maxKey int64, order Order, r *rng.RNG) *LegacyContainer {
+	if maxKey < 1 {
+		maxKey = 1
+	}
+	n := int(2*maxKey + 1)
+	c := &LegacyContainer{
+		offset:  maxKey,
+		nbucket: n,
+		next:    make([]int32, numVertices),
+		prev:    make([]int32, numVertices),
+		key:     make([]int64, numVertices),
+		side:    make([]uint8, numVertices),
+		in:      make([]bool, numVertices),
+		order:   order,
+		r:       r,
+	}
+	for s := 0; s < 2; s++ {
+		c.head[s] = make([]int32, n)
+		c.tail[s] = make([]int32, n)
+		for i := range c.head[s] {
+			c.head[s][i] = nilIdx
+			c.tail[s][i] = nilIdx
+		}
+		c.maxIdx[s] = -1
+	}
+	return c
+}
+
+func (c *LegacyContainer) clampIdx(key int64) int {
+	i := key + c.offset
+	if i < 0 {
+		i = 0
+	}
+	if i >= int64(c.nbucket) {
+		i = int64(c.nbucket) - 1
+	}
+	return int(i)
+}
+
+// Contains reports whether v is currently in the container.
+func (c *LegacyContainer) Contains(v int32) bool { return c.in[v] }
+
+// Key returns v's current key; only meaningful while Contains(v).
+func (c *LegacyContainer) Key(v int32) int64 { return c.key[v] }
+
+// SideOf returns the side under which v was inserted.
+func (c *LegacyContainer) SideOf(v int32) uint8 { return c.side[v] }
+
+// Size returns the number of elements filed under side s.
+func (c *LegacyContainer) Size(s uint8) int { return c.size[s] }
+
+// Insert files v under side s with the given key. v must not already be in
+// the container.
+func (c *LegacyContainer) Insert(v int32, s uint8, key int64) {
+	if c.in[v] {
+		panic("gain: double insert")
+	}
+	c.in[v] = true
+	c.key[v] = key
+	c.side[v] = s
+	idx := c.clampIdx(key)
+
+	atHead := true
+	switch c.order {
+	case FIFO:
+		atHead = false
+	case Random:
+		atHead = c.r.Bool()
+	}
+	h, t := c.head[s][idx], c.tail[s][idx]
+	if h == nilIdx {
+		c.head[s][idx], c.tail[s][idx] = v, v
+		c.next[v], c.prev[v] = nilIdx, nilIdx
+	} else if atHead {
+		c.next[v] = h
+		c.prev[v] = nilIdx
+		c.prev[h] = v
+		c.head[s][idx] = v
+	} else {
+		c.prev[v] = t
+		c.next[v] = nilIdx
+		c.next[t] = v
+		c.tail[s][idx] = v
+	}
+	if idx > c.maxIdx[s] {
+		c.maxIdx[s] = idx
+	}
+	c.size[s]++
+}
+
+// Remove unfiles v. v must be in the container.
+func (c *LegacyContainer) Remove(v int32) {
+	if !c.in[v] {
+		panic("gain: remove of absent vertex")
+	}
+	s := c.side[v]
+	idx := c.clampIdx(c.key[v])
+	if c.prev[v] != nilIdx {
+		c.next[c.prev[v]] = c.next[v]
+	} else {
+		c.head[s][idx] = c.next[v]
+	}
+	if c.next[v] != nilIdx {
+		c.prev[c.next[v]] = c.prev[v]
+	} else {
+		c.tail[s][idx] = c.prev[v]
+	}
+	c.in[v] = false
+	c.size[s]--
+	// maxIdx is lazily repaired in Head.
+}
+
+// Update changes v's key by delta, removing and reinserting it so its
+// position within the target bucket follows the insertion order.
+func (c *LegacyContainer) Update(v int32, delta int64) {
+	s := c.side[v]
+	k := c.key[v] + delta
+	c.Remove(v)
+	c.Insert(v, s, k)
+}
+
+// Head returns the first vertex of the highest non-empty bucket for side s.
+func (c *LegacyContainer) Head(s uint8) (v int32, key int64, ok bool) {
+	if c.size[s] == 0 {
+		c.maxIdx[s] = -1
+		return 0, 0, false
+	}
+	for c.maxIdx[s] >= 0 && c.head[s][c.maxIdx[s]] == nilIdx {
+		c.maxIdx[s]--
+	}
+	if c.maxIdx[s] < 0 {
+		return 0, 0, false
+	}
+	v = c.head[s][c.maxIdx[s]]
+	return v, c.key[v], true
+}
+
+// WalkBucket calls fn for each vertex in the bucket containing key on side
+// s, in list order, stopping early if fn returns false.
+func (c *LegacyContainer) WalkBucket(s uint8, key int64, fn func(v int32) bool) {
+	idx := c.clampIdx(key)
+	for v := c.head[s][idx]; v != nilIdx; v = c.next[v] {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// WalkDown calls fn for every vertex on side s in non-increasing key order,
+// stopping early if fn returns false.
+func (c *LegacyContainer) WalkDown(s uint8, fn func(v int32, key int64) bool) {
+	for idx := c.maxIdx[s]; idx >= 0; idx-- {
+		for v := c.head[s][idx]; v != nilIdx; v = c.next[v] {
+			if !fn(v, c.key[v]) {
+				return
+			}
+		}
+	}
+}
+
+// Clear empties the container, retaining its allocations for the next pass.
+func (c *LegacyContainer) Clear() {
+	for s := 0; s < 2; s++ {
+		for i := 0; i <= c.maxIdx[s]; i++ {
+			c.head[s][i] = nilIdx
+			c.tail[s][i] = nilIdx
+		}
+		c.maxIdx[s] = -1
+		c.size[s] = 0
+	}
+	for i := range c.in {
+		c.in[i] = false
+	}
+}
+
+// VerifyInvariants checks the internal linked-list structure, mirroring
+// Container.VerifyInvariants.
+func (c *LegacyContainer) VerifyInvariants() error {
+	counted := [2]int{}
+	for s := uint8(0); s < 2; s++ {
+		for idx := 0; idx < c.nbucket; idx++ {
+			h := c.head[s][idx]
+			if h == nilIdx {
+				if c.tail[s][idx] != nilIdx {
+					return fmt.Errorf("gain: side %d bucket %d has nil head but tail %d", s, idx, c.tail[s][idx])
+				}
+				continue
+			}
+			if c.prev[h] != nilIdx {
+				return fmt.Errorf("gain: side %d bucket %d head %d has a predecessor", s, idx, h)
+			}
+			var last int32 = nilIdx
+			for v := h; v != nilIdx; v = c.next[v] {
+				if !c.in[v] {
+					return fmt.Errorf("gain: vertex %d linked but not marked in", v)
+				}
+				if c.side[v] != s || c.clampIdx(c.key[v]) != idx {
+					return fmt.Errorf("gain: vertex %d filed under side %d bucket %d but carries side %d key %d",
+						v, s, idx, c.side[v], c.key[v])
+				}
+				if c.next[v] != nilIdx && c.prev[c.next[v]] != v {
+					return fmt.Errorf("gain: back-link of %d does not return to %d", c.next[v], v)
+				}
+				last = v
+				counted[s]++
+				if counted[s] > len(c.in) {
+					return fmt.Errorf("gain: cycle detected on side %d", s)
+				}
+			}
+			if c.tail[s][idx] != last {
+				return fmt.Errorf("gain: side %d bucket %d tail is %d, list ends at %d", s, idx, c.tail[s][idx], last)
+			}
+		}
+	}
+	if counted[0] != c.size[0] || counted[1] != c.size[1] {
+		return fmt.Errorf("gain: size counters (%d,%d) disagree with linked elements (%d,%d)",
+			c.size[0], c.size[1], counted[0], counted[1])
+	}
+	return nil
+}
+
+// HeadsDown calls fn for the head of each non-empty bucket on side s in
+// non-increasing key order, stopping early if fn returns false.
+func (c *LegacyContainer) HeadsDown(s uint8, fn func(v int32, key int64) bool) {
+	for idx := c.maxIdx[s]; idx >= 0; idx-- {
+		v := c.head[s][idx]
+		if v == nilIdx {
+			continue
+		}
+		if !fn(v, c.key[v]) {
+			return
+		}
+	}
+}

@@ -1,0 +1,372 @@
+package gain
+
+import (
+	"fmt"
+	"testing"
+
+	"hgpart/internal/rng"
+)
+
+// This file is the property-based differential layer for the gain container:
+//
+//   - TestContainerMatchesModel drives random Insert/Remove/Update/Head/Clear
+//     interleavings and checks every observation against a naive map-based
+//     reference model, verifying the structural invariants after each step
+//     (the in-process analogue of running under -check-invariants).
+//   - TestLegacyEquivalence replays identical operation sequences on the
+//     optimized Container and the frozen seed LegacyContainer and requires
+//     byte-identical observable behavior, including intra-bucket positions
+//     and Random-order RNG draws.
+//   - TestClearedReuseEquivalentToFresh is the arena-reuse safety proof: a
+//     container that has survived an arbitrary workload and been Clear()ed
+//     (or Reinit()ed) must be observably indistinguishable from a fresh one.
+
+// modelEntry is the reference model's view of one contained vertex.
+type modelEntry struct {
+	side uint8
+	key  int64
+}
+
+// opSeq generates a reproducible random operation sequence. Each step is
+// encoded as (op, vertex, side, key/delta) drawn from r.
+type op struct {
+	kind  int // 0 insert, 1 remove, 2 update, 3 head, 4 clear, 5 walkdown
+	v     int32
+	side  uint8
+	key   int64
+	delta int64
+}
+
+func randomOps(r *rng.RNG, n, steps int, clearEvery int) []op {
+	ops := make([]op, 0, steps)
+	for i := 0; i < steps; i++ {
+		kind := r.Intn(10)
+		switch {
+		case kind < 3:
+			kind = 0
+		case kind < 5:
+			kind = 1
+		case kind < 8:
+			kind = 2
+		case kind < 9:
+			kind = 3
+		default:
+			kind = 5
+		}
+		if clearEvery > 0 && i > 0 && i%clearEvery == 0 {
+			kind = 4
+		}
+		ops = append(ops, op{
+			kind:  kind,
+			v:     int32(r.Intn(n)),
+			side:  uint8(r.Intn(2)),
+			key:   int64(r.Intn(21) - 10),
+			delta: int64(r.Intn(9) - 4),
+		})
+	}
+	return ops
+}
+
+// bucketAPI is the common observable surface of Container and
+// LegacyContainer, letting the differential driver treat them uniformly.
+type bucketAPI interface {
+	Contains(v int32) bool
+	Key(v int32) int64
+	SideOf(v int32) uint8
+	Size(s uint8) int
+	Insert(v int32, s uint8, key int64)
+	Remove(v int32)
+	Update(v int32, delta int64)
+	Head(s uint8) (int32, int64, bool)
+	WalkDown(s uint8, fn func(v int32, key int64) bool)
+	Clear()
+	VerifyInvariants() error
+}
+
+// apply runs one op against c, skipping preconditions that would panic
+// (double insert, absent remove/update). It returns a string describing the
+// observation the op produced, for cross-implementation comparison.
+func apply(c bucketAPI, o op) string {
+	switch o.kind {
+	case 0:
+		if c.Contains(o.v) {
+			return "skip"
+		}
+		c.Insert(o.v, o.side, o.key)
+		return "insert"
+	case 1:
+		if !c.Contains(o.v) {
+			return "skip"
+		}
+		c.Remove(o.v)
+		return "remove"
+	case 2:
+		if !c.Contains(o.v) {
+			return "skip"
+		}
+		c.Update(o.v, o.delta)
+		return "update"
+	case 3:
+		v, k, ok := c.Head(o.side)
+		return fmt.Sprintf("head(%d)=%d,%d,%v", o.side, v, k, ok)
+	case 4:
+		c.Clear()
+		return "clear"
+	case 5:
+		var sb []byte
+		c.WalkDown(o.side, func(v int32, key int64) bool {
+			sb = append(sb, fmt.Sprintf("%d:%d;", v, key)...)
+			return true
+		})
+		return "walk " + string(sb)
+	}
+	return "?"
+}
+
+func clamp(key, maxKey int64) int64 {
+	if key > maxKey {
+		return maxKey
+	}
+	if key < -maxKey {
+		return -maxKey
+	}
+	return key
+}
+
+func TestContainerMatchesModel(t *testing.T) {
+	const n, maxKey = 40, 10
+	for _, order := range []Order{LIFO, FIFO, Random} {
+		t.Run(order.String(), func(t *testing.T) {
+			r := rng.New(42)
+			c := NewContainer(n, maxKey, order, rng.New(7))
+			model := map[int32]modelEntry{}
+			ops := randomOps(r, n, 4000, 500)
+			for i, o := range ops {
+				switch o.kind {
+				case 0:
+					if _, ok := model[o.v]; ok {
+						continue
+					}
+					c.Insert(o.v, o.side, o.key)
+					model[o.v] = modelEntry{side: o.side, key: o.key}
+				case 1:
+					if _, ok := model[o.v]; !ok {
+						continue
+					}
+					c.Remove(o.v)
+					delete(model, o.v)
+				case 2:
+					e, ok := model[o.v]
+					if !ok {
+						continue
+					}
+					c.Update(o.v, o.delta)
+					e.key += o.delta
+					model[o.v] = e
+				case 3:
+					v, k, ok := c.Head(o.side)
+					var want int64
+					found := false
+					for _, e := range model {
+						if e.side != o.side {
+							continue
+						}
+						ck := clamp(e.key, maxKey)
+						if !found || ck > want {
+							want, found = ck, true
+						}
+					}
+					if ok != found {
+						t.Fatalf("step %d: Head(%d) ok=%v, model says %v", i, o.side, ok, found)
+					}
+					if ok {
+						if e := model[v]; e.side != o.side || e.key != k {
+							t.Fatalf("step %d: Head(%d) returned (%d,%d), model has %+v", i, o.side, v, k, e)
+						}
+						if clamp(k, maxKey) != want {
+							t.Fatalf("step %d: Head(%d) key %d clamps to %d, model max %d", i, o.side, k, clamp(k, maxKey), want)
+						}
+					}
+				case 4:
+					c.Clear()
+					model = map[int32]modelEntry{}
+				case 5:
+					seen := map[int32]bool{}
+					last := int64(maxKey + 1)
+					c.WalkDown(o.side, func(v int32, key int64) bool {
+						e, ok := model[v]
+						if !ok || e.side != o.side || e.key != key {
+							t.Fatalf("step %d: WalkDown(%d) yielded (%d,%d), model has %+v (present=%v)", i, o.side, v, key, e, ok)
+						}
+						if ck := clamp(key, maxKey); ck > last {
+							t.Fatalf("step %d: WalkDown(%d) keys not non-increasing: %d after %d", i, o.side, ck, last)
+						} else {
+							last = ck
+						}
+						seen[v] = true
+						return true
+					})
+					for v, e := range model {
+						if e.side == o.side && !seen[v] {
+							t.Fatalf("step %d: WalkDown(%d) missed vertex %d", i, o.side, v)
+						}
+					}
+				}
+				// Cross-check aggregate state and structure after every op.
+				var sizes [2]int
+				for _, e := range model {
+					sizes[e.side]++
+				}
+				if c.Size(0) != sizes[0] || c.Size(1) != sizes[1] {
+					t.Fatalf("step %d: sizes (%d,%d), model (%d,%d)", i, c.Size(0), c.Size(1), sizes[0], sizes[1])
+				}
+				for v := int32(0); v < n; v++ {
+					_, ok := model[v]
+					if c.Contains(v) != ok {
+						t.Fatalf("step %d: Contains(%d)=%v, model %v", i, v, c.Contains(v), ok)
+					}
+					if ok {
+						e := model[v]
+						if c.Key(v) != e.key || c.SideOf(v) != e.side {
+							t.Fatalf("step %d: vertex %d carries (%d,%d), model %+v", i, v, c.SideOf(v), c.Key(v), e)
+						}
+					}
+				}
+				if err := c.VerifyInvariants(); err != nil {
+					t.Fatalf("step %d: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// dump captures the complete observable ordering of a container: per side,
+// the WalkDown sequence (which pins both bucket ordering and intra-bucket
+// positions) plus the head and size.
+func dump(c bucketAPI) string {
+	out := ""
+	for s := uint8(0); s < 2; s++ {
+		v, k, ok := c.Head(s)
+		out += fmt.Sprintf("side%d size=%d head=%d,%d,%v [", s, c.Size(s), v, k, ok)
+		c.WalkDown(s, func(v int32, key int64) bool {
+			out += fmt.Sprintf("%d:%d ", v, key)
+			return true
+		})
+		out += "]\n"
+	}
+	return out
+}
+
+func TestLegacyEquivalence(t *testing.T) {
+	const n, maxKey = 48, 9
+	for _, order := range []Order{LIFO, FIFO, Random} {
+		t.Run(order.String(), func(t *testing.T) {
+			for seed := uint64(1); seed <= 8; seed++ {
+				ops := randomOps(rng.New(seed), n, 3000, 700)
+				opt := NewContainer(n, maxKey, order, rng.New(seed*13))
+				leg := NewLegacyContainer(n, maxKey, order, rng.New(seed*13))
+				for i, o := range ops {
+					a := apply(opt, o)
+					b := apply(leg, o)
+					if a != b {
+						t.Fatalf("seed %d step %d: optimized observed %q, legacy %q", seed, i, a, b)
+					}
+					if i%97 == 0 {
+						if da, db := dump(opt), dump(leg); da != db {
+							t.Fatalf("seed %d step %d: state diverged\noptimized:\n%s\nlegacy:\n%s", seed, i, da, db)
+						}
+					}
+				}
+				if da, db := dump(opt), dump(leg); da != db {
+					t.Fatalf("seed %d final state diverged\noptimized:\n%s\nlegacy:\n%s", seed, da, db)
+				}
+			}
+		})
+	}
+}
+
+func TestClearedReuseEquivalentToFresh(t *testing.T) {
+	const n, maxKey = 32, 8
+	for _, order := range []Order{LIFO, FIFO, Random} {
+		t.Run(order.String(), func(t *testing.T) {
+			for seed := uint64(1); seed <= 6; seed++ {
+				// Phase 1: an arbitrary prior workload on the reused container.
+				reused := NewContainer(n, maxKey, order, rng.New(99))
+				for _, o := range randomOps(rng.New(seed), n, 1500, 400) {
+					apply(reused, o)
+				}
+				reused.Clear()
+				// Re-arm the RNG so Random-order draws align with the fresh
+				// container; Reinit also exercises the arena-reuse path.
+				reused.Reinit(n, maxKey, order, rng.New(seed*31))
+				fresh := NewContainer(n, maxKey, order, rng.New(seed*31))
+
+				// Phase 2: identical workloads must be indistinguishable.
+				for i, o := range randomOps(rng.New(seed+1000), n, 1500, 350) {
+					a := apply(reused, o)
+					b := apply(fresh, o)
+					if a != b {
+						t.Fatalf("seed %d step %d: reused observed %q, fresh %q", seed, i, a, b)
+					}
+					if err := reused.VerifyInvariants(); err != nil {
+						t.Fatalf("seed %d step %d: reused container corrupt: %v", seed, i, err)
+					}
+				}
+				if da, db := dump(reused), dump(fresh); da != db {
+					t.Fatalf("seed %d: reused and fresh containers diverged\nreused:\n%s\nfresh:\n%s", seed, da, db)
+				}
+			}
+		})
+	}
+}
+
+// TestClearAfterEpochWraparound forces the epoch counter past its wrap point
+// and verifies membership is still fully reset.
+func TestClearAfterEpochWraparound(t *testing.T) {
+	c := NewContainer(4, 3, LIFO, nil)
+	c.cur = 1<<32 - 2
+	c.Insert(0, 0, 1)
+	c.Clear() // cur -> MaxUint32
+	c.Insert(1, 0, 2)
+	c.Clear() // wraps: gen cleared, cur restarts
+	for v := int32(0); v < 4; v++ {
+		if c.Contains(v) {
+			t.Fatalf("vertex %d survived the wraparound Clear", v)
+		}
+	}
+	c.Insert(2, 1, -1)
+	if !c.Contains(2) || c.Contains(1) {
+		t.Fatal("post-wraparound membership wrong")
+	}
+	if err := c.VerifyInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReinitGrowAndShrink reuses one container across different sizes the way
+// a multilevel engine walks its hierarchy.
+func TestReinitGrowAndShrink(t *testing.T) {
+	c := NewContainer(8, 4, LIFO, nil)
+	c.Insert(3, 0, 2)
+	for _, size := range []struct {
+		n      int
+		maxKey int64
+	}{{32, 10}, {4, 2}, {64, 1}, {16, 20}} {
+		c.Reinit(size.n, size.maxKey, LIFO, nil)
+		if c.Size(0)+c.Size(1) != 0 {
+			t.Fatalf("Reinit(%d,%d) left %d elements", size.n, size.maxKey, c.Size(0)+c.Size(1))
+		}
+		for v := int32(0); v < int32(size.n); v++ {
+			if c.Contains(v) {
+				t.Fatalf("Reinit(%d,%d): vertex %d leaked in", size.n, size.maxKey, v)
+			}
+		}
+		// Exercise and verify at the new geometry.
+		for v := int32(0); v < int32(size.n); v += 2 {
+			c.Insert(v, uint8(v%2), int64(v)%(2*size.maxKey)-size.maxKey)
+		}
+		if err := c.VerifyInvariants(); err != nil {
+			t.Fatalf("Reinit(%d,%d): %v", size.n, size.maxKey, err)
+		}
+	}
+}

@@ -97,10 +97,19 @@ func Partition(h *hypergraph.Hypergraph, k int, cfg Config, r *rng.RNG) (Result,
 	if cfg.DirectRefine && k >= 2 {
 		// Refinement tolerance: per-part bound equivalent to the
 		// per-bisection tolerance compounded once.
-		if _, err := kwayfm.Refine(h, parts, k, kwayfm.Config{
+		kcfg := kwayfm.Config{
 			Tolerance: cfg.Tolerance * 2,
 			Objective: kwayfm.CutObjective,
-		}, r.Split()); err != nil {
+		}
+		kr := r.Split()
+		if cfg.Refine.ReferenceImpl {
+			// The bisection layers already honored ReferenceImpl through
+			// cfg.Refine; extend it to the direct k-way polish so an
+			// end-to-end reference run stays reference throughout.
+			if _, err := kwayfm.RefineReference(h, parts, k, kcfg, kr); err != nil {
+				return Result{}, err
+			}
+		} else if _, err := kwayfm.Refine(h, parts, k, kcfg, kr); err != nil {
 			return Result{}, err
 		}
 	}

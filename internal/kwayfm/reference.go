@@ -1,0 +1,245 @@
+// The seed k-way refiner, frozen verbatim as the differential-testing
+// oracle for the arena-based Engine in kwayfm.go.
+//
+// DO NOT OPTIMIZE OR OTHERWISE EDIT THIS FILE. RefineReference allocates
+// its full state per call and per pass, exactly as the seed did; the Engine
+// must produce bit-identical results from the same RNG stream
+// (TestEngineMatchesReference), and cmd/hgbench times this path to report
+// an honest baseline-vs-optimized speedup.
+package kwayfm
+
+import (
+	"math"
+
+	"hgpart/internal/gain"
+	"hgpart/internal/hypergraph"
+	"hgpart/internal/objective"
+	"hgpart/internal/rng"
+)
+
+// state holds the mutable k-way partition.
+type state struct {
+	h      *hypergraph.Hypergraph
+	k      int
+	part   []int32
+	pw     []int64   // part weights
+	count  [][]int32 // per edge: pins per part
+	obj    Objective
+	value  int64 // current objective value
+	lo, hi int64
+}
+
+func newState(h *hypergraph.Hypergraph, parts objective.Assignment, k int, cfg Config) *state {
+	s := &state{
+		h:    h,
+		k:    k,
+		part: make([]int32, h.NumVertices()),
+		pw:   make([]int64, k),
+		obj:  cfg.Objective,
+	}
+	copy(s.part, parts)
+	for v := 0; v < h.NumVertices(); v++ {
+		s.pw[s.part[v]] += h.VertexWeight(int32(v))
+	}
+	s.count = make([][]int32, h.NumEdges())
+	for e := 0; e < h.NumEdges(); e++ {
+		s.count[e] = make([]int32, k)
+		for _, v := range h.Pins(int32(e)) {
+			s.count[e][s.part[v]]++
+		}
+	}
+	switch s.obj {
+	case CutObjective:
+		s.value = objective.CutSize(h, parts)
+	case ConnectivityObjective:
+		s.value = objective.ConnectivityMinusOne(h, parts)
+	}
+	ideal := float64(h.TotalVertexWeight()) / float64(k)
+	s.lo = int64(ideal * (1 - cfg.Tolerance))
+	s.hi = int64(ideal*(1+cfg.Tolerance) + 0.9999)
+	return s
+}
+
+// gain returns the objective decrease of moving v to part t.
+func (s *state) gain(v int32, t int32) int64 {
+	src := s.part[v]
+	var g int64
+	for _, e := range s.h.IncidentEdges(v) {
+		w := s.h.EdgeWeight(e)
+		c := s.count[e]
+		switch s.obj {
+		case CutObjective:
+			size := int32(s.h.EdgeSize(e))
+			beforeUncut := c[src] == size
+			afterUncut := c[t] == size-1
+			if afterUncut && !beforeUncut {
+				g += w
+			} else if beforeUncut && !afterUncut {
+				g -= w
+			}
+		case ConnectivityObjective:
+			if c[src] == 1 {
+				g += w
+			}
+			if c[t] == 0 {
+				g -= w
+			}
+		}
+	}
+	return g
+}
+
+// move relocates v to part t, updating counts, weights and objective value.
+func (s *state) move(v int32, t int32) {
+	g := s.gain(v, t)
+	src := s.part[v]
+	w := s.h.VertexWeight(v)
+	for _, e := range s.h.IncidentEdges(v) {
+		s.count[e][src]--
+		s.count[e][t]++
+	}
+	s.part[v] = t
+	s.pw[src] -= w
+	s.pw[t] += w
+	s.value -= g
+}
+
+// legal reports whether moving v to t keeps both affected parts in bounds.
+func (s *state) legal(v int32, t int32) bool {
+	src := s.part[v]
+	if src == t {
+		return false
+	}
+	w := s.h.VertexWeight(v)
+	return s.pw[src]-w >= s.lo && s.pw[t]+w <= s.hi
+}
+
+// bestOf returns v's highest-gain legal target, or ok=false when no legal
+// move exists right now.
+func (s *state) bestOf(v int32) (t int32, g int64, ok bool) {
+	g = math.MinInt64
+	for cand := int32(0); cand < int32(s.k); cand++ {
+		if !s.legal(v, cand) {
+			continue
+		}
+		if cg := s.gain(v, cand); cg > g {
+			g, t, ok = cg, cand, true
+		}
+	}
+	return t, g, ok
+}
+
+// RefineReference improves parts in place with the frozen seed
+// implementation. Contract and behavior are identical to Engine.Refine with
+// the same arguments; only the allocation profile differs.
+func RefineReference(h *hypergraph.Hypergraph, parts objective.Assignment, k int, cfg Config, r *rng.RNG) (Result, error) {
+	if err := validate(h, parts, k); err != nil {
+		return Result{}, err
+	}
+	cfg = cfg.withDefaults()
+	s := newState(h, parts, k, cfg)
+	res := Result{Initial: s.value}
+
+	for {
+		improved, moves := referencePass(s, r)
+		res.Passes++
+		res.Moves += moves
+		if !improved {
+			break
+		}
+		if cfg.MaxPasses > 0 && res.Passes >= cfg.MaxPasses {
+			break
+		}
+	}
+	copy(parts, s.part)
+	res.Final = s.value
+	return res, nil
+}
+
+// referencePass performs one k-way FM pass with prefix rollback. Each
+// unlocked vertex's best (gain, target) is cached in a gain-bucket priority
+// queue (internal/gain, one side). Because a move changes two part weights,
+// cached entries can go stale with respect to legality or value; the pop
+// loop revalidates lazily: a popped entry whose recomputed best move
+// differs is reinserted at its fresh key (or dropped when no legal move
+// remains). Neighbors of a moved vertex are refreshed eagerly.
+func referencePass(s *state, r *rng.RNG) (bool, int64) {
+	n := s.h.NumVertices()
+	locked := make([]bool, n)
+
+	maxKey := s.h.MaxWeightedDegree()
+	cont := gain.NewLegacyContainer(n, maxKey, gain.LIFO, r)
+	target := make([]int32, n)
+
+	// Initial fill in random order (LIFO buckets make this the intra-bucket
+	// order, mirroring the 2-way testbench's randomized initial insertion).
+	for _, vi := range r.Perm(n) {
+		v := int32(vi)
+		if t, g, ok := s.bestOf(v); ok {
+			cont.Insert(v, 0, g)
+			target[v] = t
+		}
+	}
+
+	type moveRec struct {
+		v    int32
+		from int32
+	}
+	var stack []moveRec
+	startValue := s.value
+	bestValue := s.value
+	bestIdx := -1
+	var moves int64
+
+	for {
+		v, key, ok := cont.Head(0)
+		if !ok {
+			break
+		}
+		// Lazy revalidation.
+		t, g, legal := s.bestOf(v)
+		if !legal {
+			cont.Remove(v)
+			continue
+		}
+		if g != key {
+			cont.Update(v, g-key)
+			target[v] = t
+			continue
+		}
+		target[v] = t
+
+		from := s.part[v]
+		cont.Remove(v)
+		locked[v] = true
+		s.move(v, t)
+		stack = append(stack, moveRec{v: v, from: from})
+		moves++
+
+		// Refresh cached entries of affected neighbors.
+		for _, e := range s.h.IncidentEdges(v) {
+			for _, y := range s.h.Pins(e) {
+				if y == v || locked[y] {
+					continue
+				}
+				if cont.Contains(y) {
+					cont.Remove(y)
+				}
+				if ty, gy, okY := s.bestOf(y); okY {
+					cont.Insert(y, 0, gy)
+					target[y] = ty
+				}
+			}
+		}
+
+		if s.value < bestValue {
+			bestValue = s.value
+			bestIdx = len(stack) - 1
+		}
+	}
+	// Roll back past the best prefix.
+	for i := len(stack) - 1; i > bestIdx; i-- {
+		s.move(stack[i].v, stack[i].from)
+	}
+	return bestValue < startValue, moves
+}

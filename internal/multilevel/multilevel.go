@@ -91,11 +91,16 @@ type Stats struct {
 }
 
 // Partitioner is a reusable multilevel bisector for one hypergraph and
-// balance constraint.
+// balance constraint. It owns a scratch FM engine rebound across the levels
+// of every start instead of allocated per level, so a Partitioner is not
+// safe for concurrent use — the evaluation harness constructs one per
+// worker (its factory contract).
 type Partitioner struct {
 	h   *hypergraph.Hypergraph
 	cfg Config
 	bal partition.Balance
+
+	scratch *core.Engine
 }
 
 // New builds a Partitioner. cfg zero-fields take defaults.
@@ -274,7 +279,7 @@ func (m *Partitioner) match(h *hypergraph.Hypergraph, r *rng.RNG, sides []uint8,
 // initialPartition generates InitialTries random balanced solutions at the
 // coarsest level, refines each, and keeps the best legal one.
 func (m *Partitioner) initialPartition(coarsest *hypergraph.Hypergraph, r *rng.RNG, st *Stats) *partition.P {
-	eng := core.NewEngine(coarsest, m.cfg.Refine, m.bal, r.Split())
+	eng := m.engineFor(coarsest, r.Split())
 	var best *partition.P
 	var bestCut int64
 	for t := 0; t < m.cfg.InitialTries; t++ {
@@ -327,10 +332,25 @@ func (m *Partitioner) uncoarsen(p *partition.P, levels []level, r *rng.RNG, st *
 
 // refine runs the configured FM engine on p.
 func (m *Partitioner) refine(p *partition.P, r *rng.RNG, st *Stats) {
-	eng := core.NewEngine(p.H, m.cfg.Refine, m.bal, r.Split())
+	eng := m.engineFor(p.H, r.Split())
 	res := eng.Run(p)
 	st.Work += res.Work
 	st.Moves += res.Moves
+}
+
+// engineFor returns the scratch engine rebound to h with a fresh random
+// stream. The r.Split() at each call site preserves the seed
+// implementation's draw sequence exactly (it constructed an engine per
+// level with a split stream), and Engine.Rebind guarantees a rebound engine
+// is indistinguishable from a fresh one — so reusing the arenas changes no
+// observable behavior.
+func (m *Partitioner) engineFor(h *hypergraph.Hypergraph, r *rng.RNG) *core.Engine {
+	if m.scratch == nil {
+		m.scratch = core.NewEngine(h, m.cfg.Refine, m.bal, r)
+	} else {
+		m.scratch.Rebind(h, m.bal, r)
+	}
+	return m.scratch
 }
 
 // SortedClusterSizes returns the multiset of cluster sizes of a matching —

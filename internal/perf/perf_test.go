@@ -1,0 +1,116 @@
+package perf
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestMicroSuiteSmoke runs the full pinned suite at minimal settings: every
+// case must build, the reference/optimized move-count cross-check must hold,
+// and the zero-alloc cases must measure zero. This is the same gate
+// cmd/hgbench applies in CI, exercised at the package level.
+func TestMicroSuiteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micro-suite smoke is not short")
+	}
+	r := Runner{Warmup: 1, Reps: 2}
+	rep, err := r.RunSuite(MicroSuiteName, MicroSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(rep.Cases), len(MicroSuite()); got != want {
+		t.Fatalf("suite ran %d cases, want %d", got, want)
+	}
+	for _, c := range rep.Cases {
+		if c.Optimized.Moves == 0 {
+			t.Errorf("case %q made no moves — workload is degenerate", c.Name)
+		}
+		if c.Optimized.NsPerMove <= 0 {
+			t.Errorf("case %q: non-positive ns/move %v", c.Name, c.Optimized.NsPerMove)
+		}
+	}
+	if problems := CheckZeroAllocs(rep, MicroSuite()); len(problems) != 0 {
+		t.Errorf("zero-alloc assertion failed:\n  %s", strings.Join(problems, "\n  "))
+	}
+}
+
+// TestReportHasNoTimestamps: the committed BENCH_pr3.json must be
+// reproducible up to measured numbers, so the serialized report may carry no
+// wall-clock or host-identity fields.
+func TestReportHasNoTimestamps(t *testing.T) {
+	rep := Report{Schema: SchemaV1, Suite: MicroSuiteName}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, banned := range []string{"time", "date", "host", "stamp"} {
+		if strings.Contains(strings.ToLower(string(raw)), banned) {
+			t.Errorf("report JSON contains non-reproducible field matching %q: %s", banned, raw)
+		}
+	}
+}
+
+// TestCheckRegression covers the three comparison outcomes: within
+// tolerance, beyond tolerance, and a case missing from the current run.
+func TestCheckRegression(t *testing.T) {
+	base := Report{Cases: []CaseResult{
+		{Name: "a", Optimized: Metrics{NsPerMove: 100}},
+		{Name: "b", Optimized: Metrics{NsPerMove: 100}},
+		{Name: "gone", Optimized: Metrics{NsPerMove: 100}},
+	}}
+	cur := Report{Cases: []CaseResult{
+		{Name: "a", Optimized: Metrics{NsPerMove: 109}}, // +9%: ok at 10%
+		{Name: "b", Optimized: Metrics{NsPerMove: 115}}, // +15%: regression
+	}}
+	problems := CheckRegression(cur, base, 0.10)
+	if len(problems) != 2 {
+		t.Fatalf("want 2 problems (regression + missing case), got %d: %v", len(problems), problems)
+	}
+	if !strings.Contains(problems[0], `"b"`) {
+		t.Errorf("first problem should name case b: %s", problems[0])
+	}
+	if !strings.Contains(problems[1], `"gone"`) {
+		t.Errorf("second problem should name the missing case: %s", problems[1])
+	}
+	if problems := CheckRegression(cur, base, 0.20); len(problems) != 1 {
+		t.Errorf("at 20%% tolerance only the missing case should remain, got %v", problems)
+	}
+}
+
+// TestCheckRegressionDriftNormalization: when both reports carry reference
+// measurements, uniform machine slowdown (ref and opt drift by the same
+// factor) must not trip the gate, while a genuine relative regression (opt
+// drifts, ref does not) must — even if the raw opt numbers are identical.
+func TestCheckRegressionDriftNormalization(t *testing.T) {
+	base := Report{Cases: []CaseResult{
+		{Name: "a", Reference: Metrics{NsPerMove: 400}, Optimized: Metrics{NsPerMove: 100}},
+	}}
+	slowMachine := Report{Cases: []CaseResult{
+		// Everything 30% slower: same opt/ref ratio, no regression.
+		{Name: "a", Reference: Metrics{NsPerMove: 520}, Optimized: Metrics{NsPerMove: 130}},
+	}}
+	if problems := CheckRegression(slowMachine, base, 0.10); len(problems) != 0 {
+		t.Errorf("uniform machine slowdown should cancel out, got %v", problems)
+	}
+	realRegression := Report{Cases: []CaseResult{
+		// Ref unchanged, opt 30% slower: a code regression.
+		{Name: "a", Reference: Metrics{NsPerMove: 400}, Optimized: Metrics{NsPerMove: 130}},
+	}}
+	if problems := CheckRegression(realRegression, base, 0.10); len(problems) != 1 {
+		t.Errorf("want the relative regression flagged, got %v", problems)
+	}
+}
+
+// TestCheckZeroAllocs only enforces the assertion on marked cases.
+func TestCheckZeroAllocs(t *testing.T) {
+	cases := []Case{{Name: "pinned", AssertZeroAlloc: true}, {Name: "free"}}
+	rep := Report{Cases: []CaseResult{
+		{Name: "pinned", Optimized: Metrics{AllocsPerMove: 0.5}},
+		{Name: "free", Optimized: Metrics{AllocsPerMove: 3}},
+	}}
+	problems := CheckZeroAllocs(rep, cases)
+	if len(problems) != 1 || !strings.Contains(problems[0], `"pinned"`) {
+		t.Fatalf("want exactly one problem about case pinned, got %v", problems)
+	}
+}

@@ -1,0 +1,34 @@
+package perf
+
+import "testing"
+
+// BenchmarkMicroSuite exposes every micro-suite case to `go test -bench`
+// (and pprof via -cpuprofile) without going through cmd/hgbench. The
+// sub-benchmark names mirror the hgbench report rows: <case>/ref runs the
+// frozen reference implementation, <case>/opt the arena engine, so
+//
+//	go test -bench 'MicroSuite/kwayfm-k8-cut' -benchmem ./internal/perf
+//
+// profiles exactly the pair a BENCH_pr3.json row came from. -benchmem on the
+// /opt rows is the raw form of the harness's allocs/move assertion.
+func BenchmarkMicroSuite(b *testing.B) {
+	for _, c := range MicroSuite() {
+		c := c
+		b.Run(c.Name+"/ref", func(b *testing.B) {
+			ref, _ := c.Build()
+			ref() // warm caches and touch lazily-built state once
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ref()
+			}
+		})
+		b.Run(c.Name+"/opt", func(b *testing.B) {
+			_, opt := c.Build()
+			opt()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opt()
+			}
+		})
+	}
+}

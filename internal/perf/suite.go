@@ -1,0 +1,182 @@
+package perf
+
+import (
+	"hgpart/internal/core"
+	"hgpart/internal/gen"
+	"hgpart/internal/hypergraph"
+	"hgpart/internal/kwayfm"
+	"hgpart/internal/multilevel"
+	"hgpart/internal/objective"
+	"hgpart/internal/partition"
+	"hgpart/internal/rng"
+)
+
+// MicroSuiteName labels the pinned suite in reports; regression checks
+// refuse to compare reports from different suites.
+const MicroSuiteName = "micro/v1"
+
+// Pinned workload sizes. Small enough that the whole suite runs in seconds
+// (it gates CI), large enough that a multistart batch makes thousands of
+// moves, so ns/move is a stable median rather than timer noise.
+const (
+	flatStarts = 4
+	kwayStarts = 3
+	mlStarts   = 3
+)
+
+// MicroSuite returns the pinned benchmark cases. Everything is fixed —
+// instance generator specs, seeds, start counts — so two runs of the same
+// binary execute identical move sequences and reports are comparable across
+// commits.
+func MicroSuite() []Case {
+	return []Case{
+		flatCase("flat-fm-strong", core.StrongConfig(false),
+			gen.Spec{Cells: 1200, Nets: 1700, AvgNetSize: 3.5, Locality: 0.6, Seed: 41}),
+		flatCase("flat-fm-naive-alldelta", core.NaiveConfig(false),
+			gen.Spec{Cells: 1200, Nets: 1700, AvgNetSize: 3.5, Locality: 0.6, Seed: 41}),
+		flatCase("clip-strong", core.StrongConfig(true),
+			gen.Spec{Cells: 1000, Nets: 1400, AvgNetSize: 3.8, Locality: 0.5, Seed: 43}),
+		kwayCase("kwayfm-k8-connectivity", 8,
+			kwayfm.Config{Tolerance: 0.15, Objective: kwayfm.ConnectivityObjective},
+			gen.Spec{Cells: 900, Nets: 1300, AvgNetSize: 4.0, Locality: 0.5, Seed: 59}),
+		kwayCase("kwayfm-k8-cut", 8,
+			kwayfm.Config{Tolerance: 0.15, Objective: kwayfm.CutObjective},
+			gen.Spec{Cells: 900, Nets: 1300, AvgNetSize: 4.0, Locality: 0.5, Seed: 61}),
+		mlCase("ml-strong", core.StrongConfig(false),
+			gen.Spec{Cells: 2000, Nets: 2800, AvgNetSize: 3.6, Locality: 0.7, Seed: 53}),
+	}
+}
+
+// flatStartSides pre-generates the pinned multistart seed partitions so the
+// measured closures only replay them.
+func flatStartSides(h *hypergraph.Hypergraph, bal partition.Balance, starts int) [][]uint8 {
+	sides := make([][]uint8, starts)
+	p := partition.New(h)
+	for s := range sides {
+		p.RandomBalanced(rng.New(uint64(1000+s)), bal)
+		sides[s] = append([]uint8(nil), p.Sides()...)
+	}
+	return sides
+}
+
+// flatCase: a flat-FM multistart batch. The reference closure drives the
+// frozen seed pass (Config.ReferenceImpl); the optimized closure drives the
+// arena engine. Both must make the same total number of moves — they are
+// bit-identical — and the optimized pass loop must not allocate.
+func flatCase(name string, cfg core.Config, spec gen.Spec) Case {
+	return Case{
+		Name:            name,
+		AssertZeroAlloc: true,
+		Build: func() (func() int64, func() int64) {
+			h := gen.MustGenerate(spec)
+			bal := partition.NewBalance(h.TotalVertexWeight(), 0.10)
+			sides := flatStartSides(h, bal, flatStarts)
+			mk := func(reference bool) func() int64 {
+				c := cfg
+				c.ReferenceImpl = reference
+				eng := core.NewEngine(h, c, bal, rng.New(11))
+				p := partition.New(h)
+				return func() int64 {
+					var moves int64
+					for _, s := range sides {
+						if err := p.Assign(s); err != nil {
+							panic(err)
+						}
+						res := eng.Run(p)
+						moves += res.Moves
+					}
+					return moves
+				}
+			}
+			return mk(true), mk(false)
+		},
+	}
+}
+
+// kwayCase: direct k-way refinement of pinned random assignments. The seed
+// implementation reallocates its container, locked set and move log every
+// pass; the engine reuses arenas.
+func kwayCase(name string, k int, cfg kwayfm.Config, spec gen.Spec) Case {
+	return Case{
+		Name:            name,
+		AssertZeroAlloc: true,
+		Build: func() (func() int64, func() int64) {
+			h := gen.MustGenerate(spec)
+			starts := make([]objective.Assignment, kwayStarts)
+			for s := range starts {
+				starts[s] = make(objective.Assignment, h.NumVertices())
+				r := rng.New(uint64(2000 + s))
+				for v := range starts[s] {
+					starts[s][v] = int32(r.Intn(k))
+				}
+			}
+			scratchRef := make(objective.Assignment, h.NumVertices())
+			scratchOpt := make(objective.Assignment, h.NumVertices())
+
+			// Each closure owns an RNG; both start from the same seed and
+			// advance in lockstep because the implementations draw
+			// identically, so move totals stay comparable rep by rep.
+			rRef := rng.New(5)
+			reference := func() int64 {
+				var moves int64
+				for _, s := range starts {
+					copy(scratchRef, s)
+					res, err := kwayfm.RefineReference(h, scratchRef, k, cfg, rRef)
+					if err != nil {
+						panic(err)
+					}
+					moves += res.Moves
+				}
+				return moves
+			}
+			eng, err := kwayfm.NewEngine(h, k, cfg)
+			if err != nil {
+				panic(err)
+			}
+			rOpt := rng.New(5)
+			optimized := func() int64 {
+				var moves int64
+				for _, s := range starts {
+					copy(scratchOpt, s)
+					res, err := eng.Refine(scratchOpt, rOpt)
+					if err != nil {
+						panic(err)
+					}
+					moves += res.Moves
+				}
+				return moves
+			}
+			return reference, optimized
+		},
+	}
+}
+
+// mlCase: full multilevel bisection starts. Hierarchy construction allocates
+// by design (each start builds a fresh coarsening), so this case measures
+// end-to-end ns/move without a zero-alloc assertion; what it isolates is the
+// per-level engine rebinding versus the seed's per-level reallocation.
+func mlCase(name string, refine core.Config, spec gen.Spec) Case {
+	return Case{
+		Name:            name,
+		AssertZeroAlloc: false,
+		Build: func() (func() int64, func() int64) {
+			h := gen.MustGenerate(spec)
+			bal := partition.NewBalance(h.TotalVertexWeight(), 0.10)
+			mk := func(reference bool) func() int64 {
+				cfg := multilevel.Config{Refine: refine}
+				cfg.Refine.ReferenceImpl = reference
+				ml := multilevel.New(h, cfg, bal)
+				r := rng.New(31)
+				return func() int64 {
+					var moves int64
+					for s := 0; s < mlStarts; s++ {
+						_, st := ml.Partition(r.Split())
+						moves += st.Moves
+					}
+					return moves
+				}
+			}
+			return mk(true), mk(false)
+		},
+	}
+}
