@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fuzz bench bench-smoke bench-go ci
+.PHONY: all build test race vet lint fuzz bench bench-smoke bench-go serve-smoke ci
 
 all: build
 
@@ -49,6 +49,12 @@ bench-smoke:
 bench-go:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
+# End-to-end daemon smoke: build the real hgserved binary, boot it on an
+# ephemeral port, verify liveness, a computed-then-cached byte-identical
+# request pair, the metrics counters, and a clean SIGTERM graceful drain.
+serve-smoke:
+	$(GO) test -run TestServeSmoke -count=1 ./cmd/hgserved
+
 # What CI runs: build, static checks (vet + hglint), the full test suite
-# under the race detector, and the benchmark smoke gate.
-ci: build lint race bench-smoke
+# under the race detector, the benchmark smoke gate, and the daemon smoke.
+ci: build lint race bench-smoke serve-smoke

@@ -18,9 +18,20 @@
 //
 // Input format is chosen by extension: .hgr for hMETIS, anything else is
 // parsed as ISPD98 .netD/.net (with -are supplying areas).
+//
+// -o <file> writes the best partition assignment, one line per vertex in
+// instance order: side 0/1 for bisection, the part id for -k > 2.
+//
+// Exit codes:
+//
+//	0  success
+//	1  internal error (I/O failure writing results, engine failure)
+//	2  usage error or unparsable input (bad flags, malformed netlist)
+//	3  no legal partition within the balance tolerance
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -46,6 +57,7 @@ func main() {
 		refineK = flag.Bool("krefine", false, "direct k-way FM refinement after recursive bisection")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		traceTo = flag.String("trace", "", "write per-pass FM trace CSV to this file (flat/clip engines)")
+		outPath = flag.String("o", "", "write the best partition assignment to this file (one side/part id per vertex line)")
 		quiet   = flag.Bool("q", false, "suppress instance statistics")
 
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget; undone starts are skipped, partial results reported")
@@ -60,29 +72,30 @@ func main() {
 	// Validate user input at the boundary; deeper layers treat bad values as
 	// programming errors and panic.
 	if *scale <= 0 || *scale > 1 {
-		fatal(fmt.Errorf("-scale %g out of range (0,1]", *scale))
+		fatalUsage(fmt.Errorf("-scale %g out of range (0,1]", *scale))
 	}
 	if *tol <= 0 || *tol >= 1 {
-		fatal(fmt.Errorf("-tol %g out of range (0,1)", *tol))
+		fatalUsage(fmt.Errorf("-tol %g out of range (0,1)", *tol))
 	}
 	if *resume && *checkpoint == "" {
-		fatal(fmt.Errorf("-resume requires -checkpoint <file>"))
+		fatalUsage(fmt.Errorf("-resume requires -checkpoint <file>"))
 	}
 	if *impl != "optimized" && *impl != "reference" {
-		fatal(fmt.Errorf("-impl %q must be optimized or reference", *impl))
+		fatalUsage(fmt.Errorf("-impl %q must be optimized or reference", *impl))
 	}
 	reference := *impl == "reference"
 
 	h, err := loadInstance(*inPath, *arePath, *ibm, *scale, *seed)
 	if err != nil {
-		fatal(err)
+		// Unreadable or malformed input is the user's to fix, not ours.
+		fatalUsage(err)
 	}
 	if !*quiet {
 		fmt.Fprint(os.Stderr, hgpart.ComputeStats(h))
 	}
 
 	if *k > 2 {
-		runKWay(h, *k, *tol, *starts, *refineK, *seed, reference)
+		runKWay(h, *k, *tol, *starts, *refineK, *seed, reference, *outPath)
 		return
 	}
 
@@ -95,15 +108,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		checkLegal(p, bal)
 		fmt.Printf("engine=spectral tolerance=%.3f\n", *tol)
 		fmt.Printf("cut=%d (eigensolver iterations %d)\n", sres.Cut, sres.Iterations)
 		printSides(p, total)
 		fmt.Printf("time=%.3fs\n", time.Since(t0).Seconds())
+		writeSides(*outPath, h.NumVertices(), p)
 		return
 	}
 
 	if *traceTo != "" && (*engine == "flat" || *engine == "clip") {
-		runTraced(h, bal, *engine, *traceTo, *seed, reference)
+		runTraced(h, bal, *engine, *traceTo, *seed, reference, *outPath)
 		return
 	}
 
@@ -116,12 +131,12 @@ func main() {
 	case "clip":
 		kind = hgpart.EngineFlatCLIP
 	default:
-		fatal(fmt.Errorf("unknown engine %q (ml, flat, clip, spectral)", *engine))
+		fatalUsage(fmt.Errorf("unknown engine %q (ml, flat, clip, spectral)", *engine))
 	}
 
 	if *timeout > 0 || *workers != 0 || *checkpoint != "" || *retries > 0 || *checkInv {
 		runRobust(h, bal, *engine, *starts, *vcycles, *seed,
-			*timeout, *workers, *checkpoint, *resume, *retries, *checkInv, reference)
+			*timeout, *workers, *checkpoint, *resume, *retries, *checkInv, reference, *outPath)
 		return
 	}
 
@@ -135,8 +150,11 @@ func main() {
 		ReferenceImpl: reference,
 	})
 	if err != nil {
-		fatal(err)
+		// The only Bisect failure reachable from validated flags is an
+		// infeasible balance: no start produced a legal partition.
+		fatalInfeasible(err)
 	}
+	checkLegal(p, bal)
 	elapsed := time.Since(t0)
 
 	fmt.Printf("engine=%s starts=%d tolerance=%.3f\n", *engine, *starts, *tol)
@@ -144,6 +162,7 @@ func main() {
 	printSides(p, total)
 	fmt.Printf("time=%.3fs work=%d (normalized %.3fs)\n",
 		elapsed.Seconds(), res.Work, float64(res.Work)/2e6)
+	writeSides(*outPath, h.NumVertices(), p)
 }
 
 // runRobust runs the multistart through the fault-tolerant harness:
@@ -151,7 +170,7 @@ func main() {
 // invariant verification and checkpoint/resume.
 func runRobust(h *hgpart.Hypergraph, bal hgpart.Balance, engine string, starts, vcycles int,
 	seed uint64, timeout time.Duration, workers int, checkpointPath string, resume bool,
-	retries int, checkInv bool, reference bool) {
+	retries int, checkInv bool, reference bool, outPath string) {
 	cfg := hgpart.StrongFMConfig(engine == "clip")
 	cfg.CheckInvariants = checkInv
 	cfg.ReferenceImpl = reference
@@ -192,16 +211,32 @@ func runRobust(h *hgpart.Hypergraph, bal hgpart.Balance, engine string, starts, 
 		fmt.Printf("incomplete: %s (%d of %d starts skipped)\n", rep.Reason, rep.Skipped, starts)
 	}
 	if rep.BestIdx < 0 {
-		fatal(fmt.Errorf("no start succeeded"))
+		fatalInfeasible(fmt.Errorf("no start succeeded"))
 	}
 	best := rep.Best
+	if best.P == nil && outPath != "" {
+		// The best start was loaded from the journal, which persists cuts but
+		// not partitions. -o needs the assignment, so deterministically
+		// recompute exactly that start.
+		o, err := hgpart.RerunStart(factory, seed, rep.BestIdx, rep.Results[rep.BestIdx].Attempts)
+		if err != nil {
+			fatal(fmt.Errorf("recompute resumed best start %d: %w", rep.BestIdx, err))
+		}
+		if o.Cut != best.Cut {
+			fatal(fmt.Errorf("recomputed start %d cut %d != journaled %d (corrupt checkpoint?)",
+				rep.BestIdx, o.Cut, best.Cut))
+		}
+		best = o
+	}
 	if best.P != nil {
 		// Polish the best solution the way the plain path does (ML V-cycles).
 		if polish := factory().PolishBest(best.P, hgpart.NewRNG(seed^0x9e3779b97f4a7c15)); polish.P != nil {
 			best = polish
 		}
+		checkLegal(best.P, bal)
 		fmt.Printf("cut=%d (best start %d)\n", best.P.Cut(), rep.BestIdx)
 		printSides(best.P, h.TotalVertexWeight())
+		writeSides(outPath, h.NumVertices(), best.P)
 	} else {
 		// The best start was loaded from the journal: its cut is known but
 		// its partition was not persisted.
@@ -217,6 +252,17 @@ func runRobust(h *hgpart.Hypergraph, bal hgpart.Balance, engine string, starts, 
 	}
 }
 
+// checkLegal enforces the documented exit-3 contract: a best partition
+// outside the balance bounds means the tolerance is infeasible for this
+// instance (the engines keep the least-bad solution rather than none).
+func checkLegal(p *hgpart.Partition, bal hgpart.Balance) {
+	if !p.Legal(bal) {
+		fatalInfeasible(fmt.Errorf(
+			"no legal partition within tolerance: best has sides %d/%d, bounds [%d,%d]",
+			p.Area(0), p.Area(1), bal.Lo, bal.Hi))
+	}
+}
+
 func printSides(p *hgpart.Partition, total int64) {
 	fmt.Printf("side0=%d (%.2f%%) side1=%d (%.2f%%)\n",
 		p.Area(0), 100*float64(p.Area(0))/float64(total),
@@ -224,7 +270,7 @@ func printSides(p *hgpart.Partition, total int64) {
 }
 
 // runKWay handles -k > 2 via recursive bisection.
-func runKWay(h *hgpart.Hypergraph, k int, tol float64, starts int, refine bool, seed uint64, reference bool) {
+func runKWay(h *hgpart.Hypergraph, k int, tol float64, starts int, refine bool, seed uint64, reference bool, outPath string) {
 	cfg := hgpart.KWayConfig{
 		Tolerance:    tol,
 		Starts:       starts,
@@ -246,10 +292,11 @@ func runKWay(h *hgpart.Hypergraph, k int, tol float64, starts int, refine bool, 
 			100*float64(x)/float64(h.TotalVertexWeight()))
 	}
 	fmt.Printf("time=%.3fs\n", time.Since(t0).Seconds())
+	writeAssignment(outPath, h.NumVertices(), func(v int) int32 { return res.Parts[v] })
 }
 
 // runTraced runs a single traced flat start and writes the pass CSV.
-func runTraced(h *hgpart.Hypergraph, bal hgpart.Balance, engine, path string, seed uint64, reference bool) {
+func runTraced(h *hgpart.Hypergraph, bal hgpart.Balance, engine, path string, seed uint64, reference bool, outPath string) {
 	cfg := hgpart.StrongFMConfig(engine == "clip")
 	cfg.ReferenceImpl = reference
 	r := hgpart.NewRNG(seed)
@@ -274,6 +321,36 @@ func runTraced(h *hgpart.Hypergraph, bal hgpart.Balance, engine, path string, se
 		res.Cut, s.Passes, s.TotalMoves, s.TotalRolledBack, s.ShortestPassMoves)
 	printSides(p, h.TotalVertexWeight())
 	fmt.Printf("trace written to %s\n", path)
+	writeSides(outPath, h.NumVertices(), p)
+}
+
+// writeSides writes a bisection assignment (hMETIS .part convention: one
+// side per line, vertex order). A empty path is a no-op.
+func writeSides(path string, n int, p *hgpart.Partition) {
+	writeAssignment(path, n, func(v int) int32 { return int32(p.Side(int32(v))) })
+}
+
+// writeAssignment writes one part id per line for n vertices.
+func writeAssignment(path string, n int, part func(int) int32) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	w := bufio.NewWriter(f)
+	for v := 0; v < n; v++ {
+		fmt.Fprintf(w, "%d\n", part(v))
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("assignment written to %s\n", path)
 }
 
 func loadInstance(inPath, arePath string, ibm int, scale float64, seed uint64) (*hgpart.Hypergraph, error) {
@@ -313,7 +390,31 @@ func loadInstance(inPath, arePath string, ibm int, scale float64, seed uint64) (
 	return hgpart.ParseNetD(f, nil, inPath)
 }
 
+// Exit codes, documented in the command comment above. fatal classifies
+// netlist parse failures as usage errors even when they surface late.
+const (
+	exitInternal   = 1
+	exitUsage      = 2
+	exitInfeasible = 3
+)
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "hgpart:", err)
-	os.Exit(1)
+	if _, ok := hgpart.AsParseError(err); ok {
+		os.Exit(exitUsage)
+	}
+	os.Exit(exitInternal)
+}
+
+// fatalUsage reports a bad flag combination or unreadable/unparsable input.
+func fatalUsage(err error) {
+	fmt.Fprintln(os.Stderr, "hgpart:", err)
+	os.Exit(exitUsage)
+}
+
+// fatalInfeasible reports that no legal partition exists within the balance
+// tolerance — a property of the request, not a bug.
+func fatalInfeasible(err error) {
+	fmt.Fprintln(os.Stderr, "hgpart:", err)
+	os.Exit(exitInfeasible)
 }

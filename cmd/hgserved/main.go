@@ -1,0 +1,143 @@
+// Command hgserved runs the partitioning-as-a-service daemon: an HTTP
+// server that accepts netlists (inline hMETIS/.netD text or named synthetic
+// benchmarks) and partitions them through the fault-tolerant multistart
+// harness on a bounded worker pool.
+//
+// Usage:
+//
+//	hgserved -addr :8080 -workers 2 -checkpoint-dir /var/lib/hgserved
+//
+// Endpoints:
+//
+//	POST   /v1/partition   submit a job (sync by default; "async": true for 202 + job id)
+//	POST   /v1/trace       run one traced flat/clip start, returning per-pass diagnostics
+//	GET    /v1/jobs        list retained jobs
+//	GET    /v1/jobs/{id}   live status with best-so-far trajectory
+//	DELETE /v1/jobs/{id}   cancel a queued or running job
+//	GET    /v1/stats       human-readable service summary
+//	GET    /metrics        Prometheus text exposition
+//	GET    /healthz        liveness
+//	GET    /readyz         readiness (503 once draining)
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: /readyz flips to 503
+// while the listener still answers, queued jobs are cancelled, running jobs
+// are interrupted with their completed starts journaled to -checkpoint-dir,
+// and the listener closes only after all workers are idle (bounded by
+// -drain-timeout). Resubmitting an interrupted request resumes its journal.
+//
+// Identical requests (same instance content, config and seed) are served
+// from a content-addressed result cache; concurrent identical requests
+// coalesce onto a single computation. Responses are deterministic: the same
+// request yields byte-identical report bodies across processes and restarts.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hgpart/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		addrFile     = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts and smoke tests)")
+		workers      = flag.Int("workers", 2, "concurrent jobs")
+		startWorkers = flag.Int("start-workers", 2, "max concurrent starts within one job")
+		queueCap     = flag.Int("queue-cap", 256, "queued-job bound; submissions beyond it get 429")
+		historyCap   = flag.Int("job-history", 512, "terminal jobs retained for GET /v1/jobs")
+		retries      = flag.Int("retries", 1, "retry a panicking start up to this many times with a reseeded generator")
+		cacheEntries = flag.Int("cache-entries", 4096, "result-cache entry bound (<=0 unbounded)")
+		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "result-cache byte bound (<=0 unbounded)")
+		cpDir        = flag.String("checkpoint-dir", "", "journal running jobs' completed starts here; empty disables checkpointing")
+		maxBody      = flag.Int64("max-body-bytes", 64<<20, "request body size bound")
+		drainTO      = flag.Duration("drain-timeout", 30*time.Second, "bound on the SIGTERM graceful drain")
+		logJSON      = flag.Bool("log-json", false, "emit JSON logs instead of text")
+	)
+	flag.Parse()
+
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	log := slog.New(handler)
+
+	if *cpDir != "" {
+		if err := os.MkdirAll(*cpDir, 0o755); err != nil {
+			fatal(log, "create checkpoint dir", err)
+		}
+	}
+
+	cfg := service.DefaultConfig()
+	cfg.Workers = *workers
+	cfg.StartWorkers = *startWorkers
+	cfg.QueueCap = *queueCap
+	cfg.HistoryCap = *historyCap
+	cfg.MaxRetries = *retries
+	cfg.CacheEntries = *cacheEntries
+	cfg.CacheBytes = *cacheBytes
+	cfg.CheckpointDir = *cpDir
+	cfg.MaxBodyBytes = *maxBody
+	cfg.Logger = log
+	srv := service.New(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(log, "listen", err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		// Written after Listen succeeds, so a reader holding the file holds a
+		// connectable address.
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			fatal(log, "write addr-file", err)
+		}
+	}
+	log.Info("hgserved listening", "addr", bound, "workers", *workers,
+		"checkpoint_dir", *cpDir)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Info("signal received; draining")
+	case err := <-errc:
+		fatal(log, "serve", err)
+	}
+
+	// Graceful sequence: readiness flips first (inside Drain), the listener
+	// keeps answering /readyz and status queries while running jobs wind
+	// down and checkpoint, and only then does the listener close.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Error("drain incomplete", "err", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Error("shutdown", "err", err)
+	}
+	log.Info("hgserved stopped")
+}
+
+// fatal logs and exits; user-facing failures never panic.
+func fatal(log *slog.Logger, msg string, err error) {
+	log.Error(msg, "err", err)
+	fmt.Fprintf(os.Stderr, "hgserved: %s: %v\n", msg, err)
+	os.Exit(1)
+}

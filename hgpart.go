@@ -177,6 +177,15 @@ func WriteNetD(w io.Writer, h *Hypergraph) error { return netlist.WriteNetD(w, h
 // WriteAre writes h's vertex areas as an ISPD98 .are file.
 func WriteAre(w io.Writer, h *Hypergraph) error { return netlist.WriteAre(w, h) }
 
+// ParseError is the typed failure every netlist parser returns: it names
+// the format ("hgr", "netd", ...) and the instance, and unwraps to the
+// underlying cause.
+type ParseError = netlist.ParseError
+
+// AsParseError reports whether err stems from netlist parsing and, if so,
+// returns the typed error.
+func AsParseError(err error) (*ParseError, bool) { return netlist.AsParseError(err) }
+
 // Place runs top-down recursive min-cut bisection placement on h.
 func Place(h *Hypergraph, cfg PlacerConfig) (*Placement, error) { return placer.Place(h, cfg) }
 
@@ -291,6 +300,15 @@ func NewMLHeuristic(label string, h *Hypergraph, cfg MLConfig, bal Balance, vcyc
 // preserving per-start determinism (see internal/eval.RunMultistart).
 func RunMultistart(ctx context.Context, factory func() Heuristic, n int, seed uint64, opt RunOptions) *RunReport {
 	return eval.RunMultistart(ctx, factory, n, seed, opt)
+}
+
+// RerunStart deterministically recomputes start i of an n-start multistart
+// run with the given root seed — e.g. to recover the partition of a best
+// start that was resumed from a checkpoint journal (which persists cuts,
+// not assignments). attempts is the Attempts count recorded for the start
+// (1 when it succeeded first try).
+func RerunStart(factory func() Heuristic, seed uint64, i, attempts int) (Outcome, error) {
+	return eval.RerunStart(factory, seed, i, attempts)
 }
 
 // OpenCheckpoint opens (or, with resume, reloads) a JSONL start journal for

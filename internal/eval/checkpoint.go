@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -24,10 +25,15 @@ import (
 //	{"kind":"start","start":3,"status":"ok","cut":412,"seconds":0.8,"work":1693412,"attempts":1}
 //	{"kind":"start","start":0,"status":"failed","attempts":3,"err":"..."}
 //
-// Records are flushed per start; a crash can lose at most the final,
-// partially written line, which resume detects and drops. Resuming under a
-// different name, seed or start count is refused — a journal replayed into
-// the wrong experiment would silently fabricate statistics.
+// Writes are crash-safe: a fresh journal's header is written to a temporary
+// file, fsynced and atomically renamed into place (so the journal either
+// exists with a valid header or not at all — a crash during creation can
+// never leave a truncated half-header a later resume would misread), and
+// every record is flushed and fsynced before the harness moves on, so a
+// drained or killed run can lose at most the final, partially written line,
+// which resume detects and drops. Resuming under a different name, seed or
+// start count is refused — a journal replayed into the wrong experiment
+// would silently fabricate statistics.
 type Checkpoint struct {
 	mu   sync.Mutex
 	f    *os.File
@@ -66,26 +72,69 @@ func OpenCheckpoint(path, name string, seed uint64, n int, resume bool) (*Checkp
 			return nil, err
 		}
 	}
-	flags := os.O_CREATE | os.O_WRONLY
-	if len(cp.done) > 0 || resume && fileHasHeader(path) {
-		flags |= os.O_APPEND
-	} else {
-		flags |= os.O_TRUNC
+	fresh := !(len(cp.done) > 0 || resume && fileHasHeader(path))
+	if fresh {
+		hdr := checkpointHeader{Kind: "header", Name: name, Seed: seed, N: n}
+		if err := createJournal(path, hdr); err != nil {
+			return nil, err
+		}
 	}
-	f, err := os.OpenFile(path, flags, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("eval: open checkpoint: %w", err)
 	}
 	cp.f = f
 	cp.w = bufio.NewWriter(f)
-	if flags&os.O_TRUNC != 0 {
-		hdr := checkpointHeader{Kind: "header", Name: name, Seed: seed, N: n}
-		if err := cp.writeLine(hdr); err != nil {
-			f.Close()
-			return nil, err
-		}
-	}
 	return cp, nil
+}
+
+// createJournal writes a journal containing only the header to a temporary
+// sibling file, fsyncs it, and atomically renames it over path, then fsyncs
+// the directory so the rename itself is durable. A crash anywhere in the
+// sequence leaves either the old path (or no file) or a complete new
+// journal — never a torn header.
+func createJournal(path string, hdr checkpointHeader) error {
+	b, err := json.Marshal(hdr)
+	if err != nil {
+		return fmt.Errorf("eval: encode checkpoint header: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("eval: create checkpoint: %w", err)
+	}
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("eval: write checkpoint header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("eval: sync checkpoint header: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("eval: close checkpoint header: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("eval: install checkpoint: %w", err)
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable. Errors are ignored: not every platform or filesystem supports
+// directory fsync, and the rename itself has already succeeded.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	defer d.Close()
+	_ = d.Sync()
 }
 
 // fileHasHeader reports whether path exists and starts with a header line —
@@ -202,9 +251,12 @@ func (c *Checkpoint) record(sr StartResult) {
 	}
 }
 
-// writeLine marshals v, writes it with a trailing newline and flushes, so
-// every record is durable once the call returns. Callers hold c.mu (or have
-// exclusive access during Open).
+// writeLine marshals v, writes it with a trailing newline, flushes and
+// fsyncs, so every record is durable — not merely handed to the kernel —
+// once the call returns. A start is worth seconds of CPU; one fsync per
+// completed start is noise next to that, and it is what lets a drained
+// hgserved promise the journal survives an immediately following power
+// loss. Callers hold c.mu.
 func (c *Checkpoint) writeLine(v any) error {
 	b, err := json.Marshal(v)
 	if err != nil {
@@ -213,7 +265,10 @@ func (c *Checkpoint) writeLine(v any) error {
 	if _, err := c.w.Write(append(b, '\n')); err != nil {
 		return fmt.Errorf("eval: write checkpoint record: %w", err)
 	}
-	return c.w.Flush()
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	return c.f.Sync()
 }
 
 // Err returns the first journaling error encountered, if any. A run whose

@@ -1,0 +1,102 @@
+package eval_test
+
+// Crash-safety tests for the checkpoint journal: creation must be atomic
+// (temp file + rename), so no sequence of kills can leave a torn header
+// that a later resume would misread, and records must be recoverable even
+// with a torn final line.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hgpart/internal/eval"
+)
+
+func TestCheckpointFreshCreateIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	cp, err := eval.OpenCheckpoint(path, "flat", 7, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind after create: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(string(b), "\n", 2)[0]
+	if !strings.Contains(first, `"kind":"header"`) || !strings.Contains(first, `"name":"flat"`) {
+		t.Fatalf("journal does not start with a valid header: %q", first)
+	}
+}
+
+func TestCheckpointCreateReplacesGarbageAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	// A crash mid-creation under the old write-then-truncate scheme could
+	// leave a torn half-header; a stale .tmp from an earlier kill may also
+	// linger. Fresh open must recover from both.
+	if err := os.WriteFile(path, []byte(`{"kind":"head`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path+".tmp", []byte("stale"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := eval.OpenCheckpoint(path, "flat", 7, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), `{"kind":"header"`) {
+		t.Fatalf("garbage journal not replaced by a valid one: %q", string(b))
+	}
+}
+
+func TestCheckpointResumeRefusesTornHeader(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	if err := os.WriteFile(path, []byte(`{"kind":"head`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eval.OpenCheckpoint(path, "flat", 7, 10, true); err == nil {
+		t.Fatal("resume accepted a journal with a torn header")
+	}
+}
+
+func TestCheckpointResumeDropsTornFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	journal := `{"kind":"header","name":"flat","seed":7,"n":10}` + "\n" +
+		`{"kind":"start","start":3,"status":"ok","cut":42,"work":100,"attempts":1}` + "\n" +
+		`{"kind":"start","start":5,"sta` // torn mid-record by a crash
+	if err := os.WriteFile(path, []byte(journal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := eval.OpenCheckpoint(path, "flat", 7, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	if cp.Resumed() != 1 {
+		t.Fatalf("resumed %d starts, want 1 (torn final record dropped)", cp.Resumed())
+	}
+	if sr, ok := cp.Completed(3); !ok || sr.Outcome.Cut != 42 {
+		t.Fatalf("intact record not resumed: %+v ok=%v", sr, ok)
+	}
+	if _, ok := cp.Completed(5); ok {
+		t.Fatal("torn record was resumed")
+	}
+}

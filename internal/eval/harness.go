@@ -392,6 +392,32 @@ func runAttempt(h Heuristic, r *rng.RNG) (o Outcome, err error) {
 	return h.Run(r), nil
 }
 
+// StartSeed returns the pre-split seed RunMultistart derives for start i of
+// a run rooted at seed — the i-th draw from the root generator. Because each
+// start's outcome is a pure function of this seed, any single start can be
+// recomputed after the fact (see RerunStart) without re-running the sweep.
+func StartSeed(seed uint64, i int) uint64 {
+	root := rng.New(seed)
+	var s uint64
+	for j := 0; j <= i; j++ {
+		s = root.Uint64()
+	}
+	return s
+}
+
+// RerunStart deterministically recomputes start i of an n-start run rooted
+// at seed, replaying attempt number attempts (1 for a start that succeeded
+// first try, matching StartResult.Attempts). It reproduces the exact
+// outcome RunMultistart recorded — partition included — which is how a
+// resumed run whose best start lives only in the journal (Outcome.P == nil)
+// recovers the partition without redoing the whole sweep.
+func RerunStart(factory func() Heuristic, seed uint64, i, attempts int) (Outcome, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	return runAttempt(factory(), rng.New(attemptSeed(StartSeed(seed, i), attempts-1)))
+}
+
 // MultistartInfo reports the robustness bookkeeping of MultistartRobust.
 type MultistartInfo struct {
 	// Completed and Failed count starts by fate.

@@ -24,16 +24,18 @@ import (
 )
 
 // UserReachablePackages are the module-relative package roots where user
-// input arrives: the CLI binaries and the netlist parsers.
+// input arrives: the CLI binaries, the netlist parsers, and the HTTP
+// service (a malformed request must produce a 4xx, never a panic).
 var UserReachablePackages = []string{
 	"cmd",
 	"internal/netlist",
+	"internal/service",
 }
 
 // Analyzer is the panicdiscipline pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "panicdiscipline",
-	Doc:  "in user-reachable packages (cmd, internal/netlist), panic only with *core.InvariantViolation or inside init/must* helpers; user input gets errors",
+	Doc:  "in user-reachable packages (cmd, internal/netlist, internal/service), panic only with *core.InvariantViolation or inside init/must* helpers; user input gets errors",
 	Run:  run,
 }
 

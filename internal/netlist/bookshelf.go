@@ -34,7 +34,14 @@ type BookshelfDesign struct {
 }
 
 // ParseBookshelf parses a .nodes and a .nets reader into a design.
+//
+// All failures are *ParseError values with Format "bookshelf".
 func ParseBookshelf(nodesR, netsR io.Reader, name string) (*BookshelfDesign, error) {
+	d, err := parseBookshelf(nodesR, netsR, name)
+	return d, wrapParse("bookshelf", name, err)
+}
+
+func parseBookshelf(nodesR, netsR io.Reader, name string) (*BookshelfDesign, error) {
 	names, weights, terminal, err := parseBookshelfNodes(nodesR)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,46 @@
+package netlist
+
+import "errors"
+
+// ParseError is the typed failure every parser in this package returns: it
+// records which format was being read and which input it came from, so
+// callers that accept arbitrary user bytes — the CLI boundary and the
+// hgserved HTTP service — can distinguish "the user handed us a bad file"
+// (a client error, exit code 2 / HTTP 400) from an internal fault without
+// string-matching messages.
+//
+// Error() passes the underlying message through unchanged (every message
+// already carries the "netlist:" prefix and the offending line), so wrapping
+// is invisible to humans and to golden output; Unwrap exposes the cause to
+// errors.Is/As.
+type ParseError struct {
+	// Format is the input format: "hgr", "netD", "patoh" or "bookshelf".
+	Format string
+	// Name is the input name the caller supplied (usually a file path).
+	Name string
+	// Err is the underlying parse failure.
+	Err error
+}
+
+func (e *ParseError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying cause.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// AsParseError unwraps err to a *ParseError, if it is one.
+func AsParseError(err error) (*ParseError, bool) {
+	var pe *ParseError
+	if errors.As(err, &pe) {
+		return pe, true
+	}
+	return nil, false
+}
+
+// wrapParse tags a parser failure with its format and input name. A nil err
+// passes through untouched, so parser success paths need no special casing.
+func wrapParse(format, name string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &ParseError{Format: format, Name: name, Err: err}
+}

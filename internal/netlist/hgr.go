@@ -30,7 +30,14 @@ import (
 //
 // fmt is 0 (default, unweighted), 1 (edge weights), 10 (vertex weights) or
 // 11 (both).
+//
+// All failures are *ParseError values with Format "hgr".
 func ParseHGR(r io.Reader, name string) (*hypergraph.Hypergraph, error) {
+	h, err := parseHGR(r, name)
+	return h, wrapParse("hgr", name, err)
+}
+
+func parseHGR(r io.Reader, name string) (*hypergraph.Hypergraph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
 

@@ -27,7 +27,14 @@ import (
 // undirected, per the paper's problem formulation.
 //
 // The .are file holds "<module-name> <area>" lines.
+//
+// All failures are *ParseError values with Format "netD".
 func ParseNetD(netR io.Reader, areR io.Reader, name string) (*hypergraph.Hypergraph, error) {
+	h, err := parseNetD(netR, areR, name)
+	return h, wrapParse("netD", name, err)
+}
+
+func parseNetD(netR io.Reader, areR io.Reader, name string) (*hypergraph.Hypergraph, error) {
 	sc := bufio.NewScanner(netR)
 	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
 

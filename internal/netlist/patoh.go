@@ -18,7 +18,14 @@ import (
 //
 // base is 0 or 1 (index origin). weightScheme: 0 = unweighted,
 // 1 = cell weights, 2 = net weights, 3 = both. '%' lines are comments.
+//
+// All failures are *ParseError values with Format "patoh".
 func ParsePaToH(r io.Reader, name string) (*hypergraph.Hypergraph, error) {
+	h, err := parsePaToH(r, name)
+	return h, wrapParse("patoh", name, err)
+}
+
+func parsePaToH(r io.Reader, name string) (*hypergraph.Hypergraph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
 

@@ -1,0 +1,126 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is the content-addressed result cache: marshaled Report bytes keyed
+// by the cache key of (instance hash, partitioning config, seed). Reports
+// are deterministic, so an entry never goes stale — eviction exists only to
+// bound memory, LRU over both an entry count and a total byte budget.
+//
+// Hit/miss accounting is the service's singleflight evidence: N concurrent
+// identical requests must record exactly one miss (the flight leader) with
+// the followers counted as coalesced, and later identical requests as hits.
+type Cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	ll         *list.List // front = most recently used
+	items      map[string]*list.Element
+
+	hits, misses, coalesced, evictions int64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// NewCache builds a cache bounded to maxEntries entries and maxBytes total
+// body bytes (either <= 0 disables that bound; both <= 0 means unbounded).
+func NewCache(maxEntries int, maxBytes int64) *Cache {
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached report bytes for key, updating recency and the
+// hit counter. The returned slice is shared — callers must not mutate it.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Miss records one cache miss (called by the flight leader exactly once per
+// computed report).
+func (c *Cache) Miss() {
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+}
+
+// Coalesced records one coalesced request (a follower that piggybacked on an
+// in-flight identical computation — neither hit nor miss).
+func (c *Cache) Coalesced() {
+	c.mu.Lock()
+	c.coalesced++
+	c.mu.Unlock()
+}
+
+// Put stores body under key and evicts LRU entries beyond the bounds. A body
+// alone larger than the byte budget is simply not cached.
+func (c *Cache) Put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.maxBytes > 0 && int64(len(body)) > c.maxBytes {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.bytes += int64(len(body)) - int64(len(ent.body))
+		ent.body = body
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+		c.bytes += int64(len(body))
+	}
+	for (c.maxEntries > 0 && c.ll.Len() > c.maxEntries) ||
+		(c.maxBytes > 0 && c.bytes > c.maxBytes) {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.bytes -= int64(len(ent.body))
+		c.evictions++
+	}
+}
+
+// CacheStats is a point-in-time snapshot for /metrics.
+type CacheStats struct {
+	Entries   int
+	Bytes     int64
+	Hits      int64
+	Misses    int64
+	Coalesced int64
+	Evictions int64
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,98 @@
+package service
+
+import (
+	"container/heap"
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEntryBound(t *testing.T) {
+	c := NewCache(3, 0)
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Fatal("k0 survived past the entry bound")
+	}
+	for i := 1; i < 4; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("k%d evicted though recent", i)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 3 || st.Evictions != 1 {
+		t.Fatalf("stats %+v, want 3 entries / 1 eviction", st)
+	}
+
+	// Touching k1 makes k2 the LRU victim.
+	c.Get("k1")
+	c.Put("k4", []byte{4})
+	if _, ok := c.Get("k2"); ok {
+		t.Fatal("k2 survived though least recently used")
+	}
+	if _, ok := c.Get("k1"); !ok {
+		t.Fatal("recently touched k1 evicted")
+	}
+}
+
+func TestCacheByteBound(t *testing.T) {
+	c := NewCache(0, 10)
+	c.Put("a", make([]byte, 6))
+	c.Put("b", make([]byte, 4))
+	if st := c.Stats(); st.Bytes != 10 || st.Entries != 2 {
+		t.Fatalf("stats %+v, want 10 bytes / 2 entries", st)
+	}
+	c.Put("c", make([]byte, 5)) // must evict "a"
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a survived past the byte bound")
+	}
+	if st := c.Stats(); st.Bytes != 9 || st.Entries != 2 {
+		t.Fatalf("stats after eviction %+v, want 9 bytes / 2 entries", st)
+	}
+
+	// A single body over the budget is not cached at all.
+	c.Put("huge", make([]byte, 11))
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("oversized body cached")
+	}
+
+	// In-place update adjusts the byte accounting.
+	c.Put("b", make([]byte, 1))
+	if st := c.Stats(); st.Bytes != 6 {
+		t.Fatalf("bytes %d after shrink, want 6", st.Bytes)
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	c := NewCache(8, 0)
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("phantom hit")
+	}
+	c.Miss()
+	c.Put("k", []byte("v"))
+	c.Get("k")
+	c.Coalesced()
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Coalesced != 1 {
+		t.Fatalf("counters %+v, want 1/1/1", st)
+	}
+}
+
+func TestJobPQOrdering(t *testing.T) {
+	// Higher priority first; FIFO within a priority level.
+	mkjob := func(seq int64, prio int) *Job {
+		return &Job{seq: seq, req: PartitionRequest{Priority: prio}}
+	}
+	q := jobPQ{mkjob(1, 0), mkjob(2, 5), mkjob(3, 0), mkjob(4, 5)}
+	order := []int64{}
+	heap.Init(&q)
+	for len(q) > 0 {
+		order = append(order, heap.Pop(&q).(*Job).seq)
+	}
+	want := []int64{2, 4, 1, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", order, want)
+		}
+	}
+}

@@ -1,0 +1,754 @@
+package service
+
+import (
+	"container/heap"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"hgpart/internal/core"
+	"hgpart/internal/eval"
+	"hgpart/internal/hypergraph"
+	"hgpart/internal/multilevel"
+	"hgpart/internal/partition"
+	"hgpart/internal/rng"
+)
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+const (
+	// JobQueued means the job waits in the priority queue.
+	JobQueued JobState = "queued"
+	// JobRunning means a worker is executing the multistart.
+	JobRunning JobState = "running"
+	// JobDone means the job produced a report (possibly incomplete, if it
+	// ran under a budget).
+	JobDone JobState = "done"
+	// JobFailed means no start produced a legal partition.
+	JobFailed JobState = "failed"
+	// JobCanceled means the job was cancelled before or during execution.
+	JobCanceled JobState = "canceled"
+	// JobInterrupted means a graceful drain stopped the job mid-run; its
+	// completed starts are checkpointed, and resubmitting the identical
+	// request resumes from the journal.
+	JobInterrupted JobState = "interrupted"
+)
+
+// BSFLive is one live best-so-far improvement in completion order: after
+// Completed finished starts, the best cut seen so far was Cut. Completion
+// order is scheduler-dependent, so this trajectory is informational; the
+// deterministic start-order trajectory lives in the final Report.
+type BSFLive struct {
+	Completed int   `json:"completed"`
+	Cut       int64 `json:"cut"`
+}
+
+// Job is one partitioning request moving through the service.
+type Job struct {
+	// ID is the service-assigned job identifier ("j-000042").
+	ID string
+	// Key is the content-addressed cache key the job computes toward.
+	Key string
+	seq int64
+
+	req      PartitionRequest
+	inst     *hypergraph.Hypergraph
+	instName string
+	instHash string
+
+	mu         sync.Mutex
+	state      JobState
+	completed  int
+	failed     int
+	resumed    int
+	bsfCut     int64
+	bsf        []BSFLive
+	report     []byte
+	httpStatus int
+	errMsg     string
+	enqueued   time.Time
+	started    time.Time
+	finished   time.Time
+	cancel     context.CancelFunc
+
+	done chan struct{}
+}
+
+// JobStatus is the GET /v1/jobs/{id} document — a live, wall-clock-aware
+// view (unlike the deterministic Report embedded once the job is done).
+type JobStatus struct {
+	ID        string    `json:"id"`
+	State     JobState  `json:"state"`
+	Instance  string    `json:"instance"`
+	CacheKey  string    `json:"cache_key"`
+	Priority  int       `json:"priority"`
+	Starts    int       `json:"starts"`
+	Completed int       `json:"completed"`
+	Failed    int       `json:"failed"`
+	Resumed   int       `json:"resumed,omitempty"`
+	BSFCut    *int64    `json:"bsf_cut,omitempty"`
+	BSF       []BSFLive `json:"bsf,omitempty"`
+	ElapsedMS int64     `json:"elapsed_ms"`
+	Error     string    `json:"error,omitempty"`
+	// Report is the deterministic result document, present once State is
+	// "done" or "failed".
+	Report json.RawMessage `json:"report,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.ID,
+		State:     j.state,
+		Instance:  j.instName,
+		CacheKey:  j.Key,
+		Priority:  j.req.Priority,
+		Starts:    j.req.Starts,
+		Completed: j.completed,
+		Failed:    j.failed,
+		Resumed:   j.resumed,
+		Error:     j.errMsg,
+	}
+	if len(j.bsf) > 0 {
+		cut := j.bsfCut
+		st.BSFCut = &cut
+		st.BSF = append([]BSFLive(nil), j.bsf...)
+	}
+	switch {
+	case j.state == JobQueued:
+		st.ElapsedMS = 0
+	case j.finished.IsZero():
+		st.ElapsedMS = time.Since(j.started).Milliseconds()
+	default:
+		st.ElapsedMS = j.finished.Sub(j.started).Milliseconds()
+	}
+	if len(j.report) > 0 {
+		st.Report = json.RawMessage(j.report)
+	}
+	return st
+}
+
+// noteStart records one finished start for the live BSF view. Called from
+// harness worker goroutines in completion order.
+func (j *Job) noteStart(cut int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.completed++
+	if len(j.bsf) == 0 || cut < j.bsfCut {
+		j.bsfCut = cut
+		j.bsf = append(j.bsf, BSFLive{Completed: j.completed, Cut: cut})
+	}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the terminal HTTP status, report bytes and error message.
+// Valid only after Done() is closed.
+func (j *Job) Result() (int, []byte, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.httpStatus, j.report, j.errMsg
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *Job) finish(state JobState, httpStatus int, report []byte, errMsg string) {
+	j.mu.Lock()
+	if j.state == JobDone || j.state == JobFailed || j.state == JobCanceled || j.state == JobInterrupted {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.httpStatus = httpStatus
+	j.report = report
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// progressHeuristic wraps a Heuristic to feed the job's live BSF view. It
+// changes nothing about the computation: outcomes pass through untouched,
+// and panics propagate to the harness's recovery exactly as before.
+type progressHeuristic struct {
+	inner eval.Heuristic
+	job   *Job
+}
+
+func (p progressHeuristic) Name() string { return p.inner.Name() }
+
+func (p progressHeuristic) Run(r *rng.RNG) eval.Outcome {
+	o := p.inner.Run(r)
+	p.job.noteStart(o.Cut)
+	return o
+}
+
+func (p progressHeuristic) PolishBest(b *partition.P, r *rng.RNG) eval.Outcome {
+	return p.inner.PolishBest(b, r)
+}
+
+// jobPQ is the priority queue: higher Priority first, FIFO within a
+// priority level (by submission sequence number).
+type jobPQ []*Job
+
+func (q jobPQ) Len() int { return len(q) }
+func (q jobPQ) Less(i, j int) bool {
+	if q[i].req.Priority != q[j].req.Priority {
+		return q[i].req.Priority > q[j].req.Priority
+	}
+	return q[i].seq < q[j].seq
+}
+func (q jobPQ) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *jobPQ) Push(x any)   { *q = append(*q, x.(*Job)) }
+func (q *jobPQ) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return j
+}
+
+// Manager owns the bounded worker pool, the priority queue, and job
+// lifecycle. Submissions coalesce by cache key: a second identical request
+// while the first is queued or running joins the existing job (the
+// singleflight the acceptance test verifies).
+type Manager struct {
+	workers       int
+	startWorkers  int
+	queueCap      int
+	historyCap    int
+	maxRetries    int
+	checkpointDir string
+	cache         *Cache
+	metrics       *Metrics
+	log           *slog.Logger
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pq       jobPQ
+	inflight map[string]*Job
+	jobs     map[string]*Job
+	order    []string
+	nextSeq  int64
+	running  int
+	draining bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// errDraining rejects submissions during graceful drain.
+var errDraining = fmt.Errorf("service is draining; retry against another instance")
+
+// errQueueFull rejects submissions beyond the queue bound.
+var errQueueFull = fmt.Errorf("job queue is full; retry later or lower the request rate")
+
+// newManager starts the worker pool.
+func newManager(workers, startWorkers, queueCap, historyCap, maxRetries int,
+	checkpointDir string, cache *Cache, metrics *Metrics, log *slog.Logger) *Manager {
+	m := &Manager{
+		workers:       workers,
+		startWorkers:  startWorkers,
+		queueCap:      queueCap,
+		historyCap:    historyCap,
+		maxRetries:    maxRetries,
+		checkpointDir: checkpointDir,
+		cache:         cache,
+		metrics:       metrics,
+		log:           log,
+		inflight:      make(map[string]*Job),
+		jobs:          make(map[string]*Job),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.baseCtx, m.baseCancel = context.WithCancel(context.Background())
+	for w := 0; w < workers; w++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit enqueues a job for req (already normalized, validated and
+// resolved). If an identical request (same cache key) is already queued or
+// running, the existing job is returned with coalesced = true and nothing
+// new is enqueued.
+func (m *Manager) Submit(req PartitionRequest, inst *hypergraph.Hypergraph,
+	instName, instHash, key string) (*Job, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining || m.closed {
+		return nil, false, errDraining
+	}
+	if j, ok := m.inflight[key]; ok {
+		return j, true, nil
+	}
+	if m.queueCap > 0 && len(m.pq) >= m.queueCap {
+		return nil, false, errQueueFull
+	}
+	m.nextSeq++
+	j := &Job{
+		ID:       fmt.Sprintf("j-%06d", m.nextSeq),
+		Key:      key,
+		seq:      m.nextSeq,
+		req:      req,
+		inst:     inst,
+		instName: instName,
+		instHash: instHash,
+		state:    JobQueued,
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+	}
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	m.inflight[key] = j
+	heap.Push(&m.pq, j)
+	m.pruneLocked()
+	m.metrics.JobSubmitted()
+	m.cond.Signal()
+	return j, false, nil
+}
+
+// Job looks a job up by id.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs snapshots all retained jobs in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		if j, ok := m.jobs[id]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// QueueDepth returns the number of queued (not yet running) jobs.
+func (m *Manager) QueueDepth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, j := range m.pq {
+		j.mu.Lock()
+		if j.state == JobQueued {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
+}
+
+// Running returns the number of jobs currently executing.
+func (m *Manager) Running() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.running
+}
+
+// Cancel cancels a job: a queued job terminates immediately (workers skip
+// it), a running job has its context cancelled and finishes as canceled
+// with partial starts checkpointed (if checkpointing is on).
+func (m *Manager) Cancel(id string) bool {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	state := j.state
+	cancel := j.cancel
+	j.mu.Unlock()
+	switch state {
+	case JobQueued:
+		m.removeInflight(j.Key)
+		j.finish(JobCanceled, 409, nil, "job cancelled while queued")
+		m.metrics.JobFinished(JobCanceled)
+		return true
+	case JobRunning:
+		if cancel != nil {
+			cancel()
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Drain performs the graceful SIGTERM sequence: stop accepting submissions,
+// cancel queued jobs, cancel the contexts of running jobs (the harness lets
+// in-flight starts finish and journals them), and wait — bounded by ctx —
+// for every worker to go idle. After Drain returns, every job is terminal
+// and every interrupted job's checkpoint is durable on disk.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil
+	}
+	m.draining = true
+	// Queued jobs never started: cancel them outright.
+	for _, j := range m.pq {
+		j.mu.Lock()
+		queued := j.state == JobQueued
+		j.mu.Unlock()
+		if queued {
+			delete(m.inflight, j.Key)
+			j.finish(JobCanceled, 503, nil, "service draining before the job started")
+			m.metrics.JobFinished(JobCanceled)
+		}
+	}
+	m.pq = nil
+	m.mu.Unlock()
+
+	// Running jobs: cancel their contexts; RunMultistart stops dispatching
+	// and the checkpoint journal retains every completed start.
+	m.baseCancel()
+
+	idle := make(chan struct{})
+	go func() {
+		m.mu.Lock()
+		for m.running > 0 {
+			m.cond.Wait()
+		}
+		m.mu.Unlock()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+	case <-ctx.Done():
+		return fmt.Errorf("drain: %w with %d jobs still running", ctx.Err(), m.Running())
+	}
+
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.wg.Wait()
+	return nil
+}
+
+// Close shuts the pool down without the drain semantics (tests).
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.draining = true
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.baseCancel()
+	m.wg.Wait()
+}
+
+func (m *Manager) removeInflight(key string) {
+	m.mu.Lock()
+	delete(m.inflight, key)
+	m.mu.Unlock()
+}
+
+// pruneLocked bounds job history: oldest terminal jobs beyond historyCap are
+// forgotten. Queued and running jobs are never pruned.
+func (m *Manager) pruneLocked() {
+	if m.historyCap <= 0 || len(m.order) <= m.historyCap {
+		return
+	}
+	kept := m.order[:0]
+	excess := len(m.order) - m.historyCap
+	for _, id := range m.order {
+		j := m.jobs[id]
+		terminal := false
+		if j != nil {
+			j.mu.Lock()
+			terminal = j.state != JobQueued && j.state != JobRunning
+			j.mu.Unlock()
+		}
+		if excess > 0 && (j == nil || terminal) {
+			delete(m.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+// worker executes jobs until the pool closes.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.pq) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if len(m.pq) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&m.pq).(*Job)
+		j.mu.Lock()
+		skip := j.state != JobQueued
+		if !skip {
+			j.state = JobRunning
+			j.started = time.Now()
+		}
+		j.mu.Unlock()
+		if skip {
+			m.mu.Unlock()
+			continue
+		}
+		m.running++
+		m.mu.Unlock()
+
+		m.run(j)
+
+		m.mu.Lock()
+		m.running--
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
+}
+
+// buildFactory mirrors cmd/hgpart's engine construction: StrongConfig FM
+// tuned per the paper's Tables 2/3, multilevel by default. Each factory call
+// constructs a fresh heuristic with a generator derived from the request
+// seed alone, so results are a pure function of (instance, config, seed).
+func buildFactory(req PartitionRequest, h *hypergraph.Hypergraph, bal partition.Balance) func() eval.Heuristic {
+	switch req.Engine {
+	case "flat":
+		return func() eval.Heuristic {
+			return eval.NewFlat("flat-FM", h, core.StrongConfig(false), bal, rng.New(req.Seed))
+		}
+	case "clip":
+		return func() eval.Heuristic {
+			return eval.NewFlat("flat-CLIP", h, core.StrongConfig(true), bal, rng.New(req.Seed))
+		}
+	default:
+		return func() eval.Heuristic {
+			return eval.NewML("ML", h, multilevel.Config{Refine: core.StrongConfig(false)}, bal, req.VCycles)
+		}
+	}
+}
+
+// run executes one job end to end: multistart through the fault-tolerant
+// harness under the job's context, deterministic report construction,
+// cache fill, checkpoint lifecycle and metrics.
+func (m *Manager) run(j *Job) {
+	t0 := time.Now()
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j.mu.Lock()
+	j.cancel = cancel
+	j.mu.Unlock()
+	defer cancel()
+
+	bal := partition.NewBalance(j.inst.TotalVertexWeight(), j.req.Tolerance)
+	raw := buildFactory(j.req, j.inst, bal)
+	factory := func() eval.Heuristic { return progressHeuristic{inner: raw(), job: j} }
+
+	opt := eval.RunOptions{
+		Workers:    j.req.Workers,
+		MaxRetries: m.maxRetries,
+		// Every served answer is verified against a from-scratch recount and
+		// the balance constraint; an infeasible tolerance therefore fails all
+		// starts and surfaces as 422 instead of a silently-illegal partition.
+		Verify: eval.VerifyOutcome(bal),
+	}
+	if opt.Workers <= 0 || opt.Workers > m.startWorkers {
+		opt.Workers = m.startWorkers
+	}
+	if j.req.WallBudgetMS > 0 {
+		opt.WallBudget = time.Duration(j.req.WallBudgetMS) * time.Millisecond
+	}
+	opt.WorkBudget = j.req.WorkBudget
+
+	var cpPath string
+	if m.checkpointDir != "" {
+		cpPath = filepath.Join(m.checkpointDir, j.Key+".jsonl")
+		cp, err := eval.OpenCheckpoint(cpPath, j.Key, j.req.Seed, j.req.Starts, true)
+		if err != nil {
+			// A corrupt journal must not take the job down; run without one.
+			m.log.Warn("checkpoint open failed; running without journal",
+				"job", j.ID, "path", cpPath, "err", err)
+			cpPath = ""
+		} else {
+			defer cp.Close()
+			opt.Checkpoint = cp
+			if n := cp.Resumed(); n > 0 {
+				j.mu.Lock()
+				j.resumed = n
+				j.mu.Unlock()
+				m.log.Info("resuming from checkpoint", "job", j.ID, "starts", n)
+			}
+		}
+	}
+
+	rep := eval.RunMultistart(ctx, factory, j.req.Starts, j.req.Seed, opt)
+	m.removeInflight(j.Key)
+	m.metrics.ObserveRun(time.Since(t0), rep.TotalWork)
+
+	switch {
+	case rep.Incomplete && rep.Reason == "cancelled":
+		if m.isDraining() {
+			j.finish(JobInterrupted, 503, nil, fmt.Sprintf(
+				"service drained mid-run: %d of %d starts checkpointed; resubmit the identical request to resume",
+				rep.Completed, j.req.Starts))
+			m.metrics.JobFinished(JobInterrupted)
+			m.log.Info("job interrupted by drain", "job", j.ID,
+				"completed", rep.Completed, "starts", j.req.Starts, "checkpoint", cpPath)
+		} else {
+			j.finish(JobCanceled, 409, nil, fmt.Sprintf(
+				"job cancelled: %d of %d starts completed", rep.Completed, j.req.Starts))
+			m.metrics.JobFinished(JobCanceled)
+		}
+		return
+	case rep.BestIdx < 0:
+		msg := "no legal partition found (tolerance may be infeasible)"
+		if fr := firstErr(rep); fr != "" {
+			msg += ": " + fr
+		}
+		if cpPath != "" {
+			os.Remove(cpPath)
+		}
+		j.finish(JobFailed, 422, nil, msg)
+		m.metrics.JobFinished(JobFailed)
+		return
+	}
+
+	report, err := m.buildReport(j, raw, rep)
+	if err != nil {
+		j.finish(JobFailed, 500, nil, err.Error())
+		m.metrics.JobFinished(JobFailed)
+		m.log.Error("report construction failed", "job", j.ID, "err", err)
+		return
+	}
+	body, err := json.Marshal(report)
+	if err != nil {
+		j.finish(JobFailed, 500, nil, fmt.Sprintf("encode report: %v", err))
+		m.metrics.JobFinished(JobFailed)
+		return
+	}
+	if !rep.Incomplete {
+		// Complete runs are deterministic: cache the bytes and retire the
+		// journal — the cache now answers faster than a resume would.
+		m.cache.Put(j.Key, body)
+		if cpPath != "" {
+			os.Remove(cpPath)
+		}
+	}
+	j.finish(JobDone, 200, body, "")
+	m.metrics.JobFinished(JobDone)
+	m.log.Info("job done", "job", j.ID, "instance", j.instName,
+		"cut", report.Cut, "work", report.Work, "incomplete", report.Incomplete,
+		"elapsed_ms", time.Since(t0).Milliseconds())
+}
+
+// buildReport assembles the deterministic Report from the harness result.
+func (m *Manager) buildReport(j *Job, raw func() eval.Heuristic, rep *eval.RunReport) (*Report, error) {
+	best := rep.Best
+	if best.P == nil {
+		// The best start was resumed from the journal: recompute exactly
+		// that start to recover its partition. Determinism makes this a
+		// lookup, not a gamble — the cut must match the journaled one.
+		o, err := eval.RerunStart(raw, j.req.Seed, rep.BestIdx, rep.Results[rep.BestIdx].Attempts)
+		if err != nil {
+			return nil, fmt.Errorf("recompute resumed best start %d: %w", rep.BestIdx, err)
+		}
+		if o.Cut != best.Cut {
+			return nil, fmt.Errorf("recomputed start %d cut %d != journaled %d (corrupt checkpoint?)",
+				rep.BestIdx, o.Cut, best.Cut)
+		}
+		best = o
+	}
+
+	work := rep.TotalWork
+	cut := best.Cut
+	// ML V-cycle polish on the best solution, with the same derived seed the
+	// CLI uses, so service and CLI answers agree byte for byte.
+	if j.req.Engine == "ml" && j.req.VCycles > 0 {
+		if polish := raw().PolishBest(best.P, rng.New(j.req.Seed^0x9e3779b97f4a7c15)); polish.P != nil {
+			cut = polish.Cut
+			work += polish.Work
+		}
+	}
+
+	r := &Report{
+		Schema:       "hgserved/v1",
+		Instance:     j.instName,
+		InstanceHash: j.instHash,
+		Vertices:     j.inst.NumVertices(),
+		Edges:        j.inst.NumEdges(),
+		Pins:         j.inst.NumPins(),
+		Engine:       j.req.Engine,
+		Starts:       j.req.Starts,
+		VCycles:      j.req.VCycles,
+		Tolerance:    j.req.Tolerance,
+		Seed:         j.req.Seed,
+		CacheKey:     j.Key,
+		Cut:          cut,
+		MinCut:       rep.Best.Cut,
+		BestStart:    rep.BestIdx,
+		Side0:        best.P.Area(0),
+		Side1:        best.P.Area(1),
+		Completed:    rep.Completed,
+		Failed:       rep.Failed,
+		Skipped:      rep.Skipped,
+		Incomplete:   rep.Incomplete,
+		Reason:       rep.Reason,
+		Work:         work,
+	}
+	r.NormalizedSeconds = float64(work) / eval.WorkUnitsPerSecond
+
+	// Start-order BSF trajectory and the min/avg discipline over successful
+	// starts: both pure functions of the per-start outcomes.
+	var sum int64
+	n := 0
+	for _, sr := range rep.Results {
+		if sr.Status != eval.StartOK {
+			continue
+		}
+		sum += sr.Outcome.Cut
+		n++
+		if len(r.BSF) == 0 || sr.Outcome.Cut < r.BSF[len(r.BSF)-1].Cut {
+			r.BSF = append(r.BSF, BSFEntry{Start: sr.Start, Cut: sr.Outcome.Cut})
+		}
+	}
+	if n > 0 {
+		r.AvgCut = float64(sum) / float64(n)
+	}
+	return r, nil
+}
+
+func (m *Manager) isDraining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// firstErr extracts the first per-start failure message, if any.
+func firstErr(rep *eval.RunReport) string {
+	for _, sr := range rep.Results {
+		if sr.Err != nil {
+			return sr.Err.Error()
+		}
+	}
+	return ""
+}

@@ -1,0 +1,184 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"hgpart/internal/perf"
+)
+
+// Metrics is the service's observability surface, rendered in Prometheus
+// text exposition format at /metrics. It is hand-rolled — the repository
+// adds no dependencies — and deliberately tiny: counters, gauges read at
+// scrape time, and ns-per-work-unit quantiles from a bounded perf.Sampler
+// window (the serving-time analogue of hgbench's ns/move).
+type reqKey struct {
+	route string
+	code  int
+}
+
+type Metrics struct {
+	mu        sync.Mutex
+	requests  map[reqKey]int64
+	submitted int64
+	finished  map[JobState]int64
+	workUnits int64
+
+	// nsPerWork samples wall-nanoseconds per deterministic work unit for
+	// every executed run; quantiles expose serving-speed drift the same way
+	// hgbench's ns/move exposes benchmark drift.
+	nsPerWork *perf.Sampler
+}
+
+// NewMetrics builds the registry. window bounds the ns/work sampler.
+func NewMetrics(window int) *Metrics {
+	return &Metrics{
+		requests:  make(map[reqKey]int64),
+		finished:  make(map[JobState]int64),
+		nsPerWork: perf.NewSampler(window),
+	}
+}
+
+// ObserveRequest counts one HTTP request by route label and status code.
+func (m *Metrics) ObserveRequest(route string, code int) {
+	m.mu.Lock()
+	m.requests[reqKey{route, code}]++
+	m.mu.Unlock()
+}
+
+// JobSubmitted counts one accepted job.
+func (m *Metrics) JobSubmitted() {
+	m.mu.Lock()
+	m.submitted++
+	m.mu.Unlock()
+}
+
+// JobFinished counts one terminal job transition.
+func (m *Metrics) JobFinished(state JobState) {
+	m.mu.Lock()
+	m.finished[state]++
+	m.mu.Unlock()
+}
+
+// ObserveRun records one executed multistart: wall time and deterministic
+// work, feeding the ns/work quantiles and the work-unit throughput counter.
+func (m *Metrics) ObserveRun(elapsed time.Duration, work int64) {
+	m.mu.Lock()
+	m.workUnits += work
+	m.mu.Unlock()
+	if work > 0 {
+		m.nsPerWork.Observe(float64(elapsed.Nanoseconds()) / float64(work))
+	}
+}
+
+// Render writes the exposition text. Gauges that live elsewhere (queue
+// depth, running jobs, cache state, readiness) are read through the
+// supplied snapshot so Metrics has no back-pointer into the server.
+type GaugeSnapshot struct {
+	QueueDepth int
+	Running    int
+	Ready      bool
+	Cache      CacheStats
+}
+
+// Render writes all metrics in Prometheus text format, keys sorted so
+// consecutive scrapes differ only in values.
+func (m *Metrics) Render(w io.Writer, g GaugeSnapshot) {
+	m.mu.Lock()
+	reqKeys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	stateKeys := make([]string, 0, len(m.finished))
+	for k := range m.finished {
+		stateKeys = append(stateKeys, string(k))
+	}
+	sort.Slice(reqKeys, func(i, j int) bool {
+		if reqKeys[i].route != reqKeys[j].route {
+			return reqKeys[i].route < reqKeys[j].route
+		}
+		return reqKeys[i].code < reqKeys[j].code
+	})
+	sort.Strings(stateKeys)
+	requests := make(map[reqKey]int64, len(m.requests))
+	for k, v := range m.requests {
+		requests[k] = v
+	}
+	finished := make(map[string]int64, len(m.finished))
+	for k, v := range m.finished {
+		finished[string(k)] = v
+	}
+	submitted, workUnits := m.submitted, m.workUnits
+	m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP hgserved_requests_total HTTP requests by route and status code.")
+	fmt.Fprintln(w, "# TYPE hgserved_requests_total counter")
+	for _, k := range reqKeys {
+		fmt.Fprintf(w, "hgserved_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, requests[k])
+	}
+
+	fmt.Fprintln(w, "# HELP hgserved_jobs_submitted_total Jobs accepted into the queue.")
+	fmt.Fprintln(w, "# TYPE hgserved_jobs_submitted_total counter")
+	fmt.Fprintf(w, "hgserved_jobs_submitted_total %d\n", submitted)
+
+	fmt.Fprintln(w, "# HELP hgserved_jobs_finished_total Jobs reaching a terminal state.")
+	fmt.Fprintln(w, "# TYPE hgserved_jobs_finished_total counter")
+	for _, k := range stateKeys {
+		fmt.Fprintf(w, "hgserved_jobs_finished_total{state=%q} %d\n", k, finished[k])
+	}
+
+	fmt.Fprintln(w, "# HELP hgserved_queue_depth Jobs waiting in the priority queue.")
+	fmt.Fprintln(w, "# TYPE hgserved_queue_depth gauge")
+	fmt.Fprintf(w, "hgserved_queue_depth %d\n", g.QueueDepth)
+
+	fmt.Fprintln(w, "# HELP hgserved_running_jobs Jobs currently executing.")
+	fmt.Fprintln(w, "# TYPE hgserved_running_jobs gauge")
+	fmt.Fprintf(w, "hgserved_running_jobs %d\n", g.Running)
+
+	fmt.Fprintln(w, "# HELP hgserved_ready Whether the service accepts new work (drain flips to 0).")
+	fmt.Fprintln(w, "# TYPE hgserved_ready gauge")
+	ready := 0
+	if g.Ready {
+		ready = 1
+	}
+	fmt.Fprintf(w, "hgserved_ready %d\n", ready)
+
+	fmt.Fprintln(w, "# HELP hgserved_cache_hits_total Result-cache hits.")
+	fmt.Fprintln(w, "# TYPE hgserved_cache_hits_total counter")
+	fmt.Fprintf(w, "hgserved_cache_hits_total %d\n", g.Cache.Hits)
+	fmt.Fprintln(w, "# HELP hgserved_cache_misses_total Result-cache misses (one per computed report).")
+	fmt.Fprintln(w, "# TYPE hgserved_cache_misses_total counter")
+	fmt.Fprintf(w, "hgserved_cache_misses_total %d\n", g.Cache.Misses)
+	fmt.Fprintln(w, "# HELP hgserved_cache_coalesced_total Requests coalesced onto an in-flight identical job.")
+	fmt.Fprintln(w, "# TYPE hgserved_cache_coalesced_total counter")
+	fmt.Fprintf(w, "hgserved_cache_coalesced_total %d\n", g.Cache.Coalesced)
+	fmt.Fprintln(w, "# HELP hgserved_cache_evictions_total LRU evictions from the result cache.")
+	fmt.Fprintln(w, "# TYPE hgserved_cache_evictions_total counter")
+	fmt.Fprintf(w, "hgserved_cache_evictions_total %d\n", g.Cache.Evictions)
+	fmt.Fprintln(w, "# HELP hgserved_cache_entries Result-cache resident entries.")
+	fmt.Fprintln(w, "# TYPE hgserved_cache_entries gauge")
+	fmt.Fprintf(w, "hgserved_cache_entries %d\n", g.Cache.Entries)
+	fmt.Fprintln(w, "# HELP hgserved_cache_bytes Result-cache resident body bytes.")
+	fmt.Fprintln(w, "# TYPE hgserved_cache_bytes gauge")
+	fmt.Fprintf(w, "hgserved_cache_bytes %d\n", g.Cache.Bytes)
+
+	fmt.Fprintln(w, "# HELP hgserved_work_units_total Deterministic FM work units executed.")
+	fmt.Fprintln(w, "# TYPE hgserved_work_units_total counter")
+	fmt.Fprintf(w, "hgserved_work_units_total %d\n", workUnits)
+
+	fmt.Fprintln(w, "# HELP hgserved_ns_per_work_unit Wall nanoseconds per deterministic work unit, recent-window quantiles.")
+	fmt.Fprintln(w, "# TYPE hgserved_ns_per_work_unit summary")
+	qs := m.nsPerWork.Quantiles(0.5, 0.9, 0.99)
+	labels := []string{"0.5", "0.9", "0.99"}
+	for i, q := range qs {
+		if math.IsNaN(q) {
+			continue
+		}
+		fmt.Fprintf(w, "hgserved_ns_per_work_unit{quantile=%q} %g\n", labels[i], q)
+	}
+	fmt.Fprintf(w, "hgserved_ns_per_work_unit_count %d\n", m.nsPerWork.Count())
+}

@@ -1,0 +1,307 @@
+package service
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hgpart/internal/gen"
+	"hgpart/internal/hypergraph"
+	"hgpart/internal/netlist"
+)
+
+// PartitionRequest is the POST /v1/partition body. Exactly one instance
+// source must be set: a named synthetic benchmark ("ibm01".."ibm18" or
+// "mcnc:<name>"), an inline hMETIS .hgr text, or an inline ISPD98 .netD
+// text (with optional .are).
+type PartitionRequest struct {
+	// Benchmark names a bundled synthetic instance: "ibmNN" or "mcnc:<name>".
+	Benchmark string `json:"benchmark,omitempty"`
+	// Scale downsizes a benchmark spec, in (0, 1]; default 1.
+	Scale float64 `json:"scale,omitempty"`
+	// InstanceSeed overrides the benchmark spec's instance-generation seed
+	// (0 keeps the profile default).
+	InstanceSeed uint64 `json:"instance_seed,omitempty"`
+	// HGR is an inline hMETIS-format hypergraph.
+	HGR string `json:"hgr,omitempty"`
+	// NetD is an inline ISPD98 .netD/.net netlist; Are optionally supplies
+	// areas.
+	NetD string `json:"netd,omitempty"`
+	Are  string `json:"are,omitempty"`
+	// Label names an inline instance in reports (default: derived from the
+	// instance hash).
+	Label string `json:"label,omitempty"`
+
+	// Engine is "ml" (default), "flat" or "clip".
+	Engine string `json:"engine,omitempty"`
+	// Starts is the number of independent starts (default 4).
+	Starts int `json:"starts,omitempty"`
+	// VCycles applied to the best solution with the ml engine (default 1).
+	VCycles int `json:"vcycles,omitempty"`
+	// Tolerance is the balance tolerance (default 0.02).
+	Tolerance float64 `json:"tolerance,omitempty"`
+	// Seed drives all partitioning randomness (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Workers caps concurrent starts within this job (bounded by the
+	// server's per-job limit). Results are identical at any worker count.
+	Workers int `json:"workers,omitempty"`
+	// WallBudgetMS bounds the job's wall-clock time; 0 means unbounded.
+	// A budget-truncated run is reported incomplete and never cached.
+	WallBudgetMS int64 `json:"wall_budget_ms,omitempty"`
+	// WorkBudget bounds the job's deterministic work units; 0 = unbounded.
+	WorkBudget int64 `json:"work_budget,omitempty"`
+	// Priority orders the queue: higher runs sooner; ties run in submission
+	// order.
+	Priority int `json:"priority,omitempty"`
+	// Async returns a job id immediately instead of waiting for the result.
+	Async bool `json:"async,omitempty"`
+}
+
+// RequestError is a client-side validation failure (HTTP 400).
+type RequestError struct{ Msg string }
+
+func (e *RequestError) Error() string { return e.Msg }
+
+func reqErrf(format string, args ...any) error {
+	return &RequestError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// normalize applies defaults in place.
+func (r *PartitionRequest) normalize() {
+	if r.Engine == "" {
+		r.Engine = "ml"
+	}
+	if r.Starts == 0 {
+		r.Starts = 4
+	}
+	if r.VCycles == 0 {
+		r.VCycles = 1
+	}
+	if r.Tolerance == 0 {
+		r.Tolerance = 0.02
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.Scale == 0 {
+		r.Scale = 1
+	}
+}
+
+// validate mirrors the CLI boundary checks: user input is validated here,
+// deeper layers treat bad values as programming errors.
+func (r *PartitionRequest) validate() error {
+	sources := 0
+	if r.Benchmark != "" {
+		sources++
+	}
+	if r.HGR != "" {
+		sources++
+	}
+	if r.NetD != "" {
+		sources++
+	}
+	if sources != 1 {
+		return reqErrf("exactly one of benchmark, hgr, netd must be set (got %d)", sources)
+	}
+	if r.Are != "" && r.NetD == "" {
+		return reqErrf("are requires netd")
+	}
+	if r.Scale <= 0 || r.Scale > 1 {
+		return reqErrf("scale %g out of range (0,1]", r.Scale)
+	}
+	if r.Tolerance <= 0 || r.Tolerance >= 1 {
+		return reqErrf("tolerance %g out of range (0,1)", r.Tolerance)
+	}
+	if r.Starts < 1 || r.Starts > 100000 {
+		return reqErrf("starts %d out of range [1,100000]", r.Starts)
+	}
+	if r.VCycles < 0 || r.VCycles > 64 {
+		return reqErrf("vcycles %d out of range [0,64]", r.VCycles)
+	}
+	switch r.Engine {
+	case "ml", "flat", "clip":
+	default:
+		return reqErrf("engine %q must be ml, flat or clip", r.Engine)
+	}
+	if r.Workers < 0 {
+		return reqErrf("workers %d negative", r.Workers)
+	}
+	if r.WallBudgetMS < 0 || r.WorkBudget < 0 {
+		return reqErrf("budgets must be non-negative")
+	}
+	return nil
+}
+
+// resolveInstance turns the request's instance source into a hypergraph and
+// a human-readable instance name. Parse failures come back as typed
+// *netlist.ParseError values (HTTP 400 at the handler).
+func (r *PartitionRequest) resolveInstance() (*hypergraph.Hypergraph, string, error) {
+	switch {
+	case r.Benchmark != "":
+		spec, name, err := benchmarkSpec(r.Benchmark)
+		if err != nil {
+			return nil, "", err
+		}
+		if r.Scale < 1 {
+			spec = gen.Scaled(spec, r.Scale)
+			name = fmt.Sprintf("%s@%g", name, r.Scale)
+		}
+		if r.InstanceSeed != 0 {
+			spec.Seed = r.InstanceSeed
+			name = fmt.Sprintf("%s#%d", name, r.InstanceSeed)
+		}
+		h, err := gen.Generate(spec)
+		if err != nil {
+			return nil, "", reqErrf("benchmark %q: %v", r.Benchmark, err)
+		}
+		return h, name, nil
+	case r.HGR != "":
+		h, err := netlist.ParseHGR(strings.NewReader(r.HGR), r.inlineName())
+		if err != nil {
+			return nil, "", err
+		}
+		return h, r.inlineName(), nil
+	default:
+		var are *strings.Reader
+		if r.Are != "" {
+			are = strings.NewReader(r.Are)
+		}
+		var h *hypergraph.Hypergraph
+		var err error
+		if are != nil {
+			h, err = netlist.ParseNetD(strings.NewReader(r.NetD), are, r.inlineName())
+		} else {
+			h, err = netlist.ParseNetD(strings.NewReader(r.NetD), nil, r.inlineName())
+		}
+		if err != nil {
+			return nil, "", err
+		}
+		return h, r.inlineName(), nil
+	}
+}
+
+func (r *PartitionRequest) inlineName() string {
+	if r.Label != "" {
+		return r.Label
+	}
+	return "inline"
+}
+
+// benchmarkSpec resolves a benchmark name to a generator spec.
+func benchmarkSpec(name string) (gen.Spec, string, error) {
+	if rest, ok := strings.CutPrefix(name, "mcnc:"); ok {
+		spec, err := gen.MCNCProfile(rest)
+		if err != nil {
+			return gen.Spec{}, "", reqErrf("benchmark %q: %v", name, err)
+		}
+		return spec, name, nil
+	}
+	if rest, ok := strings.CutPrefix(name, "ibm"); ok {
+		i, err := strconv.Atoi(rest)
+		if err != nil {
+			return gen.Spec{}, "", reqErrf("benchmark %q: want ibmNN or mcnc:<name>", name)
+		}
+		spec, err := gen.IBMProfile(i)
+		if err != nil {
+			return gen.Spec{}, "", reqErrf("benchmark %q: %v", name, err)
+		}
+		return spec, fmt.Sprintf("ibm%02d", i), nil
+	}
+	return gen.Spec{}, "", reqErrf("benchmark %q: want ibmNN or mcnc:<name>", name)
+}
+
+// instanceHash content-addresses a hypergraph: the SHA-256 of its canonical
+// hMETIS-style serialization (structure and weights only — no name, no
+// comments). Two inline uploads that differ only in whitespace or comments —
+// or a benchmark request and an upload of the identical instance — coalesce
+// to the same hash and therefore the same cache entries.
+func instanceHash(h *hypergraph.Hypergraph) string {
+	hash := sha256.New()
+	bw := bufio.NewWriter(hash)
+	fmt.Fprintf(bw, "%d %d 11\n", h.NumEdges(), h.NumVertices())
+	for e := 0; e < h.NumEdges(); e++ {
+		fmt.Fprintf(bw, "%d", h.EdgeWeight(int32(e)))
+		for _, v := range h.Pins(int32(e)) {
+			fmt.Fprintf(bw, " %d", v+1)
+		}
+		fmt.Fprintln(bw)
+	}
+	for v := 0; v < h.NumVertices(); v++ {
+		fmt.Fprintf(bw, "%d\n", h.VertexWeight(int32(v)))
+	}
+	bw.Flush()
+	return hex.EncodeToString(hash.Sum(nil))
+}
+
+// cacheKey derives the content-addressed result key: every field that can
+// change the deterministic report participates; fields that cannot (worker
+// count, budgets, priority) are deliberately excluded. Budget-truncated runs
+// are never cached, so a complete budgeted run may legitimately share its
+// key with the unbudgeted one — they are byte-identical.
+func cacheKey(instHash string, r *PartitionRequest) string {
+	cfg := fmt.Sprintf("hgserved/v1|inst=%s|engine=%s|starts=%d|vcycles=%d|tol=%s|seed=%d",
+		instHash, r.Engine, r.Starts, r.VCycles,
+		strconv.FormatFloat(r.Tolerance, 'g', -1, 64), r.Seed)
+	sum := sha256.Sum256([]byte(cfg))
+	return hex.EncodeToString(sum[:])
+}
+
+// BSFEntry is one improvement of the best-so-far cut: after start Start
+// (in deterministic start order), the best cut seen so far was Cut.
+type BSFEntry struct {
+	Start int   `json:"start"`
+	Cut   int64 `json:"cut"`
+}
+
+// Report is the deterministic result document: for a given (instance,
+// config, seed) it is byte-identical across runs, restarts, worker counts
+// and checkpoint resumes — wall-clock quantities are deliberately absent
+// (they ride in headers and the job-status endpoint instead). The cache
+// stores the marshaled bytes verbatim, so a hit returns exactly what the
+// miss computed.
+type Report struct {
+	Schema       string `json:"schema"`
+	Instance     string `json:"instance"`
+	InstanceHash string `json:"instance_hash"`
+	Vertices     int    `json:"vertices"`
+	Edges        int    `json:"edges"`
+	Pins         int    `json:"pins"`
+
+	Engine    string  `json:"engine"`
+	Starts    int     `json:"starts"`
+	VCycles   int     `json:"vcycles"`
+	Tolerance float64 `json:"tolerance"`
+	Seed      uint64  `json:"seed"`
+	CacheKey  string  `json:"cache_key"`
+
+	// Cut is the final best cut (after V-cycle polish with the ml engine);
+	// MinCut/AvgCut summarize the raw multistart distribution per the
+	// paper's min/avg reporting discipline.
+	Cut       int64   `json:"cut"`
+	MinCut    int64   `json:"min_cut"`
+	AvgCut    float64 `json:"avg_cut"`
+	BestStart int     `json:"best_start"`
+	Side0     int64   `json:"side0"`
+	Side1     int64   `json:"side1"`
+
+	Completed  int    `json:"completed"`
+	Failed     int    `json:"failed"`
+	Skipped    int    `json:"skipped"`
+	Incomplete bool   `json:"incomplete,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+
+	// Work is the deterministic work-unit total (multistart plus polish);
+	// NormalizedSeconds converts it to the paper's machine-independent
+	// seconds. Wall-clock time is intentionally not here.
+	Work              int64   `json:"work"`
+	NormalizedSeconds float64 `json:"normalized_seconds"`
+
+	// BSF is the best-so-far trajectory over starts in deterministic start
+	// order (not completion order).
+	BSF []BSFEntry `json:"bsf"`
+}

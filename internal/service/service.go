@@ -1,0 +1,377 @@
+// Package service implements hgserved, the partitioning-as-a-service
+// daemon: a long-running HTTP front end over the repository's evaluation
+// machinery. Requests (inline netlists or named synthetic benchmarks) run
+// through eval.RunMultistart on a bounded worker pool with per-job
+// contexts, wall/work budgets and priority queueing; results are
+// deterministic documents (same instance + config + seed ⇒ byte-identical
+// report) served from a content-addressed LRU cache with singleflight
+// coalescing of duplicate in-flight requests. The daemon exposes live job
+// status with best-so-far progress, Prometheus metrics, health/readiness
+// probes, structured logs, and a graceful drain that checkpoints running
+// jobs through the eval JSONL journal so a restart loses no completed
+// starts. See DESIGN.md §10.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"hgpart/internal/netlist"
+	"hgpart/internal/report"
+)
+
+// Config parameterizes the daemon. The zero value is unusable; use
+// DefaultConfig as the base.
+type Config struct {
+	// Workers is the number of jobs executing concurrently.
+	Workers int
+	// StartWorkers caps concurrent starts within one job (results are
+	// identical at any value — the harness pre-splits seeds).
+	StartWorkers int
+	// QueueCap bounds the number of queued jobs; submissions beyond it get
+	// HTTP 429.
+	QueueCap int
+	// HistoryCap bounds how many terminal jobs remain queryable.
+	HistoryCap int
+	// MaxRetries reseeds a panicking start up to this many times.
+	MaxRetries int
+	// CacheEntries / CacheBytes bound the result cache (either <= 0
+	// disables that bound).
+	CacheEntries int
+	CacheBytes   int64
+	// CheckpointDir, when non-empty, journals every job's completed starts
+	// there so a drain (or crash) loses nothing; resubmitting an identical
+	// request resumes the journal.
+	CheckpointDir string
+	// MaxBodyBytes bounds request bodies (inline netlists).
+	MaxBodyBytes int64
+	// MetricsWindow bounds the ns/work-unit quantile sampler.
+	MetricsWindow int
+	// Logger receives structured logs; nil discards them.
+	Logger *slog.Logger
+}
+
+// DefaultConfig returns production-shaped defaults.
+func DefaultConfig() Config {
+	return Config{
+		Workers:       2,
+		StartWorkers:  2,
+		QueueCap:      256,
+		HistoryCap:    512,
+		MaxRetries:    1,
+		CacheEntries:  4096,
+		CacheBytes:    64 << 20,
+		MaxBodyBytes:  64 << 20,
+		MetricsWindow: 1024,
+	}
+}
+
+// Server is the daemon: job manager, result cache, metrics and HTTP mux.
+type Server struct {
+	cfg     Config
+	log     *slog.Logger
+	cache   *Cache
+	metrics *Metrics
+	manager *Manager
+	mux     *http.ServeMux
+	ready   atomic.Bool
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.StartWorkers < 1 {
+		cfg.StartWorkers = 1
+	}
+	if cfg.MetricsWindow < 1 {
+		cfg.MetricsWindow = 1024
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s := &Server{
+		cfg:     cfg,
+		log:     log,
+		cache:   NewCache(cfg.CacheEntries, cfg.CacheBytes),
+		metrics: NewMetrics(cfg.MetricsWindow),
+	}
+	s.manager = newManager(cfg.Workers, cfg.StartWorkers, cfg.QueueCap, cfg.HistoryCap,
+		cfg.MaxRetries, cfg.CheckpointDir, s.cache, s.metrics, log)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/partition", s.instrument("partition", s.handlePartition))
+	s.mux.HandleFunc("POST /v1/trace", s.instrument("trace", s.handleTrace))
+	s.mux.HandleFunc("GET /v1/jobs", s.instrument("jobs", s.handleJobs))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("job", s.handleJob))
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("job_cancel", s.handleJobCancel))
+	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
+	s.ready.Store(true)
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Ready reports whether the server accepts new work.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// CacheStats snapshots the result cache's counters (tests and ops tooling).
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// Drain gracefully stops the server's work: readiness flips false first (so
+// load balancers stop routing here while the listener still answers), new
+// submissions are rejected, queued jobs are cancelled, running jobs are
+// interrupted with their completed starts checkpointed. It returns when all
+// workers are idle or ctx expires. The HTTP listener itself is the
+// caller's to close — after Drain returns, per the SIGTERM sequence in
+// cmd/hgserved.
+func (s *Server) Drain(ctx context.Context) error {
+	s.ready.Store(false)
+	s.log.Info("drain: readiness flipped, stopping job intake")
+	err := s.manager.Drain(ctx)
+	if err != nil {
+		s.log.Error("drain: incomplete", "err", err)
+	} else {
+		s.log.Info("drain: all workers idle")
+	}
+	return err
+}
+
+// Close tears the worker pool down without drain semantics (tests).
+func (s *Server) Close() {
+	s.ready.Store(false)
+	s.manager.Close()
+}
+
+// statusRecorder captures the response code for metrics and logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting and structured logging.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: 200}
+		h(rec, r)
+		s.metrics.ObserveRequest(route, rec.code)
+		s.log.Info("request", "route", route, "method", r.Method, "path", r.URL.Path,
+			"code", rec.code, "elapsed_ms", time.Since(t0).Milliseconds())
+	}
+}
+
+// errorBody writes a JSON error document.
+func errorBody(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// handlePartition is the main entry point. Flow: decode → validate →
+// resolve instance → cache lookup → singleflight submit → (sync) wait.
+func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		errorBody(w, http.StatusServiceUnavailable, "service is draining")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req PartitionRequest
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		errorBody(w, http.StatusBadRequest, "decode request: "+err.Error())
+		return
+	}
+	req.normalize()
+	if err := req.validate(); err != nil {
+		errorBody(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	h, instName, err := req.resolveInstance()
+	if err != nil {
+		var pe *netlist.ParseError
+		if errors.As(err, &pe) {
+			errorBody(w, http.StatusBadRequest,
+				fmt.Sprintf("%s instance rejected: %s", pe.Format, pe.Error()))
+			return
+		}
+		var re *RequestError
+		if errors.As(err, &re) {
+			errorBody(w, http.StatusBadRequest, re.Error())
+			return
+		}
+		errorBody(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	instHash := instanceHash(h)
+	key := cacheKey(instHash, &req)
+
+	if cached, ok := s.cache.Get(key); ok {
+		s.writeReport(w, cached, "hit", "")
+		return
+	}
+
+	job, coalesced, err := s.manager.Submit(req, h, instName, instHash, key)
+	switch {
+	case errors.Is(err, errDraining):
+		errorBody(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case errors.Is(err, errQueueFull):
+		errorBody(w, http.StatusTooManyRequests, err.Error())
+		return
+	case err != nil:
+		errorBody(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if coalesced {
+		s.cache.Coalesced()
+	} else {
+		s.cache.Miss()
+	}
+
+	if req.Async {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Hgserved-Cache", flightLabel(coalesced))
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(map[string]string{
+			"job": job.ID, "cache_key": key, "status": "/v1/jobs/" + job.ID,
+		})
+		return
+	}
+
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		// The client went away; the job keeps running and will fill the
+		// cache for the next asker.
+		errorBody(w, 499, "client closed request; job "+job.ID+" continues")
+		return
+	}
+	code, reportBytes, errMsg := job.Result()
+	if code != http.StatusOK {
+		errorBody(w, code, errMsg)
+		return
+	}
+	s.writeReport(w, reportBytes, flightLabel(coalesced), job.ID)
+}
+
+func flightLabel(coalesced bool) string {
+	if coalesced {
+		return "coalesced"
+	}
+	return "miss"
+}
+
+// writeReport sends the deterministic report bytes verbatim. Cache
+// disposition and job id ride in headers so the body stays byte-identical
+// across hit, miss and coalesced paths.
+func (s *Server) writeReport(w http.ResponseWriter, body []byte, disposition, jobID string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Hgserved-Cache", disposition)
+	if jobID != "" {
+		w.Header().Set("X-Hgserved-Job", jobID)
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.manager.Job(r.PathValue("id"))
+	if !ok {
+		errorBody(w, http.StatusNotFound, "no such job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(j.Status())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.manager.Job(id); !ok {
+		errorBody(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if !s.manager.Cancel(id) {
+		errorBody(w, http.StatusConflict, "job already terminal")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]string{"job": id, "cancel": "requested"})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.manager.Jobs()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		st := j.Status()
+		st.Report = nil // list view stays light; fetch the job for the report
+		st.BSF = nil
+		out = append(out, st)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// handleStats renders a human-readable service summary using the
+// repository's report tables.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cs := s.cache.Stats()
+	t := report.NewTable("hgserved", "quantity", "value")
+	t.AddRow("queue depth", fmt.Sprint(s.manager.QueueDepth()))
+	t.AddRow("running jobs", fmt.Sprint(s.manager.Running()))
+	t.AddRow("cache entries", fmt.Sprint(cs.Entries))
+	t.AddRow("cache bytes", fmt.Sprint(cs.Bytes))
+	t.AddRow("cache hits", fmt.Sprint(cs.Hits))
+	t.AddRow("cache misses", fmt.Sprint(cs.Misses))
+	t.AddRow("coalesced", fmt.Sprint(cs.Coalesced))
+	t.AddRow("evictions", fmt.Sprint(cs.Evictions))
+	t.AddRow("ready", fmt.Sprint(s.ready.Load()))
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	t.Render(w)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.Render(w, GaugeSnapshot{
+		QueueDepth: s.manager.QueueDepth(),
+		Running:    s.manager.Running(),
+		Ready:      s.ready.Load(),
+		Cache:      s.cache.Stats(),
+	})
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness: flips to 503 the moment a drain begins, while
+// the listener is still up — the load balancer's cue to route elsewhere.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}

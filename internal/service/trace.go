@@ -1,0 +1,112 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"hgpart/internal/core"
+	"hgpart/internal/netlist"
+	"hgpart/internal/partition"
+	"hgpart/internal/rng"
+	"hgpart/internal/trace"
+)
+
+// The trace endpoint is the service face of the paper's diagnostic
+// methodology: the corking effect was found in "traces of CLIP executions",
+// and hgpart exposes the same evidence via -trace. POST /v1/trace runs one
+// traced flat/clip start and returns the per-pass cut curve summaries —
+// deterministic for a given (instance, engine, seed), like every other
+// answer the daemon gives.
+
+// TracePass is one FM pass of a traced run.
+type TracePass struct {
+	Pass       int   `json:"pass"`
+	StartCut   int64 `json:"start_cut"`
+	EndCut     int64 `json:"end_cut"`
+	Moves      int64 `json:"moves"`
+	RolledBack int   `json:"rolled_back"`
+}
+
+// TraceReport is the POST /v1/trace response document.
+type TraceReport struct {
+	Schema       string  `json:"schema"`
+	Instance     string  `json:"instance"`
+	InstanceHash string  `json:"instance_hash"`
+	Engine       string  `json:"engine"`
+	Tolerance    float64 `json:"tolerance"`
+	Seed         uint64  `json:"seed"`
+
+	Cut               int64       `json:"cut"`
+	Passes            []TracePass `json:"passes"`
+	TotalMoves        int64       `json:"total_moves"`
+	TotalRolledBack   int64       `json:"total_rolled_back"`
+	ShortestPassMoves int64       `json:"shortest_pass_moves"`
+}
+
+// handleTrace runs a single traced start inline (one FM run, no queueing)
+// and returns the pass summaries.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		errorBody(w, http.StatusServiceUnavailable, "service is draining")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req PartitionRequest
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		errorBody(w, http.StatusBadRequest, "decode request: "+err.Error())
+		return
+	}
+	req.normalize()
+	if err := req.validate(); err != nil {
+		errorBody(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Engine != "flat" && req.Engine != "clip" {
+		errorBody(w, http.StatusBadRequest, "trace requires engine flat or clip (pass tracers exist for the flat FM engines)")
+		return
+	}
+	h, instName, err := req.resolveInstance()
+	if err != nil {
+		var pe *netlist.ParseError
+		if errors.As(err, &pe) {
+			errorBody(w, http.StatusBadRequest, pe.Format+" instance rejected: "+pe.Error())
+			return
+		}
+		errorBody(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	bal := partition.NewBalance(h.TotalVertexWeight(), req.Tolerance)
+	gen := rng.New(req.Seed)
+	eng := core.NewEngine(h, core.StrongConfig(req.Engine == "clip"), bal, gen)
+	rec := &trace.Recorder{}
+	eng.SetTracer(rec)
+	p := partition.New(h)
+	p.RandomBalanced(gen, bal)
+	res := eng.Run(p)
+
+	sum := rec.Summarize()
+	rep := TraceReport{
+		Schema:            "hgserved/trace/v1",
+		Instance:          instName,
+		InstanceHash:      instanceHash(h),
+		Engine:            req.Engine,
+		Tolerance:         req.Tolerance,
+		Seed:              req.Seed,
+		Cut:               res.Cut,
+		TotalMoves:        sum.TotalMoves,
+		TotalRolledBack:   sum.TotalRolledBack,
+		ShortestPassMoves: sum.ShortestPassMoves,
+	}
+	for _, pr := range rec.Passes() {
+		rep.Passes = append(rep.Passes, TracePass{
+			Pass: pr.Pass, StartCut: pr.StartCut, EndCut: pr.EndCut,
+			Moves: pr.Moves, RolledBack: pr.RolledBack,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(rep)
+}
