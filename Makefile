@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fuzz bench bench-smoke bench-go serve-smoke ci
+.PHONY: all build test race vet lint fuzz bench bench-smoke bench-go serve-smoke chaos-smoke ci
 
 all: build
 
@@ -55,6 +55,14 @@ bench-go:
 serve-smoke:
 	$(GO) test -run TestServeSmoke -count=1 ./cmd/hgserved
 
+# Crash-consistency smoke (cmd/hgchaos): build hgserved, run one seeded
+# kill/restart cycle per scenario (SIGKILL mid-record-write, mid-fsync,
+# mid-drain), and assert the recovered reports are byte-identical to an
+# uninterrupted run. Bounded well under 60s.
+chaos-smoke:
+	$(GO) test -run TestChaosSmoke -count=1 -timeout 120s ./cmd/hgchaos
+
 # What CI runs: build, static checks (vet + hglint), the full test suite
-# under the race detector, the benchmark smoke gate, and the daemon smoke.
-ci: build lint race bench-smoke serve-smoke
+# under the race detector, the benchmark smoke gate, the daemon smoke, and
+# the crash-consistency smoke.
+ci: build lint race bench-smoke serve-smoke chaos-smoke

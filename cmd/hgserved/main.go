@@ -43,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"hgpart/internal/chaos"
 	"hgpart/internal/service"
 )
 
@@ -59,8 +60,14 @@ func main() {
 		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "result-cache byte bound (<=0 unbounded)")
 		cpDir        = flag.String("checkpoint-dir", "", "journal running jobs' completed starts here; empty disables checkpointing")
 		maxBody      = flag.Int64("max-body-bytes", 64<<20, "request body size bound")
+		maxVertices  = flag.Int("max-vertices", 2_000_000, "reject instances with more vertices (<=0 disables)")
+		maxPins      = flag.Int("max-pins", 20_000_000, "reject instances with more pins (<=0 disables)")
+		stuckAfter   = flag.Duration("stuck-after", 2*time.Minute, "watchdog: cancel a job whose run makes no progress for this long (<=0 disables)")
+		maxRequeues  = flag.Int("max-requeues", 1, "watchdog: requeue a stuck job this many times before failing it")
 		drainTO      = flag.Duration("drain-timeout", 30*time.Second, "bound on the SIGTERM graceful drain")
 		logJSON      = flag.Bool("log-json", false, "emit JSON logs instead of text")
+		chaosSpec    = flag.String("chaos", "", "fault-injection spec for journal I/O, e.g. \"write:.jsonl:3:torn+kill\" (testing only)")
+		chaosSeed    = flag.Uint64("chaos-seed", 1, "seed for probabilistic chaos rules")
 	)
 	flag.Parse()
 
@@ -88,7 +95,19 @@ func main() {
 	cfg.CacheBytes = *cacheBytes
 	cfg.CheckpointDir = *cpDir
 	cfg.MaxBodyBytes = *maxBody
+	cfg.MaxVertices = *maxVertices
+	cfg.MaxPins = *maxPins
+	cfg.StuckAfter = *stuckAfter
+	cfg.MaxRequeues = *maxRequeues
 	cfg.Logger = log
+	if *chaosSpec != "" {
+		rules, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			fatal(log, "parse -chaos", err)
+		}
+		cfg.FS = chaos.NewFaultFS(chaos.OS(), chaos.Config{Seed: *chaosSeed, Rules: rules})
+		log.Warn("chaos fault injection armed on journal I/O", "spec", *chaosSpec, "seed", *chaosSeed)
+	}
 	srv := service.New(cfg)
 
 	ln, err := net.Listen("tcp", *addr)

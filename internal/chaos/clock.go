@@ -1,0 +1,56 @@
+package chaos
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall-clock reads and sleeps so latency injection and the
+// retry helper are testable without real delays. The production clock is
+// RealClock; tests use a FakeClock that records sleeps and advances
+// instantly.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time        { return time.Now() }
+func (realClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// RealClock returns the system clock.
+func RealClock() Clock { return realClock{} }
+
+// FakeClock is a deterministic Clock for tests: Sleep returns immediately,
+// advancing the fake time by the requested duration and recording it.
+type FakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	sleeps []time.Duration
+}
+
+// NewFakeClock returns a FakeClock starting at start.
+func NewFakeClock(start time.Time) *FakeClock { return &FakeClock{now: start} }
+
+// Now returns the fake time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep advances the fake time by d without blocking and records d.
+func (c *FakeClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	c.sleeps = append(c.sleeps, d)
+}
+
+// Sleeps returns every Sleep duration observed, in order.
+func (c *FakeClock) Sleeps() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.sleeps...)
+}

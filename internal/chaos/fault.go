@@ -1,0 +1,355 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"hgpart/internal/rng"
+)
+
+// Op classifies filesystem operations for fault matching.
+type Op uint8
+
+const (
+	// OpWrite matches File.Write calls.
+	OpWrite Op = iota
+	// OpSync matches File.Sync calls.
+	OpSync
+	// OpOpen matches FS.Open and FS.OpenFile calls.
+	OpOpen
+	// OpRename matches FS.Rename calls.
+	OpRename
+	// OpRemove matches FS.Remove calls.
+	OpRemove
+)
+
+// String returns the spec-grammar name of the op.
+func (o Op) String() string {
+	switch o {
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpOpen:
+		return "open"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	}
+	return fmt.Sprintf("op(%d)", o)
+}
+
+// Fault is the kind of failure a rule injects.
+type Fault uint8
+
+const (
+	// FaultErr fails the operation with the rule's Err (default EIO) without
+	// performing it.
+	FaultErr Fault = iota
+	// FaultTorn performs a prefix of the write (Frac of the payload), then
+	// fails with the rule's Err — the on-disk state a power cut mid-write
+	// leaves behind.
+	FaultTorn
+	// FaultShort performs a prefix of the write and returns io.ErrShortWrite,
+	// modeling a short write the caller is expected to notice.
+	FaultShort
+	// FaultLatency sleeps for the rule's Delay, then performs the operation
+	// normally — a slow disk, used by hgchaos to hold drain windows open.
+	FaultLatency
+	// FaultCrash performs no I/O and invokes the crash action (default
+	// SelfKill) — the operation never returns.
+	FaultCrash
+)
+
+// String returns the spec-grammar name of the fault.
+func (f Fault) String() string {
+	switch f {
+	case FaultErr:
+		return "err"
+	case FaultTorn:
+		return "torn"
+	case FaultShort:
+		return "short"
+	case FaultLatency:
+		return "latency"
+	case FaultCrash:
+		return "kill"
+	}
+	return fmt.Sprintf("fault(%d)", f)
+}
+
+// Rule is one entry of a fault schedule. A rule matches an operation when
+// the op kind matches and Path (substring; empty matches everything) occurs
+// in the operation's path. Among matching operations, the rule fires on the
+// Nth one (1-based) when Nth > 0, or with probability Prob drawn from the
+// schedule's seeded stream when Nth == 0. Counter-based rules are exactly
+// replayable for any serialized operation sequence; probability-based rules
+// are replayable given the same interleaving.
+type Rule struct {
+	Op   Op
+	Path string
+	Nth  int
+	Prob float64
+
+	Fault Fault
+	// Err is the injected error for FaultErr/FaultTorn; nil means EIO.
+	// Use syscall.ENOSPC for full-disk experiments.
+	Err error
+	// Frac is the fraction of a torn/short write that is persisted before
+	// the failure; 0 means half.
+	Frac float64
+	// Delay is the FaultLatency sleep.
+	Delay time.Duration
+	// Crash, when set, invokes the crash action after the fault's partial
+	// effect (e.g. torn+kill: persist half the write, then SIGKILL) — the
+	// mid-record and mid-fsync kill points cmd/hgchaos drives.
+	Crash bool
+}
+
+// Config parameterizes a FaultFS.
+type Config struct {
+	// Seed drives probability-based rules; counter-based rules ignore it.
+	Seed uint64
+	// Rules is the fault schedule; the first firing rule wins.
+	Rules []Rule
+	// Clock serves FaultLatency sleeps; nil means the real clock.
+	Clock Clock
+	// CrashFn is invoked for FaultCrash and Crash-flagged rules; nil means
+	// SelfKill. Tests substitute a recorder.
+	CrashFn func()
+}
+
+// InjectedError is the error FaultFS returns for injected failures. It
+// unwraps to the rule's underlying errno, so errors.Is(err, syscall.ENOSPC)
+// works across the journal layers.
+type InjectedError struct {
+	Op   Op
+	Path string
+	Err  error
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("chaos: injected fault on %s %s: %v", e.Op, e.Path, e.Err)
+}
+
+// Unwrap exposes the injected errno to errors.Is/As.
+func (e *InjectedError) Unwrap() error { return e.Err }
+
+// FaultFS wraps an FS with a deterministic, seed-driven fault schedule. All
+// rule-matching state (per-rule match counters, the probability stream) is
+// guarded by one mutex, so a serialized operation sequence — like the
+// single-writer journal's — sees an exactly replayable schedule.
+type FaultFS struct {
+	inner FS
+	clock Clock
+	crash func()
+
+	mu    sync.Mutex
+	rules []Rule
+	count []int // matches seen per rule
+	r     *rng.RNG
+}
+
+// NewFaultFS wraps inner with cfg's fault schedule.
+func NewFaultFS(inner FS, cfg Config) *FaultFS {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = RealClock()
+	}
+	crash := cfg.CrashFn
+	if crash == nil {
+		crash = SelfKill
+	}
+	rules := append([]Rule(nil), cfg.Rules...)
+	for i := range rules {
+		if rules[i].Err == nil {
+			rules[i].Err = syscall.EIO
+		}
+		if rules[i].Frac <= 0 || rules[i].Frac > 1 {
+			rules[i].Frac = 0.5
+		}
+	}
+	return &FaultFS{
+		inner: inner,
+		clock: clock,
+		crash: crash,
+		rules: rules,
+		count: make([]int, len(rules)),
+		r:     rng.New(cfg.Seed),
+	}
+}
+
+// fire reports the first rule firing for (op, path), or nil. It advances
+// the match counters of every matching rule, firing or not, so rule order
+// never changes which operation a counter refers to.
+func (f *FaultFS) fire(op Op, path string) *Rule {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var hit *Rule
+	for i := range f.rules {
+		r := &f.rules[i]
+		if r.Op != op || (r.Path != "" && !strings.Contains(path, r.Path)) {
+			continue
+		}
+		f.count[i]++
+		if hit != nil {
+			continue
+		}
+		switch {
+		case r.Nth > 0:
+			if f.count[i] == r.Nth {
+				hit = r
+			}
+		case r.Prob > 0:
+			if f.r.Float64() < r.Prob {
+				hit = r
+			}
+		}
+	}
+	return hit
+}
+
+// apply performs a non-write fault. It returns (handled, err): handled is
+// false when the operation should proceed normally (no rule fired, or a
+// latency fault already slept).
+func (f *FaultFS) apply(op Op, path string) (bool, error) {
+	r := f.fire(op, path)
+	if r == nil {
+		return false, nil
+	}
+	switch r.Fault {
+	case FaultLatency:
+		f.clock.Sleep(r.Delay)
+		if r.Crash {
+			f.crash()
+		}
+		return false, nil
+	case FaultCrash:
+		f.crash()
+		return true, &InjectedError{Op: op, Path: path, Err: syscall.EINTR}
+	default:
+		if r.Crash {
+			f.crash()
+		}
+		return true, &InjectedError{Op: op, Path: path, Err: r.Err}
+	}
+}
+
+// OpenFile implements FS.
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if handled, err := f.apply(OpOpen, name); handled {
+		return nil, err
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, name: name, inner: file}, nil
+}
+
+// Open implements FS.
+func (f *FaultFS) Open(name string) (File, error) {
+	if handled, err := f.apply(OpOpen, name); handled {
+		return nil, err
+	}
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, name: name, inner: file}, nil
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if handled, err := f.apply(OpRename, oldpath); handled {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	if handled, err := f.apply(OpRemove, name); handled {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+// faultFile routes Write and Sync through the schedule.
+type faultFile struct {
+	fs    *FaultFS
+	name  string
+	inner File
+}
+
+func (f *faultFile) Read(p []byte) (int, error) { return f.inner.Read(p) }
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	r := f.fs.fire(OpWrite, f.name)
+	if r == nil {
+		return f.inner.Write(p)
+	}
+	switch r.Fault {
+	case FaultLatency:
+		f.fs.clock.Sleep(r.Delay)
+		if r.Crash {
+			f.fs.crash()
+		}
+		return f.inner.Write(p)
+	case FaultTorn, FaultShort:
+		k := int(float64(len(p)) * r.Frac)
+		if k > len(p) {
+			k = len(p)
+		}
+		n, werr := f.inner.Write(p[:k])
+		if r.Crash {
+			f.fs.crash()
+		}
+		if werr != nil {
+			return n, werr
+		}
+		if r.Fault == FaultShort {
+			return n, io.ErrShortWrite
+		}
+		return n, &InjectedError{Op: OpWrite, Path: f.name, Err: r.Err}
+	case FaultCrash:
+		f.fs.crash()
+		return 0, &InjectedError{Op: OpWrite, Path: f.name, Err: syscall.EINTR}
+	default: // FaultErr
+		if r.Crash {
+			f.fs.crash()
+		}
+		return 0, &InjectedError{Op: OpWrite, Path: f.name, Err: r.Err}
+	}
+}
+
+func (f *faultFile) Sync() error {
+	r := f.fs.fire(OpSync, f.name)
+	if r == nil {
+		return f.inner.Sync()
+	}
+	switch r.Fault {
+	case FaultLatency:
+		f.fs.clock.Sleep(r.Delay)
+		if r.Crash {
+			f.fs.crash()
+		}
+		return f.inner.Sync()
+	case FaultCrash:
+		f.fs.crash()
+		return &InjectedError{Op: OpSync, Path: f.name, Err: syscall.EINTR}
+	default:
+		if r.Crash {
+			f.fs.crash()
+		}
+		return &InjectedError{Op: OpSync, Path: f.name, Err: r.Err}
+	}
+}
+
+func (f *faultFile) Close() error { return f.inner.Close() }

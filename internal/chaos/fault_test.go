@@ -1,0 +1,175 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func writeThrough(t *testing.T, fsys FS, path string, chunks ...string) []error {
+	t.Helper()
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer f.Close()
+	var errs []error
+	for _, c := range chunks {
+		_, werr := f.Write([]byte(c))
+		errs = append(errs, werr)
+	}
+	return errs
+}
+
+// An Nth-counter rule fires on exactly the configured operation and leaves
+// the torn prefix on disk — the state a crash mid-write produces.
+func TestTornWriteLeavesPrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.jsonl")
+	fsys := NewFaultFS(OS(), Config{Rules: []Rule{
+		{Op: OpWrite, Path: ".jsonl", Nth: 2, Fault: FaultTorn},
+	}})
+	errs := writeThrough(t, fsys, path, "aaaa\n", "bbbb\n", "cccc\n")
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("non-target writes failed: %v", errs)
+	}
+	var inj *InjectedError
+	if !errors.As(errs[1], &inj) || !errors.Is(errs[1], syscall.EIO) {
+		t.Fatalf("write #2: want injected EIO, got %v", errs[1])
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write #2 persisted half its 5 bytes ("bb"), then failed.
+	if got, want := string(b), "aaaa\nbbcccc\n"; got != want {
+		t.Fatalf("on-disk state %q, want %q (torn prefix of write #2)", got, want)
+	}
+}
+
+func TestShortWriteReturnsErrShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaultFS(OS(), Config{Rules: []Rule{
+		{Op: OpWrite, Nth: 1, Fault: FaultShort, Frac: 0.25},
+	}})
+	errs := writeThrough(t, fsys, filepath.Join(dir, "x"), "12345678")
+	if !errors.Is(errs[0], io.ErrShortWrite) {
+		t.Fatalf("want io.ErrShortWrite, got %v", errs[0])
+	}
+	b, _ := os.ReadFile(filepath.Join(dir, "x"))
+	if string(b) != "12" {
+		t.Fatalf("short write persisted %q, want %q", b, "12")
+	}
+}
+
+func TestENOSPCAndSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaultFS(OS(), Config{Rules: []Rule{
+		{Op: OpWrite, Nth: 1, Fault: FaultErr, Err: syscall.ENOSPC},
+		{Op: OpSync, Nth: 1, Fault: FaultErr},
+	}})
+	f, err := fsys.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want injected EIO on sync, got %v", err)
+	}
+	// Both rules are spent; subsequent ops succeed.
+	if _, err := f.Write([]byte("y")); err != nil {
+		t.Fatalf("post-fault write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("post-fault sync: %v", err)
+	}
+}
+
+// The crash action fires at the exact configured point — here recorded
+// instead of delivering SIGKILL.
+func TestCrashHookFiresAtExactOp(t *testing.T) {
+	dir := t.TempDir()
+	crashed := 0
+	fsys := NewFaultFS(OS(), Config{
+		Rules:   []Rule{{Op: OpSync, Path: ".jsonl", Nth: 2, Fault: FaultCrash}},
+		CrashFn: func() { crashed++ },
+	})
+	f, err := fsys.OpenFile(filepath.Join(dir, "j.jsonl"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil || crashed != 0 {
+		t.Fatalf("sync #1: err=%v crashed=%d", err, crashed)
+	}
+	if err := f.Sync(); err == nil || crashed != 1 {
+		t.Fatalf("sync #2: want crash + error, got err=%v crashed=%d", err, crashed)
+	}
+	if err := f.Sync(); err != nil || crashed != 1 {
+		t.Fatalf("sync #3: err=%v crashed=%d", err, crashed)
+	}
+}
+
+// Probability-based rules are a pure function of the seed for a serialized
+// op sequence: same seed, same fault pattern; different seed, (here)
+// different pattern.
+func TestProbabilisticScheduleIsSeedDeterministic(t *testing.T) {
+	pattern := func(seed uint64) []bool {
+		dir := t.TempDir()
+		fsys := NewFaultFS(OS(), Config{Seed: seed, Rules: []Rule{
+			{Op: OpWrite, Prob: 0.5, Fault: FaultErr},
+		}})
+		var out []bool
+		f, err := fsys.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		for i := 0; i < 32; i++ {
+			_, werr := f.Write([]byte("z"))
+			out = append(out, werr != nil)
+		}
+		return out
+	}
+	a, b := pattern(7), pattern(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at op %d", i)
+		}
+	}
+	c := pattern(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical 32-op fault patterns — stream not seeded?")
+	}
+}
+
+func TestLatencyUsesInjectedClock(t *testing.T) {
+	dir := t.TempDir()
+	clock := NewFakeClock(time.Unix(0, 0))
+	fsys := NewFaultFS(OS(), Config{
+		Clock: clock,
+		Rules: []Rule{{Op: OpWrite, Nth: 1, Fault: FaultLatency, Delay: 300 * time.Millisecond}},
+	})
+	errs := writeThrough(t, fsys, filepath.Join(dir, "x"), "a", "b")
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("latency fault must not fail the op: %v", errs)
+	}
+	sleeps := clock.Sleeps()
+	if len(sleeps) != 1 || sleeps[0] != 300*time.Millisecond {
+		t.Fatalf("sleeps = %v, want one 300ms sleep", sleeps)
+	}
+}

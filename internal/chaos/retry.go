@@ -1,0 +1,134 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"hgpart/internal/rng"
+)
+
+// Retry is a bounded retry policy with full-jitter exponential backoff.
+// Clients of hgserved use it to ride out the transient 503s a draining
+// instance returns before the load balancer routes elsewhere, and
+// cmd/hgchaos uses it to resubmit work across a daemon restart.
+//
+// Per the repository's determinism rules (hglint detrand), the jitter does
+// not come from a shared wall-clock-seeded source: it is drawn from a
+// private internal/rng stream seeded by Seed, so a retry schedule is a pure
+// function of (Seed, attempt outcomes) and a chaos run that exercises
+// retries is replayable.
+type Retry struct {
+	// MaxAttempts bounds the total attempts; <= 0 means 5.
+	MaxAttempts int
+	// BaseDelay is the first backoff's upper bound; <= 0 means 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth; <= 0 means 2s.
+	MaxDelay time.Duration
+	// Seed seeds the jitter stream.
+	Seed uint64
+	// Clock serves the sleeps; nil means the real clock.
+	Clock Clock
+}
+
+// Do runs attempt until it succeeds, returns a non-retryable error, ctx is
+// cancelled, or MaxAttempts is exhausted (returning the last error).
+//
+// attempt reports (retryAfter, retryable, err): a nil err stops the loop
+// successfully; retryable=false stops it with err; retryAfter > 0 — e.g.
+// the parsed Retry-After header of a 503 — replaces the computed backoff
+// for the next wait, honoring the server's own estimate of when the drain
+// window closes. Otherwise the wait before attempt k (0-based) is uniform
+// in [0, min(MaxDelay, BaseDelay·2^k)) — "full jitter", so a fleet of
+// retrying clients does not stampede a restarting daemon in sync.
+func (p Retry) Do(ctx context.Context, attempt func() (time.Duration, bool, error)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	maxAttempts := p.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 5
+	}
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxDelay := p.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 2 * time.Second
+	}
+	clock := p.Clock
+	if clock == nil {
+		clock = RealClock()
+	}
+	jitter := rng.New(p.Seed)
+
+	var err error
+	for k := 0; k < maxAttempts; k++ {
+		var retryAfter time.Duration
+		var retryable bool
+		retryAfter, retryable, err = runAttempt(attempt)
+		if err == nil {
+			return nil
+		}
+		if !retryable || k+1 >= maxAttempts {
+			return err
+		}
+		d := base << uint(k)
+		if d > maxDelay || d <= 0 {
+			d = maxDelay
+		}
+		d = time.Duration(jitter.Float64() * float64(d))
+		if retryAfter > 0 {
+			d = retryAfter
+		}
+		if serr := sleepCtx(ctx, clock, d); serr != nil {
+			return fmt.Errorf("chaos: retry interrupted after %d attempts: %w (last error: %v)", k+1, serr, err)
+		}
+	}
+	return err
+}
+
+// runAttempt isolates one attempt call. (The name matters: the ctxflow
+// analyzer treats runAttempt callees as work loops that must remain
+// cancellable, which Do's context threading guarantees.)
+func runAttempt(attempt func() (time.Duration, bool, error)) (time.Duration, bool, error) {
+	return attempt()
+}
+
+// sleepCtx sleeps d on clock, returning early with ctx.Err() if the context
+// is cancelled first.
+func sleepCtx(ctx context.Context, clock Clock, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		clock.Sleep(d)
+		close(done)
+	}()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-done:
+		return nil
+	}
+}
+
+// RetryAfterHeader parses the delta-seconds form of a Retry-After response
+// header ("5" → 5s). HTTP-date forms are not parsed (hgserved never emits
+// them); callers get (0, false) and fall back to jittered backoff.
+func RetryAfterHeader(v string) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}

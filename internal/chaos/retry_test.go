@@ -1,0 +1,99 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// Same seed → identical sleep schedule; backoff upper bounds double per
+// attempt and cap at MaxDelay.
+func TestRetryJitterIsSeedDeterministic(t *testing.T) {
+	errTransient := errors.New("transient")
+	schedule := func(seed uint64) []time.Duration {
+		clock := NewFakeClock(time.Unix(0, 0))
+		p := Retry{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, MaxDelay: 250 * time.Millisecond, Seed: seed, Clock: clock}
+		err := p.Do(context.Background(), func() (time.Duration, bool, error) {
+			return 0, true, errTransient
+		})
+		if !errors.Is(err, errTransient) {
+			t.Fatalf("exhausted retry must return last error, got %v", err)
+		}
+		return clock.Sleeps()
+	}
+	a, b := schedule(42), schedule(42)
+	if len(a) != 4 { // 5 attempts → 4 waits
+		t.Fatalf("got %d sleeps, want 4: %v", len(a), a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at wait %d: %v vs %v", i, a, b)
+		}
+	}
+	bounds := []time.Duration{100, 200, 250, 250} // ms; 2^k growth capped at MaxDelay
+	for i, d := range a {
+		if max := bounds[i] * time.Millisecond; d < 0 || d >= max {
+			t.Errorf("wait %d = %v, want in [0, %v)", i, d, max)
+		}
+	}
+}
+
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	clock := NewFakeClock(time.Unix(0, 0))
+	p := Retry{MaxAttempts: 3, BaseDelay: time.Millisecond, Clock: clock}
+	calls := 0
+	err := p.Do(context.Background(), func() (time.Duration, bool, error) {
+		calls++
+		if calls == 1 {
+			return 7 * time.Second, true, errors.New("draining")
+		}
+		return 0, false, nil
+	})
+	if err != nil || calls != 2 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	sleeps := clock.Sleeps()
+	if len(sleeps) != 1 || sleeps[0] != 7*time.Second {
+		t.Fatalf("sleeps = %v, want the server-provided 7s wait", sleeps)
+	}
+}
+
+func TestRetryStopsOnNonRetryable(t *testing.T) {
+	fatal := errors.New("bad request")
+	calls := 0
+	err := Retry{Clock: NewFakeClock(time.Unix(0, 0))}.Do(context.Background(), func() (time.Duration, bool, error) {
+		calls++
+		return 0, false, fatal
+	})
+	if !errors.Is(err, fatal) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want one attempt returning the fatal error", err, calls)
+	}
+}
+
+func TestRetryCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Retry{MaxAttempts: 4, BaseDelay: time.Millisecond}.Do(ctx, func() (time.Duration, bool, error) {
+		calls++
+		cancel()
+		return 0, true, errors.New("transient")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled in chain, got %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (cancellation interrupts the first wait)", calls)
+	}
+}
+
+func TestRetryAfterHeader(t *testing.T) {
+	if d, ok := RetryAfterHeader("5"); !ok || d != 5*time.Second {
+		t.Fatalf("got (%v, %v)", d, ok)
+	}
+	for _, v := range []string{"", "-1", "soon", "Wed, 21 Oct 2015 07:28:00 GMT"} {
+		if _, ok := RetryAfterHeader(v); ok {
+			t.Errorf("RetryAfterHeader(%q): want ok=false", v)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// ParseSpec parses a comma-separated fault schedule of the form
+//
+//	op:path:when:fault[,op:path:when:fault...]
+//
+// where
+//
+//	op     = write | sync | open | rename | remove
+//	path   = substring the operation's path must contain ("" matches all)
+//	when   = N        fire on the Nth matching operation (1-based)
+//	       | pF       fire with probability F from the seeded stream
+//	fault  = eio | enospc | torn | short | kill | latency=DUR
+//	         with an optional "+kill" suffix (crash after the fault's
+//	         partial effect), e.g. torn+kill, eio+kill, latency=300ms
+//
+// Examples:
+//
+//	write:.jsonl:3:torn+kill    SIGKILL mid-way through journal write #3
+//	sync:.jsonl:4:kill          SIGKILL during journal fsync #4
+//	write::2:enospc             journal write #2 fails with ENOSPC
+//	write:.jsonl:p1:latency=300ms  every journal write takes an extra 300ms
+//
+// The grammar is what hgserved's -chaos flag and cmd/hgchaos speak; see
+// DESIGN.md §11.
+func ParseSpec(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		rule, err := parseRule(part)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: rule %q: %w", part, err)
+		}
+		rules = append(rules, rule)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("chaos: empty fault spec")
+	}
+	return rules, nil
+}
+
+func parseRule(s string) (Rule, error) {
+	fields := strings.Split(s, ":")
+	if len(fields) != 4 {
+		return Rule{}, fmt.Errorf("want op:path:when:fault, got %d fields", len(fields))
+	}
+	var r Rule
+
+	switch fields[0] {
+	case "write":
+		r.Op = OpWrite
+	case "sync":
+		r.Op = OpSync
+	case "open":
+		r.Op = OpOpen
+	case "rename":
+		r.Op = OpRename
+	case "remove":
+		r.Op = OpRemove
+	default:
+		return Rule{}, fmt.Errorf("unknown op %q (want write|sync|open|rename|remove)", fields[0])
+	}
+
+	r.Path = fields[1]
+
+	when := fields[2]
+	if p, ok := strings.CutPrefix(when, "p"); ok {
+		prob, err := strconv.ParseFloat(p, 64)
+		if err != nil || prob <= 0 || prob > 1 {
+			return Rule{}, fmt.Errorf("probability %q must be in (0,1]", when)
+		}
+		r.Prob = prob
+	} else {
+		nth, err := strconv.Atoi(when)
+		if err != nil || nth < 1 {
+			return Rule{}, fmt.Errorf("when %q must be a positive count or pF probability", when)
+		}
+		r.Nth = nth
+	}
+
+	fault := fields[3]
+	if base, ok := strings.CutSuffix(fault, "+kill"); ok {
+		r.Crash = true
+		fault = base
+	}
+	switch {
+	case fault == "eio":
+		r.Fault = FaultErr
+		r.Err = syscall.EIO
+	case fault == "enospc":
+		r.Fault = FaultErr
+		r.Err = syscall.ENOSPC
+	case fault == "torn":
+		r.Fault = FaultTorn
+	case fault == "short":
+		r.Fault = FaultShort
+	case fault == "kill":
+		r.Fault = FaultCrash
+		r.Crash = true
+	case strings.HasPrefix(fault, "latency="):
+		d, err := time.ParseDuration(strings.TrimPrefix(fault, "latency="))
+		if err != nil || d <= 0 {
+			return Rule{}, fmt.Errorf("latency %q needs a positive duration", fault)
+		}
+		r.Fault = FaultLatency
+		r.Delay = d
+	default:
+		return Rule{}, fmt.Errorf("unknown fault %q (want eio|enospc|torn|short|kill|latency=DUR, optionally +kill)", fault)
+	}
+	return r, nil
+}

@@ -1,0 +1,47 @@
+package chaos
+
+import (
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestParseSpecDocumentedExamples(t *testing.T) {
+	rules, err := ParseSpec("write:.jsonl:3:torn+kill, sync:.jsonl:4:kill,write::2:enospc,write:.jsonl:p1:latency=300ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Op: OpWrite, Path: ".jsonl", Nth: 3, Fault: FaultTorn, Crash: true},
+		{Op: OpSync, Path: ".jsonl", Nth: 4, Fault: FaultCrash, Crash: true},
+		{Op: OpWrite, Path: "", Nth: 2, Fault: FaultErr, Err: syscall.ENOSPC},
+		{Op: OpWrite, Path: ".jsonl", Prob: 1, Fault: FaultLatency, Delay: 300 * time.Millisecond},
+	}
+	if len(rules) != len(want) {
+		t.Fatalf("got %d rules, want %d", len(rules), len(want))
+	}
+	for i, w := range want {
+		g := rules[i]
+		if g.Op != w.Op || g.Path != w.Path || g.Nth != w.Nth || g.Prob != w.Prob ||
+			g.Fault != w.Fault || g.Err != w.Err || g.Delay != w.Delay || g.Crash != w.Crash {
+			t.Errorf("rule %d = %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",                       // empty schedule
+		"write:.jsonl:3",         // missing fault field
+		"chmod:.jsonl:1:eio",     // unknown op
+		"write:.jsonl:0:eio",     // count must be >= 1
+		"write:.jsonl:p1.5:eio",  // probability out of range
+		"write:.jsonl:1:explode", // unknown fault
+		"write:.jsonl:1:latency", // latency without duration
+		"write:.jsonl:1:latency=-1s",
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q): want error, got nil", spec)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+package eval
+
+// Journal v2 unit tests, in-package so they can craft framed records and
+// drive record() directly: CRC-framed round trips, corruption quarantine
+// with exact lost-start reporting, duplicate/out-of-range/unknown-status
+// rejection, torn-tail repair, and transparent v1 read-back.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hgpart/internal/partition"
+	"hgpart/internal/rng"
+)
+
+// stubHeuristic is a trivial deterministic Heuristic: the cut is a pure
+// function of the start's pre-split seed, which is all the checkpoint tests
+// need.
+type stubHeuristic struct{}
+
+func (stubHeuristic) Name() string { return "stub" }
+func (stubHeuristic) Run(r *rng.RNG) Outcome {
+	return Outcome{Cut: int64(10 + r.Uint64()%1000), Work: 3}
+}
+func (stubHeuristic) PolishBest(*partition.P, *rng.RNG) Outcome { return Outcome{} }
+
+func stubFactory() Heuristic { return stubHeuristic{} }
+
+func frameJSON(t *testing.T, rec startRecord) []byte {
+	t.Helper()
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frameRecord(b)
+}
+
+func v2Header(t *testing.T, name string, seed uint64, n int) []byte {
+	t.Helper()
+	b, err := json.Marshal(checkpointHeader{Kind: "header", V: 2, Name: name, Seed: seed, N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(b, '\n')
+}
+
+func TestJournalV2AppendAndResumeRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	cp, err := OpenCheckpoint(path, "stub", 9, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.record(StartResult{Start: 0, Status: StartOK, Attempts: 1, Outcome: Outcome{Cut: 42, Work: 7}})
+	cp.record(StartResult{Start: 3, Status: StartFailed, Attempts: 2, Err: errors.New("boom")})
+	if err := cp.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(raw), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("journal has %d lines, want header + 2 records:\n%s", len(lines), raw)
+	}
+	if !strings.Contains(lines[0], `"v":2`) {
+		t.Fatalf("header lacks version tag: %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if payload, err := parseFrame([]byte(l)); err != nil {
+			t.Fatalf("record does not frame-check: %q: %v", l, err)
+		} else if !bytes.Contains(payload, []byte(`"kind":"start"`)) {
+			t.Fatalf("frame payload is not a start record: %q", payload)
+		}
+	}
+
+	cp2, err := OpenCheckpoint(path, "stub", 9, 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if cp2.Resumed() != 2 || len(cp2.Quarantined()) != 0 {
+		t.Fatalf("resumed=%d quarantined=%v, want 2 and none", cp2.Resumed(), cp2.Quarantined())
+	}
+	if sr, ok := cp2.Completed(0); !ok || sr.Outcome.Cut != 42 || sr.Status != StartOK {
+		t.Fatalf("start 0 round trip: %+v ok=%v", sr, ok)
+	}
+	if sr, ok := cp2.Completed(3); !ok || sr.Status != StartFailed || sr.Err == nil || sr.Err.Error() != "boom" {
+		t.Fatalf("start 3 round trip: %+v ok=%v", sr, ok)
+	}
+}
+
+// A deliberately corrupted record is quarantined with a report naming
+// exactly which start was lost, and a resumed run recomputes just that
+// start, reproducing the uninterrupted run's statistics.
+func TestJournalV2CorruptionQuarantineAndRecovery(t *testing.T) {
+	const n, seed = 4, 31
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+
+	uninterrupted := RunMultistart(context.Background(), stubFactory, n, seed, RunOptions{Workers: 1})
+
+	cp, err := OpenCheckpoint(path, "stub", seed, n, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := RunMultistart(context.Background(), stubFactory, n, seed, RunOptions{Workers: 1, Checkpoint: cp})
+	if full.Completed != n || full.JournalErr != nil {
+		t.Fatalf("baseline checkpointed run: %+v", full)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one digit inside the record for start 2: the payload stays valid
+	// JSON (so the report can still name the start) but the CRC no longer
+	// matches, so the value must not be trusted.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(raw, []byte("\n"))
+	target := -1
+	for i, l := range lines {
+		if bytes.Contains(l, []byte(`"start":2`)) {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatalf("no record for start 2 in journal:\n%s", raw)
+	}
+	cut := bytes.Index(lines[target], []byte(`"cut":`))
+	if cut < 0 {
+		t.Fatalf("record has no cut field: %q", lines[target])
+	}
+	digit := lines[target][cut+len(`"cut":`)]
+	lines[target][cut+len(`"cut":`)] = '1' + (digit-'0'+1)%9 // change the digit, keep it a digit
+	if err := os.WriteFile(path, bytes.Join(lines, []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cp2, err := OpenCheckpoint(path, "stub", seed, n, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if cp2.Resumed() != n-1 {
+		t.Fatalf("resumed %d starts, want %d (corrupt record dropped)", cp2.Resumed(), n-1)
+	}
+	qs := cp2.Quarantined()
+	if len(qs) != 1 || qs[0].Start != 2 || !strings.Contains(qs[0].Reason, "crc mismatch") {
+		t.Fatalf("quarantine report %+v, want exactly start 2 with a crc mismatch", qs)
+	}
+	if lost := cp2.LostStarts(); len(lost) != 1 || lost[0] != 2 {
+		t.Fatalf("LostStarts = %v, want [2]", lost)
+	}
+	sidecar, err := os.ReadFile(path + ".quarantine")
+	if err != nil {
+		t.Fatalf("quarantine sidecar not written: %v", err)
+	}
+	if !bytes.Contains(sidecar, []byte(`"start":2`)) || !bytes.Contains(sidecar, []byte("crc mismatch")) {
+		t.Fatalf("sidecar does not name the lost start:\n%s", sidecar)
+	}
+
+	recovered := RunMultistart(context.Background(), stubFactory, n, seed, RunOptions{Workers: 1, Checkpoint: cp2})
+	if recovered.Resumed != n-1 || recovered.Completed != n || recovered.Incomplete {
+		t.Fatalf("recovery run: %+v", recovered)
+	}
+	for i := range uninterrupted.Results {
+		if uninterrupted.Results[i].Outcome.Cut != recovered.Results[i].Outcome.Cut {
+			t.Fatalf("start %d: cut %d after recovery, want %d", i,
+				recovered.Results[i].Outcome.Cut, uninterrupted.Results[i].Outcome.Cut)
+		}
+	}
+	if a, b := uninterrupted.Summary(), recovered.Summary(); a != b {
+		t.Fatalf("statistics diverge after corruption recovery:\n%s\n%s", a, b)
+	}
+}
+
+// Duplicate, out-of-range and unknown-status records frame-check fine but
+// are semantically invalid: all are quarantined, a duplicate never
+// double-counts, and the first copy of a duplicated start wins.
+func TestJournalV2RejectsDuplicateAndOutOfRange(t *testing.T) {
+	const n, seed = 4, 9
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	var journal []byte
+	journal = append(journal, v2Header(t, "stub", seed, n)...)
+	journal = append(journal, frameJSON(t, startRecord{Kind: "start", Start: 0, Status: "ok", Cut: 10, Work: 1, Attempts: 1})...)
+	journal = append(journal, frameJSON(t, startRecord{Kind: "start", Start: 0, Status: "ok", Cut: 99, Work: 1, Attempts: 1})...)
+	journal = append(journal, frameJSON(t, startRecord{Kind: "start", Start: 7, Status: "ok", Cut: 5, Work: 1, Attempts: 1})...)
+	journal = append(journal, frameJSON(t, startRecord{Kind: "start", Start: 2, Status: "weird", Cut: 5, Work: 1, Attempts: 1})...)
+	if err := os.WriteFile(path, journal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cp, err := OpenCheckpoint(path, "stub", seed, n, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	if cp.Resumed() != 1 {
+		t.Fatalf("resumed %d, want only the first copy of start 0", cp.Resumed())
+	}
+	if sr, _ := cp.Completed(0); sr.Outcome.Cut != 10 {
+		t.Fatalf("duplicate overwrote the first record: cut %d, want 10", sr.Outcome.Cut)
+	}
+	qs := cp.Quarantined()
+	if len(qs) != 3 {
+		t.Fatalf("quarantined %d records, want 3: %+v", len(qs), qs)
+	}
+	for i, want := range []string{"duplicate", "out of range", "unknown status"} {
+		if !strings.Contains(qs[i].Reason, want) {
+			t.Errorf("quarantine %d reason %q, want %q", i, qs[i].Reason, want)
+		}
+	}
+	// Start 0 survives through its first copy, so only start 2 was lost.
+	if lost := cp.LostStarts(); len(lost) != 1 || lost[0] != 2 {
+		t.Fatalf("LostStarts = %v, want [2]", lost)
+	}
+
+	// The report must not double-count: start 0 contributes once.
+	rep := RunMultistart(context.Background(), stubFactory, n, seed, RunOptions{Workers: 1, Checkpoint: cp})
+	if rep.Completed != n || rep.Resumed != 1 || rep.Incomplete {
+		t.Fatalf("resumed run: completed=%d resumed=%d incomplete=%v, want %d/1/false",
+			rep.Completed, rep.Resumed, rep.Incomplete, n)
+	}
+	if rep.Results[0].Outcome.Cut != 10 {
+		t.Fatalf("start 0 cut %d, want the journaled 10", rep.Results[0].Outcome.Cut)
+	}
+}
+
+// A torn final record (crash mid-write) is quarantined, and the repair
+// newline keeps the next append from concatenating onto the damaged bytes.
+func TestJournalV2TornTailRepairedOnAppend(t *testing.T) {
+	const n, seed = 4, 9
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	var journal []byte
+	journal = append(journal, v2Header(t, "stub", seed, n)...)
+	journal = append(journal, frameJSON(t, startRecord{Kind: "start", Start: 0, Status: "ok", Cut: 10, Work: 1, Attempts: 1})...)
+	torn := frameJSON(t, startRecord{Kind: "start", Start: 1, Status: "ok", Cut: 20, Work: 1, Attempts: 1})
+	journal = append(journal, torn[:len(torn)/2]...) // no trailing newline: torn by a crash
+	if err := os.WriteFile(path, journal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cp, err := OpenCheckpoint(path, "stub", seed, n, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Resumed() != 1 {
+		t.Fatalf("resumed %d, want 1 (torn record dropped)", cp.Resumed())
+	}
+	if qs := cp.Quarantined(); len(qs) != 1 || !strings.Contains(qs[0].Reason, "torn") {
+		t.Fatalf("quarantine = %+v, want one torn-record entry", qs)
+	}
+	cp.record(StartResult{Start: 2, Status: StartOK, Attempts: 1, Outcome: Outcome{Cut: 30, Work: 1}})
+	if err := cp.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cp2, err := OpenCheckpoint(path, "stub", seed, n, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if cp2.Resumed() != 2 {
+		t.Fatalf("after repair+append resumed %d, want starts 0 and 2", cp2.Resumed())
+	}
+	if sr, ok := cp2.Completed(2); !ok || sr.Outcome.Cut != 30 {
+		t.Fatalf("appended record lost after torn-tail repair: %+v ok=%v", sr, ok)
+	}
+	if _, ok := cp2.Completed(1); ok {
+		t.Fatal("torn record must stay dropped")
+	}
+}
+
+// A pre-framing (v1) journal still resumes, and appends to it stay in v1
+// format so the file remains self-consistent.
+func TestJournalV1ResumeAppendsV1(t *testing.T) {
+	const n, seed = 3, 7
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	journal := `{"kind":"header","name":"stub","seed":7,"n":3}` + "\n" +
+		`{"kind":"start","start":0,"status":"ok","cut":42,"work":100,"attempts":1}` + "\n"
+	if err := os.WriteFile(path, []byte(journal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := OpenCheckpoint(path, "stub", seed, n, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Resumed() != 1 {
+		t.Fatalf("v1 resume loaded %d starts, want 1", cp.Resumed())
+	}
+	cp.record(StartResult{Start: 1, Status: StartOK, Attempts: 1, Outcome: Outcome{Cut: 50, Work: 1}})
+	if err := cp.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("@")) {
+		t.Fatalf("append to a v1 journal must stay v1 (no frames):\n%s", raw)
+	}
+	cp2, err := OpenCheckpoint(path, "stub", seed, n, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if cp2.Resumed() != 2 {
+		t.Fatalf("v1 journal with v1 append resumed %d starts, want 2", cp2.Resumed())
+	}
+}

@@ -116,6 +116,15 @@ type RunOptions struct {
 	// Checkpoint, when non-nil, journals every completed start and seeds the
 	// run with the starts already journaled (see OpenCheckpoint).
 	Checkpoint *Checkpoint
+	// AbandonGrace bounds how long a cancelled run waits for in-flight
+	// starts to finish; 0 means wait indefinitely (in-flight starts always
+	// complete, the pre-existing behavior). Go cannot kill a goroutine, so
+	// when the grace expires the run returns with Abandoned set and the
+	// stuck starts' goroutines are left behind: they drain harmlessly into
+	// a buffered channel, and if they ever do complete, their results still
+	// reach the checkpoint journal — which is exactly what lets a watchdog
+	// requeue a wedged job and have the resume pick up any late finishers.
+	AbandonGrace time.Duration
 }
 
 // RunReport is the full result of a RunMultistart: per-start results in
@@ -136,9 +145,18 @@ type RunReport struct {
 	Completed, Failed, Skipped, Resumed int
 	// Incomplete reports that not every start ran (cancellation or budget).
 	Incomplete bool
+	// Abandoned reports that the run stopped waiting on in-flight starts
+	// after cancellation (see RunOptions.AbandonGrace). Abandoned starts
+	// are counted under Skipped.
+	Abandoned bool
 	// Reason explains Incomplete: "cancelled", "wall-clock budget
 	// exhausted" or "work budget exhausted". Empty when complete.
 	Reason string
+	// JournalErr is the checkpoint journal's first write error, surfaced
+	// here so callers of a checkpointed run cannot forget to check whether
+	// the journal is trustworthy for a future resume. Nil when no
+	// checkpoint was configured or every record landed durably.
+	JournalErr error
 	// TotalWork is the cumulative work-unit count over completed starts
 	// (including resumed ones).
 	TotalWork int64
@@ -265,9 +283,16 @@ func RunMultistart(ctx context.Context, factory func() Heuristic, n int, seed ui
 		}
 	}
 
+	// Workers never touch rep.Results directly: results flow back over a
+	// buffered channel the collector below owns. The buffer holds every
+	// dispatched start, so a worker's send can never block — which is what
+	// makes abandonment safe: a stuck start's goroutine, once it finally
+	// finishes, drains into the buffer (and journals itself) instead of
+	// writing into a report the caller has long since consumed.
 	var totalWork atomic.Int64
 	var wg sync.WaitGroup
 	next := make(chan int)
+	resc := make(chan StartResult, n)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -281,12 +306,13 @@ func RunMultistart(ctx context.Context, factory func() Heuristic, n int, seed ui
 					// it is surfaced via Checkpoint.Err after the run.
 					opt.Checkpoint.record(sr)
 				}
-				rep.Results[i] = sr
+				resc <- sr
 			}
 		}()
 	}
 
 	reason := ""
+	dispatched := 0
 dispatch:
 	for i := 0; i < n; i++ {
 		if rep.Results[i].Resumed {
@@ -298,6 +324,7 @@ dispatch:
 		}
 		select {
 		case next <- i:
+			dispatched++
 		case <-ctx.Done():
 			if parent.Err() != nil {
 				reason = "cancelled"
@@ -308,7 +335,38 @@ dispatch:
 		}
 	}
 	close(next)
-	wg.Wait()
+
+	// Collect every dispatched result. With no AbandonGrace this waits as
+	// long as it takes (in-flight starts always complete); with one, a
+	// cancelled run stops waiting once the grace expires after cancellation
+	// and reports the stragglers as skipped.
+	ctxDone := ctx.Done()
+	var graceTimer *time.Timer
+	var graceC <-chan time.Time
+	for collected := 0; collected < dispatched; {
+		select {
+		case sr := <-resc:
+			rep.Results[sr.Start] = sr
+			collected++
+		case <-ctxDone:
+			ctxDone = nil
+			if opt.AbandonGrace > 0 {
+				graceTimer = time.NewTimer(opt.AbandonGrace) //hglint:ignore detrand watchdog grace timer, never feeds the search
+				graceC = graceTimer.C
+			}
+		case <-graceC:
+			rep.Abandoned = true
+		}
+		if rep.Abandoned {
+			break
+		}
+	}
+	if graceTimer != nil {
+		graceTimer.Stop()
+	}
+	if !rep.Abandoned {
+		wg.Wait()
+	}
 
 	for _, sr := range rep.Results {
 		switch sr.Status {
@@ -330,14 +388,16 @@ dispatch:
 			rep.Skipped++
 		}
 	}
-	// Resumed work units are part of the experiment's cost even though this
-	// session did not spend them.
+	// TotalWork is summed from the sealed report itself — resumed starts
+	// included: their work units are part of the experiment's cost even
+	// though this session did not spend them. The dispatch-time atomic is
+	// deliberately not read here: an abandoned straggler could still bump
+	// it after the report is returned.
+	var work int64
 	for _, sr := range rep.Results {
-		if sr.Resumed {
-			totalWork.Add(sr.Outcome.Work)
-		}
+		work += sr.Outcome.Work
 	}
-	rep.TotalWork = totalWork.Load()
+	rep.TotalWork = work
 	// Keep only the best partition; per-start partitions would hold the
 	// whole multistart's memory live.
 	for i := range rep.Results {
@@ -351,6 +411,9 @@ dispatch:
 			reason = "cancelled"
 		}
 		rep.Reason = reason
+	}
+	if opt.Checkpoint != nil {
+		rep.JournalErr = opt.Checkpoint.Err()
 	}
 	rep.Elapsed = time.Since(t0) //hglint:ignore detrand wall clock feeds the report's Elapsed only, never the search
 	return rep

@@ -1,0 +1,53 @@
+package eval
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"hgpart/internal/rng"
+)
+
+// stuckHeuristic cancels the run on entry and then wedges until released —
+// the shape of a start that never returns, which Go offers no way to kill.
+type stuckHeuristic struct {
+	stubHeuristic
+	cancel  context.CancelFunc
+	release <-chan struct{}
+}
+
+func (s stuckHeuristic) Run(r *rng.RNG) Outcome {
+	s.cancel()
+	<-s.release
+	return s.stubHeuristic.Run(r)
+}
+
+// A cancelled run with an AbandonGrace must return within the grace even
+// when an in-flight start is wedged forever, reporting the stragglers as
+// skipped and the run as abandoned. This is what lets a service watchdog
+// reclaim a stuck job instead of deadlocking behind it.
+func TestHarnessAbandonGraceReclaimsStuckRun(t *testing.T) {
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) }) // let the wedged goroutine drain
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	factory := func() Heuristic { return stuckHeuristic{cancel: cancel, release: release} }
+
+	done := make(chan *RunReport, 1)
+	go func() {
+		done <- RunMultistart(ctx, factory, 3, 5,
+			RunOptions{Workers: 1, AbandonGrace: 20 * time.Millisecond})
+	}()
+	var rep *RunReport
+	select {
+	case rep = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not abandon its stuck start")
+	}
+	if !rep.Abandoned || !rep.Incomplete || rep.Reason != "cancelled" {
+		t.Fatalf("want an abandoned, cancelled report, got %+v", rep)
+	}
+	if rep.Completed != 0 || rep.Skipped != 3 {
+		t.Fatalf("abandoned starts must count as skipped: ok=%d skipped=%d", rep.Completed, rep.Skipped)
+	}
+}

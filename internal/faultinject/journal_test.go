@@ -1,0 +1,69 @@
+package faultinject
+
+// Checkpoint-write faults: a full disk or a failing fsync must never abort
+// the computation (the answer is still correct), but it must surface as a
+// hard JournalErr — silently pretending the journal is durable is exactly
+// the failure crash recovery cannot tolerate.
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"hgpart/internal/chaos"
+	"hgpart/internal/core"
+	"hgpart/internal/eval"
+	"hgpart/internal/rng"
+)
+
+func TestJournalWriteFaultsSurfaceAsHardErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		rule chaos.Rule
+		want error
+	}{
+		{
+			name: "enospc on record write",
+			rule: chaos.Rule{Op: chaos.OpWrite, Path: ".jsonl", Nth: 3, Fault: chaos.FaultErr, Err: syscall.ENOSPC},
+			want: syscall.ENOSPC,
+		},
+		{
+			name: "failed fsync",
+			rule: chaos.Rule{Op: chaos.OpSync, Path: ".jsonl", Nth: 3, Fault: chaos.FaultErr, Err: syscall.EIO},
+			want: syscall.EIO,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h, bal := testInstance(t)
+			factory := func() eval.Heuristic {
+				return eval.NewFlat("flat", h, core.StrongConfig(false), bal, rng.New(17))
+			}
+			fsys := chaos.NewFaultFS(chaos.OS(), chaos.Config{Rules: []chaos.Rule{tc.rule}})
+			path := filepath.Join(t.TempDir(), "journal.jsonl")
+			cp, err := eval.OpenCheckpointFS(fsys, path, "journal-fault", 5, 4, false)
+			if err != nil {
+				t.Fatalf("open checkpoint: %v", err)
+			}
+			defer cp.Close()
+
+			rep := eval.RunMultistart(context.Background(), factory, 4, 5,
+				eval.RunOptions{Workers: 1, Checkpoint: cp, Verify: eval.VerifyOutcome(bal)})
+			if rep.Completed != 4 || rep.Incomplete {
+				t.Fatalf("journal fault aborted the run: %+v", rep)
+			}
+			if rep.JournalErr == nil {
+				t.Fatal("JournalErr is nil: a failed durability write went unreported")
+			}
+			if !errors.Is(rep.JournalErr, tc.want) {
+				t.Fatalf("JournalErr = %v, want errors.Is %v", rep.JournalErr, tc.want)
+			}
+			var inj *chaos.InjectedError
+			if !errors.As(rep.JournalErr, &inj) {
+				t.Fatalf("JournalErr %v should carry the chaos.InjectedError locus", rep.JournalErr)
+			}
+		})
+	}
+}

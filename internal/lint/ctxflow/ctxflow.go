@@ -26,8 +26,12 @@ import (
 )
 
 // TargetPackages are the module-relative package roots whose exported
-// functions are checked.
+// functions are checked. internal/chaos and cmd/hgchaos join the driver
+// layer: retry loops and kill/restart scenario sweeps are long-running by
+// design and must stay cancellable the same way multistart sweeps are.
 var TargetPackages = []string{
+	"cmd/hgchaos",
+	"internal/chaos",
 	"internal/eval",
 	"internal/experiments",
 }

@@ -24,10 +24,13 @@ import (
 )
 
 // UserReachablePackages are the module-relative package roots where user
-// input arrives: the CLI binaries, the netlist parsers, and the HTTP
-// service (a malformed request must produce a 4xx, never a panic).
+// input arrives: the CLI binaries, the netlist parsers, the HTTP service (a
+// malformed request must produce a 4xx, never a panic), and the chaos layer
+// (a user-supplied -chaos spec must produce an error, and injected faults
+// must surface as errors to the code under test, never as panics).
 var UserReachablePackages = []string{
 	"cmd",
+	"internal/chaos",
 	"internal/netlist",
 	"internal/service",
 }

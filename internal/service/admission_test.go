@@ -1,0 +1,86 @@
+package service_test
+
+// Admission hardening tests: oversized bodies get a structured 413 carrying
+// the configured limit, oversized instances get a structured 422 carrying
+// the cap they exceeded, and every drain-time 503 tells well-behaved clients
+// when to come back via Retry-After.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"hgpart/internal/service"
+)
+
+func TestOversizedBodyGets413WithLimit(t *testing.T) {
+	_, hs := testServer(t, func(c *service.Config) { c.MaxBodyBytes = 1024 })
+	big := `{"hgr":"` + strings.Repeat("x", 4096) + `"}`
+
+	for _, route := range []string{"/v1/partition", "/v1/trace"} {
+		resp, err := http.Post(hs.URL+route, "application/json", strings.NewReader(big))
+		if err != nil {
+			t.Fatalf("POST %s: %v", route, err)
+		}
+		var doc map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatalf("%s: decode 413 body: %v", route, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s: status %d, want 413", route, resp.StatusCode)
+		}
+		if lim, _ := doc["limit_bytes"].(float64); lim != 1024 {
+			t.Fatalf("%s: limit_bytes = %v, want 1024 (doc %v)", route, doc["limit_bytes"], doc)
+		}
+		if msg, _ := doc["error"].(string); !strings.Contains(msg, "1024") {
+			t.Fatalf("%s: error %q should name the configured limit", route, msg)
+		}
+	}
+}
+
+func TestOversizedInstanceGets422WithCap(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*service.Config)
+		field  string
+	}{
+		{"vertices", func(c *service.Config) { c.MaxVertices = 10 }, "limit_vertices"},
+		{"pins", func(c *service.Config) { c.MaxPins = 10 }, "limit_pins"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, hs := testServer(t, tc.mutate)
+			resp, body := post(t, hs, smallReq)
+			if resp.StatusCode != http.StatusUnprocessableEntity {
+				t.Fatalf("status %d, want 422; body %s", resp.StatusCode, body)
+			}
+			var doc map[string]any
+			if err := json.Unmarshal(body, &doc); err != nil {
+				t.Fatalf("decode 422 body: %v", err)
+			}
+			if lim, _ := doc[tc.field].(float64); lim != 10 {
+				t.Fatalf("%s = %v, want 10 (doc %v)", tc.field, doc[tc.field], doc)
+			}
+		})
+	}
+}
+
+func TestDrainResponsesCarryRetryAfter(t *testing.T) {
+	srv, hs := testServer(t, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	resp, body := post(t, hs, smallReq)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 while draining; body %s", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want %q on every 503", ra, "1")
+	}
+}

@@ -6,11 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"log/slog"
-	"os"
 	"path/filepath"
 	"sync"
 	"time"
 
+	"hgpart/internal/chaos"
 	"hgpart/internal/core"
 	"hgpart/internal/eval"
 	"hgpart/internal/hypergraph"
@@ -76,6 +76,14 @@ type Job struct {
 	started    time.Time
 	finished   time.Time
 	cancel     context.CancelFunc
+	// lastBeat is the job's work-progress heartbeat: set at worker pickup and
+	// on every start entry/completion. The watchdog compares it against
+	// StuckAfter to detect a run that is alive but doing nothing.
+	lastBeat time.Time
+	// kicked marks that the watchdog cancelled this run for lack of progress;
+	// run() turns that into a requeue (bounded by requeues) or a 500.
+	kicked   bool
+	requeues int
 
 	done chan struct{}
 }
@@ -92,6 +100,7 @@ type JobStatus struct {
 	Completed int       `json:"completed"`
 	Failed    int       `json:"failed"`
 	Resumed   int       `json:"resumed,omitempty"`
+	Requeues  int       `json:"requeues,omitempty"`
 	BSFCut    *int64    `json:"bsf_cut,omitempty"`
 	BSF       []BSFLive `json:"bsf,omitempty"`
 	ElapsedMS int64     `json:"elapsed_ms"`
@@ -115,6 +124,7 @@ func (j *Job) Status() JobStatus {
 		Completed: j.completed,
 		Failed:    j.failed,
 		Resumed:   j.resumed,
+		Requeues:  j.requeues,
 		Error:     j.errMsg,
 	}
 	if len(j.bsf) > 0 {
@@ -137,15 +147,24 @@ func (j *Job) Status() JobStatus {
 }
 
 // noteStart records one finished start for the live BSF view. Called from
-// harness worker goroutines in completion order.
+// harness worker goroutines in completion order. Doubles as a heartbeat: a
+// completing start is progress by definition.
 func (j *Job) noteStart(cut int64) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.completed++
+	j.lastBeat = time.Now()
 	if len(j.bsf) == 0 || cut < j.bsfCut {
 		j.bsfCut = cut
 		j.bsf = append(j.bsf, BSFLive{Completed: j.completed, Cut: cut})
 	}
+}
+
+// beat refreshes the work-progress heartbeat the watchdog watches.
+func (j *Job) beat() {
+	j.mu.Lock()
+	j.lastBeat = time.Now()
+	j.mu.Unlock()
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -186,6 +205,7 @@ type progressHeuristic struct {
 func (p progressHeuristic) Name() string { return p.inner.Name() }
 
 func (p progressHeuristic) Run(r *rng.RNG) eval.Outcome {
+	p.job.beat() // entering a start is progress; only a wedged start goes quiet
 	o := p.inner.Run(r)
 	p.job.noteStart(o.Cut)
 	return o
@@ -222,15 +242,20 @@ func (q *jobPQ) Pop() any {
 // while the first is queued or running joins the existing job (the
 // singleflight the acceptance test verifies).
 type Manager struct {
-	workers       int
-	startWorkers  int
-	queueCap      int
-	historyCap    int
-	maxRetries    int
-	checkpointDir string
-	cache         *Cache
-	metrics       *Metrics
-	log           *slog.Logger
+	workers          int
+	startWorkers     int
+	queueCap         int
+	historyCap       int
+	maxRetries       int
+	checkpointDir    string
+	stuckAfter       time.Duration
+	watchdogInterval time.Duration
+	maxRequeues      int
+	fs               chaos.FS
+	factory          func(PartitionRequest, *hypergraph.Hypergraph, partition.Balance) func() eval.Heuristic
+	cache            *Cache
+	metrics          *Metrics
+	log              *slog.Logger
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -254,29 +279,92 @@ var errDraining = fmt.Errorf("service is draining; retry against another instanc
 // errQueueFull rejects submissions beyond the queue bound.
 var errQueueFull = fmt.Errorf("job queue is full; retry later or lower the request rate")
 
-// newManager starts the worker pool.
-func newManager(workers, startWorkers, queueCap, historyCap, maxRetries int,
-	checkpointDir string, cache *Cache, metrics *Metrics, log *slog.Logger) *Manager {
+// newManager starts the worker pool and, when StuckAfter is set, the
+// watchdog that reclaims runs which stop making progress.
+func newManager(cfg Config, cache *Cache, metrics *Metrics, log *slog.Logger) *Manager {
 	m := &Manager{
-		workers:       workers,
-		startWorkers:  startWorkers,
-		queueCap:      queueCap,
-		historyCap:    historyCap,
-		maxRetries:    maxRetries,
-		checkpointDir: checkpointDir,
-		cache:         cache,
-		metrics:       metrics,
-		log:           log,
-		inflight:      make(map[string]*Job),
-		jobs:          make(map[string]*Job),
+		workers:          cfg.Workers,
+		startWorkers:     cfg.StartWorkers,
+		queueCap:         cfg.QueueCap,
+		historyCap:       cfg.HistoryCap,
+		maxRetries:       cfg.MaxRetries,
+		checkpointDir:    cfg.CheckpointDir,
+		stuckAfter:       cfg.StuckAfter,
+		watchdogInterval: cfg.WatchdogInterval,
+		maxRequeues:      cfg.MaxRequeues,
+		fs:               cfg.FS,
+		factory:          cfg.testFactory,
+		cache:            cache,
+		metrics:          metrics,
+		log:              log,
+		inflight:         make(map[string]*Job),
+		jobs:             make(map[string]*Job),
+	}
+	if m.fs == nil {
+		m.fs = chaos.OS()
+	}
+	if m.factory == nil {
+		m.factory = buildFactory
 	}
 	m.cond = sync.NewCond(&m.mu)
 	m.baseCtx, m.baseCancel = context.WithCancel(context.Background())
-	for w := 0; w < workers; w++ {
+	for w := 0; w < m.workers; w++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
+	if m.stuckAfter > 0 {
+		m.wg.Add(1)
+		go m.watchdog()
+	}
 	return m
+}
+
+// watchdog periodically scans running jobs for stalled heartbeats and
+// cancels runs that made no progress for stuckAfter. The cancelled run's
+// worker decides between a bounded requeue (the journal preserves completed
+// starts, so a requeue resumes rather than restarts) and a terminal 500.
+func (m *Manager) watchdog() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.watchdogInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.baseCtx.Done():
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		var kicks []*Job
+		m.mu.Lock()
+		// Scan in submission order (m.order), not map order, so concurrent
+		// stalls are kicked oldest-first deterministically.
+		for _, id := range m.order {
+			j, ok := m.jobs[id]
+			if !ok {
+				continue
+			}
+			j.mu.Lock()
+			stuck := j.state == JobRunning && !j.kicked &&
+				!j.lastBeat.IsZero() && now.Sub(j.lastBeat) > m.stuckAfter
+			if stuck {
+				j.kicked = true
+				kicks = append(kicks, j)
+			}
+			j.mu.Unlock()
+		}
+		m.mu.Unlock()
+		for _, j := range kicks {
+			j.mu.Lock()
+			cancel := j.cancel
+			j.mu.Unlock()
+			m.metrics.WatchdogKick()
+			m.log.Warn("watchdog: job made no progress; cancelling run",
+				"job", j.ID, "stuck_after", m.stuckAfter)
+			if cancel != nil {
+				cancel()
+			}
+		}
+	}
 }
 
 // Submit enqueues a job for req (already normalized, validated and
@@ -466,6 +554,31 @@ func (m *Manager) removeInflight(key string) {
 	m.mu.Unlock()
 }
 
+// requeue puts a watchdog-kicked job back on the queue for another attempt.
+// Returns false if the pool is draining or closed — the caller then fails
+// the job instead. The live progress counters reset because the next attempt
+// resumes from the journal and re-reports completions from there.
+func (m *Manager) requeue(j *Job) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining || m.closed {
+		return false
+	}
+	j.mu.Lock()
+	j.state = JobQueued
+	j.kicked = false
+	j.requeues++
+	j.cancel = nil
+	j.completed = 0
+	j.failed = 0
+	j.bsf = nil
+	j.bsfCut = 0
+	j.mu.Unlock()
+	heap.Push(&m.pq, j)
+	m.cond.Signal()
+	return true
+}
+
 // pruneLocked bounds job history: oldest terminal jobs beyond historyCap are
 // forgotten. Queued and running jobs are never pruned.
 func (m *Manager) pruneLocked() {
@@ -510,6 +623,7 @@ func (m *Manager) worker() {
 		if !skip {
 			j.state = JobRunning
 			j.started = time.Now()
+			j.lastBeat = j.started
 		}
 		j.mu.Unlock()
 		if skip {
@@ -561,7 +675,7 @@ func (m *Manager) run(j *Job) {
 	defer cancel()
 
 	bal := partition.NewBalance(j.inst.TotalVertexWeight(), j.req.Tolerance)
-	raw := buildFactory(j.req, j.inst, bal)
+	raw := m.factory(j.req, j.inst, bal)
 	factory := func() eval.Heuristic { return progressHeuristic{inner: raw(), job: j} }
 
 	opt := eval.RunOptions{
@@ -571,6 +685,10 @@ func (m *Manager) run(j *Job) {
 		// the balance constraint; an infeasible tolerance therefore fails all
 		// starts and surfaces as 422 instead of a silently-illegal partition.
 		Verify: eval.VerifyOutcome(bal),
+		// When the watchdog cancels a wedged run, don't wait forever for the
+		// wedged start: abandon it after the same stuck threshold so the
+		// worker slot can requeue the job. Zero disables abandonment.
+		AbandonGrace: m.stuckAfter,
 	}
 	if opt.Workers <= 0 || opt.Workers > m.startWorkers {
 		opt.Workers = m.startWorkers
@@ -583,7 +701,7 @@ func (m *Manager) run(j *Job) {
 	var cpPath string
 	if m.checkpointDir != "" {
 		cpPath = filepath.Join(m.checkpointDir, j.Key+".jsonl")
-		cp, err := eval.OpenCheckpoint(cpPath, j.Key, j.req.Seed, j.req.Starts, true)
+		cp, err := eval.OpenCheckpointFS(m.fs, cpPath, j.Key, j.req.Seed, j.req.Starts, true)
 		if err != nil {
 			// A corrupt journal must not take the job down; run without one.
 			m.log.Warn("checkpoint open failed; running without journal",
@@ -592,6 +710,10 @@ func (m *Manager) run(j *Job) {
 		} else {
 			defer cp.Close()
 			opt.Checkpoint = cp
+			if q := cp.Quarantined(); len(q) > 0 {
+				m.log.Warn("checkpoint journal had damaged records; quarantined",
+					"job", j.ID, "records", len(q), "lost_starts", cp.LostStarts())
+			}
 			if n := cp.Resumed(); n > 0 {
 				j.mu.Lock()
 				j.resumed = n
@@ -602,8 +724,42 @@ func (m *Manager) run(j *Job) {
 	}
 
 	rep := eval.RunMultistart(ctx, factory, j.req.Starts, j.req.Seed, opt)
-	m.removeInflight(j.Key)
 	m.metrics.ObserveRun(time.Since(t0), rep.TotalWork)
+	if rep.JournalErr != nil {
+		// Journal writes degraded (disk full, fsync failure, ...): the run's
+		// answer is still sound, but a crash would lose the unjournaled
+		// starts. Surface it loudly rather than silently losing durability.
+		m.log.Error("checkpoint journal degraded; completed starts may not be durable",
+			"job", j.ID, "path", cpPath, "err", rep.JournalErr)
+	}
+
+	// A watchdog kick is handled before anything else: the run was cancelled
+	// not by a client or a drain but because it wedged, and the job deserves
+	// another chance on a (possibly healthier) worker. The inflight entry is
+	// kept across the requeue so identical submissions keep coalescing, and
+	// the journal turns the retry into a resume of the completed starts.
+	j.mu.Lock()
+	kicked := j.kicked
+	requeues := j.requeues
+	j.mu.Unlock()
+	if kicked && rep.Incomplete && rep.Reason == "cancelled" && !m.isDraining() {
+		if requeues < m.maxRequeues && m.requeue(j) {
+			m.metrics.JobRequeued()
+			m.log.Warn("watchdog: requeued stuck job",
+				"job", j.ID, "requeue", requeues+1, "of", m.maxRequeues,
+				"completed", rep.Completed, "starts", j.req.Starts)
+			return
+		}
+		m.removeInflight(j.Key)
+		j.finish(JobFailed, 500, nil, fmt.Sprintf(
+			"job made no progress for %s and exhausted %d requeue(s); %d of %d starts checkpointed",
+			m.stuckAfter, m.maxRequeues, rep.Completed, j.req.Starts))
+		m.metrics.JobFinished(JobFailed)
+		m.log.Error("watchdog: job failed after exhausting requeues",
+			"job", j.ID, "requeues", requeues, "completed", rep.Completed)
+		return
+	}
+	m.removeInflight(j.Key)
 
 	switch {
 	case rep.Incomplete && rep.Reason == "cancelled":
@@ -626,7 +782,7 @@ func (m *Manager) run(j *Job) {
 			msg += ": " + fr
 		}
 		if cpPath != "" {
-			os.Remove(cpPath)
+			m.fs.Remove(cpPath)
 		}
 		j.finish(JobFailed, 422, nil, msg)
 		m.metrics.JobFinished(JobFailed)
@@ -651,7 +807,7 @@ func (m *Manager) run(j *Job) {
 		// journal — the cache now answers faster than a resume would.
 		m.cache.Put(j.Key, body)
 		if cpPath != "" {
-			os.Remove(cpPath)
+			m.fs.Remove(cpPath)
 		}
 	}
 	j.finish(JobDone, 200, body, "")

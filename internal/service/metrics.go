@@ -22,11 +22,13 @@ type reqKey struct {
 }
 
 type Metrics struct {
-	mu        sync.Mutex
-	requests  map[reqKey]int64
-	submitted int64
-	finished  map[JobState]int64
-	workUnits int64
+	mu            sync.Mutex
+	requests      map[reqKey]int64
+	submitted     int64
+	finished      map[JobState]int64
+	workUnits     int64
+	watchdogKicks int64
+	requeued      int64
 
 	// nsPerWork samples wall-nanoseconds per deterministic work unit for
 	// every executed run; quantiles expose serving-speed drift the same way
@@ -61,6 +63,20 @@ func (m *Metrics) JobSubmitted() {
 func (m *Metrics) JobFinished(state JobState) {
 	m.mu.Lock()
 	m.finished[state]++
+	m.mu.Unlock()
+}
+
+// WatchdogKick counts one watchdog cancellation of a stalled run.
+func (m *Metrics) WatchdogKick() {
+	m.mu.Lock()
+	m.watchdogKicks++
+	m.mu.Unlock()
+}
+
+// JobRequeued counts one watchdog-driven requeue of a stuck job.
+func (m *Metrics) JobRequeued() {
+	m.mu.Lock()
+	m.requeued++
 	m.mu.Unlock()
 }
 
@@ -113,6 +129,7 @@ func (m *Metrics) Render(w io.Writer, g GaugeSnapshot) {
 		finished[string(k)] = v
 	}
 	submitted, workUnits := m.submitted, m.workUnits
+	kicks, requeued := m.watchdogKicks, m.requeued
 	m.mu.Unlock()
 
 	fmt.Fprintln(w, "# HELP hgserved_requests_total HTTP requests by route and status code.")
@@ -130,6 +147,14 @@ func (m *Metrics) Render(w io.Writer, g GaugeSnapshot) {
 	for _, k := range stateKeys {
 		fmt.Fprintf(w, "hgserved_jobs_finished_total{state=%q} %d\n", k, finished[k])
 	}
+
+	fmt.Fprintln(w, "# HELP hgserved_watchdog_kicks_total Stalled runs cancelled by the progress watchdog.")
+	fmt.Fprintln(w, "# TYPE hgserved_watchdog_kicks_total counter")
+	fmt.Fprintf(w, "hgserved_watchdog_kicks_total %d\n", kicks)
+
+	fmt.Fprintln(w, "# HELP hgserved_jobs_requeued_total Stuck jobs requeued by the watchdog for another attempt.")
+	fmt.Fprintln(w, "# TYPE hgserved_jobs_requeued_total counter")
+	fmt.Fprintf(w, "hgserved_jobs_requeued_total %d\n", requeued)
 
 	fmt.Fprintln(w, "# HELP hgserved_queue_depth Jobs waiting in the priority queue.")
 	fmt.Fprintln(w, "# TYPE hgserved_queue_depth gauge")

@@ -23,7 +23,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hgpart/internal/chaos"
+	"hgpart/internal/eval"
+	"hgpart/internal/hypergraph"
 	"hgpart/internal/netlist"
+	"hgpart/internal/partition"
 	"hgpart/internal/report"
 )
 
@@ -50,26 +54,56 @@ type Config struct {
 	// there so a drain (or crash) loses nothing; resubmitting an identical
 	// request resumes the journal.
 	CheckpointDir string
-	// MaxBodyBytes bounds request bodies (inline netlists).
+	// MaxBodyBytes bounds request bodies (inline netlists). Oversized bodies
+	// get a structured HTTP 413 naming the configured limit.
 	MaxBodyBytes int64
+	// MaxVertices and MaxPins cap admitted instances; a request resolving to
+	// a larger hypergraph is rejected with HTTP 422 before any work is
+	// queued. 0 disables the respective cap.
+	MaxVertices int
+	MaxPins     int
 	// MetricsWindow bounds the ns/work-unit quantile sampler.
 	MetricsWindow int
+	// StuckAfter is how long a running job may go without work progress (no
+	// start beginning or finishing) before the watchdog cancels it for
+	// requeue; <= 0 disables the watchdog.
+	StuckAfter time.Duration
+	// WatchdogInterval is how often the watchdog scans running jobs; <= 0
+	// means 5s.
+	WatchdogInterval time.Duration
+	// MaxRequeues bounds how many times the watchdog requeues one stuck job
+	// before failing it with HTTP 500.
+	MaxRequeues int
+	// FS is the filesystem checkpoint journals live on. Nil means the real
+	// filesystem; cmd/hgserved installs a chaos.FaultFS under -chaos so
+	// crash-consistency experiments exercise the same code paths production
+	// uses.
+	FS chaos.FS
 	// Logger receives structured logs; nil discards them.
 	Logger *slog.Logger
+
+	// testFactory, when non-nil, replaces buildFactory (tests only: it lets
+	// the watchdog suite wedge a start deterministically).
+	testFactory func(PartitionRequest, *hypergraph.Hypergraph, partition.Balance) func() eval.Heuristic
 }
 
 // DefaultConfig returns production-shaped defaults.
 func DefaultConfig() Config {
 	return Config{
-		Workers:       2,
-		StartWorkers:  2,
-		QueueCap:      256,
-		HistoryCap:    512,
-		MaxRetries:    1,
-		CacheEntries:  4096,
-		CacheBytes:    64 << 20,
-		MaxBodyBytes:  64 << 20,
-		MetricsWindow: 1024,
+		Workers:          2,
+		StartWorkers:     2,
+		QueueCap:         256,
+		HistoryCap:       512,
+		MaxRetries:       1,
+		CacheEntries:     4096,
+		CacheBytes:       64 << 20,
+		MaxBodyBytes:     64 << 20,
+		MaxVertices:      2_000_000,
+		MaxPins:          20_000_000,
+		MetricsWindow:    1024,
+		StuckAfter:       2 * time.Minute,
+		WatchdogInterval: 5 * time.Second,
+		MaxRequeues:      1,
 	}
 }
 
@@ -95,6 +129,15 @@ func New(cfg Config) *Server {
 	if cfg.MetricsWindow < 1 {
 		cfg.MetricsWindow = 1024
 	}
+	if cfg.WatchdogInterval <= 0 {
+		cfg.WatchdogInterval = 5 * time.Second
+	}
+	if cfg.MaxRequeues < 0 {
+		cfg.MaxRequeues = 0
+	}
+	if cfg.FS == nil {
+		cfg.FS = chaos.OS()
+	}
 	log := cfg.Logger
 	if log == nil {
 		log = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -105,8 +148,7 @@ func New(cfg Config) *Server {
 		cache:   NewCache(cfg.CacheEntries, cfg.CacheBytes),
 		metrics: NewMetrics(cfg.MetricsWindow),
 	}
-	s.manager = newManager(cfg.Workers, cfg.StartWorkers, cfg.QueueCap, cfg.HistoryCap,
-		cfg.MaxRetries, cfg.CheckpointDir, s.cache, s.metrics, log)
+	s.manager = newManager(cfg, s.cache, s.metrics, log)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/partition", s.instrument("partition", s.handlePartition))
 	s.mux.HandleFunc("POST /v1/trace", s.instrument("trace", s.handleTrace))
@@ -178,11 +220,68 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// errorBody writes a JSON error document.
+// errorBody writes a JSON error document. Every 503 carries a Retry-After
+// header (delta-seconds) so well-behaved clients — chaos.Retry among them —
+// back off for the server's own estimate of the drain window instead of
+// hammering a restarting instance.
 func errorBody(w http.ResponseWriter, code int, msg string) {
+	errorBodyFields(w, code, msg, nil)
+}
+
+// errorBodyFields is errorBody with extra machine-readable fields alongside
+// "error" — e.g. the configured limit a request exceeded.
+func errorBodyFields(w http.ResponseWriter, code int, msg string, fields map[string]any) {
 	w.Header().Set("Content-Type", "application/json")
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	doc := map[string]any{"error": msg}
+	for k, v := range fields {
+		doc[k] = v
+	}
+	_ = json.NewEncoder(w).Encode(doc)
+}
+
+// decodeRequest reads and decodes a PartitionRequest body under the
+// configured byte limit, writing the structured error response itself on
+// failure. An oversized body gets 413 with the configured limit; malformed
+// JSON gets 400.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (PartitionRequest, bool) {
+	var req PartitionRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			errorBodyFields(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds the configured limit of %d bytes", s.cfg.MaxBodyBytes),
+				map[string]any{"limit_bytes": s.cfg.MaxBodyBytes})
+			return req, false
+		}
+		errorBody(w, http.StatusBadRequest, "decode request: "+err.Error())
+		return req, false
+	}
+	return req, true
+}
+
+// admitInstance enforces the resolved-instance size caps, writing the 422
+// itself when the instance is too large to serve.
+func (s *Server) admitInstance(w http.ResponseWriter, h *hypergraph.Hypergraph) bool {
+	if s.cfg.MaxVertices > 0 && h.NumVertices() > s.cfg.MaxVertices {
+		errorBodyFields(w, http.StatusUnprocessableEntity,
+			fmt.Sprintf("instance has %d vertices, above the configured cap of %d", h.NumVertices(), s.cfg.MaxVertices),
+			map[string]any{"vertices": h.NumVertices(), "limit_vertices": s.cfg.MaxVertices})
+		return false
+	}
+	if s.cfg.MaxPins > 0 && h.NumPins() > s.cfg.MaxPins {
+		errorBodyFields(w, http.StatusUnprocessableEntity,
+			fmt.Sprintf("instance has %d pins, above the configured cap of %d", h.NumPins(), s.cfg.MaxPins),
+			map[string]any{"pins": h.NumPins(), "limit_pins": s.cfg.MaxPins})
+		return false
+	}
+	return true
 }
 
 // handlePartition is the main entry point. Flow: decode → validate →
@@ -192,12 +291,8 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		errorBody(w, http.StatusServiceUnavailable, "service is draining")
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	var req PartitionRequest
-	dec := json.NewDecoder(body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		errorBody(w, http.StatusBadRequest, "decode request: "+err.Error())
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
 		return
 	}
 	req.normalize()
@@ -219,6 +314,9 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		errorBody(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if !s.admitInstance(w, h) {
 		return
 	}
 	instHash := instanceHash(h)

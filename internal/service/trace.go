@@ -51,12 +51,8 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		errorBody(w, http.StatusServiceUnavailable, "service is draining")
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	var req PartitionRequest
-	dec := json.NewDecoder(body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		errorBody(w, http.StatusBadRequest, "decode request: "+err.Error())
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
 		return
 	}
 	req.normalize()
@@ -76,6 +72,9 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		errorBody(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if !s.admitInstance(w, h) {
 		return
 	}
 
