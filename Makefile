@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fuzz bench bench-smoke bench-go serve-smoke chaos-smoke ci
+.PHONY: all build test race vet lint fuzz bench bench-smoke bench-go serve-smoke chaos-smoke cluster-smoke ci
 
 all: build
 
@@ -62,7 +62,15 @@ serve-smoke:
 chaos-smoke:
 	$(GO) test -run TestChaosSmoke -count=1 -timeout 120s ./cmd/hgchaos
 
+# Cluster smoke (cmd/hgchaos cluster scenarios, DESIGN.md §12): build
+# hgserved with -race, boot coordinator + worker fleets, and assert
+# byte-identical reports across 1/2/3-worker topologies, a worker SIGKILL
+# mid-job with journal-backed failover to a survivor, a coordinator SIGKILL
+# with restart, and full degradation to local compute against a dead fleet.
+cluster-smoke:
+	$(GO) test -run TestClusterSmoke -count=1 -timeout 360s ./cmd/hgchaos
+
 # What CI runs: build, static checks (vet + hglint), the full test suite
 # under the race detector, the benchmark smoke gate, the daemon smoke, and
-# the crash-consistency smoke.
-ci: build lint race bench-smoke serve-smoke chaos-smoke
+# the crash-consistency and cluster kill/restart smokes.
+ci: build lint race bench-smoke serve-smoke chaos-smoke cluster-smoke

@@ -16,6 +16,13 @@
 //   - recovery quarantines damaged records instead of aborting,
 //   - the resumed run reproduces the uninterrupted report byte for byte.
 //
+// Cluster scenarios (cluster-topology, cluster-worker-kill,
+// cluster-coord-kill, cluster-degrade) extend the proof to node-level
+// faults: a coordinator plus worker fleet is booted, a worker (or the
+// coordinator) is SIGKILLed mid-job, and the failed-over, journal-resumed
+// result — or the fully degraded local compute — must still be
+// byte-identical to the uninterrupted single-node baseline.
+//
 // Exit codes: 0 all scenarios hold, 1 a crash-consistency assertion failed,
 // 2 environment/setup failure.
 package main
@@ -126,16 +133,22 @@ func run(ctx context.Context, opt options) int {
 	failed := 0
 	for _, name := range opt.scenarios {
 		name = strings.TrimSpace(name)
-		sc, ok := scenarioByName[name]
-		if !ok {
-			fmt.Fprintf(opt.out, "hgchaos: unknown scenario %q\n", name)
-			return 2
+		var rc int
+		if strings.HasPrefix(name, "cluster-") {
+			rc = runClusterScenario(ctx, opt, name, req, baseline)
+		} else {
+			sc, ok := scenarioByName[name]
+			if !ok {
+				fmt.Fprintf(opt.out, "hgchaos: unknown scenario %q\n", name)
+				return 2
+			}
+			rc = runScenario(ctx, opt, sc, req, baseline)
 		}
-		switch rc := runScenario(ctx, opt, sc, req, baseline); rc {
+		switch rc {
 		case 0:
-			fmt.Fprintf(opt.out, "hgchaos: %-10s PASS\n", sc.name)
+			fmt.Fprintf(opt.out, "hgchaos: %-10s PASS\n", name)
 		case 1:
-			fmt.Fprintf(opt.out, "hgchaos: %-10s FAIL\n", sc.name)
+			fmt.Fprintf(opt.out, "hgchaos: %-10s FAIL\n", name)
 			failed++
 		default:
 			return rc

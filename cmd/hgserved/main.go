@@ -29,6 +29,13 @@
 // from a content-addressed result cache; concurrent identical requests
 // coalesce onto a single computation. Responses are deterministic: the same
 // request yields byte-identical report bodies across processes and restarts.
+//
+// Cluster mode (DESIGN.md §12): -cluster-workers puts this node in
+// coordinator mode, routing jobs to the listed workers by consistent
+// hashing on the cache key, with heartbeat failover onto the shared
+// -checkpoint-dir journals and graceful degradation to local computes when
+// the whole fleet is unreachable. -peers makes a worker probe sibling
+// caches before computing. Reports stay byte-identical at any topology.
 package main
 
 import (
@@ -40,6 +47,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -68,6 +76,13 @@ func main() {
 		logJSON      = flag.Bool("log-json", false, "emit JSON logs instead of text")
 		chaosSpec    = flag.String("chaos", "", "fault-injection spec for journal I/O, e.g. \"write:.jsonl:3:torn+kill\" (testing only)")
 		chaosSeed    = flag.Uint64("chaos-seed", 1, "seed for probabilistic chaos rules")
+
+		clusterWorkers  = flag.String("cluster-workers", "", "comma-separated worker addresses; non-empty runs this node as a cluster coordinator")
+		peers           = flag.String("peers", "", "comma-separated sibling worker addresses whose caches are probed before computing")
+		peerTimeout     = flag.Duration("peer-timeout", 250*time.Millisecond, "per-sibling cache probe bound")
+		heartbeatEvery  = flag.Duration("heartbeat-interval", 500*time.Millisecond, "coordinator: worker readiness probe interval")
+		dispatchRetries = flag.Int("dispatch-retries", 3, "coordinator: retry attempts per dispatch RPC before failing a job over")
+		dispatchPer     = flag.Int("dispatch-per-worker", 2, "coordinator: concurrent dispatches per worker")
 	)
 	flag.Parse()
 
@@ -100,6 +115,15 @@ func main() {
 	cfg.StuckAfter = *stuckAfter
 	cfg.MaxRequeues = *maxRequeues
 	cfg.Logger = log
+	cfg.Peers = splitAddrs(*peers)
+	cfg.PeerTimeout = *peerTimeout
+	cfg.Cluster = service.ClusterConfig{
+		Workers:           splitAddrs(*clusterWorkers),
+		HeartbeatInterval: *heartbeatEvery,
+		DispatchRetries:   *dispatchRetries,
+		DispatchPerWorker: *dispatchPer,
+		RetrySeed:         *chaosSeed,
+	}
 	if *chaosSpec != "" {
 		rules, err := chaos.ParseSpec(*chaosSpec)
 		if err != nil {
@@ -122,8 +146,15 @@ func main() {
 			fatal(log, "write addr-file", err)
 		}
 	}
+	mode := "single-node"
+	switch {
+	case *clusterWorkers != "":
+		mode = "coordinator"
+	case *peers != "":
+		mode = "worker"
+	}
 	log.Info("hgserved listening", "addr", bound, "workers", *workers,
-		"checkpoint_dir", *cpDir)
+		"checkpoint_dir", *cpDir, "mode", mode)
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
@@ -152,6 +183,17 @@ func main() {
 		log.Error("shutdown", "err", err)
 	}
 	log.Info("hgserved stopped")
+}
+
+// splitAddrs parses a comma-separated address list, dropping empties.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // fatal logs and exits; user-facing failures never panic.

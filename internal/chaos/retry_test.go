@@ -87,6 +87,58 @@ func TestRetryCancelledContext(t *testing.T) {
 	}
 }
 
+// A context cancelled DURING a backoff sleep must abort the wait
+// immediately — not after the sleep completes. The attempt demands a 30s
+// Retry-After wait on the real clock; cancellation after ~30ms must return
+// within a small fraction of that, with no second attempt.
+func TestRetryAbortsPromptlyDuringBackoffSleep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	calls := 0
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	err := Retry{MaxAttempts: 3, BaseDelay: time.Millisecond}.Do(ctx, func() (time.Duration, bool, error) {
+		calls++
+		return 30 * time.Second, true, errors.New("server says: come back in 30s")
+	})
+	elapsed := time.Since(t0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled in chain, got %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1: the cancelled sleep must not be followed by another attempt", calls)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("Do returned after %v; a cancel 30ms into a 30s sleep must abort promptly", elapsed)
+	}
+}
+
+// Retry-After bounds the wait: even when the backoff schedule would wait on
+// the order of minutes, a server-provided Retry-After replaces it exactly —
+// the client sleeps the server's estimate, no more.
+func TestRetryAfterBoundsWait(t *testing.T) {
+	clock := NewFakeClock(time.Unix(0, 0))
+	p := Retry{MaxAttempts: 3, BaseDelay: 60 * time.Second, MaxDelay: 120 * time.Second, Clock: clock}
+	calls := 0
+	err := p.Do(context.Background(), func() (time.Duration, bool, error) {
+		calls++
+		if calls == 1 {
+			return 5 * time.Second, true, errors.New("draining")
+		}
+		return 0, false, nil
+	})
+	if err != nil || calls != 2 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	sleeps := clock.Sleeps()
+	if len(sleeps) != 1 || sleeps[0] != 5*time.Second {
+		t.Fatalf("sleeps = %v, want exactly the 5s Retry-After (not the 60s-scale backoff)", sleeps)
+	}
+}
+
 func TestRetryAfterHeader(t *testing.T) {
 	if d, ok := RetryAfterHeader("5"); !ok || d != 5*time.Second {
 		t.Fatalf("got (%v, %v)", d, ok)

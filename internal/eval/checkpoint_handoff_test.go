@@ -1,0 +1,218 @@
+package eval
+
+// Cross-process journal handoff: the cluster failover path (DESIGN.md §12)
+// depends on a journal written by one process being recoverable by a
+// *different* process with a different worker count, yielding the same
+// resumed-start set and the same final statistics. These tests simulate the
+// handoff in-process by re-opening the journal with fresh Checkpoint
+// instances — exactly what a survivor worker does with a dead sibling's
+// journal in the shared checkpoint directory.
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"hgpart/internal/partition"
+	"hgpart/internal/rng"
+)
+
+// handoffHeuristic wraps stubHeuristic and cancels the run's context once a
+// fixed number of starts have completed, simulating a process dying mid-job.
+// Name and outcomes are identical to stubHeuristic so the journal header and
+// per-start cuts match across the handoff.
+type handoffHeuristic struct {
+	runs   *atomic.Int64
+	limit  int64
+	cancel context.CancelFunc
+}
+
+func (handoffHeuristic) Name() string { return "stub" }
+func (h handoffHeuristic) Run(r *rng.RNG) Outcome {
+	out := stubHeuristic{}.Run(r)
+	if h.runs.Add(1) == h.limit {
+		h.cancel()
+	}
+	return out
+}
+func (handoffHeuristic) PolishBest(*partition.P, *rng.RNG) Outcome { return Outcome{} }
+
+// A journal written by a single-worker process that died mid-job is resumed
+// by a different "process" (a fresh Checkpoint) running three workers: the
+// resumed-start set must be exactly the set the first process completed, and
+// the finished report must be statistically identical to an uninterrupted
+// run at yet another worker count.
+func TestJournalV2CrossProcessHandoff(t *testing.T) {
+	const n, seed = 12, 77
+	path := filepath.Join(t.TempDir(), "job.jsonl")
+
+	want := RunMultistart(context.Background(), stubFactory, n, seed, RunOptions{Workers: 2})
+	if want.Completed != n {
+		t.Fatalf("reference run: %+v", want)
+	}
+
+	// Process A: one worker, dies (ctx cancelled) after 5 completed starts.
+	cpA, err := OpenCheckpoint(path, "stub", seed, n, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	var runs atomic.Int64
+	factoryA := func() Heuristic {
+		return handoffHeuristic{runs: &runs, limit: 5, cancel: cancelA}
+	}
+	repA := RunMultistart(ctxA, factoryA, n, seed, RunOptions{Workers: 1, Checkpoint: cpA})
+	if err := cpA.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !repA.Incomplete || repA.Completed == 0 || repA.Completed >= n {
+		t.Fatalf("process A should die partway through: %+v", repA)
+	}
+	doneA := make(map[int]int64) // start → cut, as process A computed it
+	for _, sr := range repA.Results {
+		if sr.Status == StartOK {
+			doneA[sr.Start] = sr.Outcome.Cut
+		}
+	}
+
+	// Process B: different worker count, same journal. The resumed set must
+	// be exactly what A durably completed — no more, no fewer.
+	cpB, err := OpenCheckpoint(path, "stub", seed, n, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpB.Resumed() != len(doneA) {
+		t.Fatalf("process B resumed %d starts, process A completed %d", cpB.Resumed(), len(doneA))
+	}
+	for i := 0; i < n; i++ {
+		sr, ok := cpB.Completed(i)
+		if wantCut, done := doneA[i]; done {
+			if !ok || sr.Outcome.Cut != wantCut {
+				t.Fatalf("start %d: process B sees (ok=%v cut=%d), process A computed cut=%d",
+					i, ok, sr.Outcome.Cut, wantCut)
+			}
+		} else if ok {
+			t.Fatalf("start %d resumed by process B but never completed by process A", i)
+		}
+	}
+	if qs := cpB.Quarantined(); len(qs) != 0 {
+		t.Fatalf("clean handoff must not quarantine anything: %+v", qs)
+	}
+	repB := RunMultistart(context.Background(), stubFactory, n, seed, RunOptions{Workers: 3, Checkpoint: cpB})
+	if err := cpB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if repB.Incomplete || repB.Completed != n || repB.Resumed != len(doneA) {
+		t.Fatalf("process B recovery run: %+v", repB)
+	}
+	if a, b := want.Summary(), repB.Summary(); a != b {
+		t.Fatalf("statistics diverge across the handoff:\n%s\n%s", a, b)
+	}
+}
+
+// Quarantine behavior must also be process-independent: two fresh recoveries
+// of the same corrupted journal (as two different survivors would perform)
+// report identical quarantine sets and lost starts, and the run completed at
+// yet another worker count still matches the uninterrupted statistics.
+func TestJournalV2HandoffQuarantineIsDeterministic(t *testing.T) {
+	const n, seed = 8, 101
+	path := filepath.Join(t.TempDir(), "job.jsonl")
+
+	want := RunMultistart(context.Background(), stubFactory, n, seed, RunOptions{Workers: 2})
+
+	cp, err := OpenCheckpoint(path, "stub", seed, n, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := RunMultistart(context.Background(), stubFactory, n, seed, RunOptions{Workers: 2, Checkpoint: cp})
+	if full.Completed != n || full.JournalErr != nil {
+		t.Fatalf("baseline checkpointed run: %+v", full)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt start 3's record: flip a digit of the cut so the frame length
+	// still matches but the CRC does not.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(raw, []byte("\n"))
+	target := -1
+	for i, l := range lines {
+		if bytes.Contains(l, []byte(`"start":3`)) {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatalf("no record for start 3 in journal:\n%s", raw)
+	}
+	cut := bytes.Index(lines[target], []byte(`"cut":`))
+	if cut < 0 {
+		t.Fatalf("record has no cut field: %q", lines[target])
+	}
+	digit := lines[target][cut+len(`"cut":`)]
+	lines[target][cut+len(`"cut":`)] = '1' + (digit-'0'+1)%9
+	if err := os.WriteFile(path, bytes.Join(lines, []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two independent recoveries — what two different surviving workers
+	// would each compute from the same bytes.
+	type view struct {
+		resumed int
+		lost    []int
+		reasons []string
+	}
+	recover := func() (*Checkpoint, view) {
+		c, err := OpenCheckpoint(path, "stub", seed, n, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := view{resumed: c.Resumed(), lost: c.LostStarts()}
+		for _, q := range c.Quarantined() {
+			v.reasons = append(v.reasons, q.Reason)
+		}
+		return c, v
+	}
+	c1, v1 := recover()
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2, v2 := recover()
+	if v1.resumed != v2.resumed || len(v1.lost) != len(v2.lost) || len(v1.reasons) != len(v2.reasons) {
+		t.Fatalf("recovery views diverge: %+v vs %+v", v1, v2)
+	}
+	for i := range v1.lost {
+		if v1.lost[i] != v2.lost[i] || v1.reasons[i] != v2.reasons[i] {
+			t.Fatalf("recovery views diverge: %+v vs %+v", v1, v2)
+		}
+	}
+	if v2.resumed != n-1 || len(v2.lost) != 1 || v2.lost[0] != 3 ||
+		!strings.Contains(v2.reasons[0], "crc mismatch") {
+		t.Fatalf("recovery view %+v, want n-1 resumed and start 3 lost to a crc mismatch", v2)
+	}
+	if _, err := os.Stat(path + ".quarantine"); err != nil {
+		t.Fatalf("quarantine sidecar not written: %v", err)
+	}
+
+	// The second survivor finishes the job at a fifth worker count; only the
+	// quarantined start re-runs and the statistics still match.
+	rep := RunMultistart(context.Background(), stubFactory, n, seed, RunOptions{Workers: 5, Checkpoint: c2})
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Incomplete || rep.Completed != n || rep.Resumed != n-1 {
+		t.Fatalf("final recovery run: %+v", rep)
+	}
+	if a, b := want.Summary(), rep.Summary(); a != b {
+		t.Fatalf("statistics diverge after quarantine recovery:\n%s\n%s", a, b)
+	}
+}

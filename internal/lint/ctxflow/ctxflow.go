@@ -29,11 +29,17 @@ import (
 // functions are checked. internal/chaos and cmd/hgchaos join the driver
 // layer: retry loops and kill/restart scenario sweeps are long-running by
 // design and must stay cancellable the same way multistart sweeps are.
+// internal/service and cmd/hgserved join with the cluster work (DESIGN.md
+// §12): any exported service entry point that loops over starts — or grows
+// one — must keep the job's context threaded through, or a dead client
+// could pin a worker forever.
 var TargetPackages = []string{
 	"cmd/hgchaos",
+	"cmd/hgserved",
 	"internal/chaos",
 	"internal/eval",
 	"internal/experiments",
+	"internal/service",
 }
 
 // startCallNames are callee names that run heuristic starts. A loop body

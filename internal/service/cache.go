@@ -54,6 +54,19 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	return el.Value.(*cacheEntry).body, true
 }
 
+// Peek returns the cached bytes for key without touching the hit counter or
+// recency order. Sibling workers use it to serve peer cache lookups, so a
+// peer's probes never skew this node's own hit-rate accounting.
+func (c *Cache) Peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*cacheEntry).body, true
+}
+
 // Miss records one cache miss (called by the flight leader exactly once per
 // computed report).
 func (c *Cache) Miss() {

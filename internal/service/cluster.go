@@ -1,0 +1,783 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"hgpart/internal/chaos"
+	"hgpart/internal/hypergraph"
+)
+
+// ClusterConfig configures coordinator mode: the node routes jobs to a
+// fleet of hgserved workers instead of computing them itself. The zero
+// value (no workers) disables clustering.
+type ClusterConfig struct {
+	// Workers lists worker base addresses ("host:port"). Non-empty enables
+	// coordinator mode.
+	Workers []string
+	// Replicas is the consistent-hash virtual-replica count per worker;
+	// <= 0 means 64.
+	Replicas int
+	// HeartbeatInterval is how often each worker's readiness is probed;
+	// <= 0 means 500ms.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout bounds one probe; <= 0 means 1s.
+	HeartbeatTimeout time.Duration
+	// FailThreshold is how many consecutive probe failures mark a worker
+	// unhealthy; <= 0 means 2. A single probe success marks it healthy again.
+	FailThreshold int
+	// DispatchPerWorker is the number of concurrent dispatches per worker
+	// (match the workers' own pool size to keep them saturated without
+	// queue buildup); <= 0 means 2.
+	DispatchPerWorker int
+	// QueuePerWorker bounds each worker's coordinator-side dispatch queue;
+	// new submissions beyond every healthy worker's bound are shed with 503
+	// + Retry-After. <= 0 means 64.
+	QueuePerWorker int
+	// DispatchRetries bounds chaos.Retry attempts per dispatch RPC before
+	// the worker is declared dead and the job fails over; <= 0 means 3.
+	DispatchRetries int
+	// RetrySeed seeds the deterministic dispatch-retry jitter streams.
+	RetrySeed uint64
+}
+
+func (c *ClusterConfig) withDefaults() ClusterConfig {
+	out := *c
+	if out.Replicas <= 0 {
+		out.Replicas = 64
+	}
+	if out.HeartbeatInterval <= 0 {
+		out.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if out.HeartbeatTimeout <= 0 {
+		out.HeartbeatTimeout = time.Second
+	}
+	if out.FailThreshold <= 0 {
+		out.FailThreshold = 2
+	}
+	if out.DispatchPerWorker <= 0 {
+		out.DispatchPerWorker = 2
+	}
+	if out.QueuePerWorker <= 0 {
+		out.QueuePerWorker = 64
+	}
+	if out.DispatchRetries <= 0 {
+		out.DispatchRetries = 3
+	}
+	return out
+}
+
+// errClusterBusy sheds a submission when every healthy worker's dispatch
+// queue is full (HTTP 503 + Retry-After at the handler).
+var errClusterBusy = fmt.Errorf("cluster dispatch queues are full; retry later")
+
+// clusterJob is one request the coordinator shepherds through the fleet. It
+// mirrors Job's lifecycle (queued → running → terminal, singleflight by
+// cache key, waiters select on done) but executes remotely — or locally,
+// when the whole fleet is unreachable.
+type clusterJob struct {
+	ID  string
+	Key string
+
+	req      PartitionRequest
+	inst     *hypergraph.Hypergraph
+	instName string
+	instHash string
+	forward  []byte // marshaled request for dispatch (async stripped)
+
+	mu         sync.Mutex
+	state      JobState
+	worker     string // current/last node executing this job ("local" = fallback)
+	remoteJob  string // job id on the worker that produced the result
+	dispatches int    // routing attempts (initial + failovers)
+	httpStatus int
+	body       []byte
+	errMsg     string
+	enqueued   time.Time
+	started    time.Time
+	finished   time.Time
+
+	done chan struct{}
+}
+
+func (cj *clusterJob) markRunning(worker string) {
+	cj.mu.Lock()
+	cj.state = JobRunning
+	cj.worker = worker
+	if cj.started.IsZero() {
+		cj.started = time.Now()
+	}
+	cj.mu.Unlock()
+}
+
+// finish moves the cluster job to a terminal state exactly once.
+func (cj *clusterJob) finish(code int, body []byte, errMsg, remoteJob string) {
+	cj.mu.Lock()
+	if cj.state == JobDone || cj.state == JobFailed {
+		cj.mu.Unlock()
+		return
+	}
+	if code == http.StatusOK {
+		cj.state = JobDone
+	} else {
+		cj.state = JobFailed
+	}
+	cj.httpStatus = code
+	cj.body = body
+	cj.errMsg = errMsg
+	if remoteJob != "" {
+		cj.remoteJob = remoteJob
+	}
+	cj.finished = time.Now()
+	cj.mu.Unlock()
+	close(cj.done)
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (cj *clusterJob) Done() <-chan struct{} { return cj.done }
+
+// Result returns the terminal HTTP status, report bytes and error message.
+func (cj *clusterJob) Result() (int, []byte, string) {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	return cj.httpStatus, cj.body, cj.errMsg
+}
+
+// Status renders the coordinator's job view; Worker/RemoteJob let a caller
+// chase the job to the node that actually computed it.
+func (cj *clusterJob) Status() JobStatus {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	st := JobStatus{
+		ID:        cj.ID,
+		State:     cj.state,
+		Instance:  cj.instName,
+		CacheKey:  cj.Key,
+		Priority:  cj.req.Priority,
+		Starts:    cj.req.Starts,
+		Error:     cj.errMsg,
+		Worker:    cj.worker,
+		RemoteJob: cj.remoteJob,
+		Requeues:  cj.dispatches - 1,
+	}
+	if cj.dispatches == 0 {
+		st.Requeues = 0
+	}
+	switch {
+	case cj.state == JobQueued:
+		st.ElapsedMS = 0
+	case cj.finished.IsZero():
+		st.ElapsedMS = time.Since(cj.started).Milliseconds()
+	default:
+		st.ElapsedMS = cj.finished.Sub(cj.started).Milliseconds()
+	}
+	if len(cj.body) > 0 && cj.httpStatus == http.StatusOK {
+		st.Report = json.RawMessage(cj.body)
+	}
+	return st
+}
+
+// workerHealth is the coordinator's view of one worker node.
+type workerHealth struct {
+	addr      string
+	healthy   bool
+	fails     int // consecutive probe failures
+	lastErr   string
+	lastProbe time.Time
+}
+
+// Coordinator routes partition jobs across a worker fleet by consistent
+// hashing on the content-addressed cache key. Determinism makes this
+// trivially safe: any worker produces byte-identical bytes for a key, so
+// routing, stealing and failover are pure placement decisions.
+//
+// Robustness model:
+//   - every dispatch RPC runs under chaos.Retry (seeded jitter, Retry-After
+//     aware), so transient worker 503s/429s and connection blips are ridden
+//     out without failing the job;
+//   - a heartbeat prober marks workers unhealthy after consecutive readiness
+//     failures and healthy again on the first success;
+//   - when a worker dies mid-job (retries exhausted on a transport error)
+//     the job fails over to the next healthy node in ring order, which
+//     resumes from the job's v2 CRC checkpoint journal on the shared
+//     checkpoint directory — completed starts are never recomputed and the
+//     final report stays byte-identical;
+//   - idle workers steal queued jobs from the longest sibling queue, so one
+//     hot shard cannot starve the fleet;
+//   - with NO healthy workers the coordinator degrades to single-node mode:
+//     jobs run on its own local Manager instead of erroring, and only a
+//     genuinely full system sheds load (503 + Retry-After).
+type Coordinator struct {
+	cfg    ClusterConfig
+	srv    *Server
+	ring   *Ring
+	client *http.Client
+	log    *slog.Logger
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	health   map[string]*workerHealth
+	queues   map[string][]*clusterJob
+	inflight map[string]*clusterJob
+	jobs     map[string]*clusterJob
+	order    []string
+	nextSeq  int64
+	closed   bool
+
+	steals         int64
+	failovers      int64
+	localFallbacks int64
+
+	wg sync.WaitGroup
+}
+
+// maxDispatchesPerJob bounds how many times one job may be (re)routed before
+// the coordinator stops trusting the fleet and computes it locally.
+func (c *Coordinator) maxDispatchesPerJob() int { return 2*len(c.ring.Nodes()) + 1 }
+
+// newCoordinator builds the coordinator and starts its dispatchers and
+// heartbeat probers. Workers start optimistically healthy: a dead node is
+// discovered by the first dispatch or probe, whichever comes first.
+func newCoordinator(cfg ClusterConfig, s *Server) *Coordinator {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:      cfg,
+		srv:      s,
+		ring:     NewRing(cfg.Workers, cfg.Replicas),
+		client:   &http.Client{},
+		log:      s.log,
+		health:   make(map[string]*workerHealth),
+		queues:   make(map[string][]*clusterJob),
+		inflight: make(map[string]*clusterJob),
+		jobs:     make(map[string]*clusterJob),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	c.baseCtx, c.baseCancel = context.WithCancel(context.Background())
+	for _, addr := range c.ring.Nodes() {
+		c.health[addr] = &workerHealth{addr: addr, healthy: true}
+		for i := 0; i < cfg.DispatchPerWorker; i++ {
+			c.wg.Add(1)
+			go c.dispatchLoop(addr)
+		}
+		c.wg.Add(1)
+		go c.prober(addr)
+	}
+	return c
+}
+
+// Close stops routing: queued jobs fail with 503, in-flight dispatches are
+// cancelled, dispatchers and probers exit. Local-fallback jobs detach from
+// their Manager job (the Manager's own drain checkpoints it).
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	var queued []*clusterJob
+	for _, addr := range c.ring.Nodes() { // sorted, so drain order is deterministic
+		queued = append(queued, c.queues[addr]...)
+		c.queues[addr] = nil
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	for _, cj := range queued {
+		c.finishJob(cj, http.StatusServiceUnavailable, nil, "coordinator draining before the job was dispatched", "")
+	}
+	c.baseCancel()
+	c.wg.Wait()
+}
+
+// Submit routes one request into the cluster, coalescing identical in-flight
+// requests by cache key exactly like Manager.Submit.
+func (c *Coordinator) Submit(req PartitionRequest, inst *hypergraph.Hypergraph,
+	instName, instHash, key string) (*clusterJob, bool, error) {
+	forwardReq := req
+	forwardReq.Async = false // the coordinator itself waits on the worker
+	forward, err := json.Marshal(&forwardReq)
+	if err != nil {
+		return nil, false, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, false, errDraining
+	}
+	if cj, ok := c.inflight[key]; ok {
+		return cj, true, nil
+	}
+	c.nextSeq++
+	cj := &clusterJob{
+		ID:       fmt.Sprintf("c-%06d", c.nextSeq),
+		Key:      key,
+		req:      req,
+		inst:     inst,
+		instName: instName,
+		instHash: instHash,
+		forward:  forward,
+		state:    JobQueued,
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+	}
+
+	// Route by ring order among healthy workers with queue room.
+	target := ""
+	anyHealthy := false
+	for _, addr := range c.ring.Order(key) {
+		if !c.health[addr].healthy {
+			continue
+		}
+		anyHealthy = true
+		if len(c.queues[addr]) < c.cfg.QueuePerWorker {
+			target = addr
+			break
+		}
+	}
+	switch {
+	case !anyHealthy:
+		// Whole fleet unreachable: degrade to single-node mode rather than
+		// erroring. The local Manager's own queue bound still applies.
+		c.registerLocked(cj)
+		c.localFallbackLocked(cj, "no healthy workers")
+	case target == "":
+		return nil, false, errClusterBusy
+	default:
+		c.registerLocked(cj)
+		cj.dispatches++
+		c.queues[target] = append(c.queues[target], cj)
+		c.cond.Broadcast()
+	}
+	c.srv.metrics.JobSubmitted()
+	return cj, false, nil
+}
+
+func (c *Coordinator) registerLocked(cj *clusterJob) {
+	c.jobs[cj.ID] = cj
+	c.order = append(c.order, cj.ID)
+	c.inflight[cj.Key] = cj
+	c.pruneLocked()
+}
+
+// pruneLocked bounds coordinator job history like Manager.pruneLocked.
+func (c *Coordinator) pruneLocked() {
+	cap := c.srv.cfg.HistoryCap
+	if cap <= 0 || len(c.order) <= cap {
+		return
+	}
+	kept := c.order[:0]
+	excess := len(c.order) - cap
+	for _, id := range c.order {
+		cj := c.jobs[id]
+		terminal := false
+		if cj != nil {
+			cj.mu.Lock()
+			terminal = cj.state == JobDone || cj.state == JobFailed
+			cj.mu.Unlock()
+		}
+		if excess > 0 && (cj == nil || terminal) {
+			delete(c.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	c.order = kept
+}
+
+// Job looks a cluster job up by id.
+func (c *Coordinator) Job(id string) (*clusterJob, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cj, ok := c.jobs[id]
+	return cj, ok
+}
+
+// Jobs snapshots retained cluster jobs in submission order.
+func (c *Coordinator) Jobs() []*clusterJob {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*clusterJob, 0, len(c.order))
+	for _, id := range c.order {
+		if cj, ok := c.jobs[id]; ok {
+			out = append(out, cj)
+		}
+	}
+	return out
+}
+
+// dispatchLoop is one dispatcher slot for worker `home`: it pops the home
+// queue, or — when home is idle — steals the oldest job from the longest
+// sibling queue, then dispatches to home. Stolen work runs on home, which
+// is the whole point: the idle node absorbs the imbalance.
+func (c *Coordinator) dispatchLoop(home string) {
+	defer c.wg.Done()
+	for {
+		cj := c.next(home)
+		if cj == nil {
+			return
+		}
+		c.dispatch(home, cj)
+	}
+}
+
+// next blocks until home has work (own queue, or a steal) or the
+// coordinator closes (nil).
+func (c *Coordinator) next(home string) *clusterJob {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.closed {
+			return nil
+		}
+		if c.health[home].healthy {
+			if q := c.queues[home]; len(q) > 0 {
+				cj := q[0]
+				c.queues[home] = q[1:]
+				return cj
+			}
+			// Steal from the longest sibling queue, oldest job first (it has
+			// waited longest). Ties break by ring node order, deterministically.
+			best, bestLen := "", 0
+			for _, addr := range c.ring.Nodes() {
+				if addr == home {
+					continue
+				}
+				if l := len(c.queues[addr]); l > bestLen {
+					best, bestLen = addr, l
+				}
+			}
+			if bestLen > 0 {
+				q := c.queues[best]
+				cj := q[0]
+				c.queues[best] = q[1:]
+				c.steals++
+				c.srv.metrics.ClusterSteal()
+				c.log.Info("cluster: stole queued job", "job", cj.ID, "from", best, "to", home)
+				return cj
+			}
+		}
+		c.cond.Wait()
+	}
+}
+
+// dispatch POSTs the job to worker synchronously under chaos.Retry. A 200
+// finishes the job with the worker's report bytes; a non-retryable HTTP
+// error forwards the worker's verdict; exhausted retries on transport
+// errors mean the worker is dead — mark it unhealthy and fail the job over.
+func (c *Coordinator) dispatch(worker string, cj *clusterJob) {
+	cj.markRunning(worker)
+	c.srv.metrics.ClusterDispatch()
+	cj.mu.Lock()
+	attempt := cj.dispatches
+	cj.mu.Unlock()
+
+	var (
+		body      []byte
+		remoteJob string
+		permCode  int
+		permMsg   string
+	)
+	retry := chaos.Retry{
+		MaxAttempts: c.cfg.DispatchRetries,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    500 * time.Millisecond,
+		Seed:        c.cfg.RetrySeed ^ ringHash(cj.Key) ^ uint64(attempt),
+	}
+	err := retry.Do(c.baseCtx, func() (time.Duration, bool, error) {
+		req, rerr := http.NewRequestWithContext(c.baseCtx, http.MethodPost,
+			"http://"+worker+"/v1/partition", bytes.NewReader(cj.forward))
+		if rerr != nil {
+			return 0, false, rerr
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, rerr := c.client.Do(req)
+		if rerr != nil {
+			return 0, true, rerr
+		}
+		defer resp.Body.Close()
+		b, rerr := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+		if rerr != nil {
+			return 0, true, rerr
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			body = b
+			remoteJob = resp.Header.Get("X-Hgserved-Job")
+			return 0, false, nil
+		case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+			ra, _ := chaos.RetryAfterHeader(resp.Header.Get("Retry-After"))
+			return ra, true, fmt.Errorf("worker %s: HTTP %d", worker, resp.StatusCode)
+		default:
+			// The worker judged the request itself bad; no other worker would
+			// disagree. Forward its verdict instead of failing over.
+			permCode = resp.StatusCode
+			permMsg = errorMessage(b, fmt.Sprintf("worker %s: HTTP %d", worker, resp.StatusCode))
+			return 0, false, fmt.Errorf("worker %s: HTTP %d", worker, resp.StatusCode)
+		}
+	})
+	switch {
+	case err == nil:
+		c.srv.cache.Put(cj.Key, body)
+		c.finishJob(cj, http.StatusOK, body, "", remoteJob)
+	case permCode != 0:
+		c.finishJob(cj, permCode, nil, permMsg, "")
+	default:
+		c.failover(worker, cj, err)
+	}
+}
+
+// errorMessage extracts the "error" field from a JSON error document,
+// falling back to fallback.
+func errorMessage(body []byte, fallback string) string {
+	var doc struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &doc) == nil && doc.Error != "" {
+		return doc.Error
+	}
+	return fallback
+}
+
+// failover reacts to a dead worker: mark it unhealthy (draining its queue
+// onto survivors) and reroute this job to the next healthy node in ring
+// order — or compute locally when none remains.
+func (c *Coordinator) failover(worker string, cj *clusterJob, cause error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.finishJob(cj, http.StatusServiceUnavailable, nil, "coordinator draining", "")
+		return
+	}
+	c.failovers++
+	c.srv.metrics.ClusterFailover()
+	c.log.Warn("cluster: dispatch failed; failing job over", "job", cj.ID, "worker", worker, "err", cause)
+	c.markUnhealthyLocked(worker, cause)
+	c.enqueueLocked(cj)
+	c.mu.Unlock()
+}
+
+// enqueueLocked (re)routes a job after a failover or an unhealthy-queue
+// drain: next healthy worker in ring order, ignoring queue bounds (the job
+// was already admitted — failover must not shed it), or local compute when
+// the fleet is gone or the job has bounced too often.
+func (c *Coordinator) enqueueLocked(cj *clusterJob) {
+	cj.mu.Lock()
+	cj.dispatches++
+	bounced := cj.dispatches > c.maxDispatchesPerJob()
+	cj.mu.Unlock()
+	if bounced {
+		c.localFallbackLocked(cj, "job exceeded the dispatch bound")
+		return
+	}
+	for _, addr := range c.ring.Order(cj.Key) {
+		if c.health[addr].healthy {
+			c.queues[addr] = append(c.queues[addr], cj)
+			c.cond.Broadcast()
+			return
+		}
+	}
+	c.localFallbackLocked(cj, "no healthy workers")
+}
+
+// localFallbackLocked degrades one job to a local compute on the
+// coordinator's own Manager. Called with c.mu held.
+func (c *Coordinator) localFallbackLocked(cj *clusterJob, why string) {
+	c.localFallbacks++
+	c.srv.metrics.ClusterLocalFallback()
+	c.log.Warn("cluster: degrading to local compute", "job", cj.ID, "reason", why)
+	c.wg.Add(1)
+	go c.runLocal(cj)
+}
+
+// runLocal executes a cluster job on the coordinator's own Manager —
+// single-node degradation. If the coordinator shuts down first, the waiter
+// is released with 503 while the Manager's drain checkpoints the job.
+func (c *Coordinator) runLocal(cj *clusterJob) {
+	defer c.wg.Done()
+	cj.markRunning("local")
+	job, _, err := c.srv.manager.Submit(cj.req, cj.inst, cj.instName, cj.instHash, cj.Key)
+	if err != nil {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, errDraining):
+			code = http.StatusServiceUnavailable
+		case errors.Is(err, errQueueFull):
+			code = http.StatusTooManyRequests
+		}
+		c.finishJob(cj, code, nil, err.Error(), "")
+		return
+	}
+	select {
+	case <-job.Done():
+		code, body, msg := job.Result()
+		c.finishJob(cj, code, body, msg, job.ID)
+	case <-c.baseCtx.Done():
+		c.finishJob(cj, http.StatusServiceUnavailable, nil,
+			"coordinator draining; local job "+job.ID+" is checkpointed", job.ID)
+	}
+}
+
+// finishJob finalizes a cluster job and releases its singleflight slot.
+func (c *Coordinator) finishJob(cj *clusterJob, code int, body []byte, errMsg, remoteJob string) {
+	cj.finish(code, body, errMsg, remoteJob)
+	c.mu.Lock()
+	if c.inflight[cj.Key] == cj {
+		delete(c.inflight, cj.Key)
+	}
+	c.mu.Unlock()
+	state := JobDone
+	if code != http.StatusOK {
+		state = JobFailed
+	}
+	c.srv.metrics.JobFinished(state)
+}
+
+// prober is one worker's heartbeat loop.
+func (c *Coordinator) prober(addr string) {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.baseCtx.Done():
+			return
+		case <-ticker.C:
+		}
+		c.noteProbe(addr, c.probe(addr))
+	}
+}
+
+// probe asks one worker for readiness, bounded by HeartbeatTimeout.
+func (c *Coordinator) probe(addr string) error {
+	ctx, cancel := context.WithTimeout(c.baseCtx, c.cfg.HeartbeatTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("readyz: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// noteProbe folds one heartbeat result into the worker's health state. One
+// success recovers an unhealthy worker; FailThreshold consecutive failures
+// take a healthy one out of rotation (its queued jobs reroute immediately).
+func (c *Coordinator) noteProbe(addr string, probeErr error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.health[addr]
+	h.lastProbe = time.Now()
+	if probeErr == nil {
+		h.fails = 0
+		if !h.healthy {
+			h.healthy = true
+			h.lastErr = ""
+			c.log.Info("cluster: worker recovered", "worker", addr)
+			c.cond.Broadcast()
+		}
+		return
+	}
+	h.fails++
+	h.lastErr = probeErr.Error()
+	if h.healthy && h.fails >= c.cfg.FailThreshold {
+		c.markUnhealthyLocked(addr, fmt.Errorf("heartbeat: %d consecutive failures: %w", h.fails, probeErr))
+	}
+}
+
+// markUnhealthyLocked takes a worker out of rotation and reroutes its
+// queued jobs. Called with c.mu held.
+func (c *Coordinator) markUnhealthyLocked(addr string, cause error) {
+	h := c.health[addr]
+	h.lastErr = cause.Error()
+	if !h.healthy {
+		return
+	}
+	h.healthy = false
+	c.log.Warn("cluster: worker unhealthy", "worker", addr, "err", cause)
+	q := c.queues[addr]
+	c.queues[addr] = nil
+	for _, cj := range q {
+		c.enqueueLocked(cj)
+	}
+	c.cond.Broadcast()
+}
+
+// WorkerStatus is one row of the GET /v1/cluster document.
+type WorkerStatus struct {
+	Addr             string `json:"addr"`
+	Healthy          bool   `json:"healthy"`
+	ConsecutiveFails int    `json:"consecutive_fails,omitempty"`
+	QueueDepth       int    `json:"queue_depth"`
+	LastError        string `json:"last_error,omitempty"`
+}
+
+// ClusterStatus is the GET /v1/cluster document.
+type ClusterStatus struct {
+	Mode           string         `json:"mode"`
+	Workers        []WorkerStatus `json:"workers,omitempty"`
+	Healthy        int            `json:"healthy"`
+	Steals         int64          `json:"steals"`
+	Failovers      int64          `json:"failovers"`
+	LocalFallbacks int64          `json:"local_fallbacks"`
+	Jobs           int            `json:"jobs"`
+}
+
+// Status snapshots the cluster view.
+func (c *Coordinator) Status() ClusterStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := ClusterStatus{
+		Mode:           "coordinator",
+		Steals:         c.steals,
+		Failovers:      c.failovers,
+		LocalFallbacks: c.localFallbacks,
+		Jobs:           len(c.jobs),
+	}
+	for _, addr := range c.ring.Nodes() {
+		h := c.health[addr]
+		st.Workers = append(st.Workers, WorkerStatus{
+			Addr:             addr,
+			Healthy:          h.healthy,
+			ConsecutiveFails: h.fails,
+			QueueDepth:       len(c.queues[addr]),
+			LastError:        h.lastErr,
+		})
+		if h.healthy {
+			st.Healthy++
+		}
+	}
+	return st
+}
+
+// healthyCount returns the number of currently healthy workers (metrics).
+func (c *Coordinator) healthyCount() (healthy, total int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, h := range c.health {
+		if h.healthy {
+			healthy++
+		}
+	}
+	return healthy, len(c.health)
+}

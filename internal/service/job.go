@@ -105,6 +105,11 @@ type JobStatus struct {
 	BSF       []BSFLive `json:"bsf,omitempty"`
 	ElapsedMS int64     `json:"elapsed_ms"`
 	Error     string    `json:"error,omitempty"`
+	// Worker and RemoteJob are set on coordinator job views: the node that
+	// executed (or is executing) the job — "local" for single-node
+	// degradation — and its job id there.
+	Worker    string `json:"worker,omitempty"`
+	RemoteJob string `json:"remote_job,omitempty"`
 	// Report is the deterministic result document, present once State is
 	// "done" or "failed".
 	Report json.RawMessage `json:"report,omitempty"`

@@ -30,6 +30,13 @@ type Metrics struct {
 	watchdogKicks int64
 	requeued      int64
 
+	// cluster/peering counters; zero (and harmless) on single-node daemons.
+	peerHits       int64
+	dispatches     int64
+	failovers      int64
+	steals         int64
+	localFallbacks int64
+
 	// nsPerWork samples wall-nanoseconds per deterministic work unit for
 	// every executed run; quantiles expose serving-speed drift the same way
 	// hgbench's ns/move exposes benchmark drift.
@@ -80,6 +87,42 @@ func (m *Metrics) JobRequeued() {
 	m.mu.Unlock()
 }
 
+// PeerHit counts one report served from a sibling worker's cache.
+func (m *Metrics) PeerHit() {
+	m.mu.Lock()
+	m.peerHits++
+	m.mu.Unlock()
+}
+
+// ClusterDispatch counts one job dispatch RPC to a worker.
+func (m *Metrics) ClusterDispatch() {
+	m.mu.Lock()
+	m.dispatches++
+	m.mu.Unlock()
+}
+
+// ClusterFailover counts one job reassigned off a dead worker.
+func (m *Metrics) ClusterFailover() {
+	m.mu.Lock()
+	m.failovers++
+	m.mu.Unlock()
+}
+
+// ClusterSteal counts one queued job stolen by an idle worker's dispatcher.
+func (m *Metrics) ClusterSteal() {
+	m.mu.Lock()
+	m.steals++
+	m.mu.Unlock()
+}
+
+// ClusterLocalFallback counts one job degraded to a local compute because
+// no healthy worker remained (or a job bounced too often).
+func (m *Metrics) ClusterLocalFallback() {
+	m.mu.Lock()
+	m.localFallbacks++
+	m.mu.Unlock()
+}
+
 // ObserveRun records one executed multistart: wall time and deterministic
 // work, feeding the ns/work quantiles and the work-unit throughput counter.
 func (m *Metrics) ObserveRun(elapsed time.Duration, work int64) {
@@ -99,6 +142,10 @@ type GaugeSnapshot struct {
 	Running    int
 	Ready      bool
 	Cache      CacheStats
+	// ClusterWorkers/ClusterHealthy describe the coordinator's fleet view;
+	// both zero on non-coordinator nodes.
+	ClusterWorkers int
+	ClusterHealthy int
 }
 
 // Render writes all metrics in Prometheus text format, keys sorted so
@@ -130,6 +177,8 @@ func (m *Metrics) Render(w io.Writer, g GaugeSnapshot) {
 	}
 	submitted, workUnits := m.submitted, m.workUnits
 	kicks, requeued := m.watchdogKicks, m.requeued
+	peerHits, dispatches := m.peerHits, m.dispatches
+	failovers, steals, localFallbacks := m.failovers, m.steals, m.localFallbacks
 	m.mu.Unlock()
 
 	fmt.Fprintln(w, "# HELP hgserved_requests_total HTTP requests by route and status code.")
@@ -190,6 +239,34 @@ func (m *Metrics) Render(w io.Writer, g GaugeSnapshot) {
 	fmt.Fprintln(w, "# HELP hgserved_cache_bytes Result-cache resident body bytes.")
 	fmt.Fprintln(w, "# TYPE hgserved_cache_bytes gauge")
 	fmt.Fprintf(w, "hgserved_cache_bytes %d\n", g.Cache.Bytes)
+
+	fmt.Fprintln(w, "# HELP hgserved_peer_cache_hits_total Reports served from a sibling worker's cache.")
+	fmt.Fprintln(w, "# TYPE hgserved_peer_cache_hits_total counter")
+	fmt.Fprintf(w, "hgserved_peer_cache_hits_total %d\n", peerHits)
+
+	fmt.Fprintln(w, "# HELP hgserved_cluster_dispatches_total Job dispatch RPCs sent to workers.")
+	fmt.Fprintln(w, "# TYPE hgserved_cluster_dispatches_total counter")
+	fmt.Fprintf(w, "hgserved_cluster_dispatches_total %d\n", dispatches)
+
+	fmt.Fprintln(w, "# HELP hgserved_cluster_failovers_total Jobs reassigned off a dead worker.")
+	fmt.Fprintln(w, "# TYPE hgserved_cluster_failovers_total counter")
+	fmt.Fprintf(w, "hgserved_cluster_failovers_total %d\n", failovers)
+
+	fmt.Fprintln(w, "# HELP hgserved_cluster_steals_total Queued jobs stolen by idle workers.")
+	fmt.Fprintln(w, "# TYPE hgserved_cluster_steals_total counter")
+	fmt.Fprintf(w, "hgserved_cluster_steals_total %d\n", steals)
+
+	fmt.Fprintln(w, "# HELP hgserved_cluster_local_fallbacks_total Jobs degraded to a local compute (no healthy workers).")
+	fmt.Fprintln(w, "# TYPE hgserved_cluster_local_fallbacks_total counter")
+	fmt.Fprintf(w, "hgserved_cluster_local_fallbacks_total %d\n", localFallbacks)
+
+	fmt.Fprintln(w, "# HELP hgserved_cluster_workers Configured cluster workers (coordinator mode).")
+	fmt.Fprintln(w, "# TYPE hgserved_cluster_workers gauge")
+	fmt.Fprintf(w, "hgserved_cluster_workers %d\n", g.ClusterWorkers)
+
+	fmt.Fprintln(w, "# HELP hgserved_cluster_workers_healthy Workers currently passing heartbeats.")
+	fmt.Fprintln(w, "# TYPE hgserved_cluster_workers_healthy gauge")
+	fmt.Fprintf(w, "hgserved_cluster_workers_healthy %d\n", g.ClusterHealthy)
 
 	fmt.Fprintln(w, "# HELP hgserved_work_units_total Deterministic FM work units executed.")
 	fmt.Fprintln(w, "# TYPE hgserved_work_units_total counter")

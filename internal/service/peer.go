@@ -1,0 +1,89 @@
+package service
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// PeerSet is a worker's view of its sibling nodes' result caches. On a local
+// cache miss a worker asks each sibling for the key before computing; reports
+// are deterministic and content-addressed, so a sibling's bytes are exactly
+// the bytes this node would produce.
+//
+// Peering is strictly best-effort: each probe has a short timeout and ANY
+// failure — connection refused, timeout, non-200, torn body — falls through
+// silently to the next sibling and finally to a local compute. A slow or dead
+// peer can therefore cost at most len(addrs)*timeout of latency, never an
+// error. That is also why lookups deliberately do NOT use chaos.Retry: the
+// cheapest correct recovery from a flaky peer is computing locally, not
+// waiting out a backoff schedule.
+type PeerSet struct {
+	addrs   []string
+	timeout time.Duration
+	client  *http.Client
+	metrics *Metrics
+	log     *slog.Logger
+}
+
+// maxPeerBody bounds a peer cache response read; reports are small (tens of
+// KB) and a misbehaving peer must not balloon memory.
+const maxPeerBody = 32 << 20
+
+// NewPeerSet builds the peering client. timeout <= 0 defaults to 250ms.
+func NewPeerSet(addrs []string, timeout time.Duration, metrics *Metrics, log *slog.Logger) *PeerSet {
+	if timeout <= 0 {
+		timeout = 250 * time.Millisecond
+	}
+	return &PeerSet{
+		addrs:   append([]string(nil), addrs...),
+		timeout: timeout,
+		client:  &http.Client{},
+		metrics: metrics,
+		log:     log,
+	}
+}
+
+// Lookup asks each sibling for key in configured order and returns the first
+// cached report found. ok=false means every sibling missed, failed, or timed
+// out; the caller computes locally. ctx (normally the client request's) also
+// bounds the whole sweep, so a caller that has gone away stops probing.
+func (p *PeerSet) Lookup(ctx context.Context, key string) ([]byte, bool) {
+	for _, addr := range p.addrs {
+		if ctx.Err() != nil {
+			return nil, false
+		}
+		body, ok := p.lookupOne(ctx, addr, key)
+		if ok {
+			p.metrics.PeerHit()
+			p.log.Info("peer cache hit", "peer", addr, "key", key[:12])
+			return body, true
+		}
+	}
+	return nil, false
+}
+
+func (p *PeerSet) lookupOne(ctx context.Context, addr, key string) ([]byte, bool) {
+	pctx, cancel := context.WithTimeout(ctx, p.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, "http://"+addr+"/internal/v1/cache/"+key, nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, false
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+	if err != nil || len(body) == 0 {
+		return nil, false
+	}
+	return body, true
+}

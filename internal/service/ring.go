@@ -1,0 +1,111 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over cluster worker addresses. Jobs route
+// by their content-addressed cache key, so the same (instance, config,
+// seed) always prefers the same worker — which is what makes each worker's
+// result cache and checkpoint journal directory hot for the keys it owns.
+// Virtual replicas smooth the load split; the ring is a pure function of
+// (nodes, replicas), never of insertion order or wall clock, so every
+// coordinator over the same worker list routes identically.
+type Ring struct {
+	points []ringPoint
+	nodes  []string
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// ringHash hashes a label onto the ring: the first 8 bytes of its SHA-256,
+// big-endian. SHA-256 keeps the placement independent of Go's runtime map
+// or string hash, which may change between releases.
+func ringHash(label string) uint64 {
+	sum := sha256.Sum256([]byte(label))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NewRing builds a ring over nodes with the given number of virtual
+// replicas per node (<= 0 means 64). Duplicate nodes collapse to one.
+func NewRing(nodes []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = 64
+	}
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{}
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+	}
+	sort.Strings(r.nodes)
+	for _, n := range r.nodes {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(n + "#" + itoa(i)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// itoa is a dependency-free strconv.Itoa for small non-negative ints.
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+// Nodes returns the distinct ring members in sorted order.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Order returns every node in preference order for key: the owner (first
+// ring point at or after the key's hash) first, then each subsequent
+// distinct node walking the ring. Failover uses the same order, so a dead
+// owner's keys land on a stable, predictable successor.
+func (r *Ring) Order(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, len(r.nodes))
+	seen := make(map[string]bool, len(r.nodes))
+	for k := 0; k < len(r.points) && len(out) < len(r.nodes); k++ {
+		p := r.points[(i+k)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// Owner returns the first-choice node for key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	o := r.Order(key)
+	if len(o) == 0 {
+		return ""
+	}
+	return o[0]
+}

@@ -1,0 +1,105 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Two rings over the same nodes must route every key identically — the
+// property that lets any coordinator (or a restarted one) compute the same
+// owner without coordination.
+func TestRingDeterministicAcrossInstances(t *testing.T) {
+	nodes := []string{"10.0.0.3:8080", "10.0.0.1:8080", "10.0.0.2:8080"}
+	shuffled := []string{"10.0.0.2:8080", "10.0.0.3:8080", "10.0.0.1:8080"}
+	a, b := NewRing(nodes, 64), NewRing(shuffled, 64)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("cachekey-%d", i)
+		oa, ob := a.Order(key), b.Order(key)
+		if len(oa) != len(ob) {
+			t.Fatalf("key %q: order lengths differ: %v vs %v", key, oa, ob)
+		}
+		for j := range oa {
+			if oa[j] != ob[j] {
+				t.Fatalf("key %q: preference order diverges: %v vs %v", key, oa, ob)
+			}
+		}
+	}
+}
+
+// Order must list every distinct node exactly once, owner first; duplicates
+// and empties in the input collapse.
+func TestRingOrderCoversAllNodesOnce(t *testing.T) {
+	r := NewRing([]string{"a:1", "b:1", "a:1", "", "c:1"}, 16)
+	if got := r.Nodes(); len(got) != 3 {
+		t.Fatalf("Nodes() = %v, want 3 distinct members", got)
+	}
+	order := r.Order("some-key")
+	if len(order) != 3 {
+		t.Fatalf("Order = %v, want all 3 nodes", order)
+	}
+	seen := map[string]bool{}
+	for _, n := range order {
+		if seen[n] {
+			t.Fatalf("Order = %v lists %q twice", order, n)
+		}
+		seen[n] = true
+	}
+	if order[0] != r.Owner("some-key") {
+		t.Fatalf("Owner %q is not the head of Order %v", r.Owner("some-key"), order)
+	}
+}
+
+// Consistent hashing's defining property: removing one node only reassigns
+// the keys it owned. For every key, the preference order on the smaller ring
+// is the full ring's order with the removed node deleted — so failover (skip
+// the dead owner) and a permanently shrunk fleet agree on placement.
+func TestRingRemovalOnlyMovesOwnedKeys(t *testing.T) {
+	nodes := []string{"w1:1", "w2:1", "w3:1", "w4:1"}
+	full := NewRing(nodes, 64)
+	without := NewRing(nodes[:3], 64) // drop w4:1
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("k%d", i)
+		var filtered []string
+		for _, n := range full.Order(key) {
+			if n != "w4:1" {
+				filtered = append(filtered, n)
+			}
+		}
+		got := without.Order(key)
+		for j := range filtered {
+			if got[j] != filtered[j] {
+				t.Fatalf("key %q: shrunk ring order %v != filtered full order %v", key, got, filtered)
+			}
+		}
+	}
+}
+
+// Virtual replicas must spread load: over many keys, no node of three may
+// own a wildly disproportionate share.
+func TestRingDistribution(t *testing.T) {
+	r := NewRing([]string{"w1:1", "w2:1", "w3:1"}, 64)
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for node, c := range counts {
+		if c < keys/6 || c > keys/2+keys/10 {
+			t.Fatalf("node %s owns %d of %d keys; distribution %v too skewed", node, c, keys, counts)
+		}
+	}
+}
+
+// Degenerate rings: empty input routes nowhere; a single node owns all.
+func TestRingDegenerate(t *testing.T) {
+	if o := NewRing(nil, 8).Order("k"); o != nil {
+		t.Fatalf("empty ring Order = %v, want nil", o)
+	}
+	if NewRing(nil, 8).Owner("k") != "" {
+		t.Fatal("empty ring must have no owner")
+	}
+	solo := NewRing([]string{"only:1"}, 8)
+	if got := solo.Order("anything"); len(got) != 1 || got[0] != "only:1" {
+		t.Fatalf("single-node ring Order = %v", got)
+	}
+}

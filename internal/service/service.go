@@ -79,6 +79,18 @@ type Config struct {
 	// crash-consistency experiments exercise the same code paths production
 	// uses.
 	FS chaos.FS
+	// Peers lists sibling worker addresses ("host:port") whose result caches
+	// are consulted on a local miss before computing. Reports are
+	// content-addressed and deterministic, so a peer's bytes are exactly the
+	// bytes this node would produce. Empty disables peering.
+	Peers []string
+	// PeerTimeout bounds each sibling cache probe; <= 0 means 250ms.
+	PeerTimeout time.Duration
+	// Cluster, when it names workers, puts this node in coordinator mode:
+	// requests route to the worker fleet by consistent hashing on the cache
+	// key (with heartbeat failover, work-stealing and single-node
+	// degradation) instead of running on the local pool. See DESIGN.md §12.
+	Cluster ClusterConfig
 	// Logger receives structured logs; nil discards them.
 	Logger *slog.Logger
 
@@ -108,12 +120,17 @@ func DefaultConfig() Config {
 }
 
 // Server is the daemon: job manager, result cache, metrics and HTTP mux.
+// In coordinator mode cluster is non-nil and routes work to the fleet; in
+// worker mode peers (when configured) probes sibling caches before
+// computing. Both nil is the plain single-node daemon.
 type Server struct {
 	cfg     Config
 	log     *slog.Logger
 	cache   *Cache
 	metrics *Metrics
 	manager *Manager
+	peers   *PeerSet
+	cluster *Coordinator
 	mux     *http.ServeMux
 	ready   atomic.Bool
 }
@@ -149,16 +166,24 @@ func New(cfg Config) *Server {
 		metrics: NewMetrics(cfg.MetricsWindow),
 	}
 	s.manager = newManager(cfg, s.cache, s.metrics, log)
+	if len(cfg.Peers) > 0 {
+		s.peers = NewPeerSet(cfg.Peers, cfg.PeerTimeout, s.metrics, log)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/partition", s.instrument("partition", s.handlePartition))
 	s.mux.HandleFunc("POST /v1/trace", s.instrument("trace", s.handleTrace))
 	s.mux.HandleFunc("GET /v1/jobs", s.instrument("jobs", s.handleJobs))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("job", s.handleJob))
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("job_cancel", s.handleJobCancel))
+	s.mux.HandleFunc("GET /v1/cluster", s.instrument("cluster", s.handleCluster))
 	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
+	s.mux.HandleFunc("GET /internal/v1/cache/{key}", s.instrument("peer_cache", s.handlePeerCache))
+	if len(cfg.Cluster.Workers) > 0 {
+		s.cluster = newCoordinator(cfg.Cluster, s)
+	}
 	s.ready.Store(true)
 	return s
 }
@@ -182,6 +207,9 @@ func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 func (s *Server) Drain(ctx context.Context) error {
 	s.ready.Store(false)
 	s.log.Info("drain: readiness flipped, stopping job intake")
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
 	err := s.manager.Drain(ctx)
 	if err != nil {
 		s.log.Error("drain: incomplete", "err", err)
@@ -194,6 +222,9 @@ func (s *Server) Drain(ctx context.Context) error {
 // Close tears the worker pool down without drain semantics (tests).
 func (s *Server) Close() {
 	s.ready.Store(false)
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
 	s.manager.Close()
 }
 
@@ -220,10 +251,10 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// errorBody writes a JSON error document. Every 503 carries a Retry-After
-// header (delta-seconds) so well-behaved clients — chaos.Retry among them —
-// back off for the server's own estimate of the drain window instead of
-// hammering a restarting instance.
+// errorBody writes a JSON error document. Every shed-load response (503 and
+// 429) carries a Retry-After header (delta-seconds) so well-behaved clients
+// — chaos.Retry among them — back off for the server's own estimate of the
+// pressure window instead of hammering a loaded or restarting instance.
 func errorBody(w http.ResponseWriter, code int, msg string) {
 	errorBodyFields(w, code, msg, nil)
 }
@@ -232,7 +263,7 @@ func errorBody(w http.ResponseWriter, code int, msg string) {
 // "error" — e.g. the configured limit a request exceeded.
 func errorBodyFields(w http.ResponseWriter, code int, msg string, fields map[string]any) {
 	w.Header().Set("Content-Type", "application/json")
-	if code == http.StatusServiceUnavailable {
+	if code == http.StatusServiceUnavailable || code == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", "1")
 	}
 	w.WriteHeader(code)
@@ -327,6 +358,22 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Coordinator mode: route into the fleet instead of the local pool.
+	if s.cluster != nil {
+		s.serveCluster(w, r, req, h, instName, instHash, key)
+		return
+	}
+
+	// Worker mode: a sibling may already hold these exact bytes. Any peer
+	// failure falls through to a local compute.
+	if s.peers != nil {
+		if body, ok := s.peers.Lookup(r.Context(), key); ok {
+			s.cache.Put(key, body)
+			s.writeReport(w, body, "peer", "")
+			return
+		}
+	}
+
 	job, coalesced, err := s.manager.Submit(req, h, instName, instHash, key)
 	switch {
 	case errors.Is(err, errDraining):
@@ -378,6 +425,86 @@ func flightLabel(coalesced bool) string {
 	return "miss"
 }
 
+// serveCluster is handlePartition's coordinator-mode tail: submit to the
+// Coordinator (singleflight by cache key, like Manager), then either return
+// the async handle or wait. A waiting client that goes away detaches with
+// 499 while the cluster job keeps running and fills the cache — the same
+// waiter discipline as the single-node path.
+func (s *Server) serveCluster(w http.ResponseWriter, r *http.Request,
+	req PartitionRequest, h *hypergraph.Hypergraph, instName, instHash, key string) {
+	cj, coalesced, err := s.cluster.Submit(req, h, instName, instHash, key)
+	switch {
+	case errors.Is(err, errDraining):
+		errorBody(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case errors.Is(err, errClusterBusy):
+		errorBody(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		errorBody(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if coalesced {
+		s.cache.Coalesced()
+	} else {
+		s.cache.Miss()
+	}
+
+	if req.Async {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Hgserved-Cache", flightLabel(coalesced))
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(map[string]string{
+			"job": cj.ID, "cache_key": key, "status": "/v1/jobs/" + cj.ID,
+		})
+		return
+	}
+
+	select {
+	case <-cj.Done():
+	case <-r.Context().Done():
+		errorBody(w, 499, "client closed request; job "+cj.ID+" continues")
+		return
+	}
+	code, reportBytes, errMsg := cj.Result()
+	if code != http.StatusOK {
+		errorBody(w, code, errMsg)
+		return
+	}
+	disposition := flightLabel(coalesced)
+	if st := cj.Status(); st.Worker == "local" {
+		disposition = "local-fallback"
+	}
+	s.writeReport(w, reportBytes, disposition, cj.ID)
+}
+
+// handleCluster reports the coordinator's fleet view; a non-coordinator
+// node answers with its mode so ops tooling can probe any node uniformly.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.cluster == nil {
+		mode := "single-node"
+		if s.peers != nil {
+			mode = "worker"
+		}
+		_ = json.NewEncoder(w).Encode(ClusterStatus{Mode: mode})
+		return
+	}
+	_ = json.NewEncoder(w).Encode(s.cluster.Status())
+}
+
+// handlePeerCache serves sibling cache probes: the raw cached report bytes
+// for a key, or 404. Peek leaves this node's own hit accounting untouched.
+func (s *Server) handlePeerCache(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.cache.Peek(r.PathValue("key"))
+	if !ok {
+		errorBody(w, http.StatusNotFound, "key not cached")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}
+
 // writeReport sends the deterministic report bytes verbatim. Cache
 // disposition and job id ride in headers so the body stays byte-identical
 // across hit, miss and coalesced paths.
@@ -392,7 +519,15 @@ func (s *Server) writeReport(w http.ResponseWriter, body []byte, disposition, jo
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.manager.Job(r.PathValue("id"))
+	id := r.PathValue("id")
+	if s.cluster != nil {
+		if cj, ok := s.cluster.Job(id); ok {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(cj.Status())
+			return
+		}
+	}
+	j, ok := s.manager.Job(id)
 	if !ok {
 		errorBody(w, http.StatusNotFound, "no such job")
 		return
@@ -424,6 +559,13 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		st.BSF = nil
 		out = append(out, st)
 	}
+	if s.cluster != nil {
+		for _, cj := range s.cluster.Jobs() {
+			st := cj.Status()
+			st.Report = nil
+			out = append(out, st)
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(out)
 }
@@ -448,12 +590,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.Render(w, GaugeSnapshot{
+	g := GaugeSnapshot{
 		QueueDepth: s.manager.QueueDepth(),
 		Running:    s.manager.Running(),
 		Ready:      s.ready.Load(),
 		Cache:      s.cache.Stats(),
-	})
+	}
+	if s.cluster != nil {
+		g.ClusterHealthy, g.ClusterWorkers = s.cluster.healthyCount()
+	}
+	s.metrics.Render(w, g)
 }
 
 // handleHealthz is liveness: the process is up and serving HTTP.
