@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fuzz bench bench-smoke bench-go serve-smoke chaos-smoke cluster-smoke ci
+.PHONY: all build test race vet lint lint-strict fuzz bench bench-smoke bench-go serve-smoke chaos-smoke cluster-smoke ci
 
 all: build
 
@@ -13,12 +13,20 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Determinism and reproducibility analyzers (internal/lint via cmd/hglint):
-# banned randomness/wall-clock in algorithm packages, result-affecting map
-# iteration, RNG sharing across goroutines, panic boundary policy, and
-# cancellable experiment sweeps. Fails on any unannotated finding.
+# Determinism, reproducibility, and concurrency-safety analyzers
+# (internal/lint via cmd/hglint): banned randomness/wall-clock in algorithm
+# packages, result-affecting map iteration, RNG sharing across goroutines,
+# panic boundary policy, cancellable experiment sweeps, guarded-field lock
+# discipline, goroutine lifecycle proofs, and hot-path allocation freedom.
+# Fails on any unannotated finding.
 lint: vet
 	$(GO) run ./cmd/hglint ./...
+
+# Everything lint checks, plus the stale-suppression audit: an
+# //hglint:ignore directive that no longer suppresses any finding is itself
+# an error, so suppressions cannot outlive their bug (DESIGN.md §13).
+lint-strict: vet
+	$(GO) run ./cmd/hglint -strict ./...
 
 # Race-enabled run of the concurrency-sensitive packages plus the full suite.
 race:
@@ -70,7 +78,8 @@ chaos-smoke:
 cluster-smoke:
 	$(GO) test -run TestClusterSmoke -count=1 -timeout 360s ./cmd/hgchaos
 
-# What CI runs: build, static checks (vet + hglint), the full test suite
-# under the race detector, the benchmark smoke gate, the daemon smoke, and
-# the crash-consistency and cluster kill/restart smokes.
-ci: build lint race bench-smoke serve-smoke chaos-smoke cluster-smoke
+# What CI runs: build, static checks (vet + hglint with the stale-suppression
+# audit), the full test suite under the race detector, the benchmark smoke
+# gate, the daemon smoke, and the crash-consistency and cluster kill/restart
+# smokes.
+ci: build lint-strict race bench-smoke serve-smoke chaos-smoke cluster-smoke

@@ -16,6 +16,9 @@
 //	-fix          apply suggested fixes to the source, then report what
 //	              remains
 //	-analyzers    comma-separated subset of analyzers to run
+//	-strict       additionally flag stale //hglint:ignore directives that no
+//	              longer suppress any finding (requires the full analyzer
+//	              set, so -strict and -analyzers are mutually exclusive)
 //	-list         print the available analyzers and exit
 //
 // Findings are suppressed with an in-source annotation carrying a mandatory
@@ -44,8 +47,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
 	fix := fs.Bool("fix", false, "apply suggested fixes, then report what remains")
 	subset := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	strict := fs.Bool("strict", false, "also flag stale ignore directives (incompatible with -analyzers)")
 	list := fs.Bool("list", false, "print the available analyzers and exit")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *strict && *subset != "" {
+		// A directive is only provably stale against the full analyzer set:
+		// a subset run would see every other analyzer's suppression as
+		// unused.
+		fmt.Fprintln(stderr, "hglint: -strict requires the full analyzer set; drop -analyzers")
 		return 2
 	}
 
@@ -91,7 +102,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "hglint: %v\n", err)
 		return 2
 	}
-	findings, err := analysis.Run(modRoot, pkgs, analyzers)
+	opts := analysis.Options{ReportStale: *strict}
+	findings, err := analysis.RunWith(modRoot, pkgs, analyzers, opts)
 	if err != nil {
 		fmt.Fprintf(stderr, "hglint: %v\n", err)
 		return 2
@@ -114,7 +126,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "hglint: reloading after fixes: %v\n", err)
 			return 2
 		}
-		findings, err = analysis.Run(modRoot, pkgs, analyzers)
+		findings, err = analysis.RunWith(modRoot, pkgs, analyzers, opts)
 		if err != nil {
 			fmt.Fprintf(stderr, "hglint: %v\n", err)
 			return 2

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -72,6 +74,126 @@ func TestAnalyzerSubset(t *testing.T) {
 	}
 	if code := run([]string{"-analyzers", "nosuch", "./..."}, &stdout, &stderr); code != 2 {
 		t.Fatalf("unknown analyzer: exit code = %d, want 2", code)
+	}
+}
+
+// writeModule materializes a tiny module under a temp dir and chdirs into
+// it, so runs exercise the same FindModule/Loader path as a real invocation.
+func writeModule(t *testing.T, files map[string]string) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module m\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Chdir(dir)
+}
+
+func TestStrictRejectsAnalyzerSubset(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-strict", "-analyzers", "detrand", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2 (usage error)", code)
+	}
+	if !strings.Contains(stderr.String(), "-strict requires the full analyzer set") {
+		t.Errorf("stderr %q should explain the -strict/-analyzers conflict", stderr.String())
+	}
+}
+
+// A suppression that no longer suppresses anything is invisible to a plain
+// run but an error under -strict, reported as the pseudo-analyzer "hglint"
+// so the JSON artifact attributes it to the directive machinery itself.
+func TestStrictFlagsStaleSuppression(t *testing.T) {
+	writeModule(t, map[string]string{
+		"internal/util/util.go": `package util
+
+// Nothing on the next line trips detrand anymore; the directive is stale.
+//hglint:ignore detrand historical: this once wrapped a time.Now call
+func Twice(n int) int { return 2 * n }
+`,
+	})
+
+	var stdout, stderr strings.Builder
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("plain run exit = %d, want 0 (stale directives are not plain findings); stderr: %s", code, stderr.String())
+	}
+
+	stdout.Reset()
+	code := run([]string{"-strict", "-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("-strict exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var findings []analysis.Finding
+	if err := json.Unmarshal([]byte(stdout.String()), &findings); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, stdout.String())
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %+v, want exactly the stale directive", findings)
+	}
+	f := findings[0]
+	if f.Analyzer != analysis.DirectiveAnalyzer {
+		t.Errorf("analyzer = %q, want %q", f.Analyzer, analysis.DirectiveAnalyzer)
+	}
+	if f.File != "internal/util/util.go" {
+		t.Errorf("file = %q, want internal/util/util.go", f.File)
+	}
+	if !strings.Contains(f.Message, "stale suppression") || !strings.Contains(f.Message, "detrand") {
+		t.Errorf("message %q should call out the stale detrand suppression", f.Message)
+	}
+}
+
+// -fix applies a mechanical suggested fix (here sharedguard's lock/defer
+// wrap), reports what it changed on stderr, and re-analyzes so the finding
+// disappears from the same invocation; a following plain run stays clean.
+func TestFixRoundTrip(t *testing.T) {
+	writeModule(t, map[string]string{
+		"internal/service/svc.go": `package service
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int //hglint:guardedby mu
+}
+
+func (c *counter) bump() {
+	c.n++
+}
+`,
+	})
+
+	var stdout, stderr strings.Builder
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("pre-fix exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-fix", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-fix exit = %d, want 0 once the fix lands; stdout: %s stderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "fixed") {
+		t.Errorf("-fix stderr %q should name the rewritten file", stderr.String())
+	}
+	src, err := os.ReadFile(filepath.FromSlash("internal/service/svc.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "c.mu.Lock()") || !strings.Contains(string(src), "defer c.mu.Unlock()") {
+		t.Errorf("fixed source lacks the lock/defer wrap:\n%s", src)
+	}
+
+	stdout.Reset()
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("post-fix exit = %d, want 0; stdout: %s", code, stdout.String())
 	}
 }
 

@@ -8,6 +8,8 @@ import "hgpart/internal/partition"
 // which never change during a pass.
 
 // isBoundary reports whether v is incident to at least one cut net.
+//
+//hglint:hotpath
 func (e *Engine) isBoundary(v int32) bool {
 	for _, edge := range e.h.IncidentEdges(v) {
 		c := e.cnt[edge]
@@ -23,6 +25,8 @@ func (e *Engine) isBoundary(v int32) bool {
 // that were interior a moment ago; eligible absent pins enter the container
 // at their full current gain (or at zero under CLIP, matching the CLIP
 // convention that container keys are cumulative deltas since insertion).
+//
+//hglint:hotpath
 func (e *Engine) insertNewBoundary(p *partition.P, v int32, slack int64) {
 	to := e.side[v] // already moved
 	for _, edge := range e.h.IncidentEdges(v) {

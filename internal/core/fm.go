@@ -302,6 +302,8 @@ func (e *Engine) syncPartition(p *partition.P) {
 }
 
 // mirrorLegal is p.Legal against the mirror.
+//
+//hglint:hotpath
 func (e *Engine) mirrorLegal() bool {
 	return e.bal.Contains(e.area[0]) && e.bal.Contains(e.area[1])
 }
@@ -309,6 +311,8 @@ func (e *Engine) mirrorLegal() bool {
 // mirrorMoveLegal is p.MoveLegal against the mirror. The fixed-vertex check
 // is unnecessary: fixed vertices are never inserted into the gain container,
 // and only container members are proposed.
+//
+//hglint:hotpath
 func (e *Engine) mirrorMoveLegal(v int32) bool {
 	w := e.h.VertexWeight(v)
 	from := e.side[v]
@@ -316,6 +320,8 @@ func (e *Engine) mirrorMoveLegal(v int32) bool {
 }
 
 // mirrorGain is p.Gain against the mirror.
+//
+//hglint:hotpath
 func (e *Engine) mirrorGain(v int32) int64 {
 	from := e.side[v]
 	to := 1 - from
@@ -338,6 +344,8 @@ func (e *Engine) mirrorGain(v int32) int64 {
 // reports whether the pass ended with unlocked vertices still in the gain
 // container but every head move illegal (corking). curCut is the cut of the
 // solution left in the mirror after rollback (the caller syncs p lazily).
+//
+//hglint:hotpath
 func (e *Engine) pass(p *partition.P, passNo int) (improved bool, moves int64, stuck bool, curCut int64) {
 	if e.mirrorDirty {
 		e.rebuildMirror()
@@ -408,6 +416,7 @@ func (e *Engine) pass(p *partition.P, passNo int) (improved bool, moves int64, s
 		if e.cfg.BoundaryOnly {
 			e.insertNewBoundary(p, v, slack)
 		}
+		//hglint:ignore hotalloc arena append: moveStack keeps its capacity across passes, so growth happens once per engine, not per pass
 		e.moveStack = append(e.moveStack, v)
 		moves++
 		lastFrom = from
@@ -477,6 +486,8 @@ func (e *Engine) pass(p *partition.P, passNo int) (improved bool, moves int64, s
 // side offers only the head of its highest non-empty bucket; an illegal head
 // disqualifies the whole side (unless LookPastIllegal). Between two legal
 // candidates the higher key wins; equal keys are resolved by the Bias.
+//
+//hglint:hotpath
 func (e *Engine) selectMove(lastFrom uint8, hasLast bool) (int32, bool) {
 	var cand [2]int32
 	var key [2]int64
@@ -501,6 +512,7 @@ func (e *Engine) selectMove(lastFrom uint8, hasLast bool) (int32, bool) {
 		if e.cfg.LookPastIllegal {
 			// Scan the remainder of the head bucket for a legal move —
 			// the costly alternative the paper evaluated and rejected.
+			//hglint:ignore hotalloc ablation-only branch (LookPastIllegal, off in every default config); its cost is the point of the experiment
 			e.cont.WalkBucket(s, k, func(u int32) bool {
 				e.work++
 				if e.mirrorMoveLegal(u) {
@@ -514,6 +526,7 @@ func (e *Engine) selectMove(lastFrom uint8, hasLast bool) (int32, bool) {
 		if e.cfg.SkipBucketOnly {
 			// Skip only the corked bucket: examine the head of each lower
 			// bucket until a legal move appears.
+			//hglint:ignore hotalloc ablation-only branch (SkipBucketOnly, off in every default config); its cost is the point of the experiment
 			e.cont.HeadsDown(s, func(u int32, uk int64) bool {
 				e.work++
 				if e.mirrorMoveLegal(u) {
@@ -573,6 +586,8 @@ func (e *Engine) selectMove(lastFrom uint8, hasLast bool) (int32, bool) {
 // container, so Contains is false. Interleaving the count updates with the
 // neighbor sweep is safe because each net's deltas read only that net's own
 // pre-move counts and the (not yet flipped) side vector.
+//
+//hglint:hotpath
 func (e *Engine) applyMove(v int32) {
 	from := e.side[v]
 	to := 1 - from
@@ -625,6 +640,8 @@ func (e *Engine) applyMove(v int32) {
 // restored with one sweep; no gain bookkeeping is needed because the pass is
 // over. This is what keeps the mirror valid across passes — the seed pays a
 // fully counted p.Move per rolled move plus per-pass recounts.
+//
+//hglint:hotpath
 func (e *Engine) unmove(v int32) {
 	from := e.side[v] // the to-side of the original move
 	to := 1 - from
@@ -657,9 +674,12 @@ func (e *Engine) unmove(v int32) {
 // skipped without touching its pin list, so the sweep is O(nets + critical
 // pins) rather than O(pins) — and the buffer is an arena, so pass startup
 // allocates nothing in steady state.
+//
+//hglint:hotpath
 func (e *Engine) computeAllGains() {
 	n := e.h.NumVertices()
 	if cap(e.gainBuf) < n {
+		//hglint:ignore hotalloc arena grow: taken once per engine/instance pairing, then the capacity check keeps every later pass allocation-free
 		e.gainBuf = make([]int64, n)
 	} else {
 		e.gainBuf = e.gainBuf[:n]

@@ -63,15 +63,17 @@ import (
 // ENOSPC, failed fsyncs and SIGKILL through the same code paths production
 // uses (DESIGN.md §11).
 type Checkpoint struct {
-	mu          sync.Mutex
-	fsys        chaos.FS
-	f           chaos.File
-	w           *bufio.Writer
-	version     int  // journal format being appended: 1 or 2
-	needNL      bool // file ends mid-line (torn tail); repair before appending
-	done        map[int]StartResult
-	quarantined []Quarantined
-	err         error
+	mu   sync.Mutex
+	fsys chaos.FS      // immutable after OpenCheckpointFS
+	f    chaos.File    //hglint:guardedby mu
+	w    *bufio.Writer //hglint:guardedby mu
+	// version is the journal format being appended: 1 or 2.
+	version int //hglint:guardedby mu
+	// needNL means the file ends mid-line (torn tail); repair before appending.
+	needNL      bool                //hglint:guardedby mu
+	done        map[int]StartResult //hglint:guardedby mu
+	quarantined []Quarantined       //hglint:guardedby mu
+	err         error               //hglint:guardedby mu
 }
 
 // Quarantined describes one damaged or invalid journal record dropped during
@@ -295,9 +297,9 @@ func writeQuarantine(fsys chaos.FS, path string, qs []Quarantined) {
 	_ = f.Sync()
 }
 
-// quarantine files one damaged record, truncating the raw bytes to keep the
-// report bounded.
-func (c *Checkpoint) quarantine(line int, start int, reason string, raw []byte) {
+// quarantineLocked files one damaged record, truncating the raw bytes to
+// keep the report bounded. Called from load with c.mu held.
+func (c *Checkpoint) quarantineLocked(line int, start int, reason string, raw []byte) {
 	const maxRaw = 256
 	if len(raw) > maxRaw {
 		raw = raw[:maxRaw]
@@ -327,6 +329,11 @@ func salvageStart(line []byte, n int) int {
 // an error (resume of a run that never started is a fresh run). Damaged or
 // invalid records are quarantined, not fatal.
 func (c *Checkpoint) load(path, name string, seed uint64, n int) error {
+	// load runs during construction, before the Checkpoint is shared, but it
+	// writes every mu-guarded field — holding the lock keeps the discipline
+	// uniform (and sharedguard-checkable) at zero contention cost.
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	f, err := c.fsys.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
@@ -370,14 +377,14 @@ func (c *Checkpoint) load(path, name string, seed uint64, n int) error {
 			continue
 		}
 		if last && torn {
-			c.quarantine(lineNo, salvageStart(line, n), "torn final record (crash mid-write)", line)
+			c.quarantineLocked(lineNo, salvageStart(line, n), "torn final record (crash mid-write)", line)
 			continue
 		}
 		var payload []byte
 		if version >= 2 {
 			payload, err = parseFrame(line)
 			if err != nil {
-				c.quarantine(lineNo, salvageStart(line, n), err.Error(), line)
+				c.quarantineLocked(lineNo, salvageStart(line, n), err.Error(), line)
 				continue
 			}
 		} else {
@@ -389,22 +396,22 @@ func (c *Checkpoint) load(path, name string, seed uint64, n int) error {
 				// v1 has no framing, so a mid-file parse failure is
 				// indistinguishable from a torn tail followed by newer
 				// appends; the only safe reading is to drop the remainder.
-				c.quarantine(lineNo, salvageStart(line, n), "unparseable v1 record; dropping remainder of journal", line)
+				c.quarantineLocked(lineNo, salvageStart(line, n), "unparseable v1 record; dropping remainder of journal", line)
 				break
 			}
-			c.quarantine(lineNo, salvageStart(line, n), "framed payload is not valid JSON", line)
+			c.quarantineLocked(lineNo, salvageStart(line, n), "framed payload is not valid JSON", line)
 			continue
 		}
 		if rec.Kind != "start" {
-			c.quarantine(lineNo, -1, fmt.Sprintf("unexpected record kind %q", rec.Kind), line)
+			c.quarantineLocked(lineNo, -1, fmt.Sprintf("unexpected record kind %q", rec.Kind), line)
 			continue
 		}
 		if rec.Start < 0 || rec.Start >= n {
-			c.quarantine(lineNo, -1, fmt.Sprintf("start %d out of range [0,%d)", rec.Start, n), line)
+			c.quarantineLocked(lineNo, -1, fmt.Sprintf("start %d out of range [0,%d)", rec.Start, n), line)
 			continue
 		}
 		if _, dup := c.done[rec.Start]; dup {
-			c.quarantine(lineNo, rec.Start, fmt.Sprintf("duplicate record for start %d; keeping the first", rec.Start), line)
+			c.quarantineLocked(lineNo, rec.Start, fmt.Sprintf("duplicate record for start %d; keeping the first", rec.Start), line)
 			continue
 		}
 		sr := StartResult{
@@ -420,7 +427,7 @@ func (c *Checkpoint) load(path, name string, seed uint64, n int) error {
 			sr.Status = StartFailed
 			sr.Err = errors.New(rec.Err)
 		default:
-			c.quarantine(lineNo, rec.Start, fmt.Sprintf("unknown status %q", rec.Status), line)
+			c.quarantineLocked(lineNo, rec.Start, fmt.Sprintf("unknown status %q", rec.Status), line)
 			continue
 		}
 		c.done[rec.Start] = sr
@@ -512,6 +519,8 @@ func (c *Checkpoint) record(sr StartResult) {
 // loss. If the file ends in a torn line from a previous crash, a repair
 // newline is emitted first so the new record cannot concatenate onto the
 // damaged bytes. Callers hold c.mu.
+//
+//hglint:holds c.mu
 func (c *Checkpoint) writeLine(rec startRecord) error {
 	if c.f == nil {
 		return errors.New("eval: checkpoint journal is closed")

@@ -160,6 +160,7 @@ func grow64(s []int64, n int) []int64 {
 	return make([]int64, n)
 }
 
+//hglint:hotpath
 func (c *Container) clampIdx(key int64) int {
 	i := key + c.offset
 	if i < 0 {
@@ -172,21 +173,31 @@ func (c *Container) clampIdx(key int64) int {
 }
 
 // Contains reports whether v is currently in the container.
+//
+//hglint:hotpath
 func (c *Container) Contains(v int32) bool { return c.gen[v] == c.cur }
 
 // Key returns v's current key; only meaningful while Contains(v).
+//
+//hglint:hotpath
 func (c *Container) Key(v int32) int64 { return c.key[v] }
 
 // SideOf returns the side under which v was inserted.
+//
+//hglint:hotpath
 func (c *Container) SideOf(v int32) uint8 { return c.side[v] }
 
 // Size returns the number of elements filed under side s.
+//
+//hglint:hotpath
 func (c *Container) Size(s uint8) int { return c.size[s] }
 
 // link files v (already carrying key/side state) into bucket idx of side s,
 // at the head or tail per the insertion order. Exactly one RNG draw happens
 // for Random order regardless of bucket occupancy, matching the legacy
 // container's draw sequence bit for bit.
+//
+//hglint:hotpath
 func (c *Container) link(v int32, s uint8, idx int) {
 	atHead := true
 	switch c.order {
@@ -218,6 +229,8 @@ func (c *Container) link(v int32, s uint8, idx int) {
 }
 
 // unlink removes v from bucket idx of side s without touching membership.
+//
+//hglint:hotpath
 func (c *Container) unlink(v int32, s uint8, idx int) {
 	pv, nx := c.prev[v], c.next[v]
 	if pv != 0 {
@@ -234,6 +247,8 @@ func (c *Container) unlink(v int32, s uint8, idx int) {
 
 // Insert files v under side s with the given key. v must not already be in
 // the container.
+//
+//hglint:hotpath
 func (c *Container) Insert(v int32, s uint8, key int64) {
 	if c.gen[v] == c.cur {
 		panic("gain: double insert")
@@ -246,6 +261,8 @@ func (c *Container) Insert(v int32, s uint8, key int64) {
 }
 
 // Remove unfiles v. v must be in the container.
+//
+//hglint:hotpath
 func (c *Container) Remove(v int32) {
 	if c.gen[v] != c.cur {
 		panic("gain: remove of absent vertex")
@@ -263,6 +280,8 @@ func (c *Container) Remove(v int32) {
 // still reinserts the vertex and thereby shifts its position within the same
 // bucket. The relink is fused — membership, side and size bookkeeping are
 // untouched — which is what makes the delta-gain churn of an FM pass cheap.
+//
+//hglint:hotpath
 func (c *Container) Update(v int32, delta int64) {
 	if c.gen[v] != c.cur {
 		panic("gain: remove of absent vertex")
@@ -287,6 +306,8 @@ func (c *Container) Update(v int32, delta int64) {
 // Update(y, 0). Using the container's own side record is sound because a
 // member's side cannot change while it is filed: movers are removed before
 // their neighbors are updated.
+//
+//hglint:hotpath
 func (c *Container) ApplyDelta(y int32, from uint8, dFrom, dTo int64, zeroReinsert bool) bool {
 	if c.gen[y] != c.cur {
 		return false
@@ -312,6 +333,8 @@ func (c *Container) ApplyDelta(y int32, from uint8, dFrom, dTo int64, zeroReinse
 // Batching the whole pin list into one call keeps the container's arrays hot
 // in registers across the inner loop of the FM neighbor sweep — the single
 // hottest loop in the library — instead of re-establishing them per pin.
+//
+//hglint:hotpath
 func (c *Container) ApplyDeltaPins(pins []int32, mover int32, from uint8, dFrom, dTo int64, zeroReinsert bool) int {
 	visited := 0
 	gen, cur := c.gen, c.cur
@@ -341,6 +364,8 @@ func (c *Container) ApplyDeltaPins(pins []int32, mover int32, from uint8, dFrom,
 // ok is false when side s is empty. This is the only element FM selection
 // examines ("partitioners typically look at only the first move in a
 // bucket") — if the returned move is illegal, the engine skips the side.
+//
+//hglint:hotpath
 func (c *Container) Head(s uint8) (v int32, key int64, ok bool) {
 	if c.size[s] == 0 {
 		c.maxIdx[s] = -1
@@ -360,6 +385,8 @@ func (c *Container) Head(s uint8) (v int32, key int64, ok bool) {
 // WalkBucket calls fn for each vertex in the bucket containing key on side
 // s, in list order, stopping early if fn returns false. Used by the
 // "look beyond the first move" ablation (LookPastIllegal).
+//
+//hglint:hotpath
 func (c *Container) WalkBucket(s uint8, key int64, fn func(v int32) bool) {
 	idx := c.clampIdx(key)
 	for n := c.head[s][idx]; n != 0; n = c.next[n-1] {
@@ -371,6 +398,8 @@ func (c *Container) WalkBucket(s uint8, key int64, fn func(v int32) bool) {
 
 // WalkDown calls fn for every vertex on side s in non-increasing key order,
 // stopping early if fn returns false.
+//
+//hglint:hotpath
 func (c *Container) WalkDown(s uint8, fn func(v int32, key int64) bool) {
 	for idx := c.maxIdx[s]; idx >= 0; idx-- {
 		for n := c.head[s][idx]; n != 0; n = c.next[n-1] {
@@ -388,6 +417,8 @@ func (c *Container) WalkDown(s uint8, fn func(v int32, key int64) bool) {
 // invariant). This is what makes engine/arena reuse across starts free —
 // and, because stale per-vertex key/side entries are unreachable once the
 // epoch moves on, reuse cannot leak state between starts.
+//
+//hglint:hotpath
 func (c *Container) Clear() {
 	for s := 0; s < 2; s++ {
 		if c.maxIdx[s] >= 0 {
@@ -467,6 +498,8 @@ func (c *Container) VerifyInvariants() error {
 // non-increasing key order, stopping early if fn returns false. FM variants
 // that skip only the corked bucket (rather than the whole side) use this to
 // examine the next bucket's head.
+//
+//hglint:hotpath
 func (c *Container) HeadsDown(s uint8, fn func(v int32, key int64) bool) {
 	for idx := c.maxIdx[s]; idx >= 0; idx-- {
 		n := c.head[s][idx]

@@ -190,6 +190,8 @@ func (e *Engine) reset(parts objective.Assignment, r *rng.RNG) {
 // scratch by sweeping v's nets. The hot path never calls this — it reads
 // the cached decomposition instead — but pass rollback and the tests do,
 // and it documents the quantity the cache must reproduce exactly.
+//
+//hglint:hotpath
 func (e *Engine) gain(v int32, t int32) int64 {
 	src := e.part[v]
 	var g int64
@@ -243,6 +245,8 @@ func (e *Engine) gain(v int32, t int32) int64 {
 // recompute fills v's cached decomposition from the current pin counts.
 // Called once per vertex per Refine (from reset); moves keep it current
 // afterwards, across passes.
+//
+//hglint:hotpath
 func (e *Engine) recompute(v int32) {
 	src := e.part[v]
 	tgt := e.gtgt[int(v)*e.k : int(v)*e.k+e.k]
@@ -284,6 +288,8 @@ func (e *Engine) recompute(v int32) {
 // gbase[v] shifts every target equally, the argmax over gtgt alone equals
 // the argmax over full gains; target order and strict-improvement
 // tie-breaking are identical to the reference's per-target gain calls.
+//
+//hglint:hotpath
 func (e *Engine) selectBest(v int32) (t int32, g int64, ok bool) {
 	src := e.part[v]
 	w := e.h.VertexWeight(v)
@@ -338,6 +344,8 @@ func (e *Engine) selectBest(v int32) (t int32, g int64, ok bool) {
 // move must yield gain -g, so gbase[v] = -g - gtgt[v][src] after patching.
 // (Both objectives are exactly reversible: each net's post-move counts are
 // the pre-move counts of the reverse move, term by term.)
+//
+//hglint:hotpath
 func (e *Engine) move(v int32, t int32, g int64) {
 	src := e.part[v]
 	connectivity := e.cfg.Objective == ConnectivityObjective
@@ -410,6 +418,8 @@ func (e *Engine) move(v int32, t int32, g int64) {
 }
 
 // legal reports whether moving v to t keeps both affected parts in bounds.
+//
+//hglint:hotpath
 func (e *Engine) legal(v int32, t int32) bool {
 	src := e.part[v]
 	if src == t {
@@ -455,6 +465,8 @@ func (e *Engine) Refine(parts objective.Assignment, r *rng.RNG) (Result, error) 
 // keeps exact. The container Remove/Insert sequence (including repeated
 // refreshes of a vertex sharing several nets with the mover, which reset
 // its LIFO position) is byte-for-byte the reference's.
+//
+//hglint:hotpath
 func (e *Engine) pass(r *rng.RNG) (bool, int64) {
 	clear(e.locked)
 	e.cont.Clear()
@@ -496,6 +508,7 @@ func (e *Engine) pass(r *rng.RNG) (bool, int64) {
 		e.cont.Remove(v)
 		e.locked[v] = true
 		e.move(v, t, g)
+		//hglint:ignore hotalloc arena append: stack keeps its capacity across passes, so growth happens once per engine, not per pass
 		e.stack = append(e.stack, moveRec{v: v, from: from})
 		moves++
 

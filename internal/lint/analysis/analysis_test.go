@@ -1,10 +1,12 @@
 package analysis
 
 import (
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -124,5 +126,87 @@ func c() {
 	}
 	if d.problems[1].Line != 16 {
 		t.Errorf("unknown-analyzer problem on line %d, want 16", d.problems[1].Line)
+	}
+}
+
+// TestStaleSuppressionAudit proves RunWith(ReportStale) flags exactly the
+// ignore directives that no longer suppress anything, leaving live ones
+// alone. A fake analyzer flags every call to bad(); the fixture suppresses
+// one real finding (live), one call site that was since fixed (stale), and
+// carries a file-ignore for an analyzer that never fires (stale).
+func TestStaleSuppressionAudit(t *testing.T) {
+	src := `package p
+
+//hglint:file-ignore beta nothing in this file ever triggers beta
+
+func bad() {}
+func good() {}
+
+func f() {
+	bad() //hglint:ignore alpha live suppression of a real finding
+	good() //hglint:ignore alpha stale: the bad call was removed
+}
+`
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module m\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	alpha := &Analyzer{
+		Name: "alpha",
+		Doc:  "flags calls to bad",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "bad" {
+							pass.Reportf(call.Pos(), "call to bad")
+						}
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	beta := &Analyzer{Name: "beta", Doc: "never fires", Run: func(*Pass) error { return nil }}
+
+	l := NewLoader(dir, "m")
+	pkgs, err := l.Load(".")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+
+	// Default driver: the live suppression eats the finding, nothing else.
+	quiet, err := Run(dir, pkgs, []*Analyzer{alpha, beta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quiet) != 0 {
+		t.Fatalf("Run without ReportStale: got findings %v, want none", quiet)
+	}
+
+	got, err := RunWith(dir, pkgs, []*Analyzer{alpha, beta}, Options{ReportStale: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d stale findings, want 2: %v", len(got), got)
+	}
+	for _, f := range got {
+		if f.Analyzer != DirectiveAnalyzer {
+			t.Errorf("stale finding under %q, want %q", f.Analyzer, DirectiveAnalyzer)
+		}
+		if !strings.Contains(f.Message, "stale suppression") {
+			t.Errorf("message %q does not mention stale suppression", f.Message)
+		}
+	}
+	if got[0].Line != 3 || !strings.Contains(got[0].Message, "beta") {
+		t.Errorf("first stale finding = %v, want the beta file-ignore on line 3", got[0])
+	}
+	if got[1].Line != 10 || !strings.Contains(got[1].Message, "alpha") {
+		t.Errorf("second stale finding = %v, want the alpha ignore on line 10", got[1])
 	}
 }

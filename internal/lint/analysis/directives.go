@@ -31,21 +31,59 @@ const (
 	DirectiveAnalyzer = "hglint"
 )
 
+// directiveEntry is one parsed (analyzer, scope) pair of a directive: a
+// single //hglint:ignore a,b comment produces one entry per analyzer name.
+// Entries remember whether they ever suppressed a diagnostic so the strict
+// driver can flag stale suppressions that outlived their bug.
+type directiveEntry struct {
+	analyzer string
+	// line/col locate the directive comment itself.
+	line, col int
+	// covers are the source lines this entry suppresses (the directive's own
+	// line, plus the next line for stand-alone directives); nil for
+	// file-level entries.
+	covers []int
+	isFile bool
+	used   bool
+}
+
 // directives is the parsed suppression state of one file.
 type directives struct {
 	// line maps analyzer name -> set of suppressed lines.
 	line map[string]map[int]bool
 	// file is the set of analyzers suppressed for the whole file.
 	file map[string]bool
+	// entries records every well-formed directive for the stale audit.
+	entries []*directiveEntry
 	// problems are malformed-directive findings.
 	problems []Finding
 }
 
 func (d *directives) suppressed(analyzer string, line int) bool {
+	hit := false
 	if d.file[analyzer] {
-		return true
+		hit = true
+	} else if d.line[analyzer][line] {
+		hit = true
 	}
-	return d.line[analyzer][line]
+	if !hit {
+		return false
+	}
+	for _, e := range d.entries {
+		if e.analyzer != analyzer {
+			continue
+		}
+		if e.isFile {
+			e.used = true
+			continue
+		}
+		for _, l := range e.covers {
+			if l == line {
+				e.used = true
+			}
+		}
+	}
+	return true
 }
 
 // parseDirectives extracts hglint directives from one parsed file. known is
@@ -83,6 +121,8 @@ func parseDirectives(fset *token.FileSet, f *ast.File, known map[string]bool, re
 					})
 					continue
 				}
+				entry := &directiveEntry{analyzer: name, line: pos.Line, col: pos.Column, isFile: isFile}
+				d.entries = append(d.entries, entry)
 				if isFile {
 					d.file[name] = true
 					continue
@@ -91,8 +131,10 @@ func parseDirectives(fset *token.FileSet, f *ast.File, known map[string]bool, re
 					d.line[name] = map[int]bool{}
 				}
 				d.line[name][pos.Line] = true
+				entry.covers = append(entry.covers, pos.Line)
 				if standsAlone(src, fset, c.Pos()) {
 					d.line[name][pos.Line+1] = true
+					entry.covers = append(entry.covers, pos.Line+1)
 				}
 			}
 		}

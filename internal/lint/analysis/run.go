@@ -31,11 +31,25 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 }
 
+// Options tunes the driver beyond the default Run behavior.
+type Options struct {
+	// ReportStale turns unused //hglint:ignore directives into findings
+	// (under the "hglint" pseudo-analyzer): a suppression that no longer
+	// suppresses anything has outlived its bug and must be deleted, not
+	// left to silently mask the next regression at the same site.
+	ReportStale bool
+}
+
 // Run applies every analyzer to every package and returns the surviving
 // findings (ignore directives applied), sorted by file, line, column and
 // analyzer. modRoot anchors the relative file paths. Malformed ignore
 // directives are reported as findings under the "hglint" pseudo-analyzer.
 func Run(modRoot string, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	return RunWith(modRoot, pkgs, analyzers, Options{})
+}
+
+// RunWith is Run with explicit driver options.
+func RunWith(modRoot string, pkgs []*Package, analyzers []*Analyzer, opts Options) ([]Finding, error) {
 	known := map[string]bool{}
 	for _, a := range analyzers {
 		known[a.Name] = true
@@ -45,8 +59,10 @@ func Run(modRoot string, pkgs []*Package, analyzers []*Analyzer) ([]Finding, err
 	for _, pkg := range pkgs {
 		// Parse each file's suppression directives once per package.
 		dirs := make([]*directives, len(pkg.Files))
+		relFiles := make([]string, len(pkg.Files))
 		for i, f := range pkg.Files {
-			dirs[i] = parseDirectives(pkg.Fset, f, known, relPath(modRoot, pkg.Fset, f.Pos()))
+			relFiles[i] = relPath(modRoot, pkg.Fset, f.Pos())
+			dirs[i] = parseDirectives(pkg.Fset, f, known, relFiles[i])
 			findings = append(findings, dirs[i].problems...)
 		}
 		for _, a := range analyzers {
@@ -83,6 +99,23 @@ func Run(modRoot string, pkgs []*Package, analyzers []*Analyzer) ([]Finding, err
 					Message:  d.Message,
 					Fixes:    d.SuggestedFixes,
 				})
+			}
+		}
+		if opts.ReportStale {
+			for i, dir := range dirs {
+				for _, e := range dir.entries {
+					if e.used {
+						continue
+					}
+					scope := "ignore"
+					if e.isFile {
+						scope = "file-ignore"
+					}
+					findings = append(findings, Finding{
+						Analyzer: DirectiveAnalyzer, File: relFiles[i], Line: e.line, Col: e.col,
+						Message: fmt.Sprintf("stale suppression: //hglint:%s no longer suppresses any %s finding; delete the directive or reintroduce the reason it documents", scope, e.analyzer),
+					})
+				}
 			}
 		}
 	}

@@ -1,0 +1,329 @@
+// Package gorolifecycle requires every go statement in the concurrent
+// layers to spawn a goroutine with a provable lifecycle:
+//
+//   - Termination: every unconditional for{} loop in the spawned body must
+//     contain an exit — a return (the ctx.Done-select worker pattern), an
+//     unlabeled break belonging to that loop, or a panic. Conditional and
+//     range loops are accepted as bounded (a range over a channel ends when
+//     the channel closes).
+//   - Join: the spawned body must make its completion observable — call
+//     Done() on a sync.WaitGroup, or close/send on a channel declared
+//     outside the body (a captured channel for a literal, a parameter or
+//     struct field for a named function). A goroutine nobody can wait for
+//     outlives drains, leaks under restart loops, and turns graceful
+//     shutdown into a race.
+//
+// The spawned body is the literal's body for go func(){...}(), or the
+// same-package declaration for go m.worker(). A spawn whose body cannot be
+// resolved in the package (function values, cross-package calls) is flagged:
+// its lifecycle is not verifiable here, so it must either be wrapped in a
+// literal that carries the evidence or annotated with
+// //hglint:ignore gorolifecycle <reason>.
+//
+// When the spawn is a literal, the join is missing, and the enclosing
+// method's receiver has a sync.WaitGroup field, the finding carries a
+// suggested fix adding the wg.Add(1) / defer wg.Done() pair.
+//
+// The daemon's drain contract (DESIGN.md §10), the cluster coordinator's
+// Close (§12), and the harness's worker joins (PR 1) all assume goroutines
+// that can be waited out — this analyzer makes that assumption checkable.
+package gorolifecycle
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hgpart/internal/lint/analysis"
+)
+
+// TargetPackages are the module-relative package roots whose go statements
+// are checked: every layer that spawns goroutines with shutdown obligations.
+var TargetPackages = []string{
+	"cmd/hgchaos",
+	"cmd/hgserved",
+	"internal/chaos",
+	"internal/eval",
+	"internal/service",
+}
+
+// Analyzer is the gorolifecycle pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "gorolifecycle",
+	Doc:  "go statements must spawn goroutines with a provable termination path and an observable join",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathMatchesAny(pass.Pkg.Path(), TargetPackages) {
+		return nil
+	}
+	// Index same-package function declarations so go m.worker() resolves.
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					checkGo(pass, g, decls, fd)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkGo(pass *analysis.Pass, g *ast.GoStmt, decls map[types.Object]*ast.FuncDecl, enclosing *ast.FuncDecl) {
+	var body *ast.BlockStmt
+	var lit *ast.FuncLit
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		lit = fun
+		body = fun.Body
+	case *ast.Ident:
+		if fd := decls[pass.TypesInfo.Uses[fun]]; fd != nil {
+			body = fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fd := decls[pass.TypesInfo.Uses[fun.Sel]]; fd != nil {
+			body = fd.Body
+		}
+	}
+	if body == nil {
+		pass.Reportf(g.Pos(),
+			"go statement spawns a function whose body cannot be resolved in this package; its lifecycle is unverifiable — wrap it in a literal carrying the termination/join evidence or annotate why it may dangle")
+		return
+	}
+	if loop := unboundedLoop(body); loop != nil {
+		pass.Reportf(g.Pos(),
+			"spawned goroutine has no provable termination path: the for loop at line %d never returns, breaks, or panics; add a ctx.Done() select case or a bounded exit",
+			pass.Fset.Position(loop.Pos()).Line)
+	}
+	if !joined(pass, body) {
+		d := analysis.Diagnostic{
+			Pos:     g.Pos(),
+			Message: "spawned goroutine is never joined: no WaitGroup.Done and no close/send on a channel from the enclosing scope; a drain cannot wait for it — add wg.Add(1)/defer wg.Done() or annotate why it may dangle",
+		}
+		if fix := joinFix(pass, g, lit, enclosing); fix != nil {
+			d.SuggestedFixes = []analysis.SuggestedFix{*fix}
+		}
+		pass.Report(d)
+	}
+}
+
+// unboundedLoop returns the first for{} loop in body (outside nested
+// function literals) with no reachable exit, or nil.
+func unboundedLoop(body *ast.BlockStmt) *ast.ForStmt {
+	var found *ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil || loop.Init != nil || loop.Post != nil {
+			return true
+		}
+		if !exits(loop.Body.List, true) {
+			found = loop
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// exits reports whether the statement list contains a way out of the
+// enclosing unconditional loop: a return, a panic, or — while breakOK — an
+// unlabeled break. Crossing into a nested loop, switch, or select retargets
+// unlabeled break, so breakOK drops; returns keep counting.
+func exits(stmts []ast.Stmt, breakOK bool) bool {
+	for _, s := range stmts {
+		if stmtExits(s, breakOK) {
+			return true
+		}
+	}
+	return false
+}
+
+func stmtExits(s ast.Stmt, breakOK bool) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return breakOK && s.Tok == token.BREAK && s.Label == nil
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	case *ast.BlockStmt:
+		return exits(s.List, breakOK)
+	case *ast.IfStmt:
+		if exits(s.Body.List, breakOK) {
+			return true
+		}
+		if s.Else != nil {
+			return stmtExits(s.Else, breakOK)
+		}
+	case *ast.LabeledStmt:
+		return stmtExits(s.Stmt, breakOK)
+	case *ast.ForStmt:
+		return exits(s.Body.List, false)
+	case *ast.RangeStmt:
+		return exits(s.Body.List, false)
+	case *ast.SwitchStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok && exits(cc.Body, false) {
+				return true
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok && exits(cc.Body, false) {
+				return true
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && exits(cc.Body, false) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// joined reports whether body makes its completion observable: a
+// WaitGroup.Done call, or a close/send on a channel declared outside body.
+func joined(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Done" && isWaitGroup(pass, fun.X) {
+					found = true
+				}
+			case *ast.Ident:
+				if fun.Name == "close" && len(n.Args) == 1 && outsideRef(pass, n.Args[0], body) {
+					found = true
+				}
+			}
+		case *ast.SendStmt:
+			if outsideRef(pass, n.Chan, body) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isWaitGroup(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// outsideRef reports whether e refers to something declared outside body —
+// a captured local, a parameter, or a struct field — so an observer on the
+// other end can exist.
+func outsideRef(pass *analysis.Pass, e ast.Expr, body *ast.BlockStmt) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+			continue
+		case *ast.IndexExpr:
+			e = x.X
+			continue
+		case *ast.SelectorExpr:
+			// A field or package-qualified name lives outside the body.
+			return true
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[x]
+			return obj != nil && (obj.Pos() < body.Pos() || obj.Pos() > body.End())
+		default:
+			return false
+		}
+	}
+}
+
+// joinFix builds the wg.Add(1)/defer wg.Done() repair when the spawn is a
+// non-empty literal and the enclosing method's receiver carries a
+// sync.WaitGroup field.
+func joinFix(pass *analysis.Pass, g *ast.GoStmt, lit *ast.FuncLit, enclosing *ast.FuncDecl) *analysis.SuggestedFix {
+	if lit == nil || len(lit.Body.List) == 0 || enclosing == nil || enclosing.Recv == nil {
+		return nil
+	}
+	if len(enclosing.Recv.List) != 1 || len(enclosing.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	recv := enclosing.Recv.List[0]
+	wgName := ""
+	t := pass.TypesInfo.Types[recv.Type].Type
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	stru, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < stru.NumFields(); i++ {
+		f := stru.Field(i)
+		if named, ok := f.Type().(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+				wgName = f.Name()
+				break
+			}
+		}
+	}
+	if wgName == "" {
+		return nil
+	}
+	wg := recv.Names[0].Name + "." + wgName
+	return &analysis.SuggestedFix{
+		Message: "join via " + wg,
+		TextEdits: []analysis.TextEdit{
+			{Pos: g.Pos(), End: g.Pos(), NewText: []byte(wg + ".Add(1)\n\t")},
+			{Pos: lit.Body.List[0].Pos(), End: lit.Body.List[0].Pos(), NewText: []byte("defer " + wg + ".Done()\n\t\t")},
+		},
+	}
+}

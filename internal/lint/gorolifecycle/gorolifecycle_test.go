@@ -1,0 +1,54 @@
+package gorolifecycle_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hgpart/internal/lint/analysis"
+	"hgpart/internal/lint/gorolifecycle"
+	"hgpart/internal/lint/linttest"
+)
+
+func TestGoroLifecycle(t *testing.T) {
+	linttest.Run(t, "testdata", gorolifecycle.Analyzer,
+		"hgpart/internal/service",
+		"other",
+	)
+}
+
+// TestSuggestedFix asserts the wg.Add(1)/defer wg.Done() repair appears on
+// the unjoined-literal finding when the receiver carries a WaitGroup.
+func TestSuggestedFix(t *testing.T) {
+	src := filepath.Join("testdata", "src")
+	loader := analysis.NewLoader(src, "")
+	pkgs, err := loader.Load("hgpart/internal/service")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	findings, err := analysis.Run(src, pkgs, []*analysis.Analyzer{gorolifecycle.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawFix bool
+	for _, f := range findings {
+		if len(f.Fixes) == 0 {
+			continue
+		}
+		sawFix = true
+		fix := f.Fixes[0]
+		if len(fix.TextEdits) != 2 {
+			t.Fatalf("fix has %d edits, want 2 (Add before the go, Done at body top)", len(fix.TextEdits))
+		}
+		if !strings.Contains(string(fix.TextEdits[0].NewText), ".Add(1)") {
+			t.Errorf("first edit %q does not add wg.Add(1)", fix.TextEdits[0].NewText)
+		}
+		if !strings.Contains(string(fix.TextEdits[1].NewText), "defer ") ||
+			!strings.Contains(string(fix.TextEdits[1].NewText), ".Done()") {
+			t.Errorf("second edit %q does not defer wg.Done()", fix.TextEdits[1].NewText)
+		}
+	}
+	if !sawFix {
+		t.Error("no finding carried the wg join suggested fix")
+	}
+}

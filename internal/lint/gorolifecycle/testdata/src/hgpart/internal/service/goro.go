@@ -1,0 +1,145 @@
+// Package service is a gorolifecycle fixture modeled on the real daemon
+// shapes: worker pools joined through a WaitGroup, ctx.Done select loops,
+// completion channels, and the leak patterns the analyzer must catch.
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+type pool struct {
+	wg   sync.WaitGroup
+	jobs chan int
+}
+
+// start spawns range-over-channel workers joined via the WaitGroup.
+func (p *pool) start(n int) {
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for j := range p.jobs {
+				_ = j
+			}
+		}()
+	}
+}
+
+// watch runs the canonical ctx.Done worker loop.
+func (p *pool) watch(ctx context.Context) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-p.jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// sleeper closes a captured channel: straight-line body, observable end.
+func sleeper(d int) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		_ = d
+		close(done)
+	}()
+	return done
+}
+
+// runOne reports completion by sending on a captured buffered channel.
+func runOne(f func() error) chan error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- f()
+	}()
+	return errc
+}
+
+// breaker exits its for{} with an unlabeled break owned by the loop.
+func (p *pool) breaker() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			if <-p.jobs == 0 {
+				break
+			}
+		}
+	}()
+}
+
+// run spawns a resolved same-package method that carries its own evidence.
+func (p *pool) run() {
+	p.wg.Add(1)
+	go p.worker()
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		_ = j
+	}
+}
+
+// leak has neither an exit from its for{} nor any join evidence.
+func (p *pool) leak() {
+	go func() { // want "no provable termination path" "never joined"
+		for {
+			j := <-p.jobs
+			_ = j
+		}
+	}()
+}
+
+// fire terminates but is unjoined: the suggested-fix case (receiver has wg).
+func (p *pool) fire() {
+	go func() { // want "never joined"
+		j := <-p.jobs
+		_ = j
+	}()
+}
+
+// switchBreak's break belongs to the switch, not the for{}: still unbounded.
+func (p *pool) switchBreak() {
+	p.wg.Add(1)
+	go func() { // want "no provable termination path"
+		defer p.wg.Done()
+		for {
+			switch <-p.jobs {
+			case 0:
+				break
+			}
+		}
+	}()
+}
+
+// runForever resolves to a method with neither exit nor join.
+func (p *pool) runForever() {
+	go p.forever() // want "no provable termination path" "never joined"
+}
+
+func (p *pool) forever() {
+	for {
+		j := <-p.jobs
+		_ = j
+	}
+}
+
+// spawnUnknown launches a function value: unverifiable here.
+func spawnUnknown(f func()) {
+	go f() // want "cannot be resolved in this package"
+}
+
+// innerChannel closes a channel nobody outside can see: not a join.
+func (p *pool) innerChannel() {
+	go func() { // want "never joined"
+		sub := make(chan struct{})
+		close(sub)
+	}()
+}

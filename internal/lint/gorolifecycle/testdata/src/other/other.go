@@ -1,0 +1,12 @@
+// Package other is outside gorolifecycle's target packages; even a blatant
+// leak may not produce a finding here.
+package other
+
+func Leak(ch chan int) {
+	go func() {
+		for {
+			v := <-ch
+			_ = v
+		}
+	}()
+}

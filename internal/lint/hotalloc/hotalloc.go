@@ -1,0 +1,257 @@
+// Package hotalloc makes PR 3's zero-allocation discipline a static
+// contract. A function annotated
+//
+//	//hglint:hotpath
+//
+// in its doc comment — or every function of a package whose package-clause
+// doc carries the directive — may not contain allocation-introducing
+// constructs:
+//
+//   - make, new, append (append may grow its backing array; the arena
+//     containers preallocate in Reinit, never mid-pass)
+//   - map and slice literals, and &T{...} heap literals
+//   - function literals (closures capture and escape)
+//   - fmt package calls and string concatenation
+//   - string<->[]byte/[]rune conversions
+//   - implicit concrete-value-to-interface conversions at call arguments
+//     (boxing; pointer-shaped values are exempt — storing a pointer in an
+//     interface does not allocate — and so are constants, which the
+//     compiler boxes into static data, so panic("message") stays legal)
+//
+// The hgbench gate catches an allocation regression only when the perf
+// suite runs; hotalloc catches it at make lint time, in the PR that
+// introduces it. The check is intentionally syntactic and conservative: a
+// construct the compiler might optimize away still fails, because hot-path
+// code that *looks* allocation-free is the discipline the gain-container
+// arena work (DESIGN.md §9) established. Cold diagnostic branches inside a
+// hot function (panic formatting, invariant dumps) carry
+// //hglint:ignore hotalloc <reason> annotations.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hgpart/internal/lint/analysis"
+)
+
+// TargetPackages are the module-relative package roots where hotpath
+// annotations are enforced: the FM inner-loop layers from PR 3.
+var TargetPackages = []string{
+	"internal/core",
+	"internal/gain",
+	"internal/kwayfm",
+}
+
+const hotpathDirective = "//hglint:hotpath"
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "functions annotated //hglint:hotpath must not contain allocation-introducing constructs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathMatchesAny(pass.Pkg.Path(), TargetPackages) {
+		return nil
+	}
+	pkgHot := false
+	for _, f := range pass.Files {
+		if hasDirective(f.Doc) {
+			pkgHot = true
+		}
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if pkgHot || hasDirective(fd.Doc) {
+				checkHot(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func hasDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, hotpathDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHot(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	// Composite literals already reported as part of an enclosing &T{...}.
+	covered := map[ast.Node]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "%s is a hot path (//hglint:hotpath) but builds a closure, which allocates; hoist it or pass state explicitly", name)
+			return false
+
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := unparen(n.X).(*ast.CompositeLit); ok {
+					covered[cl] = true
+					pass.Reportf(n.Pos(), "%s is a hot path (//hglint:hotpath) but heap-allocates a composite literal; reuse a preallocated value", name)
+				}
+			}
+
+		case *ast.CompositeLit:
+			if covered[n] {
+				return true
+			}
+			if tv, ok := pass.TypesInfo.Types[n]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(n.Pos(), "%s is a hot path (//hglint:hotpath) but builds a map literal, which allocates; preallocate it outside the pass", name)
+				case *types.Slice:
+					pass.Reportf(n.Pos(), "%s is a hot path (//hglint:hotpath) but builds a slice literal, which allocates; reuse an arena-backed slice", name)
+				}
+			}
+
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := pass.TypesInfo.Types[n]; ok && isString(tv.Type) {
+					pass.Reportf(n.Pos(), "%s is a hot path (//hglint:hotpath) but concatenates strings, which allocates", name)
+				}
+			}
+
+		case *ast.CallExpr:
+			checkHotCall(pass, name, n)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *analysis.Pass, name string, call *ast.CallExpr) {
+	// Builtins and conversions first.
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "make":
+			pass.Reportf(call.Pos(), "%s is a hot path (//hglint:hotpath) but calls make, which allocates; preallocate in Reinit and reuse", name)
+			return
+		case "new":
+			pass.Reportf(call.Pos(), "%s is a hot path (//hglint:hotpath) but calls new, which allocates", name)
+			return
+		case "append":
+			pass.Reportf(call.Pos(), "%s is a hot path (//hglint:hotpath) but calls append, which may grow the backing array; size the arena up front", name)
+			return
+		}
+	case *ast.SelectorExpr:
+		if base, ok := fun.X.(*ast.Ident); ok {
+			if pkg, ok := pass.TypesInfo.Uses[base].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+				pass.Reportf(call.Pos(), "%s is a hot path (//hglint:hotpath) but calls fmt.%s, which allocates for formatting", name, fun.Sel.Name)
+				return
+			}
+		}
+	}
+
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		// A conversion: string<->[]byte/[]rune copies.
+		if len(call.Args) == 1 {
+			dst := tv.Type
+			if src, ok := pass.TypesInfo.Types[call.Args[0]]; ok && src.Type != nil {
+				if stringBytesConv(dst, src.Type) {
+					pass.Reportf(call.Pos(), "%s is a hot path (//hglint:hotpath) but converts between string and byte/rune slice, which copies", name)
+				}
+			}
+		}
+		return
+	}
+
+	// Implicit interface conversions at call arguments box concrete values.
+	sig, ok := typeOf(pass, call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // the slice is passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at, ok := pass.TypesInfo.Types[arg]
+		if !ok || at.Type == nil || at.IsNil() || types.IsInterface(at.Type) {
+			continue
+		}
+		if at.Value != nil {
+			// A constant (panic("message"), logf("literal")): the compiler
+			// builds the interface from static data, no runtime allocation.
+			continue
+		}
+		if pointerShaped(at.Type) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "%s is a hot path (//hglint:hotpath) but boxes a %s into an interface argument, which allocates", name, at.Type.String())
+	}
+}
+
+func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// stringBytesConv reports a string <-> []byte/[]rune conversion either way.
+func stringBytesConv(dst, src types.Type) bool {
+	return (isString(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isString(src))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// pointerShaped reports types whose interface representation stores the
+// value directly in the data word, so boxing does not allocate.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,16 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"hgpart/internal/lint/hotalloc"
+	"hgpart/internal/lint/linttest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, "testdata", hotalloc.Analyzer,
+		"hgpart/internal/gain",
+		"hgpart/internal/core",
+		"other",
+	)
+}

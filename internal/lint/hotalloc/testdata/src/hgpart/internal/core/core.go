@@ -1,0 +1,16 @@
+// Package core is the package-level-directive fixture: the package clause
+// doc marks the whole package hot, so every function is checked without a
+// per-function annotation.
+//
+//hglint:hotpath
+package core
+
+func shift(x []int32, d int32) {
+	for i := range x {
+		x[i] += d
+	}
+}
+
+func grow(n int) []int32 {
+	return make([]int32, n) // want "calls make"
+}

@@ -1,0 +1,99 @@
+// Package gain is a hotalloc fixture shaped like the real arena-backed gain
+// container: preallocating constructors stay cold, bucket-list maintenance
+// is hot, and one hot function carries a seeded allocation regression of
+// exactly the kind the analyzer must catch at lint time.
+package gain
+
+import "fmt"
+
+type container struct {
+	head []int32
+	next []int32
+	prev []int32
+	vals []int64
+}
+
+// newContainer is cold by design: constructors allocate, passes reuse.
+func newContainer(n int) *container {
+	return &container{
+		head: make([]int32, n),
+		next: make([]int32, n),
+		prev: make([]int32, n),
+		vals: make([]int64, n),
+	}
+}
+
+// link is the steady-state zero-alloc hot path: array surgery only.
+//
+//hglint:hotpath
+func (c *container) link(v, b int32) {
+	c.next[v] = c.head[b]
+	if c.head[b] >= 0 {
+		c.prev[c.head[b]] = v
+	}
+	c.head[b] = v
+	c.prev[v] = -1
+}
+
+// update moves a vertex between buckets without allocating. Its guard
+// panics with a constant message: constants box into static data, so the
+// hot-path boxing check stays quiet about them.
+//
+//hglint:hotpath
+func (c *container) update(v, from, to int32) {
+	if v < 0 {
+		panic("gain: negative vertex")
+	}
+	if c.head[from] == v {
+		c.head[from] = c.next[v]
+	}
+	c.link(v, to)
+}
+
+// insertRegressed is the seeded regression: an append snuck into a hot
+// function, growing the bucket list mid-pass.
+//
+//hglint:hotpath
+func (c *container) insertRegressed(v int32, g int64) {
+	c.vals = append(c.vals, g) // want "calls append"
+	c.link(v, int32(g))
+}
+
+// debugDump shows the annotated-cold-branch escape hatch inside hot code.
+//
+//hglint:hotpath
+func (c *container) debugDump(v int32) {
+	if c.prev[v] == c.next[v] {
+		//hglint:ignore hotalloc cold invariant-violation branch, never taken in a legal pass
+		panic(fmt.Sprintf("gain: corrupt bucket links at %d", v))
+	}
+}
+
+// hotMistakes collects the other banned constructs.
+//
+//hglint:hotpath
+func (c *container) hotMistakes(n int, s string, sink func(any)) string {
+	m := map[int]int{}            // want "map literal"
+	sl := []int{1, 2}             // want "slice literal"
+	p := &container{}             // want "heap-allocates a composite literal"
+	buf := make([]byte, n)        // want "calls make"
+	q := new(container)           // want "calls new"
+	f := func() int { return n }  // want "builds a closure"
+	msg := s + "!"                // want "concatenates strings"
+	bs := []byte(s)               // want "converts between string and byte/rune slice"
+	fmt.Println(n)                // want "calls fmt.Println"
+	sink(container{})             // want "boxes a .*container into an interface argument"
+	_, _, _, _, _ = m, sl, p, buf, q
+	_ = f
+	_ = bs
+	return msg
+}
+
+// cold has no annotation: the same constructs are fine here.
+func (c *container) cold(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

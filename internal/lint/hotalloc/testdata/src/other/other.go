@@ -1,0 +1,9 @@
+// Package other is outside hotalloc's target packages; the annotation is
+// inert here and even a flagrant allocation may not produce a finding.
+//
+//hglint:hotpath
+package other
+
+func Alloc(n int) []int {
+	return append(make([]int, 0), n)
+}

@@ -9,12 +9,17 @@ import (
 	"hgpart/internal/lint/analysis"
 	"hgpart/internal/lint/ctxflow"
 	"hgpart/internal/lint/detrand"
+	"hgpart/internal/lint/gorolifecycle"
+	"hgpart/internal/lint/hotalloc"
 	"hgpart/internal/lint/mapiter"
 	"hgpart/internal/lint/panicdiscipline"
 	"hgpart/internal/lint/seedflow"
+	"hgpart/internal/lint/sharedguard"
 )
 
-// Analyzers returns every analyzer of the suite, in reporting order.
+// Analyzers returns every analyzer of the suite, in reporting order: the
+// determinism checks from PR 2, then the concurrency-safety and hot-path
+// allocation checks from PR 7 (DESIGN.md §13).
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		detrand.Analyzer,
@@ -22,5 +27,8 @@ func Analyzers() []*analysis.Analyzer {
 		seedflow.Analyzer,
 		panicdiscipline.Analyzer,
 		ctxflow.Analyzer,
+		sharedguard.Analyzer,
+		gorolifecycle.Analyzer,
+		hotalloc.Analyzer,
 	}
 }

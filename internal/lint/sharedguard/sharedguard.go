@@ -1,0 +1,796 @@
+// Package sharedguard checks annotated lock discipline: a struct field
+// carrying the directive
+//
+//	//hglint:guardedby <mutex>
+//
+// (as the field's doc or trailing comment, naming a sibling sync.Mutex or
+// sync.RWMutex field) may only be read or written while that mutex is
+// provably held. The ROADMAP's deterministic-parallel-FM work and the
+// hgserved cluster layer both stand on shared-state discipline that the race
+// detector can only catch when a test happens to interleave badly;
+// sharedguard makes the discipline a compile-time contract instead.
+//
+// The analysis is a conservative, flow-sensitive walk of each function body:
+//
+//   - mu.Lock()/mu.RLock() set the mutex held; mu.Unlock()/mu.RUnlock()
+//     clear it; defer mu.Unlock() keeps it held for the function remainder.
+//     (RLock counts as held: the analyzer checks discipline, not
+//     read/write asymmetry.)
+//   - Branches (if/switch/select) are analyzed independently and merged
+//     conservatively: a mutex survives the merge only when held on every
+//     non-terminating path, so "if x { mu.Unlock(); return }" keeps the
+//     straight-line path locked.
+//   - Loop bodies are analyzed twice (the second pass with the first pass's
+//     exit state) so cross-iteration hazards — publish a pointer to a
+//     goroutine in iteration one, touch its guarded fields unlocked in
+//     iteration two — are caught.
+//   - A local freshly built from a composite literal (c := &Coordinator{...})
+//     is exempt until it escapes (passed as an argument, captured by a go or
+//     defer statement, sent on a channel, or assigned away): constructors may
+//     initialize guarded fields lock-free only while the value is provably
+//     private.
+//   - A method whose name ends in "Locked" is analyzed with every mutex of
+//     its receiver held at entry — the repo's caller-holds-the-lock naming
+//     convention. Other helpers that run under a caller's lock can say so
+//     explicitly with a //hglint:holds <expr>.<mutex> directive in their doc
+//     comment.
+//   - A go/defer func literal body starts with no locks held: the goroutine
+//     acquires its own locks or gets flagged.
+//
+// Mutex identity is tracked by spelled access path ("m.mu", "cj.mu"), which
+// is exactly as strong as the annotation grammar: aliasing a mutex through a
+// differently named local defeats the analyzer and also defeats the human
+// reader, so don't.
+//
+// When a function trips the check and contains no lock operations at all on
+// the missing mutex, the finding carries a suggested fix wrapping the body
+// in Lock/defer-Unlock — the mechanical repair for a forgotten getter guard.
+package sharedguard
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hgpart/internal/lint/analysis"
+)
+
+// TargetPackages are the module-relative package roots whose annotations are
+// enforced: the concurrent serving/cluster layer and the checkpointing
+// harness, per DESIGN.md §13.
+var TargetPackages = []string{
+	"internal/eval",
+	"internal/service",
+}
+
+const (
+	guardedbyPrefix = "//hglint:guardedby"
+	holdsPrefix     = "//hglint:holds"
+)
+
+// Analyzer is the sharedguard pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "sharedguard",
+	Doc:  "fields annotated //hglint:guardedby <mutex> must only be accessed with that mutex held",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathMatchesAny(pass.Pkg.Path(), TargetPackages) {
+		return nil
+	}
+	c := &checker{
+		pass:     pass,
+		guarded:  map[*types.Var]string{},
+		reported: map[string]bool{},
+	}
+	c.collectGuarded()
+	if len(c.guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.checkFunc(fd)
+			}
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	guarded map[*types.Var]string // annotated field object -> sibling mutex field name
+	// reported dedups diagnostics across the loop-body double pass.
+	reported map[string]bool
+
+	// Per-function state:
+	recvName string
+	lockOps  map[string]bool // mutex keys this function locks or unlocks anywhere
+	diags    []analysis.Diagnostic
+	diagKeys []string // mutex key per diag, for the suggested-fix pass
+}
+
+// state is the lock/fresh state at one program point.
+type state struct {
+	held       map[string]bool
+	fresh      map[types.Object]bool
+	terminated bool
+}
+
+func newState() *state {
+	return &state{held: map[string]bool{}, fresh: map[types.Object]bool{}}
+}
+
+func (s *state) clone() *state {
+	c := newState()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k, v := range s.fresh {
+		c.fresh[k] = v
+	}
+	c.terminated = s.terminated
+	return c
+}
+
+// merge combines branch exit states conservatively: a mutex is held (and a
+// local fresh) after the merge only when it is on every branch that can fall
+// through. All branches terminating terminates the merge.
+func merge(branches ...*state) *state {
+	var live []*state
+	for _, b := range branches {
+		if b != nil && !b.terminated {
+			live = append(live, b)
+		}
+	}
+	if len(live) == 0 {
+		out := newState()
+		out.terminated = true
+		return out
+	}
+	out := live[0].clone()
+	for _, b := range live[1:] {
+		for k := range out.held {
+			if !b.held[k] {
+				delete(out.held, k)
+			}
+		}
+		for k := range out.fresh {
+			if !b.fresh[k] {
+				delete(out.fresh, k)
+			}
+		}
+	}
+	return out
+}
+
+// collectGuarded parses every //hglint:guardedby annotation in the package,
+// validating that the named mutex is a sibling field of mutex type.
+func (c *checker) collectGuarded() {
+	for _, f := range c.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				muName, pos, found := guardedbyOf(field)
+				if !found {
+					continue
+				}
+				if muName == "" {
+					c.pass.Reportf(pos, "guardedby directive needs a mutex name: //hglint:guardedby <mutex>")
+					continue
+				}
+				if !siblingMutex(c.pass, st, muName) {
+					c.pass.Reportf(pos, "guardedby names %q, which is not a sibling sync.Mutex or sync.RWMutex field", muName)
+					continue
+				}
+				for _, name := range field.Names {
+					if obj, ok := c.pass.TypesInfo.Defs[name].(*types.Var); ok {
+						c.guarded[obj] = muName
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// guardedbyOf extracts a guardedby directive from the field's doc or trailing
+// comment. found distinguishes "no directive" from "directive without name".
+func guardedbyOf(field *ast.Field) (muName string, pos token.Pos, found bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, cm := range cg.List {
+			if !strings.HasPrefix(cm.Text, guardedbyPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(cm.Text, guardedbyPrefix)
+			// A further // starts an unrelated trailing comment.
+			if i := strings.Index(rest, "//"); i >= 0 {
+				rest = rest[:i]
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				return "", cm.Pos(), true
+			}
+			return fields[0], cm.Pos(), true
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// siblingMutex reports whether the struct has a field muName of mutex type.
+func siblingMutex(pass *analysis.Pass, st *ast.StructType, muName string) bool {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if name.Name != muName {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[name]; obj != nil && isMutexType(obj.Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// checkFunc analyzes one function declaration.
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	c.recvName = ""
+	c.lockOps = map[string]bool{}
+	c.diags = nil
+	c.diagKeys = nil
+
+	st := newState()
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		c.recvName = fd.Recv.List[0].Names[0].Name
+		// The *Locked naming convention: the caller holds the receiver's
+		// mutexes for the duration of the call.
+		if strings.HasSuffix(fd.Name.Name, "Locked") {
+			for _, mu := range receiverMutexes(c.pass, fd.Recv.List[0]) {
+				st.held[c.recvName+"."+mu] = true
+			}
+		}
+	}
+	if fd.Doc != nil {
+		for _, cm := range fd.Doc.List {
+			if rest, ok := strings.CutPrefix(cm.Text, holdsPrefix); ok {
+				for _, key := range strings.Fields(rest) {
+					st.held[key] = true
+				}
+			}
+		}
+	}
+
+	c.block(fd.Body, st)
+
+	// Suggested fix: a function that trips the check and performs no lock
+	// operation at all on the missing receiver mutex gets the mechanical
+	// getter repair — wrap the body in Lock/defer Unlock.
+	fixed := map[string]bool{}
+	for i := range c.diags {
+		key := c.diagKeys[i]
+		if key == "" || c.lockOps[key] || fixed[key] || len(fd.Body.List) == 0 {
+			continue
+		}
+		if c.recvName == "" || !strings.HasPrefix(key, c.recvName+".") {
+			continue
+		}
+		fixed[key] = true
+		insert := fd.Body.List[0].Pos()
+		c.diags[i].SuggestedFixes = []analysis.SuggestedFix{{
+			Message: fmt.Sprintf("hold %s for the whole body", key),
+			TextEdits: []analysis.TextEdit{{
+				Pos:     insert,
+				End:     insert,
+				NewText: []byte(key + ".Lock()\n\tdefer " + key + ".Unlock()\n\t"),
+			}},
+		}}
+	}
+	for _, d := range c.diags {
+		c.pass.Report(d)
+	}
+}
+
+// receiverMutexes lists the mutex-typed field names of the receiver's struct.
+func receiverMutexes(pass *analysis.Pass, recv *ast.Field) []string {
+	t := pass.TypesInfo.Types[recv.Type].Type
+	if t == nil {
+		if obj := pass.TypesInfo.Defs[recv.Names[0]]; obj != nil {
+			t = obj.Type()
+		}
+	}
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	stru, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var mus []string
+	for i := 0; i < stru.NumFields(); i++ {
+		f := stru.Field(i)
+		if isMutexType(f.Type()) {
+			mus = append(mus, f.Name())
+		}
+	}
+	return mus
+}
+
+// block analyzes a statement list in sequence.
+func (c *checker) block(b *ast.BlockStmt, st *state) {
+	for _, s := range b.List {
+		if st.terminated {
+			return
+		}
+		c.stmt(s, st)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt, st *state) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, op := lockOpOf(call, c.pass); op != opNone {
+				c.lockOps[key] = true
+				if op == opLock {
+					st.held[key] = true
+				} else {
+					delete(st.held, key)
+				}
+				return
+			}
+			if isPanicCall(call) {
+				c.checkExpr(s.X, st)
+				st.terminated = true
+				return
+			}
+		}
+		c.checkExpr(s.X, st)
+
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			c.checkExpr(r, st)
+		}
+		if s.Tok == token.DEFINE && len(s.Lhs) == 1 && len(s.Rhs) == 1 && isFreshExpr(s.Rhs[0]) {
+			if id, ok := s.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+					st.fresh[obj] = true
+					return
+				}
+			}
+		}
+		// Any standalone appearance of a fresh local on the right publishes
+		// it (aliasing, storing into a shared structure); using it as the
+		// base of a selection (c.s = append(c.s, v)) does not.
+		for _, r := range s.Rhs {
+			c.escapeBareRefs(r, st)
+		}
+		for _, l := range s.Lhs {
+			if s.Tok == token.DEFINE {
+				if _, ok := l.(*ast.Ident); ok {
+					continue
+				}
+			}
+			c.checkExpr(l, st)
+		}
+
+	case *ast.IncDecStmt:
+		c.checkExpr(s.X, st)
+
+	case *ast.SendStmt:
+		c.checkExpr(s.Chan, st)
+		c.checkExpr(s.Value, st)
+		c.escapeRefs(s.Value, st)
+
+	case *ast.GoStmt:
+		// Arguments are evaluated now, under the current lock state; the
+		// spawned body runs later with nothing held. Anything the goroutine
+		// can reach has escaped.
+		c.escapeRefs(s.Call, st)
+		c.checkExpr(s.Call, st)
+
+	case *ast.DeferStmt:
+		if key, op := lockOpOf(s.Call, c.pass); op != opNone {
+			c.lockOps[key] = true
+			// defer mu.Unlock() keeps the mutex held for the remainder of
+			// the function; defer mu.Lock() is nonsense we leave to vet.
+			return
+		}
+		c.escapeRefs(s.Call, st)
+		c.checkExpr(s.Call, st)
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.checkExpr(r, st)
+		}
+		st.terminated = true
+
+	case *ast.BranchStmt:
+		// break/continue/goto leave the current path; the surrounding
+		// construct's merge drops this branch's state.
+		st.terminated = true
+
+	case *ast.BlockStmt:
+		c.block(s, st)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		c.checkExpr(s.Cond, st)
+		thenSt := st.clone()
+		c.block(s.Body, thenSt)
+		elseSt := st.clone()
+		if s.Else != nil {
+			c.stmt(s.Else, elseSt)
+		}
+		*st = *merge(thenSt, elseSt)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			c.checkExpr(s.Cond, st)
+		}
+		c.loopBody(s.Body, s.Post, st)
+
+	case *ast.RangeStmt:
+		c.checkExpr(s.X, st)
+		c.loopBody(s.Body, nil, st)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.checkExpr(s.Tag, st)
+		}
+		branches := []*state{st.clone()} // no case taken
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CaseClause)
+			b := st.clone()
+			for _, e := range cc.List {
+				c.checkExpr(e, b)
+			}
+			for _, bs := range cc.Body {
+				if b.terminated {
+					break
+				}
+				c.stmt(bs, b)
+			}
+			branches = append(branches, b)
+		}
+		*st = *merge(branches...)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		c.stmt(s.Assign, st)
+		branches := []*state{st.clone()}
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CaseClause)
+			b := st.clone()
+			for _, bs := range cc.Body {
+				if b.terminated {
+					break
+				}
+				c.stmt(bs, b)
+			}
+			branches = append(branches, b)
+		}
+		*st = *merge(branches...)
+
+	case *ast.SelectStmt:
+		var branches []*state
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			b := st.clone()
+			if cc.Comm != nil {
+				c.stmt(cc.Comm, b)
+			}
+			for _, bs := range cc.Body {
+				if b.terminated {
+					break
+				}
+				c.stmt(bs, b)
+			}
+			branches = append(branches, b)
+		}
+		if len(branches) == 0 {
+			st.terminated = true // select{} blocks forever
+			return
+		}
+		*st = *merge(branches...)
+
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, st)
+
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				c.checkExpr(v, st)
+			}
+			if len(vs.Names) == 1 && len(vs.Values) == 1 && isFreshExpr(vs.Values[0]) {
+				if obj := c.pass.TypesInfo.Defs[vs.Names[0]]; obj != nil {
+					st.fresh[obj] = true
+				}
+			}
+		}
+	}
+}
+
+// loopBody analyzes a loop body twice — the second pass seeded with the first
+// pass's exit state — so hazards that only appear across iterations (escape
+// in iteration one, unlocked access in iteration two) are found. Diagnostics
+// are deduplicated by position, so the double pass never double-reports.
+func (c *checker) loopBody(body *ast.BlockStmt, post ast.Stmt, st *state) {
+	first := st.clone()
+	c.block(body, first)
+	if post != nil && !first.terminated {
+		c.stmt(post, first)
+	}
+	if !first.terminated {
+		second := first.clone()
+		c.block(body, second)
+		if post != nil && !second.terminated {
+			c.stmt(post, second)
+		}
+	}
+	// The loop may run zero times; conservatively merge the pre-state with
+	// the first iteration's exit state.
+	*st = *merge(st, first)
+}
+
+// checkExpr walks an expression, checking every guarded-field access against
+// the current lock state. Function literals are analyzed as separate scopes
+// with nothing held (they run later), and a call argument that is a bare
+// fresh local publishes it.
+func (c *checker) checkExpr(e ast.Expr, st *state) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.escapeRefs(n.Body, st)
+			inner := newState()
+			c.block(n.Body, inner)
+			return false
+		case *ast.CallExpr:
+			for _, a := range n.Args {
+				arg := unparen(a)
+				if ue, ok := arg.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+					arg = unparen(ue.X)
+				}
+				if id, ok := arg.(*ast.Ident); ok {
+					if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+						delete(st.fresh, obj)
+					}
+				}
+			}
+			return true
+		case *ast.SelectorExpr:
+			c.checkSelector(n, st)
+			return true
+		}
+		return true
+	})
+}
+
+func (c *checker) checkSelector(sel *ast.SelectorExpr, st *state) {
+	selection := c.pass.TypesInfo.Selections[sel]
+	if selection == nil {
+		return
+	}
+	fobj, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	mu, guarded := c.guarded[fobj]
+	if !guarded {
+		return
+	}
+	base := unparen(sel.X)
+	if id, ok := base.(*ast.Ident); ok {
+		if obj := c.pass.TypesInfo.Uses[id]; obj != nil && st.fresh[obj] {
+			return
+		}
+	}
+	key := exprString(base) + "." + mu
+	if st.held[key] {
+		return
+	}
+	c.reportGuarded(sel, fobj.Name(), key)
+}
+
+func (c *checker) reportGuarded(sel *ast.SelectorExpr, field, key string) {
+	msg := fmt.Sprintf("%s.%s is guarded by %s (//hglint:guardedby) but accessed without it held; lock %s or move the access into a *Locked or //hglint:holds helper",
+		exprString(unparen(sel.X)), field, key, key)
+	dedup := fmt.Sprintf("%d:%s", sel.Pos(), msg)
+	if c.reported[dedup] {
+		return
+	}
+	c.reported[dedup] = true
+	c.diags = append(c.diags, analysis.Diagnostic{Pos: sel.Pos(), Message: msg})
+	c.diagKeys = append(c.diagKeys, key)
+}
+
+// escapeBareRefs publishes fresh locals that appear as standalone values in
+// e. An ident used only as the base of a selection or index (c.s, c.m[k])
+// does not publish c, so constructors can keep initializing fields; a
+// closure capture publishes everything it mentions.
+func (c *checker) escapeBareRefs(e ast.Expr, st *state) {
+	if e == nil || len(st.fresh) == 0 {
+		return
+	}
+	protected := map[*ast.Ident]bool{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := unparen(n.X).(*ast.Ident); ok {
+				protected[id] = true
+			}
+		case *ast.IndexExpr:
+			if id, ok := unparen(n.X).(*ast.Ident); ok {
+				protected[id] = true
+			}
+		case *ast.FuncLit:
+			c.escapeRefs(n, st)
+			return false
+		}
+		return true
+	})
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && !protected[id] {
+			if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+				delete(st.fresh, obj)
+			}
+		}
+		return true
+	})
+}
+
+// escapeRefs drops every fresh local referenced anywhere under n: once a
+// value is visible to a goroutine, a deferred call, or another structure,
+// its guarded fields need the lock like everyone else's.
+func (c *checker) escapeRefs(n ast.Node, st *state) {
+	if n == nil || len(st.fresh) == 0 {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+				delete(st.fresh, obj)
+			}
+		}
+		return true
+	})
+}
+
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opLock
+	opUnlock
+)
+
+// lockOpOf classifies a call as a Lock/RLock or Unlock/RUnlock on a
+// mutex-typed receiver, returning the receiver's spelled key.
+func lockOpOf(call *ast.CallExpr, pass *analysis.Pass) (string, lockOp) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	var op lockOp
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = opLock
+	case "Unlock", "RUnlock":
+		op = opUnlock
+	default:
+		return "", opNone
+	}
+	if tv, ok := pass.TypesInfo.Types[sel.X]; !ok || !isMutexType(tv.Type) {
+		return "", opNone
+	}
+	return exprString(unparen(sel.X)), op
+}
+
+func isPanicCall(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// isFreshExpr reports whether e builds a brand-new value: a composite
+// literal, its address, or new(T).
+func isFreshExpr(e ast.Expr) bool {
+	switch e := unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// exprString renders the spelled access path of an expression, the key
+// mutexes and guarded bases are tracked by.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return exprString(e.X)
+	case *ast.UnaryExpr:
+		return exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	case *ast.BasicLit:
+		return e.Value
+	default:
+		return "?"
+	}
+}

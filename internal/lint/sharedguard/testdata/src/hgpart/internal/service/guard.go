@@ -1,0 +1,162 @@
+// Package service is a sharedguard fixture modeled on the real job-manager
+// shapes: mutex-guarded lifecycle state, *Locked helpers, constructors that
+// publish to goroutines, and early-unlock branches.
+package service
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int   //hglint:guardedby mu
+	s  []int //hglint:guardedby mu
+	ok bool  // unguarded: free access
+}
+
+// Good locks for the whole body.
+func (c *counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// GoodExplicit uses the lock/unlock pair without defer.
+func (c *counter) GoodExplicit() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+// Bad reads a guarded field with no lock anywhere: the mechanical-fix case.
+func (c *counter) Bad() int {
+	return c.n // want "guarded by c.mu"
+}
+
+// BadAfterUnlock touches guarded state after releasing the lock.
+func (c *counter) BadAfterUnlock() {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	c.n = v + 1 // want "guarded by c.mu"
+}
+
+// earlyReturn releases in a terminating branch; the fall-through path still
+// holds the lock, so the access is fine.
+func (c *counter) earlyReturn(stop bool) int {
+	c.mu.Lock()
+	if stop {
+		c.mu.Unlock()
+		return 0
+	}
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+// maybeUnlocked merges a locked and an unlocked path: the access must be
+// flagged because one path reaches it without the lock.
+func (c *counter) maybeUnlocked(flaky bool) int {
+	c.mu.Lock()
+	if flaky {
+		c.mu.Unlock()
+	}
+	return c.n // want "guarded by c.mu"
+}
+
+// addLocked follows the caller-holds-the-lock naming convention.
+func (c *counter) addLocked(d int) {
+	c.n += d
+	c.s = append(c.s, d)
+}
+
+// bump documents the same contract with an explicit holds directive.
+//
+//hglint:holds c.mu
+func (c *counter) bump(d int) {
+	c.n += d
+}
+
+// unguarded fields never need the lock.
+func (c *counter) Flag() bool { return c.ok }
+
+// newCounter may initialize guarded fields lock-free while the value is
+// provably private, but not after publishing it to a goroutine.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	c.s = append(c.s, 1)
+	go c.loop()
+	c.n = 2 // want "guarded by c.mu"
+	return c
+}
+
+func (c *counter) loop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// crossIteration is the newCoordinator bug shape: iteration two's unlocked
+// write races iteration one's spawned reader.
+func (c *counter) crossIteration(keys []int) {
+	d := &counter{}
+	for range keys {
+		d.n++ // want "guarded by d.mu"
+		go d.loop()
+	}
+}
+
+// goroutineBody runs with nothing held; it must lock for itself.
+func (c *counter) spawn() {
+	go func() {
+		c.n++ // want "guarded by c.mu"
+	}()
+	go func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.n++
+	}()
+}
+
+// selectBranches exercises per-clause lock states.
+func (c *counter) selectBranches(ch chan int, done chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case v := <-ch:
+		c.n = v
+	case <-done:
+		c.n = 0
+	}
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int //hglint:guardedby mu
+}
+
+// Get holds the read lock; RLock counts as held.
+func (t *table) Get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// Peek forgets the read lock.
+func (t *table) Peek(k string) int {
+	return t.m[k] // want "guarded by t.mu"
+}
+
+type broken struct {
+	lk int
+	a  int //hglint:guardedby lk // want "guardedby names .lk., which is not a sibling"
+	b  int //hglint:guardedby zz // want "guardedby names .zz., which is not a sibling"
+}
+
+type broken2 struct {
+	mu sync.Mutex
+	//hglint:guardedby // want "guardedby directive needs a mutex name"
+	d int
+}
+
+func use(b *broken, b2 *broken2) int { return b.a + b.b + b2.d }

@@ -1,0 +1,12 @@
+// Package other is outside sharedguard's target packages; annotations here
+// are not enforced, so nothing in this file may produce a finding.
+package other
+
+import "sync"
+
+type loose struct {
+	mu sync.Mutex
+	n  int //hglint:guardedby mu
+}
+
+func (l *loose) Unchecked() int { return l.n }

@@ -15,13 +15,14 @@ import (
 // the followers counted as coalesced, and later identical requests as hits.
 type Cache struct {
 	mu         sync.Mutex
-	maxEntries int
-	maxBytes   int64
-	bytes      int64
-	ll         *list.List // front = most recently used
-	items      map[string]*list.Element
+	maxEntries int   // immutable after NewCache
+	maxBytes   int64 // immutable after NewCache
+	bytes      int64 //hglint:guardedby mu
+	// ll orders entries front = most recently used.
+	ll    *list.List               //hglint:guardedby mu
+	items map[string]*list.Element //hglint:guardedby mu
 
-	hits, misses, coalesced, evictions int64
+	hits, misses, coalesced, evictions int64 //hglint:guardedby mu
 }
 
 type cacheEntry struct {

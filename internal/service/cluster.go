@@ -93,17 +93,20 @@ type clusterJob struct {
 	instHash string
 	forward  []byte // marshaled request for dispatch (async stripped)
 
-	mu         sync.Mutex
-	state      JobState
-	worker     string // current/last node executing this job ("local" = fallback)
-	remoteJob  string // job id on the worker that produced the result
-	dispatches int    // routing attempts (initial + failovers)
-	httpStatus int
-	body       []byte
-	errMsg     string
-	enqueued   time.Time
-	started    time.Time
-	finished   time.Time
+	mu    sync.Mutex
+	state JobState //hglint:guardedby mu
+	// worker is the current/last node executing this job ("local" = fallback).
+	worker string //hglint:guardedby mu
+	// remoteJob is the job id on the worker that produced the result.
+	remoteJob string //hglint:guardedby mu
+	// dispatches counts routing attempts (initial + failovers).
+	dispatches int       //hglint:guardedby mu
+	httpStatus int       //hglint:guardedby mu
+	body       []byte    //hglint:guardedby mu
+	errMsg     string    //hglint:guardedby mu
+	enqueued   time.Time //hglint:guardedby mu
+	started    time.Time //hglint:guardedby mu
+	finished   time.Time //hglint:guardedby mu
 
 	done chan struct{}
 }
@@ -227,17 +230,17 @@ type Coordinator struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	health   map[string]*workerHealth
-	queues   map[string][]*clusterJob
-	inflight map[string]*clusterJob
-	jobs     map[string]*clusterJob
-	order    []string
-	nextSeq  int64
-	closed   bool
+	health   map[string]*workerHealth //hglint:guardedby mu
+	queues   map[string][]*clusterJob //hglint:guardedby mu
+	inflight map[string]*clusterJob   //hglint:guardedby mu
+	jobs     map[string]*clusterJob   //hglint:guardedby mu
+	order    []string                 //hglint:guardedby mu
+	nextSeq  int64                    //hglint:guardedby mu
+	closed   bool                     //hglint:guardedby mu
 
-	steals         int64
-	failovers      int64
-	localFallbacks int64
+	steals         int64 //hglint:guardedby mu
+	failovers      int64 //hglint:guardedby mu
+	localFallbacks int64 //hglint:guardedby mu
 
 	wg sync.WaitGroup
 }
@@ -264,8 +267,13 @@ func newCoordinator(cfg ClusterConfig, s *Server) *Coordinator {
 	}
 	c.cond = sync.NewCond(&c.mu)
 	c.baseCtx, c.baseCancel = context.WithCancel(context.Background())
+	// Publish every worker's health entry before the first goroutine spawns:
+	// a dispatcher started for worker 1 reads c.health under c.mu right away,
+	// so interleaving these unlocked map writes with the spawns would race.
 	for _, addr := range c.ring.Nodes() {
 		c.health[addr] = &workerHealth{addr: addr, healthy: true}
+	}
+	for _, addr := range c.ring.Nodes() {
 		for i := 0; i < cfg.DispatchPerWorker; i++ {
 			c.wg.Add(1)
 			go c.dispatchLoop(addr)
@@ -356,7 +364,11 @@ func (c *Coordinator) Submit(req PartitionRequest, inst *hypergraph.Hypergraph,
 		return nil, false, errClusterBusy
 	default:
 		c.registerLocked(cj)
+		// registerLocked published cj (Job/Jobs can hand it out), so its
+		// mu-guarded fields need cj.mu from here on — c.mu is not enough.
+		cj.mu.Lock()
 		cj.dispatches++
+		cj.mu.Unlock()
 		c.queues[target] = append(c.queues[target], cj)
 		c.cond.Broadcast()
 	}

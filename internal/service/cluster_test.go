@@ -9,6 +9,7 @@ package service_test
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -254,4 +255,87 @@ func TestSingleflightWaiterCancelDoesNotPoisonFlight(t *testing.T) {
 	if m := srv.CacheStats().Misses; m != 1 {
 		t.Fatalf("misses = %d, want exactly 1: the cancelled waiter must not trigger recompute", m)
 	}
+}
+
+// Regression: newCoordinator used to interleave unlocked c.health map writes
+// with dispatcher/prober spawns, so worker N's entry was written while worker
+// 1's already-running dispatchers read the same map under c.mu (sharedguard
+// catches the shape statically; under the old code this test trips `make
+// race` at boot). Post-fix every health entry is published before the first
+// spawn, so a freshly booted coordinator already reports its whole,
+// optimistically healthy fleet.
+func TestClusterStartupPublishesHealthBeforeSpawn(t *testing.T) {
+	workers := make([]string, 4)
+	for i := range workers {
+		workers[i] = deadAddr(t)
+	}
+	_, hs := testServer(t, func(c *service.Config) {
+		c.Cluster = service.ClusterConfig{
+			Workers:           workers,
+			HeartbeatInterval: time.Hour, // no probes: observe pure boot state
+			DispatchPerWorker: 4,         // widen the old write/read race window
+			DispatchRetries:   1,
+			RetrySeed:         1,
+		}
+	})
+	var st service.ClusterStatus
+	if code := getJSON(t, hs, "/v1/cluster", &st); code != 200 {
+		t.Fatalf("GET /v1/cluster: %d", code)
+	}
+	if st.Healthy != len(workers) || len(st.Workers) != len(workers) {
+		t.Fatalf("boot status %+v, want all %d workers published and optimistically healthy",
+			st, len(workers))
+	}
+}
+
+// Regression: Submit bumped cj.dispatches holding only the coordinator lock,
+// after registerLocked had already published the job to Job/Jobs readers that
+// synchronize on cj.mu alone. The counter now takes cj.mu; the observable
+// contract is that a job routed once reports zero requeues, and polling job
+// status concurrently with fresh submissions stays clean under -race.
+func TestClusterFirstDispatchCountsZeroRequeues(t *testing.T) {
+	_, worker := testServer(t, nil)
+	workerAddr := strings.TrimPrefix(worker.URL, "http://")
+	_, hs := testServer(t, func(c *service.Config) {
+		c.Cluster = service.ClusterConfig{
+			Workers:           []string{workerAddr},
+			HeartbeatInterval: 20 * time.Millisecond,
+			RetrySeed:         1,
+		}
+	})
+	waitClusterHealthy(t, hs, 1)
+
+	stop := make(chan struct{})
+	donePolling := make(chan struct{})
+	go func() {
+		defer close(donePolling)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var jobs []service.JobStatus
+			getJSON(t, hs, "/v1/jobs", &jobs)
+		}
+	}()
+	for seed := 1; seed <= 3; seed++ {
+		req := fmt.Sprintf(`{"benchmark":"ibm01","scale":0.1,"engine":"flat","starts":2,"seed":%d}`, seed)
+		resp, body := post(t, hs, req)
+		if resp.StatusCode != 200 {
+			t.Fatalf("seed %d: status %d, body %s", seed, resp.StatusCode, body)
+		}
+		var st service.JobStatus
+		if code := getJSON(t, hs, "/v1/jobs/"+resp.Header.Get("X-Hgserved-Job"), &st); code != 200 {
+			t.Fatalf("seed %d: job status fetch failed with %d", seed, code)
+		}
+		if st.Requeues != 0 {
+			t.Fatalf("seed %d: requeues = %d after a single clean dispatch, want 0", seed, st.Requeues)
+		}
+		if st.Worker != workerAddr {
+			t.Fatalf("seed %d: worker = %q, want %q", seed, st.Worker, workerAddr)
+		}
+	}
+	close(stop)
+	<-donePolling
 }

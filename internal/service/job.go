@@ -63,27 +63,27 @@ type Job struct {
 	instHash string
 
 	mu         sync.Mutex
-	state      JobState
-	completed  int
-	failed     int
-	resumed    int
-	bsfCut     int64
-	bsf        []BSFLive
-	report     []byte
-	httpStatus int
-	errMsg     string
-	enqueued   time.Time
-	started    time.Time
-	finished   time.Time
-	cancel     context.CancelFunc
+	state      JobState           //hglint:guardedby mu
+	completed  int                //hglint:guardedby mu
+	failed     int                //hglint:guardedby mu
+	resumed    int                //hglint:guardedby mu
+	bsfCut     int64              //hglint:guardedby mu
+	bsf        []BSFLive          //hglint:guardedby mu
+	report     []byte             //hglint:guardedby mu
+	httpStatus int                //hglint:guardedby mu
+	errMsg     string             //hglint:guardedby mu
+	enqueued   time.Time          //hglint:guardedby mu
+	started    time.Time          //hglint:guardedby mu
+	finished   time.Time          //hglint:guardedby mu
+	cancel     context.CancelFunc //hglint:guardedby mu
 	// lastBeat is the job's work-progress heartbeat: set at worker pickup and
 	// on every start entry/completion. The watchdog compares it against
 	// StuckAfter to detect a run that is alive but doing nothing.
-	lastBeat time.Time
+	lastBeat time.Time //hglint:guardedby mu
 	// kicked marks that the watchdog cancelled this run for lack of progress;
 	// run() turns that into a requeue (bounded by requeues) or a 500.
-	kicked   bool
-	requeues int
+	kicked   bool //hglint:guardedby mu
+	requeues int  //hglint:guardedby mu
 
 	done chan struct{}
 }
@@ -267,14 +267,14 @@ type Manager struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	pq       jobPQ
-	inflight map[string]*Job
-	jobs     map[string]*Job
-	order    []string
-	nextSeq  int64
-	running  int
-	draining bool
-	closed   bool
+	pq       jobPQ           //hglint:guardedby mu
+	inflight map[string]*Job //hglint:guardedby mu
+	jobs     map[string]*Job //hglint:guardedby mu
+	order    []string        //hglint:guardedby mu
+	nextSeq  int64           //hglint:guardedby mu
+	running  int             //hglint:guardedby mu
+	draining bool            //hglint:guardedby mu
+	closed   bool            //hglint:guardedby mu
 	wg       sync.WaitGroup
 }
 

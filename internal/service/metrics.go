@@ -23,19 +23,19 @@ type reqKey struct {
 
 type Metrics struct {
 	mu            sync.Mutex
-	requests      map[reqKey]int64
-	submitted     int64
-	finished      map[JobState]int64
-	workUnits     int64
-	watchdogKicks int64
-	requeued      int64
+	requests      map[reqKey]int64   //hglint:guardedby mu
+	submitted     int64              //hglint:guardedby mu
+	finished      map[JobState]int64 //hglint:guardedby mu
+	workUnits     int64              //hglint:guardedby mu
+	watchdogKicks int64              //hglint:guardedby mu
+	requeued      int64              //hglint:guardedby mu
 
 	// cluster/peering counters; zero (and harmless) on single-node daemons.
-	peerHits       int64
-	dispatches     int64
-	failovers      int64
-	steals         int64
-	localFallbacks int64
+	peerHits       int64 //hglint:guardedby mu
+	dispatches     int64 //hglint:guardedby mu
+	failovers      int64 //hglint:guardedby mu
+	steals         int64 //hglint:guardedby mu
+	localFallbacks int64 //hglint:guardedby mu
 
 	// nsPerWork samples wall-nanoseconds per deterministic work unit for
 	// every executed run; quantiles expose serving-speed drift the same way
