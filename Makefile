@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-strict fuzz bench bench-smoke bench-go serve-smoke chaos-smoke cluster-smoke ci
+.PHONY: all build test race vet lint lint-strict fuzz bench bench-smoke bench-go parfm-diff serve-smoke chaos-smoke cluster-smoke ci
 
 all: build
 
@@ -42,20 +42,31 @@ fuzz:
 
 # Reproducible micro-suite benchmark (cmd/hgbench): fixed seeds, warmup,
 # median-of-k ns/move and allocs/move for the frozen-reference vs optimized
-# engine pairs. Refreshes the committed baseline.
+# engine pairs, plus the parallel-refiner thread-scaling case. Refreshes the
+# committed baseline.
 bench:
-	$(GO) run ./cmd/hgbench -out BENCH_pr3.json
+	$(GO) run ./cmd/hgbench -out BENCH_pr8.json
 
 # CI gate: a quick run that must show zero steady-state allocations on the
-# zero-alloc cases and no case more than 10% slower (ns/move, normalized by
-# the co-measured frozen reference to cancel machine-state drift) than the
-# committed BENCH_pr3.json baseline.
+# zero-alloc cases (including the parallel refiner), parallel speedup
+# targets met (full targets arm only on hosts with enough CPUs), and no
+# case more than 10% slower (ns/move, normalized by the co-measured frozen
+# reference to cancel machine-state drift) than the committed BENCH_pr8.json
+# baseline.
 bench-smoke:
-	$(GO) run ./cmd/hgbench -reps 5 -warmup 1 -assert-zero-allocs -check BENCH_pr3.json -tolerance 0.10
+	$(GO) run ./cmd/hgbench -reps 5 -warmup 1 -assert-zero-allocs -assert-speedups -check BENCH_pr8.json -tolerance 0.10
 
 # Plain go-test benchmarks across all packages.
 bench-go:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Parallel-FM differential suite under the race detector: the round pool
+# and frontier containers, and every ParEngine test — byte-identity against
+# the frozen ParRefineReference oracle at threads 1, 2, 4 and 8, the
+# per-round invariant properties, mid-run cancellation legality, and the
+# steady-state zero-allocation checks.
+parfm-diff:
+	$(GO) test -race -count=1 -run 'TestRoundPool|TestFrontier|TestProposalTable|TestPar' ./internal/core ./internal/gain ./internal/kwayfm
 
 # End-to-end daemon smoke: build the real hgserved binary, boot it on an
 # ephemeral port, verify liveness, a computed-then-cached byte-identical
@@ -79,7 +90,7 @@ cluster-smoke:
 	$(GO) test -run TestClusterSmoke -count=1 -timeout 360s ./cmd/hgchaos
 
 # What CI runs: build, static checks (vet + hglint with the stale-suppression
-# audit), the full test suite under the race detector, the benchmark smoke
-# gate, the daemon smoke, and the crash-consistency and cluster kill/restart
-# smokes.
-ci: build lint-strict race bench-smoke serve-smoke chaos-smoke cluster-smoke
+# audit), the full test suite under the race detector, the parallel-FM
+# differential suite, the benchmark smoke gate, the daemon smoke, and the
+# crash-consistency and cluster kill/restart smokes.
+ci: build lint-strict race parfm-diff bench-smoke serve-smoke chaos-smoke cluster-smoke

@@ -11,6 +11,7 @@ package hgpart
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -21,6 +22,7 @@ import (
 	"hgpart/internal/gen"
 	"hgpart/internal/hypergraph"
 	"hgpart/internal/kway"
+	"hgpart/internal/kwayfm"
 	"hgpart/internal/multilevel"
 	"hgpart/internal/netlist"
 	"hgpart/internal/partition"
@@ -590,6 +592,48 @@ func BenchmarkAblationSkipPolicy(b *testing.B) {
 		cfg.SkipBucketOnly = skipBucket
 		b.Run(fmt.Sprintf("skipBucketOnly=%v", skipBucket), func(b *testing.B) {
 			benchFlat(b, h, cfg, 0.02)
+		})
+	}
+}
+
+// BenchmarkParRefineKWay measures the synchronous-round parallel k-way
+// refiner at several thread counts on one pinned instance and start.
+// ReportAllocs keeps the steady-state allocation discipline visible in
+// every run: the per-op count must stay at the amortized arena-growth
+// floor, not scale with moves (the regression the hgbench parfm case pins
+// to exactly zero).
+func BenchmarkParRefineKWay(b *testing.B) {
+	h := benchInstance(b, 1)
+	const k = 8
+	base := make(Assignment, h.NumVertices())
+	r := rng.New(2033)
+	for v := range base {
+		base[v] = int32(r.Intn(k))
+	}
+	for _, threads := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			eng, err := kwayfm.NewParEngine(h, k, kwayfm.ParConfig{
+				Tolerance: 0.15,
+				Objective: kwayfm.CutObjective,
+				Threads:   threads,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			scratch := make(Assignment, h.NumVertices())
+			var total int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(scratch, base)
+				res, err := eng.Refine(context.Background(), scratch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += res.Final
+			}
+			reportCut(b, total)
 		})
 	}
 }

@@ -34,6 +34,7 @@ func main() {
 		check           = flag.String("check", "", "compare against a committed baseline report and fail on regression")
 		tolerance       = flag.Float64("tolerance", 0.10, "allowed fractional ns/move regression in -check mode")
 		assertZeroAlloc = flag.Bool("assert-zero-allocs", false, "fail unless steady-state cases measured exactly 0 allocs/move")
+		assertSpeedups  = flag.Bool("assert-speedups", false, "fail unless parallel cases met their speedup targets (full targets arm only on hosts with enough CPUs)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -79,6 +80,14 @@ func main() {
 			failed = true
 		} else {
 			fmt.Println("zero-alloc assertion: ok")
+		}
+	}
+	if *assertSpeedups {
+		if problems := perf.CheckSpeedups(report, cases); len(problems) != 0 {
+			fmt.Fprintf(os.Stderr, "hgbench: speedup assertion failed:\n  %s\n", strings.Join(problems, "\n  "))
+			failed = true
+		} else {
+			fmt.Println("speedup assertion: ok")
 		}
 	}
 	if *check != "" {

@@ -44,15 +44,19 @@ func hgpartBinary(t *testing.T) string {
 }
 
 var (
-	timeLineRE = regexp.MustCompile(`(?m)^time=[^\n]*\n`)
-	workersRE  = regexp.MustCompile(`workers=\d+`)
+	timeLineRE      = regexp.MustCompile(`(?m)^time=[^\n]*\n`)
+	workersRE       = regexp.MustCompile(`workers=\d+`)
+	refineThreadsRE = regexp.MustCompile(`refine-threads=\d+`)
 )
 
 // normalize strips the report lines that legitimately vary between runs:
-// wall-clock timing and the echo of the -workers flag itself.
+// wall-clock timing and the echoes of the -workers and -refine-threads
+// flags themselves (both are implementation knobs that must not change the
+// computed bytes).
 func normalize(out []byte) string {
 	s := timeLineRE.ReplaceAllString(string(out), "")
-	return workersRE.ReplaceAllString(s, "workers=N")
+	s = workersRE.ReplaceAllString(s, "workers=N")
+	return refineThreadsRE.ReplaceAllString(s, "refine-threads=N")
 }
 
 func runHgpart(t *testing.T, args ...string) string {
@@ -92,6 +96,47 @@ func TestRunToRunDeterminism(t *testing.T) {
 	second := runHgpart(t, args...)
 	if first != second {
 		t.Errorf("two identical invocations differ\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+}
+
+// TestRefineThreadsInvariance extends the worker-count contract to
+// intra-job parallelism: the synchronous-round parallel k-way refiner must
+// emit byte-identical reports AND byte-identical assignment files at
+// -refine-threads 1, 2, 4 and 8. Unlike -workers (which parallelizes
+// independent starts), -refine-threads parallelizes the moves inside one
+// refinement, so this is the end-to-end face of the kwayfm differential
+// oracle tests.
+func TestRefineThreadsInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the hgpart binary")
+	}
+	// Same output path for every run: the report echoes it, and the report
+	// comparison is exact.
+	outFile := filepath.Join(t.TempDir(), "assign")
+	run := func(threads string) (report, assignment string) {
+		report = runHgpart(t,
+			"-ibm", "1", "-scale", "0.1", "-k", "8", "-krefine",
+			"-refine-threads", threads, "-starts", "2", "-seed", "23", "-q",
+			"-o", outFile)
+		raw, err := os.ReadFile(outFile)
+		if err != nil {
+			t.Fatalf("reading assignment file: %v", err)
+		}
+		return report, string(raw)
+	}
+	wantReport, wantAssign := run("1")
+	if !strings.Contains(wantReport, "refine-threads=N") {
+		t.Fatalf("report does not echo refine-threads:\n%s", wantReport)
+	}
+	for _, threads := range []string{"2", "4", "8"} {
+		report, assign := run(threads)
+		if report != wantReport {
+			t.Errorf("-refine-threads=%s report differs from 1\n--- 1 ---\n%s--- %s ---\n%s",
+				threads, wantReport, threads, report)
+		}
+		if assign != wantAssign {
+			t.Errorf("-refine-threads=%s assignment file differs from 1", threads)
+		}
 	}
 }
 

@@ -55,6 +55,7 @@ func main() {
 		impl    = flag.String("impl", "optimized", "FM implementation: optimized (arena engine) or reference (frozen seed); results are bit-identical")
 		k       = flag.Int("k", 2, "number of parts (k>2 uses recursive bisection)")
 		refineK = flag.Bool("krefine", false, "direct k-way FM refinement after recursive bisection")
+		refineT = flag.Int("refine-threads", 0, "with -krefine: use the deterministic synchronous-round parallel refiner with this many threads (output is byte-identical for every positive value; 0 = sequential refiner)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		traceTo = flag.String("trace", "", "write per-pass FM trace CSV to this file (flat/clip engines)")
 		outPath = flag.String("o", "", "write the best partition assignment to this file (one side/part id per vertex line)")
@@ -84,6 +85,12 @@ func main() {
 		fatalUsage(fmt.Errorf("-impl %q must be optimized or reference", *impl))
 	}
 	reference := *impl == "reference"
+	if *refineT < 0 {
+		fatalUsage(fmt.Errorf("-refine-threads %d must be >= 0", *refineT))
+	}
+	if *refineT > 0 && (*k <= 2 || !*refineK) {
+		fatalUsage(fmt.Errorf("-refine-threads requires -krefine and -k > 2"))
+	}
 
 	h, err := loadInstance(*inPath, *arePath, *ibm, *scale, *seed)
 	if err != nil {
@@ -95,7 +102,7 @@ func main() {
 	}
 
 	if *k > 2 {
-		runKWay(h, *k, *tol, *starts, *refineK, *seed, reference, *outPath)
+		runKWay(h, *k, *tol, *starts, *refineK, *refineT, *seed, reference, *checkInv, *outPath)
 		return
 	}
 
@@ -270,20 +277,25 @@ func printSides(p *hgpart.Partition, total int64) {
 }
 
 // runKWay handles -k > 2 via recursive bisection.
-func runKWay(h *hgpart.Hypergraph, k int, tol float64, starts int, refine bool, seed uint64, reference bool, outPath string) {
+func runKWay(h *hgpart.Hypergraph, k int, tol float64, starts int, refine bool, refineThreads int, seed uint64, reference, checkInv bool, outPath string) {
 	cfg := hgpart.KWayConfig{
-		Tolerance:    tol,
-		Starts:       starts,
-		DirectRefine: refine,
+		Tolerance:     tol,
+		Starts:        starts,
+		DirectRefine:  refine,
+		RefineThreads: refineThreads,
 	}
 	cfg.Refine = hgpart.StrongFMConfig(false)
 	cfg.Refine.ReferenceImpl = reference
+	cfg.Refine.CheckInvariants = checkInv
 	t0 := time.Now()
 	res, err := hgpart.PartitionKWay(h, k, cfg, hgpart.NewRNG(seed))
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("k=%d tolerance=%.3f refine=%v\n", k, tol, refine)
+	// refine-threads is echoed like workers= elsewhere: informational, and
+	// normalized away by the byte-identity regression tests because the
+	// partition bytes cannot depend on it.
+	fmt.Printf("k=%d tolerance=%.3f refine=%v refine-threads=%d\n", k, tol, refine, refineThreads)
 	fmt.Printf("cut=%d lambda-1=%d imbalance=%.2f%%\n",
 		res.CutNets, res.ConnectivityMinusOne, 100*res.Imbalance)
 	w := hgpart.PartWeights(h, res.Parts, k)

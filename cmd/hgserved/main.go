@@ -61,6 +61,7 @@ func main() {
 		addrFile     = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts and smoke tests)")
 		workers      = flag.Int("workers", 2, "concurrent jobs")
 		startWorkers = flag.Int("start-workers", 2, "max concurrent starts within one job")
+		maxRefineT   = flag.Int("max-refine-threads", 8, "cap on a request's refine_threads; results are identical at any positive value (<=0 unclamped)")
 		queueCap     = flag.Int("queue-cap", 256, "queued-job bound; submissions beyond it get 429")
 		historyCap   = flag.Int("job-history", 512, "terminal jobs retained for GET /v1/jobs")
 		retries      = flag.Int("retries", 1, "retry a panicking start up to this many times with a reseeded generator")
@@ -103,6 +104,7 @@ func main() {
 	cfg := service.DefaultConfig()
 	cfg.Workers = *workers
 	cfg.StartWorkers = *startWorkers
+	cfg.MaxRefineThreads = *maxRefineT
 	cfg.QueueCap = *queueCap
 	cfg.HistoryCap = *historyCap
 	cfg.MaxRetries = *retries

@@ -1,0 +1,142 @@
+// Round-structured parallel pass driver. Where fm.go's sequential engine
+// interleaves selection and mutation move by move, the synchronous-round
+// parallel refiners (internal/kwayfm's ParEngine) split each pass into an
+// embarrassingly-parallel evaluation phase over a frozen snapshot followed
+// by a single-threaded commit phase. RoundPool is the reusable fork-join
+// driver for the evaluation phase: it owns a fixed set of long-lived worker
+// goroutines (spawning per round would allocate and defeat the hotalloc
+// contract) and hands them deterministic index ranges of the round's work
+// list.
+//
+// Determinism contract: Run chunks [0, n) into fixed-size slices and
+// dispatches whole chunks through an atomic cursor. Which worker executes
+// which chunk is scheduling-dependent, but the body receives exactly the
+// chunk bounds — so as long as body(lo, hi) writes only slots lo..hi-1 of
+// output arrays and reads only state that no other chunk writes during the
+// round, the memory state after Run is a pure function of (n, chunk, body),
+// independent of worker count and interleaving. That is the property the
+// kwayfm differential tests prove byte-for-byte at 1, 2, 4 and 8 threads.
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RoundPool runs fork-join rounds over a persistent set of workers.
+//
+// The zero value is not usable; call NewRoundPool. A RoundPool is not safe
+// for concurrent Run calls — it belongs to one engine, which alternates
+// Run (parallel evaluate) with its own serial commit work. Close releases
+// the workers; a pool with Threads() == 1 spawns none and Run degenerates
+// to a plain loop on the caller's goroutine.
+type RoundPool struct {
+	extra int           // workers beyond the caller's own goroutine
+	work  chan struct{} // one token per helper per round
+	stop  chan struct{} // closed by Close; terminates the worker loops
+	done  sync.WaitGroup
+	round sync.WaitGroup
+	once  sync.Once
+
+	// Round state: written by Run before the helpers are released, read-only
+	// while the round is in flight. The channel send/receive pair publishes
+	// the writes to the workers; round.Wait() publishes the workers' output
+	// back to the caller.
+	body  func(lo, hi int)
+	n     int
+	chunk int
+	next  atomic.Int64
+}
+
+// NewRoundPool creates a pool that executes rounds with the given number of
+// threads (the caller's goroutine plus threads-1 helpers). threads < 1
+// selects GOMAXPROCS. The helpers park on a channel between rounds; call
+// Close to terminate them.
+func NewRoundPool(threads int) *RoundPool {
+	if threads < 1 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	p := &RoundPool{
+		extra: threads - 1,
+		work:  make(chan struct{}, threads),
+		stop:  make(chan struct{}),
+	}
+	for i := 0; i < p.extra; i++ {
+		p.done.Add(1)
+		go func() {
+			defer p.done.Done()
+			for {
+				select {
+				case <-p.stop:
+					return
+				case <-p.work:
+					p.drain()
+					p.round.Done()
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// Threads returns the round parallelism (helpers + the calling goroutine).
+func (p *RoundPool) Threads() int { return p.extra + 1 }
+
+// drain claims chunks off the shared cursor until the work list is
+// exhausted. Chunk claims are the only cross-worker coordination in a
+// round; everything the body does must stay within its chunk bounds.
+//
+//hglint:hotpath
+func (p *RoundPool) drain() {
+	n, chunk, body := p.n, p.chunk, p.body
+	for {
+		c := p.next.Add(1) - 1
+		lo := int(c) * chunk
+		if lo >= n {
+			return
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		body(lo, hi)
+	}
+}
+
+// Run executes body over every chunk of [0, n) and returns when all chunks
+// are done. The caller's goroutine participates, so Run on a 1-thread pool
+// is a plain serial loop with no synchronization at all. chunk < 1 is
+// treated as 1. Run allocates nothing: the per-round bookkeeping is two
+// WaitGroup counters, one atomic store and extra buffered channel sends.
+//
+//hglint:hotpath
+func (p *RoundPool) Run(n, chunk int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	p.body, p.n, p.chunk = body, n, chunk
+	p.next.Store(0)
+	if p.extra > 0 {
+		p.round.Add(p.extra)
+		for i := 0; i < p.extra; i++ {
+			p.work <- struct{}{}
+		}
+	}
+	p.drain()
+	if p.extra > 0 {
+		p.round.Wait()
+	}
+}
+
+// Close terminates the helper goroutines and waits for them to exit. It is
+// idempotent and must not be called while a Run is in flight.
+func (p *RoundPool) Close() {
+	p.once.Do(func() {
+		close(p.stop)
+		p.done.Wait()
+	})
+}

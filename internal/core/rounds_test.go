@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+)
+
+// fillSquares is a round body whose output depends only on the chunk
+// bounds, as the determinism contract requires.
+func fillSquares(out []int64) func(lo, hi int) {
+	return func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = int64(i) * int64(i)
+		}
+	}
+}
+
+func TestRoundPoolCoversEveryIndexOnce(t *testing.T) {
+	for _, threads := range []int{1, 2, 4, 8} {
+		for _, n := range []int{0, 1, 5, 64, 1000} {
+			for _, chunk := range []int{1, 7, 64, 2000} {
+				p := NewRoundPool(threads)
+				hits := make([]int32, n)
+				p.Run(n, chunk, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						hits[i]++
+					}
+				})
+				p.Close()
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("threads=%d n=%d chunk=%d: index %d executed %d times", threads, n, chunk, i, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRoundPoolOutputIndependentOfThreads(t *testing.T) {
+	const n = 4096
+	want := make([]int64, n)
+	ref := NewRoundPool(1)
+	ref.Run(n, 64, fillSquares(want))
+	ref.Close()
+
+	for _, threads := range []int{2, 4, 8} {
+		p := NewRoundPool(threads)
+		got := make([]int64, n)
+		// Many rounds on one pool: reuse must not leak state between rounds.
+		for round := 0; round < 50; round++ {
+			clear(got)
+			p.Run(n, 13, fillSquares(got))
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("threads=%d round=%d: slot %d = %d, want %d", threads, round, i, got[i], want[i])
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestRoundPoolThreads(t *testing.T) {
+	p := NewRoundPool(3)
+	if got := p.Threads(); got != 3 {
+		t.Fatalf("Threads() = %d, want 3", got)
+	}
+	p.Close()
+	p.Close() // idempotent
+
+	auto := NewRoundPool(0)
+	if auto.Threads() < 1 {
+		t.Fatalf("auto pool has %d threads", auto.Threads())
+	}
+	auto.Close()
+}
+
+// TestRoundPoolSteadyStateAllocs pins the hotalloc contract dynamically:
+// after construction, a round costs zero heap allocations regardless of
+// thread count.
+func TestRoundPoolSteadyStateAllocs(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		p := NewRoundPool(threads)
+		out := make([]int64, 2048)
+		body := fillSquares(out)
+		p.Run(len(out), 64, body) // warm up
+		allocs := testing.AllocsPerRun(20, func() {
+			p.Run(len(out), 64, body)
+		})
+		p.Close()
+		if allocs != 0 {
+			t.Fatalf("threads=%d: %.2f allocs/round, want 0", threads, allocs)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Arena containers for the synchronous-round parallel refiner
+// (internal/kwayfm ParEngine). The round algorithm does not use the
+// gain-bucket Container at all — there is no global priority order to
+// maintain when a whole boundary is evaluated per round — but it needs two
+// pieces of reusable, thread-partitioned state:
+//
+//   - Frontier: the boundary/dirty bookkeeping (per-vertex cut-degree,
+//     dirty flags, and the round's active list). Mutated only by the
+//     single-threaded committer and the serial round setup; workers read
+//     cut-degrees and clear dirty flags for vertices inside their own
+//     chunk of the active list, which keeps every slot single-writer
+//     within a round.
+//   - ProposalTable: one slot per active-list position, written by exactly
+//     one worker (the one that owns the chunk covering that position) and
+//     read only by the committer after the round barrier. Slot ownership
+//     by position is what makes the table race-free without locks and the
+//     round's output independent of worker count.
+//
+// Both follow the Container arena discipline: NewX allocates, Reinit
+// rebinds in place reusing capacity, and the per-round operations are
+// allocation-free (//hglint:hotpath, enforced by the hotalloc analyzer and
+// the hgbench parfm case).
+package gain
+
+// Frontier tracks which vertices are on the k-way cut boundary and which
+// have stale cached gain decompositions. cutdeg[v] counts v's incident
+// nets that span more than one part; v is boundary iff cutdeg[v] > 0.
+// The committer adjusts cut-degrees only when a net crosses the
+// spanning/non-spanning line (lambda 1<->2), so maintenance is O(pins)
+// per crossing net, not per move.
+type Frontier struct {
+	cutdeg []int32
+	dirty  []bool
+	active []int32
+}
+
+// NewFrontier creates a frontier for n vertices.
+func NewFrontier(n int) *Frontier {
+	f := &Frontier{}
+	f.Reinit(n)
+	return f
+}
+
+// Reinit rebinds the frontier to n vertices, reusing backing arrays when
+// capacity allows. All cut-degrees reset to zero and every vertex starts
+// dirty: a fresh Refine must recompute every cache entry once.
+func (f *Frontier) Reinit(n int) {
+	f.cutdeg = grow32(f.cutdeg, n)
+	clear(f.cutdeg)
+	if cap(f.dirty) >= n {
+		f.dirty = f.dirty[:n]
+	} else {
+		f.dirty = make([]bool, n)
+	}
+	for i := range f.dirty {
+		f.dirty[i] = true
+	}
+	if cap(f.active) >= n {
+		f.active = f.active[:0]
+	} else {
+		f.active = make([]int32, 0, n)
+	}
+}
+
+// AddCutNet records that a net with the given pins started spanning more
+// than one part.
+//
+//hglint:hotpath
+func (f *Frontier) AddCutNet(pins []int32) {
+	for _, v := range pins {
+		f.cutdeg[v]++
+	}
+}
+
+// DropCutNet records that a net with the given pins stopped spanning more
+// than one part.
+//
+//hglint:hotpath
+func (f *Frontier) DropCutNet(pins []int32) {
+	for _, v := range pins {
+		f.cutdeg[v]--
+	}
+}
+
+// MarkDirtyPins invalidates the cached decomposition of every pin of a net
+// whose pin counts changed in a gain-relevant way.
+//
+//hglint:hotpath
+func (f *Frontier) MarkDirtyPins(pins []int32) {
+	for _, v := range pins {
+		f.dirty[v] = true
+	}
+}
+
+// MarkDirty invalidates one vertex's cached decomposition.
+//
+//hglint:hotpath
+func (f *Frontier) MarkDirty(v int32) { f.dirty[v] = true }
+
+// Dirty reports whether v's cached decomposition is stale.
+//
+//hglint:hotpath
+func (f *Frontier) Dirty(v int32) bool { return f.dirty[v] }
+
+// ClearDirty marks v's cached decomposition fresh. During a round, only
+// the worker owning v's active-list chunk may call this.
+//
+//hglint:hotpath
+func (f *Frontier) ClearDirty(v int32) { f.dirty[v] = false }
+
+// InBoundary reports whether v touches a net spanning more than one part.
+//
+//hglint:hotpath
+func (f *Frontier) InBoundary(v int32) bool { return f.cutdeg[v] > 0 }
+
+// Rebuild scans the cut-degrees and returns the active list: every
+// boundary vertex in ascending ID order. The returned slice aliases the
+// frontier's arena and is valid until the next Rebuild or Reinit. The
+// ascending order is load-bearing twice over: it fixes the proposal-slot
+// numbering workers write to, and it is the global commit order that makes
+// conflict resolution independent of thread count.
+//
+//hglint:hotpath
+func (f *Frontier) Rebuild() []int32 {
+	f.active = f.active[:0]
+	for v, d := range f.cutdeg {
+		if d > 0 {
+			//hglint:ignore hotalloc arena append: active keeps capacity for all n vertices from Reinit, so growth happens at most once per engine, not per round
+			f.active = append(f.active, int32(v))
+		}
+	}
+	return f.active
+}
+
+// ProposalTable holds one move proposal per active-list position for one
+// round: the chosen target part, the gain computed against the round-start
+// snapshot, and whether the evaluator proposed anything at all. Parallel
+// arrays rather than a struct slice keep the committer's scan sequential
+// per field and the zeroing cost explicit (there is none: every slot in
+// [0, len(active)) is written by exactly one worker each round, so no
+// clearing between rounds is needed).
+type ProposalTable struct {
+	target []int32
+	gain   []int64
+	ok     []bool
+}
+
+// NewProposalTable creates a table with capacity for n slots.
+func NewProposalTable(n int) *ProposalTable {
+	t := &ProposalTable{}
+	t.Reinit(n)
+	return t
+}
+
+// Reinit rebinds the table to hold n slots, reusing capacity when it
+// suffices. Slot contents are left undefined; each round defines exactly
+// the first len(active) slots before reading them.
+func (t *ProposalTable) Reinit(n int) {
+	t.target = grow32(t.target, n)
+	t.gain = grow64(t.gain, n)
+	if cap(t.ok) >= n {
+		t.ok = t.ok[:n]
+	} else {
+		t.ok = make([]bool, n)
+	}
+}
+
+// Propose records a move proposal in slot i.
+//
+//hglint:hotpath
+func (t *ProposalTable) Propose(i int, target int32, gain int64) {
+	t.target[i] = target
+	t.gain[i] = gain
+	t.ok[i] = true
+}
+
+// None records that slot i's vertex has no improving legal move.
+//
+//hglint:hotpath
+func (t *ProposalTable) None(i int) { t.ok[i] = false }
+
+// Get returns slot i's proposal; ok is false when the evaluator declined.
+//
+//hglint:hotpath
+func (t *ProposalTable) Get(i int) (target int32, gain int64, ok bool) {
+	return t.target[i], t.gain[i], t.ok[i]
+}

@@ -1,0 +1,99 @@
+package gain
+
+import "testing"
+
+func TestFrontierBoundaryTracking(t *testing.T) {
+	f := NewFrontier(6)
+	if got := f.Rebuild(); len(got) != 0 {
+		t.Fatalf("fresh frontier has active list %v", got)
+	}
+	f.AddCutNet([]int32{0, 2, 4})
+	f.AddCutNet([]int32{2, 5})
+	want := []int32{0, 2, 4, 5}
+	got := f.Rebuild()
+	if len(got) != len(want) {
+		t.Fatalf("active = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("active = %v, want %v", got, want)
+		}
+	}
+	if !f.InBoundary(2) || f.InBoundary(1) {
+		t.Fatalf("InBoundary wrong: 2=%v 1=%v", f.InBoundary(2), f.InBoundary(1))
+	}
+	f.DropCutNet([]int32{2, 5})
+	got = f.Rebuild()
+	if len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("after drop, active = %v, want [0 2 4]", got)
+	}
+}
+
+func TestFrontierDirtyLifecycle(t *testing.T) {
+	f := NewFrontier(4)
+	for v := int32(0); v < 4; v++ {
+		if !f.Dirty(v) {
+			t.Fatalf("vertex %d not dirty after Reinit", v)
+		}
+	}
+	f.ClearDirty(1)
+	if f.Dirty(1) {
+		t.Fatal("ClearDirty did not stick")
+	}
+	f.MarkDirtyPins([]int32{1, 3})
+	if !f.Dirty(1) || !f.Dirty(3) {
+		t.Fatal("MarkDirtyPins did not stick")
+	}
+	// Reinit to a smaller size reuses arenas but must reset all state.
+	f.AddCutNet([]int32{0, 1})
+	f.ClearDirty(0)
+	f.Reinit(2)
+	if f.InBoundary(0) || f.InBoundary(1) {
+		t.Fatal("Reinit leaked cut-degrees")
+	}
+	if !f.Dirty(0) || !f.Dirty(1) {
+		t.Fatal("Reinit must mark everything dirty")
+	}
+}
+
+func TestProposalTableRoundTrip(t *testing.T) {
+	p := NewProposalTable(3)
+	p.Propose(0, 2, 17)
+	p.None(1)
+	p.Propose(2, 1, -4)
+	if tgt, g, ok := p.Get(0); !ok || tgt != 2 || g != 17 {
+		t.Fatalf("slot 0 = (%d,%d,%v)", tgt, g, ok)
+	}
+	if _, _, ok := p.Get(1); ok {
+		t.Fatal("slot 1 should be empty")
+	}
+	if tgt, g, ok := p.Get(2); !ok || tgt != 1 || g != -4 {
+		t.Fatalf("slot 2 = (%d,%d,%v)", tgt, g, ok)
+	}
+	// Reinit reuses capacity; slots are then redefined by the next round.
+	p.Reinit(2)
+	p.None(0)
+	p.Propose(1, 0, 9)
+	if _, _, ok := p.Get(0); ok {
+		t.Fatal("slot 0 should be empty after redefinition")
+	}
+	if tgt, g, ok := p.Get(1); !ok || tgt != 0 || g != 9 {
+		t.Fatalf("slot 1 = (%d,%d,%v)", tgt, g, ok)
+	}
+}
+
+func TestFrontierSteadyStateAllocs(t *testing.T) {
+	f := NewFrontier(512)
+	pins := []int32{1, 5, 9, 200}
+	f.AddCutNet(pins)
+	f.Rebuild() // grow the active arena once
+	allocs := testing.AllocsPerRun(20, func() {
+		f.MarkDirtyPins(pins)
+		f.AddCutNet(pins)
+		f.Rebuild()
+		f.DropCutNet(pins)
+	})
+	if allocs != 0 {
+		t.Fatalf("%.2f allocs/round, want 0", allocs)
+	}
+}

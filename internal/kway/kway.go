@@ -13,6 +13,7 @@
 package kway
 
 import (
+	"context"
 	"fmt"
 
 	"hgpart/internal/core"
@@ -44,6 +45,13 @@ type Config struct {
 	// (internal/kwayfm) over the recursive-bisection result, optimizing the
 	// cut across all k parts at once — moves recursive bisection cannot see.
 	DirectRefine bool
+	// RefineThreads > 0 selects the synchronous-round parallel k-way
+	// refiner (kwayfm.ParEngine) for the DirectRefine polish with that
+	// many evaluation threads. The refined partition is byte-identical
+	// for every positive value — 1 thread and 8 threads produce the same
+	// bytes — but differs from the sequential (RefineThreads == 0)
+	// trajectory, which remains the default.
+	RefineThreads int
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +108,22 @@ func Partition(h *hypergraph.Hypergraph, k int, cfg Config, r *rng.RNG) (Result,
 		kcfg := kwayfm.Config{
 			Tolerance: cfg.Tolerance * 2,
 			Objective: kwayfm.CutObjective,
+		}
+		if cfg.RefineThreads > 0 {
+			pcfg := kwayfm.ParConfig{
+				Tolerance:       cfg.Tolerance * 2,
+				Objective:       kwayfm.CutObjective,
+				Threads:         cfg.RefineThreads,
+				CheckInvariants: cfg.Refine.CheckInvariants,
+			}
+			if _, err := kwayfm.ParRefine(context.Background(), h, parts, k, pcfg); err != nil {
+				return Result{}, err
+			}
+			res.Parts = parts
+			res.CutNets = objective.CutSize(h, parts)
+			res.ConnectivityMinusOne = objective.ConnectivityMinusOne(h, parts)
+			res.Imbalance = objective.Imbalance(h, parts, k)
+			return res, nil
 		}
 		kr := r.Split()
 		if cfg.Refine.ReferenceImpl {

@@ -1,0 +1,631 @@
+// Synchronous-round parallel k-way FM (the deterministic intra-job
+// parallelism layer). Sequential FM is inherently serial: every move
+// depends on the gain structure left by the previous one. Following
+// Deterministic Parallel Hypergraph Partitioning (arXiv 2112.12704) and
+// the evaluate/commit kernel split of the OpenMP/CUDA FM ports, ParEngine
+// restructures a pass into rounds:
+//
+//  1. Rebuild: the boundary (every vertex touching a net that spans more
+//     than one part) is listed in ascending vertex-ID order. Positive-gain
+//     moves only ever start from boundary vertices — for both objectives a
+//     non-boundary vertex has gain <= 0 to every target — so the
+//     restriction loses nothing.
+//  2. Evaluate (parallel): workers claim chunks of the active list through
+//     core.RoundPool and, against the frozen round-start state, refresh
+//     the cached gain decomposition of vertices marked dirty by the
+//     previous commit, then propose each vertex's best strictly-improving
+//     legal move into its own slot of a gain.ProposalTable. Every slot has
+//     exactly one writer and all shared state is read-only, so the table
+//     contents are a pure function of the round-start state — independent
+//     of thread count, chunk assignment and scheduling.
+//  3. Commit (serial): proposals are applied in ascending vertex-ID order.
+//     Each is revalidated against the live state (balance and a fresh
+//     O(deg) gain sweep) and applied only while still strictly improving —
+//     the deterministic conflict resolution. The committer maintains pin
+//     counts, net spanning counts (lambda), the boundary cut-degrees, and
+//     marks the pins of gain-affected nets dirty for the next round's
+//     parallel phase instead of patching their caches inline; deferring
+//     the O(deg*k) cache repair to the evaluate phase is what moves the
+//     dominant cost into the parallel section.
+//
+// Rounds repeat until none commits (each committed move strictly decreases
+// the objective, so termination is guaranteed) — a greedy positive-gain
+// refiner rather than the sequential engine's hill-climbing pass with
+// prefix rollback. The two explore different trajectories and are NOT
+// bit-identical to each other; the parallel contract is different:
+// ParEngine's output is byte-identical across every thread count, enforced
+// against the frozen sequential oracle ParRefineReference (parreference.go)
+// by the differential tests under -race.
+package kwayfm
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"hgpart/internal/core"
+	"hgpart/internal/gain"
+	"hgpart/internal/hypergraph"
+	"hgpart/internal/objective"
+)
+
+// ParConfig controls synchronous-round parallel refinement.
+type ParConfig struct {
+	// Tolerance bounds each part's weight within (1±Tolerance)*total/k.
+	// Default 0.1. Ignored when HiBound is set.
+	Tolerance float64
+	// Objective to optimize. Default CutObjective.
+	Objective Objective
+	// MaxRounds caps rounds; 0 means until no move commits.
+	MaxRounds int
+	// Threads is the evaluation parallelism. 0 or 1 evaluates on the
+	// calling goroutine; the committed result is identical for every
+	// value. <0 selects GOMAXPROCS.
+	Threads int
+	// ChunkSize is the active-list slice a worker claims at a time.
+	// Default 64. Like Threads, it cannot change the result.
+	ChunkSize int
+	// LoBound/HiBound, when HiBound > 0, override the tolerance-derived
+	// part-weight bounds with exact values (the service passes its
+	// partition.Balance window through unchanged).
+	LoBound, HiBound int64
+	// CheckInvariants re-derives counts, lambda, boundary and clean cache
+	// entries from scratch after every round and panics on divergence.
+	// Debug mode: orders of magnitude slower.
+	CheckInvariants bool
+	// OnRound, when set, observes each completed round (after its commit,
+	// on the committing goroutine). Trajectory capture for tests/tracing.
+	OnRound func(RoundInfo)
+}
+
+func (c ParConfig) withParDefaults() ParConfig {
+	if c.Tolerance <= 0 {
+		c.Tolerance = 0.1
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 64
+	}
+	if c.Threads == 0 {
+		c.Threads = 1
+	}
+	return c
+}
+
+// RoundInfo describes one committed round.
+type RoundInfo struct {
+	Round     int   // 1-based round number
+	Active    int   // boundary size at round start
+	Proposed  int   // strictly-improving proposals made
+	Committed int   // proposals that survived in-order revalidation
+	Value     int64 // objective value after the commit
+}
+
+// ParResult reports a parallel refinement run. Every field is a pure
+// function of (hypergraph, starting assignment, config minus
+// Threads/ChunkSize); the differential tests compare results wholesale.
+type ParResult struct {
+	// Initial and Final objective values.
+	Initial, Final int64
+	Rounds         int
+	// Moves counts committed moves, Proposed the proposals they were
+	// filtered from.
+	Moves, Proposed int64
+	// Work is the deterministic effort measure: degree of every evaluated
+	// boundary vertex per round plus the degree of every committed mover.
+	Work int64
+	// Cancelled is set when ctx expired; the assignment written back is
+	// the legal state after the last fully committed round.
+	Cancelled bool
+}
+
+// ParEngine is a reusable synchronous-round parallel refiner bound to one
+// hypergraph and part count. Like Engine it owns all mutable state as
+// arenas, so repeated Refine calls allocate nothing in steady state — at
+// any thread count. It additionally owns a core.RoundPool of persistent
+// workers; call Close when done with the engine. Not safe for concurrent
+// use.
+type ParEngine struct {
+	h   *hypergraph.Hypergraph
+	k   int
+	cfg ParConfig
+
+	part   []int32
+	pw     []int64 // part weights
+	count  []int32 // flattened per-edge pin counts: count[e*k+p]
+	lambda []int32 // per-edge spanned-part count
+	gbase  []int64 // cached target-independent gain term per vertex
+	gtgt   []int64 // cached per-target gain terms: gtgt[v*k+t]
+
+	front *gain.Frontier
+	props *gain.ProposalTable
+	pool  *core.RoundPool
+
+	active   []int32          // current round's active list (aliases front's arena)
+	evalBody func(lo, hi int) // bound once; closures per round would allocate
+
+	value  int64
+	lo, hi int64
+}
+
+// NewParEngine builds a parallel refiner for h split into k parts.
+func NewParEngine(h *hypergraph.Hypergraph, k int, cfg ParConfig) (*ParEngine, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("kwayfm: need k >= 2, got %d", k)
+	}
+	cfg = cfg.withParDefaults()
+	n := h.NumVertices()
+	e := &ParEngine{
+		h:      h,
+		k:      k,
+		cfg:    cfg,
+		part:   make([]int32, n),
+		pw:     make([]int64, k),
+		count:  make([]int32, h.NumEdges()*k),
+		lambda: make([]int32, h.NumEdges()),
+		gbase:  make([]int64, n),
+		gtgt:   make([]int64, n*k),
+		front:  gain.NewFrontier(n),
+		props:  gain.NewProposalTable(n),
+		pool:   core.NewRoundPool(cfg.Threads),
+	}
+	e.evalBody = e.evalRange
+	if cfg.HiBound > 0 {
+		e.lo, e.hi = cfg.LoBound, cfg.HiBound
+	} else {
+		ideal := float64(h.TotalVertexWeight()) / float64(k)
+		e.lo = int64(ideal * (1 - cfg.Tolerance))
+		e.hi = int64(ideal*(1+cfg.Tolerance) + 0.9999)
+	}
+	return e, nil
+}
+
+// Threads returns the evaluation parallelism the engine runs with.
+func (e *ParEngine) Threads() int { return e.pool.Threads() }
+
+// Close releases the worker pool. The engine must not be used afterwards.
+func (e *ParEngine) Close() { e.pool.Close() }
+
+// reset loads a starting assignment into the arenas: part weights, pin
+// counts, lambda, the objective value, cut-degrees, and an all-dirty cache
+// (the first evaluate phase performs the full recompute, in parallel).
+func (e *ParEngine) reset(parts objective.Assignment) {
+	copy(e.part, parts)
+	clear(e.pw)
+	for v := 0; v < e.h.NumVertices(); v++ {
+		e.pw[e.part[v]] += e.h.VertexWeight(int32(v))
+	}
+	clear(e.count)
+	for ei := 0; ei < e.h.NumEdges(); ei++ {
+		row := e.count[ei*e.k : (ei+1)*e.k]
+		for _, v := range e.h.Pins(int32(ei)) {
+			row[e.part[v]]++
+		}
+	}
+	e.front.Reinit(e.h.NumVertices())
+	e.props.Reinit(e.h.NumVertices())
+	// Objective value and lambda from the counts just built; same formula
+	// as Engine.reset (an empty net has lambda 0 and contributes -w to
+	// connectivity, matching objective.ConnectivityMinusOne exactly).
+	e.value = 0
+	for ei := 0; ei < e.h.NumEdges(); ei++ {
+		row := e.count[ei*e.k : (ei+1)*e.k]
+		lambda := int32(0)
+		for _, c := range row {
+			if c > 0 {
+				lambda++
+			}
+		}
+		e.lambda[ei] = lambda
+		w := e.h.EdgeWeight(int32(ei))
+		switch e.cfg.Objective {
+		case CutObjective:
+			if lambda > 1 {
+				e.value += w
+			}
+		case ConnectivityObjective:
+			e.value += w * (int64(lambda) - 1)
+		}
+	}
+	for ei := 0; ei < e.h.NumEdges(); ei++ {
+		if e.lambda[ei] > 1 {
+			e.front.AddCutNet(e.h.Pins(int32(ei)))
+		}
+	}
+}
+
+// recomputePar fills v's cached decomposition from the current pin counts;
+// the same exact quantities as Engine.recompute (see the decomposition
+// comment in kwayfm.go). Workers call it for dirty vertices inside their
+// own active-list chunk, so each gbase/gtgt row has one writer per round.
+//
+//hglint:hotpath
+func (e *ParEngine) recomputePar(v int32) {
+	src := e.part[v]
+	tgt := e.gtgt[int(v)*e.k : int(v)*e.k+e.k]
+	clear(tgt)
+	var base int64
+	if e.cfg.Objective == ConnectivityObjective {
+		for _, ed := range e.h.IncidentEdges(v) {
+			w := e.h.EdgeWeight(ed)
+			row := e.count[int(ed)*e.k : int(ed)*e.k+e.k]
+			if row[src] == 1 {
+				base += w
+			}
+			for t, c := range row {
+				if c == 0 {
+					tgt[t] -= w
+				}
+			}
+		}
+	} else {
+		for _, ed := range e.h.IncidentEdges(v) {
+			w := e.h.EdgeWeight(ed)
+			row := e.count[int(ed)*e.k : int(ed)*e.k+e.k]
+			size := int32(e.h.EdgeSize(ed))
+			if row[src] == size {
+				base -= w
+			}
+			for t, c := range row {
+				if c == size-1 {
+					tgt[t] += w
+				}
+			}
+		}
+	}
+	e.gbase[v] = base
+}
+
+// parSelect returns v's highest-gain legal target from the cached
+// decomposition against the frozen round-start weights; target order and
+// strict-improvement tie-breaking match Engine.selectBest and the
+// reference's bestOf (lowest part index wins ties).
+//
+//hglint:hotpath
+func (e *ParEngine) parSelect(v int32) (t int32, g int64, ok bool) {
+	src := e.part[v]
+	w := e.h.VertexWeight(v)
+	if e.pw[src]-w < e.lo {
+		return 0, 0, false
+	}
+	tgt := e.gtgt[int(v)*e.k : int(v)*e.k+e.k]
+	g = math.MinInt64
+	for cand := int32(0); cand < int32(e.k); cand++ {
+		if cand == src || e.pw[cand]+w > e.hi {
+			continue
+		}
+		if cg := tgt[cand]; cg > g {
+			g, t, ok = cg, cand, true
+		}
+	}
+	if ok {
+		g += e.gbase[v]
+	}
+	return t, g, ok
+}
+
+// evalRange is the parallel round body: for each active-list position in
+// [lo, hi), refresh the vertex's cache if dirty and file its proposal.
+// Writes are confined to slot i state (proposal slot, dirty flag, the
+// vertex's own gbase/gtgt row); everything else read is frozen for the
+// round, which is the whole determinism argument.
+//
+//hglint:hotpath
+func (e *ParEngine) evalRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		v := e.active[i]
+		if e.front.Dirty(v) {
+			e.recomputePar(v)
+			e.front.ClearDirty(v)
+		}
+		if t, g, ok := e.parSelect(v); ok && g > 0 {
+			e.props.Propose(i, t, g)
+		} else {
+			e.props.None(i)
+		}
+	}
+}
+
+// gainLive computes the objective decrease of moving v to t from the live
+// pin counts with an O(deg) sweep — the committer's revalidation read.
+// Same quantity as Engine.gain.
+//
+//hglint:hotpath
+func (e *ParEngine) gainLive(v int32, t int32) int64 {
+	src := e.part[v]
+	var g int64
+	connectivity := e.cfg.Objective == ConnectivityObjective
+	for _, ed := range e.h.IncidentEdges(v) {
+		w := e.h.EdgeWeight(ed)
+		row := e.count[int(ed)*e.k:]
+		if connectivity {
+			if row[src] == 1 {
+				g += w
+			}
+			if row[t] == 0 {
+				g -= w
+			}
+		} else {
+			size := int32(e.h.EdgeSize(ed))
+			beforeUncut := row[src] == size
+			afterUncut := row[t] == size-1
+			if afterUncut && !beforeUncut {
+				g += w
+			} else if beforeUncut && !afterUncut {
+				g -= w
+			}
+		}
+	}
+	return g
+}
+
+// apply relocates v to part t (g must equal gainLive(v, t)), maintaining
+// counts, lambda, part weights, the objective value, the boundary
+// cut-degrees, and the dirty set. Unlike Engine.move it does NOT patch
+// neighbor caches: it marks the pins of gain-affected nets dirty using the
+// same per-net delta-scalar test (a net whose scalars are all zero cannot
+// have changed any pin's decomposition), and the next round's parallel
+// evaluate phase repairs exactly those rows.
+//
+//hglint:hotpath
+func (e *ParEngine) apply(v int32, t int32, g int64) {
+	src := e.part[v]
+	connectivity := e.cfg.Objective == ConnectivityObjective
+	for _, ed := range e.h.IncidentEdges(v) {
+		rowAt := int(ed) * e.k
+		e.count[rowAt+int(src)]--
+		e.count[rowAt+int(t)]++
+		cs := e.count[rowAt+int(src)]
+		cd := e.count[rowAt+int(t)]
+		spanBefore := e.lambda[ed] > 1
+		if cs == 0 {
+			e.lambda[ed]--
+		}
+		if cd == 1 {
+			e.lambda[ed]++
+		}
+		spanAfter := e.lambda[ed] > 1
+		w := e.h.EdgeWeight(ed)
+		var dTgtSrc, dTgtDst, dBaseSrc, dBaseDst int64
+		if connectivity {
+			switch cs {
+			case 0:
+				dTgtSrc = -w
+				dBaseSrc = -w
+			case 1:
+				dBaseSrc = w
+			}
+			switch cd {
+			case 1:
+				dTgtDst = w
+				dBaseDst = w
+			case 2:
+				dBaseDst = -w
+			}
+		} else {
+			size := int32(e.h.EdgeSize(ed))
+			switch cs {
+			case size - 1:
+				dTgtSrc = w
+				dBaseSrc = w
+			case size - 2:
+				dTgtSrc = -w
+			case size:
+				dBaseSrc = -w
+			}
+			switch cd {
+			case size - 1:
+				dTgtDst = w
+			case size:
+				dTgtDst = -w
+				dBaseDst = -w
+			}
+		}
+		if dTgtSrc != 0 || dTgtDst != 0 || dBaseSrc != 0 || dBaseDst != 0 {
+			e.front.MarkDirtyPins(e.h.Pins(ed))
+		}
+		if spanBefore != spanAfter {
+			if spanAfter {
+				e.front.AddCutNet(e.h.Pins(ed))
+			} else {
+				e.front.DropCutNet(e.h.Pins(ed))
+			}
+		}
+	}
+	// The mover's gbase is defined relative to its own part, so its cache
+	// is stale even when every net's scalars were zero.
+	e.front.MarkDirty(v)
+	w := e.h.VertexWeight(v)
+	e.part[v] = t
+	e.pw[src] -= w
+	e.pw[t] += w
+	e.value -= g
+}
+
+// commit applies the round's proposals in ascending vertex-ID order
+// (= active-list order), revalidating each against the live state. A
+// proposal survives only if its move is still legal and still strictly
+// improving by a fresh sweep; earlier-ID movers therefore win conflicts,
+// identically at every thread count.
+//
+//hglint:hotpath
+func (e *ParEngine) commit() (committed, proposed int, work int64) {
+	for i, n := 0, len(e.active); i < n; i++ {
+		t, _, ok := e.props.Get(i)
+		if !ok {
+			continue
+		}
+		proposed++
+		v := e.active[i]
+		src := e.part[v]
+		w := e.h.VertexWeight(v)
+		if e.pw[src]-w < e.lo || e.pw[t]+w > e.hi {
+			continue
+		}
+		g := e.gainLive(v, t)
+		if g <= 0 {
+			continue
+		}
+		e.apply(v, t, g)
+		committed++
+		work += int64(e.h.Degree(v))
+	}
+	return committed, proposed, work
+}
+
+// Refine improves parts in place and returns the outcome. parts must be a
+// valid assignment into [0, k). The result is byte-identical for every
+// Threads/ChunkSize setting; ctx is polled at round boundaries, so a
+// cancelled run still leaves parts legal and self-consistent (the state
+// after the last fully committed round).
+func (e *ParEngine) Refine(ctx context.Context, parts objective.Assignment) (ParResult, error) {
+	if err := validate(e.h, parts, e.k); err != nil {
+		return ParResult{}, err
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	e.reset(parts)
+	res := ParResult{Initial: e.value}
+	var err error
+
+	for {
+		if e.cfg.MaxRounds > 0 && res.Rounds >= e.cfg.MaxRounds {
+			break
+		}
+		select {
+		case <-done:
+			res.Cancelled = true
+			err = ctx.Err()
+		default:
+		}
+		if res.Cancelled {
+			break
+		}
+		e.active = e.front.Rebuild()
+		if len(e.active) == 0 {
+			break
+		}
+		for _, v := range e.active {
+			res.Work += int64(e.h.Degree(v))
+		}
+		e.pool.Run(len(e.active), e.cfg.ChunkSize, e.evalBody)
+		committed, proposed, moveWork := e.commit()
+		res.Rounds++
+		res.Moves += int64(committed)
+		res.Proposed += int64(proposed)
+		res.Work += moveWork
+		if e.cfg.CheckInvariants {
+			e.verifyRound()
+		}
+		if e.cfg.OnRound != nil {
+			e.cfg.OnRound(RoundInfo{
+				Round:     res.Rounds,
+				Active:    len(e.active),
+				Proposed:  proposed,
+				Committed: committed,
+				Value:     e.value,
+			})
+		}
+		if committed == 0 {
+			break
+		}
+	}
+	copy(parts, e.part)
+	res.Final = e.value
+	return res, err
+}
+
+// verifyRound re-derives every maintained structure from scratch and
+// panics on the first divergence. Debug mode only (ParConfig
+// .CheckInvariants); allocation cost is irrelevant here.
+func (e *ParEngine) verifyRound() {
+	h, k := e.h, e.k
+	// Part weights.
+	pw := make([]int64, k)
+	for v := 0; v < h.NumVertices(); v++ {
+		pw[e.part[v]] += h.VertexWeight(int32(v))
+	}
+	for p := 0; p < k; p++ {
+		if pw[p] != e.pw[p] {
+			panic(fmt.Sprintf("kwayfm: par round invariant: pw[%d]=%d, recomputed %d", p, e.pw[p], pw[p]))
+		}
+	}
+	// Counts, lambda, value, cut-degrees.
+	cutdeg := make([]int32, h.NumVertices())
+	var value int64
+	for ei := 0; ei < h.NumEdges(); ei++ {
+		row := make([]int32, k)
+		for _, v := range h.Pins(int32(ei)) {
+			row[e.part[v]]++
+		}
+		lambda := int32(0)
+		for p := 0; p < k; p++ {
+			if row[p] != e.count[ei*k+p] {
+				panic(fmt.Sprintf("kwayfm: par round invariant: count[%d,%d]=%d, recomputed %d", ei, p, e.count[ei*k+p], row[p]))
+			}
+			if row[p] > 0 {
+				lambda++
+			}
+		}
+		if lambda != e.lambda[ei] {
+			panic(fmt.Sprintf("kwayfm: par round invariant: lambda[%d]=%d, recomputed %d", ei, e.lambda[ei], lambda))
+		}
+		w := h.EdgeWeight(int32(ei))
+		switch e.cfg.Objective {
+		case CutObjective:
+			if lambda > 1 {
+				value += w
+			}
+		case ConnectivityObjective:
+			value += w * (int64(lambda) - 1)
+		}
+		if lambda > 1 {
+			for _, v := range h.Pins(int32(ei)) {
+				cutdeg[v]++
+			}
+		}
+	}
+	if value != e.value {
+		panic(fmt.Sprintf("kwayfm: par round invariant: value=%d, recomputed %d", e.value, value))
+	}
+	for v := 0; v < h.NumVertices(); v++ {
+		if (cutdeg[v] > 0) != e.front.InBoundary(int32(v)) {
+			panic(fmt.Sprintf("kwayfm: par round invariant: boundary[%d]=%v, recomputed cutdeg %d", v, e.front.InBoundary(int32(v)), cutdeg[v]))
+		}
+	}
+	// Clean cache rows must equal a fresh decomposition.
+	gbase := make([]int64, len(e.gbase))
+	gtgt := make([]int64, len(e.gtgt))
+	copy(gbase, e.gbase)
+	copy(gtgt, e.gtgt)
+	for v := 0; v < h.NumVertices(); v++ {
+		if e.front.Dirty(int32(v)) {
+			continue
+		}
+		e.recomputePar(int32(v))
+		if gbase[v] != e.gbase[v] {
+			panic(fmt.Sprintf("kwayfm: par round invariant: clean gbase[%d]=%d, recomputed %d", v, gbase[v], e.gbase[v]))
+		}
+		for t := 0; t < k; t++ {
+			if gtgt[v*k+t] != e.gtgt[v*k+t] {
+				panic(fmt.Sprintf("kwayfm: par round invariant: clean gtgt[%d,%d]=%d, recomputed %d", v, t, gtgt[v*k+t], e.gtgt[v*k+t]))
+			}
+		}
+	}
+	copy(e.gbase, gbase)
+	copy(e.gtgt, gtgt)
+}
+
+// ParRefine improves parts in place with a throwaway ParEngine; the
+// convenience form for one-shot callers (CLI, service polish). Callers
+// refining many starts should hold a ParEngine to amortize the arenas and
+// the worker pool.
+func ParRefine(ctx context.Context, h *hypergraph.Hypergraph, parts objective.Assignment, k int, cfg ParConfig) (ParResult, error) {
+	e, err := NewParEngine(h, k, cfg)
+	if err != nil {
+		return ParResult{}, err
+	}
+	defer e.Close()
+	return e.Refine(ctx, parts)
+}

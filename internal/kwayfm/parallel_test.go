@@ -1,0 +1,358 @@
+package kwayfm
+
+import (
+	"context"
+	"testing"
+
+	"hgpart/internal/hypergraph"
+	"hgpart/internal/objective"
+)
+
+// refineTrace runs one parallel refinement and captures everything the
+// determinism contract covers: the result struct, the final assignment and
+// the full per-round trajectory.
+type refineTrace struct {
+	res    ParResult
+	parts  objective.Assignment
+	rounds []RoundInfo
+}
+
+func traceEngine(t *testing.T, h trHG, start objective.Assignment, k int, cfg ParConfig) refineTrace {
+	t.Helper()
+	var tr refineTrace
+	cfg.OnRound = func(ri RoundInfo) { tr.rounds = append(tr.rounds, ri) }
+	e, err := NewParEngine(h, k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	tr.parts = append(objective.Assignment(nil), start...)
+	tr.res, err = e.Refine(context.Background(), tr.parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func traceReference(t *testing.T, h trHG, start objective.Assignment, k int, cfg ParConfig) refineTrace {
+	t.Helper()
+	var tr refineTrace
+	cfg.OnRound = func(ri RoundInfo) { tr.rounds = append(tr.rounds, ri) }
+	tr.parts = append(objective.Assignment(nil), start...)
+	var err error
+	tr.res, err = ParRefineReference(h, tr.parts, k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+type trHG = *hypergraph.Hypergraph
+
+func requireSameTrace(t *testing.T, label string, want, got refineTrace) {
+	t.Helper()
+	if got.res != want.res {
+		t.Fatalf("%s: result %+v, want %+v", label, got.res, want.res)
+	}
+	if len(got.rounds) != len(want.rounds) {
+		t.Fatalf("%s: %d rounds, want %d", label, len(got.rounds), len(want.rounds))
+	}
+	for i := range want.rounds {
+		if got.rounds[i] != want.rounds[i] {
+			t.Fatalf("%s: round %d = %+v, want %+v", label, i+1, got.rounds[i], want.rounds[i])
+		}
+	}
+	for v := range want.parts {
+		if got.parts[v] != want.parts[v] {
+			t.Fatalf("%s: assignment diverges at vertex %d: %d vs %d", label, v, got.parts[v], want.parts[v])
+		}
+	}
+}
+
+// TestParEngineMatchesReference is the differential oracle: ParEngine at
+// threads 1, 2, 4 and 8 must be byte-identical — assignment, result struct
+// and full cut trajectory — to the frozen sequential ParRefineReference,
+// across sizes, part counts, objectives and seeds. Run under -race this is
+// also the data-race proof for the evaluate phase.
+func TestParEngineMatchesReference(t *testing.T) {
+	threadCounts := []int{1, 2, 4, 8}
+	for _, cells := range []int{120, 400} {
+		for _, k := range []int{2, 3, 5, 8} {
+			for _, obj := range []Objective{CutObjective, ConnectivityObjective} {
+				for seed := uint64(1); seed <= 3; seed++ {
+					h := instance(t, cells, seed)
+					start := randomAssignment(h, k, seed+10)
+					cfg := ParConfig{Tolerance: 0.2, Objective: obj}
+					want := traceReference(t, h, start, k, cfg)
+					if want.res.Rounds == 0 {
+						t.Fatalf("cells=%d k=%d %v seed=%d: oracle did no rounds — test instance too easy", cells, k, obj, seed)
+					}
+					for _, threads := range threadCounts {
+						for _, chunk := range []int{0, 7} {
+							cfg := ParConfig{Tolerance: 0.2, Objective: obj, Threads: threads, ChunkSize: chunk, CheckInvariants: true}
+							got := traceEngine(t, h, start, k, cfg)
+							label := labelOf(cells, k, obj, seed, threads, chunk)
+							requireSameTrace(t, label, want, got)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func labelOf(cells, k int, obj Objective, seed uint64, threads, chunk int) string {
+	return "cells=" + itoa(cells) + " k=" + itoa(k) + " obj=" + obj.String() +
+		" seed=" + itoa(int(seed)) + " threads=" + itoa(threads) + " chunk=" + itoa(chunk)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestParRefineImproves checks the refiner actually earns its keep on the
+// quality axis, for both objectives.
+func TestParRefineImproves(t *testing.T) {
+	h := instance(t, 500, 1)
+	for _, k := range []int{2, 4, 8} {
+		start := randomAssignment(h, k, uint64(k))
+		parts := append(objective.Assignment(nil), start...)
+		res, err := ParRefine(context.Background(), h, parts, k, ParConfig{Tolerance: 0.2, Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Initial != objective.CutSize(h, start) {
+			t.Fatalf("k=%d initial mismatch", k)
+		}
+		if got := objective.CutSize(h, parts); got != res.Final {
+			t.Fatalf("k=%d final mismatch: result %d, recomputed %d", k, res.Final, got)
+		}
+		if float64(res.Final) > 0.8*float64(res.Initial) {
+			t.Fatalf("k=%d refinement too weak: %d -> %d", k, res.Initial, res.Final)
+		}
+	}
+}
+
+// partWeights recomputes per-part weights of an assignment.
+func partWeights(h trHG, parts objective.Assignment, k int) []int64 {
+	pw := make([]int64, k)
+	for v, p := range parts {
+		pw[p] += h.VertexWeight(int32(v))
+	}
+	return pw
+}
+
+// legalStart fabricates a start and verifies it sits inside the engine's
+// balance window, so per-round balance preservation is a meaningful claim.
+func legalStart(t *testing.T, h trHG, k int, seed uint64, tol float64) objective.Assignment {
+	t.Helper()
+	start := randomAssignment(h, k, seed)
+	ideal := float64(h.TotalVertexWeight()) / float64(k)
+	lo := int64(ideal * (1 - tol))
+	hi := int64(ideal*(1+tol) + 0.9999)
+	for p, w := range partWeights(h, start, k) {
+		if w < lo || w > hi {
+			t.Fatalf("start not legal: part %d weight %d outside [%d,%d] — pick another seed", p, w, lo, hi)
+		}
+	}
+	return start
+}
+
+// TestParRoundInvariants is the property-based round test: every prefix of
+// the round sequence (reached via MaxRounds) must (a) be an exact prefix
+// of the full trajectory, and (b) leave a legal, balanced assignment whose
+// objective value matches a from-scratch recompute. Together with
+// CheckInvariants in the differential test (counts, lambda, boundary set
+// vs reference recomputation, clean cache rows vs fresh decomposition,
+// verified after every committed round) this is the -check-invariants
+// machinery applied per round.
+func TestParRoundInvariants(t *testing.T) {
+	const tol = 0.2
+	h := instance(t, 300, 7)
+	for _, k := range []int{3, 8} {
+		for _, obj := range []Objective{CutObjective, ConnectivityObjective} {
+			start := legalStart(t, h, k, 11, tol)
+			cfg := ParConfig{Tolerance: tol, Objective: obj, Threads: 4, CheckInvariants: true}
+			full := traceEngine(t, h, start, k, cfg)
+			if full.res.Rounds < 2 {
+				t.Fatalf("k=%d %v: only %d rounds — instance too easy for a prefix test", k, obj, full.res.Rounds)
+			}
+			ideal := float64(h.TotalVertexWeight()) / float64(k)
+			lo := int64(ideal * (1 - tol))
+			hi := int64(ideal*(1+tol) + 0.9999)
+			for r := 1; r <= full.res.Rounds; r++ {
+				cfg := cfg
+				cfg.MaxRounds = r
+				pre := traceEngine(t, h, start, k, cfg)
+				if len(pre.rounds) != r {
+					t.Fatalf("k=%d %v MaxRounds=%d: got %d rounds", k, obj, r, len(pre.rounds))
+				}
+				for i := 0; i < r; i++ {
+					if pre.rounds[i] != full.rounds[i] {
+						t.Fatalf("k=%d %v: round %d not a prefix: %+v vs %+v", k, obj, i+1, pre.rounds[i], full.rounds[i])
+					}
+				}
+				if err := pre.parts.Validate(k); err != nil {
+					t.Fatalf("k=%d %v after round %d: invalid assignment: %v", k, obj, r, err)
+				}
+				for p, w := range partWeights(h, pre.parts, k) {
+					if w < lo || w > hi {
+						t.Fatalf("k=%d %v after round %d: part %d weight %d outside [%d,%d]", k, obj, r, p, w, lo, hi)
+					}
+				}
+				want := objective.CutSize(h, pre.parts)
+				if obj == ConnectivityObjective {
+					want = objective.ConnectivityMinusOne(h, pre.parts)
+				}
+				if pre.res.Final != want {
+					t.Fatalf("k=%d %v after round %d: reported value %d, recomputed %d", k, obj, r, pre.res.Final, want)
+				}
+			}
+		}
+	}
+}
+
+// TestParRefineCancelMidRun is the seeded chaos case: a context cancelled
+// from inside the round hook (deterministically, after round 2) must stop
+// the run at the next round boundary, report Cancelled, and leave a legal
+// balanced assignment — byte-identical to an uncancelled run capped at
+// MaxRounds=2, because commits are atomic per round.
+func TestParRefineCancelMidRun(t *testing.T) {
+	const tol = 0.2
+	h := instance(t, 300, 3)
+	k := 4
+	start := legalStart(t, h, k, 9, tol)
+
+	capped := traceEngine(t, h, start, k, ParConfig{Tolerance: tol, Threads: 4, MaxRounds: 2})
+	if capped.res.Rounds != 2 {
+		t.Fatalf("capped run did %d rounds, want 2", capped.res.Rounds)
+	}
+
+	for _, threads := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		e, err := NewParEngine(h, k, ParConfig{
+			Tolerance: tol,
+			Threads:   threads,
+			OnRound: func(ri RoundInfo) {
+				if ri.Round == 2 {
+					cancel()
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts := append(objective.Assignment(nil), start...)
+		res, err := e.Refine(ctx, parts)
+		e.Close()
+		if err != context.Canceled {
+			t.Fatalf("threads=%d: err = %v, want context.Canceled", threads, err)
+		}
+		if !res.Cancelled || res.Rounds != 2 {
+			t.Fatalf("threads=%d: res = %+v, want Cancelled after 2 rounds", threads, res)
+		}
+		for v := range parts {
+			if parts[v] != capped.parts[v] {
+				t.Fatalf("threads=%d: cancelled state diverges from capped run at vertex %d", threads, v)
+			}
+		}
+		if err := parts.Validate(k); err != nil {
+			t.Fatalf("threads=%d: cancelled run left invalid assignment: %v", threads, err)
+		}
+		if got := objective.CutSize(h, parts); got != res.Final {
+			t.Fatalf("threads=%d: reported %d, recomputed %d", threads, res.Final, got)
+		}
+	}
+}
+
+// TestParEngineReuse proves arena reuse leaks nothing: one engine refining
+// a sequence of different starts must match fresh engines start for start.
+func TestParEngineReuse(t *testing.T) {
+	h := instance(t, 250, 5)
+	k := 5
+	cfg := ParConfig{Tolerance: 0.2, Threads: 2}
+	shared, err := NewParEngine(h, k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shared.Close()
+	for seed := uint64(20); seed < 25; seed++ {
+		start := randomAssignment(h, k, seed)
+		a := append(objective.Assignment(nil), start...)
+		b := append(objective.Assignment(nil), start...)
+		resShared, err := shared.Refine(context.Background(), a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resFresh, err := ParRefine(context.Background(), h, b, k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resShared != resFresh {
+			t.Fatalf("seed %d: reused engine result %+v, fresh %+v", seed, resShared, resFresh)
+		}
+		for v := range a {
+			if a[v] != b[v] {
+				t.Fatalf("seed %d: reused engine assignment diverges at vertex %d", seed, v)
+			}
+		}
+	}
+}
+
+// TestParEngineSteadyStateDoesNotAllocate pins the 0 allocs/move contract
+// for the parallel containers at an actually-parallel thread count.
+func TestParEngineSteadyStateDoesNotAllocate(t *testing.T) {
+	h := instance(t, 300, 6)
+	k := 8
+	e, err := NewParEngine(h, k, ParConfig{Tolerance: 0.2, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	start := randomAssignment(h, k, 13)
+	parts := make(objective.Assignment, len(start))
+	refine := func() {
+		copy(parts, start)
+		if _, err := e.Refine(context.Background(), parts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refine() // warm up: arenas grow once
+	if allocs := testing.AllocsPerRun(10, refine); allocs != 0 {
+		t.Fatalf("steady-state Refine allocates %.2f times, want 0", allocs)
+	}
+}
+
+func TestParEngineErrors(t *testing.T) {
+	h := instance(t, 50, 1)
+	if _, err := NewParEngine(h, 1, ParConfig{}); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	e, err := NewParEngine(h, 2, ParConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Refine(context.Background(), make(objective.Assignment, 3)); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	bad := make(objective.Assignment, h.NumVertices())
+	bad[0] = 7
+	if _, err := e.Refine(context.Background(), bad); err == nil {
+		t.Fatal("out-of-range part accepted")
+	}
+	if _, err := ParRefineReference(h, bad, 2, ParConfig{}); err == nil {
+		t.Fatal("reference accepted out-of-range part")
+	}
+}

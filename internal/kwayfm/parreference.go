@@ -1,0 +1,117 @@
+// The sequential oracle for the synchronous-round parallel refiner, frozen
+// as the differential-testing baseline the way reference.go is for Engine.
+//
+// DO NOT OPTIMIZE OR OTHERWISE EDIT THIS FILE. ParRefineReference is the
+// executable specification of one round: evaluate every boundary vertex
+// against the round-start snapshot, then commit the strictly-improving
+// proposals in ascending vertex-ID order with live revalidation. It
+// allocates freely, recomputes every gain from scratch, and runs on one
+// goroutine; ParEngine must produce a byte-identical ParResult, assignment
+// and round trajectory at every thread count
+// (TestParEngineMatchesReference), which is what turns "deterministic
+// parallel refinement" from a claim into a regression-tested contract.
+package kwayfm
+
+import (
+	"hgpart/internal/hypergraph"
+	"hgpart/internal/objective"
+)
+
+// refBoundary reports whether v touches a net spanning more than one part,
+// computed from the reference state's pin counts.
+func refBoundary(s *state, v int32) bool {
+	for _, e := range s.h.IncidentEdges(v) {
+		nonzero := 0
+		for _, c := range s.count[e] {
+			if c > 0 {
+				nonzero++
+				if nonzero > 1 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// ParRefineReference improves parts in place with the frozen sequential
+// round algorithm. Contract: identical ParResult, final assignment and
+// OnRound trajectory as ParEngine.Refine with the same (h, parts, k,
+// cfg) — Threads and ChunkSize are irrelevant by construction here, which
+// is exactly the property the engine must reproduce.
+func ParRefineReference(h *hypergraph.Hypergraph, parts objective.Assignment, k int, cfg ParConfig) (ParResult, error) {
+	if err := validate(h, parts, k); err != nil {
+		return ParResult{}, err
+	}
+	cfg = cfg.withParDefaults()
+	s := newState(h, parts, k, Config{Tolerance: cfg.Tolerance, Objective: cfg.Objective})
+	if cfg.HiBound > 0 {
+		s.lo, s.hi = cfg.LoBound, cfg.HiBound
+	}
+	res := ParResult{Initial: s.value}
+
+	for {
+		if cfg.MaxRounds > 0 && res.Rounds >= cfg.MaxRounds {
+			break
+		}
+		// Round-start boundary in ascending vertex-ID order.
+		var active []int32
+		for v := int32(0); v < int32(h.NumVertices()); v++ {
+			if refBoundary(s, v) {
+				active = append(active, v)
+			}
+		}
+		if len(active) == 0 {
+			break
+		}
+		for _, v := range active {
+			res.Work += int64(h.Degree(v))
+		}
+		// Evaluate phase: every proposal computed before any move, i.e.
+		// against the frozen round-start state.
+		target := make([]int32, len(active))
+		ok := make([]bool, len(active))
+		proposed := 0
+		for i, v := range active {
+			if t, g, o := s.bestOf(v); o && g > 0 {
+				target[i], ok[i] = t, true
+				proposed++
+			}
+		}
+		// Commit phase: ascending vertex-ID order, live revalidation.
+		committed := 0
+		for i, v := range active {
+			if !ok[i] {
+				continue
+			}
+			t := target[i]
+			if !s.legal(v, t) {
+				continue
+			}
+			if s.gain(v, t) <= 0 {
+				continue
+			}
+			s.move(v, t)
+			committed++
+			res.Work += int64(h.Degree(v))
+		}
+		res.Rounds++
+		res.Moves += int64(committed)
+		res.Proposed += int64(proposed)
+		if cfg.OnRound != nil {
+			cfg.OnRound(RoundInfo{
+				Round:     res.Rounds,
+				Active:    len(active),
+				Proposed:  proposed,
+				Committed: committed,
+				Value:     s.value,
+			})
+		}
+		if committed == 0 {
+			break
+		}
+	}
+	copy(parts, s.part)
+	res.Final = s.value
+	return res, nil
+}

@@ -43,6 +43,7 @@ var TargetPackages = []string{
 	"cmd/hgchaos",
 	"cmd/hgserved",
 	"internal/chaos",
+	"internal/core",
 	"internal/eval",
 	"internal/service",
 }

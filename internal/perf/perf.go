@@ -42,6 +42,17 @@ type Case struct {
 	// inherent per-start allocations (multilevel hierarchy construction)
 	// leave it false.
 	AssertZeroAlloc bool
+	// Parallel marks cases whose optimized closure runs on multiple OS
+	// threads; the runner then skips its single-P pin (which would serialize
+	// the workers and measure nothing but scheduling overhead).
+	Parallel bool
+	// MinSpeedup, when > 0, is the minimum reference/optimized ns-per-move
+	// ratio CheckSpeedups enforces — but only on hosts with at least
+	// MinSpeedupCPUs CPUs, since a parallel speedup target is unfalsifiable
+	// on a smaller machine. On smaller hosts the gate degrades to a no-
+	// severe-slowdown bound instead.
+	MinSpeedup     float64
+	MinSpeedupCPUs int
 }
 
 // Metrics summarizes one implementation's measured reps.
@@ -64,6 +75,10 @@ type CaseResult struct {
 	Optimized Metrics `json:"optimized"`
 	// Speedup is reference ns/move divided by optimized ns/move.
 	Speedup float64 `json:"speedup"`
+	// Parallel marks a thread-scaling case (both closures run the same
+	// parallel code at different thread counts). Persisted so baseline
+	// comparisons know to gate it via CheckSpeedups rather than ns/move.
+	Parallel bool `json:"parallel,omitempty"`
 }
 
 // Report is the machine-readable output of a suite run (BENCH_pr3.json).
@@ -97,18 +112,30 @@ type Runner struct {
 }
 
 // measure runs one workload closure Warmup+Reps times and aggregates.
-func (r Runner) measure(run func() int64) Metrics {
+func (r Runner) measure(run func() int64, parallel bool) Metrics {
 	for i := 0; i < r.Warmup; i++ {
 		run()
 	}
-	// Single-P measurement, as testing.AllocsPerRun does: background
-	// scheduling cannot smear allocations or time across the sample.
-	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	if !parallel {
+		// Single-P measurement, as testing.AllocsPerRun does: background
+		// scheduling cannot smear allocations or time across the sample.
+		// Parallel cases keep all Ps — pinning would serialize the very
+		// workers whose speedup is being measured.
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	}
 
 	nsPerMove := make([]float64, 0, r.Reps)
 	var ms runtime.MemStats
 	var totalMoves int64
 	var totalAllocs uint64
+	if parallel {
+		// The first stop-the-world ReadMemStats after a parallel workload
+		// perturbs the runtime's goroutine-parking caches enough that the
+		// next run makes a handful of one-time allocations. Pay that on a
+		// discarded rep so the measured ones see the true steady state.
+		runtime.ReadMemStats(&ms)
+		run()
+	}
 	for i := 0; i < r.Reps; i++ {
 		runtime.ReadMemStats(&ms)
 		m0 := ms.Mallocs
@@ -148,14 +175,14 @@ func median(sorted []float64) float64 {
 // consequence of bit-identical behavior).
 func (r Runner) RunCase(c Case) (CaseResult, error) {
 	reference, optimized := c.Build()
-	refM := r.measure(reference)
-	optM := r.measure(optimized)
+	refM := r.measure(reference, c.Parallel)
+	optM := r.measure(optimized, c.Parallel)
 	if refM.Moves != optM.Moves {
 		return CaseResult{}, fmt.Errorf(
 			"perf: case %q: reference made %d moves but optimized made %d — the implementations diverged",
 			c.Name, refM.Moves, optM.Moves)
 	}
-	res := CaseResult{Name: c.Name, Reference: refM, Optimized: optM}
+	res := CaseResult{Name: c.Name, Reference: refM, Optimized: optM, Parallel: c.Parallel}
 	if optM.NsPerMove > 0 {
 		res.Speedup = refM.NsPerMove / optM.NsPerMove
 	}
@@ -217,6 +244,14 @@ func CheckRegression(current, baseline Report, tolerance float64) []string {
 			problems = append(problems, fmt.Sprintf("case %q present in baseline but not in current run", base.Name))
 			continue
 		}
+		if base.Parallel {
+			// Thread-scaling cases are gated by CheckSpeedups instead: their
+			// "reference" is the same parallel code at one thread, not a
+			// frozen serial yardstick, so the drift normalization below
+			// would just amplify scheduler noise — especially on hosts with
+			// fewer CPUs than the case's thread count.
+			continue
+		}
 		adjusted := c.Optimized.NsPerMove
 		note := ""
 		if c.Reference.NsPerMove > 0 && base.Reference.NsPerMove > 0 {
@@ -248,6 +283,42 @@ func CheckZeroAllocs(rep Report, cases []Case) []string {
 			problems = append(problems, fmt.Sprintf(
 				"case %q: optimized path allocates %.6f times per move in steady state, want 0",
 				c.Name, c.Optimized.AllocsPerMove))
+		}
+	}
+	return problems
+}
+
+// CheckSpeedups verifies every case's MinSpeedup target against the measured
+// reference/optimized ratio. The full target only arms on hosts with at
+// least MinSpeedupCPUs CPUs: a 4-thread speedup claim cannot be tested on a
+// 1-CPU machine, where the same case instead degrades to a bound against
+// severe slowdown (the synchronization overhead a correct synchronous-round
+// implementation still pays when its workers share one CPU).
+func CheckSpeedups(rep Report, cases []Case) []string {
+	// On an undersized host, tolerate up to 2x slowdown before failing.
+	const maxSerialSlowdown = 0.5
+
+	targets := make(map[string]Case, len(cases))
+	for _, c := range cases {
+		if c.MinSpeedup > 0 {
+			targets[c.Name] = c
+		}
+	}
+	cpus := runtime.NumCPU()
+	var problems []string
+	for _, cr := range rep.Cases {
+		c, ok := targets[cr.Name]
+		if !ok {
+			continue
+		}
+		want := c.MinSpeedup
+		if cpus < c.MinSpeedupCPUs {
+			want = maxSerialSlowdown
+		}
+		if cr.Speedup < want {
+			problems = append(problems, fmt.Sprintf(
+				"case %q: speedup %.2fx below required %.2fx (host has %d CPUs; full %.2fx target arms at %d)",
+				cr.Name, cr.Speedup, want, cpus, c.MinSpeedup, c.MinSpeedupCPUs))
 		}
 	}
 	return problems

@@ -1,6 +1,8 @@
 package perf
 
 import (
+	"context"
+
 	"hgpart/internal/core"
 	"hgpart/internal/gen"
 	"hgpart/internal/hypergraph"
@@ -42,6 +44,8 @@ func MicroSuite() []Case {
 		kwayCase("kwayfm-k8-cut", 8,
 			kwayfm.Config{Tolerance: 0.15, Objective: kwayfm.CutObjective},
 			gen.Spec{Cells: 900, Nets: 1300, AvgNetSize: 4.0, Locality: 0.5, Seed: 61}),
+		parfmCase("parfm-k8-cut", 8, 4,
+			gen.Spec{Cells: 2500, Nets: 3600, AvgNetSize: 4.0, Locality: 0.5, Seed: 67}),
 		mlCase("ml-strong", core.StrongConfig(false),
 			gen.Spec{Cells: 2000, Nets: 2800, AvgNetSize: 3.6, Locality: 0.7, Seed: 53}),
 	}
@@ -147,6 +151,59 @@ func kwayCase(name string, k int, cfg kwayfm.Config, spec gen.Spec) Case {
 				return moves
 			}
 			return reference, optimized
+		},
+	}
+}
+
+// parfmCase: the synchronous-round parallel k-way refiner at two thread
+// counts over identical pinned starts. Unlike the other cases, "reference"
+// and "optimized" run the SAME implementation — only the thread count
+// differs, which by the refiner's contract cannot change a single move (the
+// runner's equal-moves cross-check doubles as a determinism check here).
+// What the case gates is the speedup the extra threads buy (CheckSpeedups,
+// armed on hosts with >= MinSpeedupCPUs CPUs) and zero steady-state
+// allocations at any thread count.
+func parfmCase(name string, k, threads int, spec gen.Spec) Case {
+	return Case{
+		Name:            name,
+		AssertZeroAlloc: true,
+		Parallel:        true,
+		MinSpeedup:      1.5,
+		MinSpeedupCPUs:  4,
+		Build: func() (func() int64, func() int64) {
+			h := gen.MustGenerate(spec)
+			starts := make([]objective.Assignment, kwayStarts)
+			for s := range starts {
+				starts[s] = make(objective.Assignment, h.NumVertices())
+				r := rng.New(uint64(3000 + s))
+				for v := range starts[s] {
+					starts[s][v] = int32(r.Intn(k))
+				}
+			}
+			mk := func(threads int) func() int64 {
+				eng, err := kwayfm.NewParEngine(h, k, kwayfm.ParConfig{
+					Tolerance: 0.15,
+					Objective: kwayfm.CutObjective,
+					Threads:   threads,
+				})
+				if err != nil {
+					panic(err)
+				}
+				scratch := make(objective.Assignment, h.NumVertices())
+				return func() int64 {
+					var moves int64
+					for _, s := range starts {
+						copy(scratch, s)
+						res, err := eng.Refine(context.Background(), scratch)
+						if err != nil {
+							panic(err)
+						}
+						moves += res.Moves
+					}
+					return moves
+				}
+			}
+			return mk(1), mk(threads)
 		},
 	}
 }

@@ -14,7 +14,9 @@ import (
 	"hgpart/internal/core"
 	"hgpart/internal/eval"
 	"hgpart/internal/hypergraph"
+	"hgpart/internal/kwayfm"
 	"hgpart/internal/multilevel"
+	"hgpart/internal/objective"
 	"hgpart/internal/partition"
 	"hgpart/internal/rng"
 )
@@ -249,6 +251,7 @@ func (q *jobPQ) Pop() any {
 type Manager struct {
 	workers          int
 	startWorkers     int
+	maxRefineThreads int
 	queueCap         int
 	historyCap       int
 	maxRetries       int
@@ -290,6 +293,7 @@ func newManager(cfg Config, cache *Cache, metrics *Metrics, log *slog.Logger) *M
 	m := &Manager{
 		workers:          cfg.Workers,
 		startWorkers:     cfg.StartWorkers,
+		maxRefineThreads: cfg.MaxRefineThreads,
 		queueCap:         cfg.QueueCap,
 		historyCap:       cfg.HistoryCap,
 		maxRetries:       cfg.MaxRetries,
@@ -794,7 +798,7 @@ func (m *Manager) run(j *Job) {
 		return
 	}
 
-	report, err := m.buildReport(j, raw, rep)
+	report, err := m.buildReport(ctx, j, bal, raw, rep)
 	if err != nil {
 		j.finish(JobFailed, 500, nil, err.Error())
 		m.metrics.JobFinished(JobFailed)
@@ -823,7 +827,10 @@ func (m *Manager) run(j *Job) {
 }
 
 // buildReport assembles the deterministic Report from the harness result.
-func (m *Manager) buildReport(j *Job, raw func() eval.Heuristic, rep *eval.RunReport) (*Report, error) {
+// ctx bounds the optional parallel-refine polish; a cancelled polish fails
+// the job rather than caching a partially refined answer.
+func (m *Manager) buildReport(ctx context.Context, j *Job, bal partition.Balance,
+	raw func() eval.Heuristic, rep *eval.RunReport) (*Report, error) {
 	best := rep.Best
 	if best.P == nil {
 		// The best start was resumed from the journal: recompute exactly
@@ -851,6 +858,48 @@ func (m *Manager) buildReport(j *Job, raw func() eval.Heuristic, rep *eval.RunRe
 		}
 	}
 
+	// Optional deterministic parallel FM polish: synchronous rounds of
+	// parallel evaluation with a vertex-ID-ordered commit, so the refined
+	// partition — and therefore the report bytes — is identical at every
+	// positive thread count (matching the thread-count-free cache key). The
+	// requested count is an execution knob only and is clamped to the
+	// server's cap. A ctx-cancelled polish aborts the report instead of
+	// caching a partially refined answer.
+	var refineRounds int
+	var refineMoves int64
+	side0, side1 := best.P.Area(0), best.P.Area(1)
+	if j.req.RefineThreads > 0 {
+		threads := j.req.RefineThreads
+		if m.maxRefineThreads > 0 && threads > m.maxRefineThreads {
+			threads = m.maxRefineThreads
+		}
+		parts := make(objective.Assignment, j.inst.NumVertices())
+		for v := range parts {
+			parts[v] = int32(best.P.Side(int32(v)))
+		}
+		pres, err := kwayfm.ParRefine(ctx, j.inst, parts, 2, kwayfm.ParConfig{
+			Objective: kwayfm.CutObjective,
+			Threads:   threads,
+			LoBound:   bal.Lo,
+			HiBound:   bal.Hi,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("parallel refine polish: %w", err)
+		}
+		cut = pres.Final
+		work += pres.Work
+		refineRounds = pres.Rounds
+		refineMoves = pres.Moves
+		side0, side1 = 0, 0
+		for v, p := range parts {
+			if p == 0 {
+				side0 += j.inst.VertexWeight(int32(v))
+			} else {
+				side1 += j.inst.VertexWeight(int32(v))
+			}
+		}
+	}
+
 	r := &Report{
 		Schema:       "hgserved/v1",
 		Instance:     j.instName,
@@ -867,8 +916,10 @@ func (m *Manager) buildReport(j *Job, raw func() eval.Heuristic, rep *eval.RunRe
 		Cut:          cut,
 		MinCut:       rep.Best.Cut,
 		BestStart:    rep.BestIdx,
-		Side0:        best.P.Area(0),
-		Side1:        best.P.Area(1),
+		Side0:        side0,
+		Side1:        side1,
+		RefineRounds: refineRounds,
+		RefineMoves:  refineMoves,
 		Completed:    rep.Completed,
 		Failed:       rep.Failed,
 		Skipped:      rep.Skipped,

@@ -1,0 +1,106 @@
+package service_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"hgpart/internal/service"
+)
+
+// The refine_threads contract through the HTTP surface: the parallel FM
+// polish must produce byte-identical report bodies at every thread count.
+// Each count runs on its OWN server — refine_threads is deliberately absent
+// from the cache key, so a single server would answer the second request
+// from cache and the test would prove nothing.
+
+func parfmReq(threads int) string {
+	return fmt.Sprintf(
+		`{"benchmark":"ibm01","scale":0.1,"engine":"flat","starts":3,"seed":7,"refine_threads":%d}`,
+		threads)
+}
+
+func TestRefineThreadsByteIdentityAcrossServers(t *testing.T) {
+	bodies := map[int][]byte{}
+	reports := map[int]*service.Report{}
+	for _, threads := range []int{1, 4} {
+		_, hs := testServer(t, nil)
+		resp, body := post(t, hs, parfmReq(threads))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("refine_threads=%d: status %d, body %s", threads, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-Hgserved-Cache"); got != "miss" {
+			t.Fatalf("refine_threads=%d: want a fresh computation, got X-Hgserved-Cache=%q",
+				threads, got)
+		}
+		bodies[threads] = body
+		var rep service.Report
+		if err := json.Unmarshal(body, &rep); err != nil {
+			t.Fatalf("refine_threads=%d: decode report: %v", threads, err)
+		}
+		reports[threads] = &rep
+	}
+	if string(bodies[1]) != string(bodies[4]) {
+		t.Errorf("refine_threads=1 and =4 bodies differ\n--- 1 ---\n%s\n--- 4 ---\n%s",
+			bodies[1], bodies[4])
+	}
+
+	// Sanity on the shared report: the polish never worsens the multistart
+	// answer, and the balance sides account for every vertex.
+	rep := reports[1]
+	if rep.Cut > rep.MinCut {
+		t.Errorf("polished cut %d worse than multistart min %d", rep.Cut, rep.MinCut)
+	}
+	if rep.Side0+rep.Side1 == 0 {
+		t.Errorf("report sides empty: side0=%d side1=%d", rep.Side0, rep.Side1)
+	}
+
+	// The polish presence (not its count) is part of the identity: the same
+	// request without refine_threads must map to a different cache key.
+	_, hs := testServer(t, nil)
+	resp, body := post(t, hs, `{"benchmark":"ibm01","scale":0.1,"engine":"flat","starts":3,"seed":7}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sequential request: status %d, body %s", resp.StatusCode, body)
+	}
+	var seq service.Report
+	if err := json.Unmarshal(body, &seq); err != nil {
+		t.Fatalf("decode sequential report: %v", err)
+	}
+	if seq.CacheKey == rep.CacheKey {
+		t.Errorf("refine_threads>0 shares cache key %s with the sequential request", seq.CacheKey)
+	}
+	if seq.RefineRounds != 0 || seq.RefineMoves != 0 {
+		t.Errorf("sequential report carries refine stats: rounds=%d moves=%d",
+			seq.RefineRounds, seq.RefineMoves)
+	}
+}
+
+// Clamping to the server's MaxRefineThreads must be invisible in the bytes:
+// a server capped at 1 thread and a server allowing 8 answer the same
+// refine_threads=8 request identically.
+func TestRefineThreadsClampIsByteInvisible(t *testing.T) {
+	bodies := map[int][]byte{}
+	for _, cap := range []int{1, 8} {
+		_, hs := testServer(t, func(cfg *service.Config) { cfg.MaxRefineThreads = cap })
+		resp, body := post(t, hs, parfmReq(8))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cap=%d: status %d, body %s", cap, resp.StatusCode, body)
+		}
+		bodies[cap] = body
+	}
+	if string(bodies[1]) != string(bodies[8]) {
+		t.Errorf("MaxRefineThreads=1 and =8 bodies differ\n--- 1 ---\n%s\n--- 8 ---\n%s",
+			bodies[1], bodies[8])
+	}
+}
+
+func TestRefineThreadsValidation(t *testing.T) {
+	_, hs := testServer(t, nil)
+	for _, threads := range []int{-1, 65} {
+		resp, body := post(t, hs, parfmReq(threads))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("refine_threads=%d: want 400, got %d (body %s)", threads, resp.StatusCode, body)
+		}
+	}
+}

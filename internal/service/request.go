@@ -49,6 +49,12 @@ type PartitionRequest struct {
 	// Workers caps concurrent starts within this job (bounded by the
 	// server's per-job limit). Results are identical at any worker count.
 	Workers int `json:"workers,omitempty"`
+	// RefineThreads > 0 applies a deterministic synchronous-round parallel
+	// FM polish (kwayfm.ParRefine) to the best partition after any V-cycle
+	// polish, evaluated on that many threads (bounded by the server's
+	// MaxRefineThreads). Results are byte-identical at any positive value —
+	// only whether the polish ran changes the report, never the count.
+	RefineThreads int `json:"refine_threads,omitempty"`
 	// WallBudgetMS bounds the job's wall-clock time; 0 means unbounded.
 	// A budget-truncated run is reported incomplete and never cached.
 	WallBudgetMS int64 `json:"wall_budget_ms,omitempty"`
@@ -130,6 +136,9 @@ func (r *PartitionRequest) validate() error {
 	}
 	if r.Workers < 0 {
 		return reqErrf("workers %d negative", r.Workers)
+	}
+	if r.RefineThreads < 0 || r.RefineThreads > 64 {
+		return reqErrf("refine_threads %d out of range [0,64]", r.RefineThreads)
 	}
 	if r.WallBudgetMS < 0 || r.WorkBudget < 0 {
 		return reqErrf("budgets must be non-negative")
@@ -243,10 +252,18 @@ func instanceHash(h *hypergraph.Hypergraph) string {
 // count, budgets, priority) are deliberately excluded. Budget-truncated runs
 // are never cached, so a complete budgeted run may legitimately share its
 // key with the unbudgeted one — they are byte-identical.
+//
+// RefineThreads follows the same rule split in two: whether the parallel
+// polish runs changes the answer (so its presence is keyed), but the thread
+// count does not — the synchronous-round refiner is byte-identical at every
+// positive count — so refine_threads=1 and refine_threads=8 share an entry.
 func cacheKey(instHash string, r *PartitionRequest) string {
 	cfg := fmt.Sprintf("hgserved/v1|inst=%s|engine=%s|starts=%d|vcycles=%d|tol=%s|seed=%d",
 		instHash, r.Engine, r.Starts, r.VCycles,
 		strconv.FormatFloat(r.Tolerance, 'g', -1, 64), r.Seed)
+	if r.RefineThreads > 0 {
+		cfg += "|parfm=1"
+	}
 	sum := sha256.Sum256([]byte(cfg))
 	return hex.EncodeToString(sum[:])
 }
@@ -288,6 +305,12 @@ type Report struct {
 	BestStart int     `json:"best_start"`
 	Side0     int64   `json:"side0"`
 	Side1     int64   `json:"side1"`
+
+	// RefineRounds/RefineMoves report the parallel FM polish when the
+	// request set refine_threads > 0 (omitted when zero); both are
+	// independent of the thread count.
+	RefineRounds int   `json:"refine_rounds,omitempty"`
+	RefineMoves  int64 `json:"refine_moves,omitempty"`
 
 	Completed  int    `json:"completed"`
 	Failed     int    `json:"failed"`

@@ -39,6 +39,10 @@ type Config struct {
 	// StartWorkers caps concurrent starts within one job (results are
 	// identical at any value — the harness pre-splits seeds).
 	StartWorkers int
+	// MaxRefineThreads caps a request's refine_threads (results are
+	// identical at any positive value — the parallel refiner commits in
+	// vertex order). <= 0 leaves requests unclamped.
+	MaxRefineThreads int
 	// QueueCap bounds the number of queued jobs; submissions beyond it get
 	// HTTP 429.
 	QueueCap int
@@ -104,6 +108,7 @@ func DefaultConfig() Config {
 	return Config{
 		Workers:          2,
 		StartWorkers:     2,
+		MaxRefineThreads: 8,
 		QueueCap:         256,
 		HistoryCap:       512,
 		MaxRetries:       1,

@@ -1,6 +1,8 @@
 package hgpart
 
 import (
+	"context"
+
 	"hgpart/internal/kway"
 	"hgpart/internal/kwayfm"
 	"hgpart/internal/objective"
@@ -43,6 +45,22 @@ func RefineKWay(h *Hypergraph, parts Assignment, k int, cfg KWayRefineConfig, r 
 		return 0, 0, err
 	}
 	return res.Initial, res.Final, nil
+}
+
+type (
+	// KWayParConfig controls synchronous-round parallel k-way refinement.
+	KWayParConfig = kwayfm.ParConfig
+	// KWayParResult reports a parallel refinement run; every field is
+	// independent of the thread count.
+	KWayParResult = kwayfm.ParResult
+)
+
+// ParRefineKWay improves an existing k-way assignment in place with the
+// deterministic synchronous-round parallel refiner. The result is
+// byte-identical for every cfg.Threads value; ctx is polled at round
+// boundaries and a cancelled run still leaves parts legal.
+func ParRefineKWay(ctx context.Context, h *Hypergraph, parts Assignment, k int, cfg KWayParConfig) (KWayParResult, error) {
+	return kwayfm.ParRefine(ctx, h, parts, k, cfg)
 }
 
 // CutSize returns the weighted number of nets spanning more than one part.
