@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-strict fuzz bench bench-smoke bench-go parfm-diff serve-smoke chaos-smoke cluster-smoke ci
+.PHONY: all build test race vet lint lint-strict fuzz bench bench-smoke bench-go parfm-diff serve-smoke chaos-smoke cluster-smoke portfolio-smoke ci
 
 all: build
 
@@ -89,8 +89,21 @@ chaos-smoke:
 cluster-smoke:
 	$(GO) test -run TestClusterSmoke -count=1 -timeout 360s ./cmd/hgchaos
 
+# Portfolio smoke (DESIGN.md §15): under the race detector, race the arm
+# portfolio on two gen profiles with byte-identical results across repeated
+# runs and a cold/warm/reopened outcome store (internal/portfolio), the
+# mode=portfolio service path with its advisory-store restart proof
+# (internal/service), and the hgchaos portfolio scenario (restart +
+# 1/2/3-worker cluster byte-identity); then run the hgbench quality gate —
+# portfolio never worse than the fixed default on half the suite, racing
+# overhead bounded.
+portfolio-smoke:
+	$(GO) test -race -count=1 -timeout 360s -run 'TestPortfolio' ./internal/portfolio ./internal/service ./cmd/hgchaos
+	$(GO) run ./cmd/hgbench -portfolio-gate
+
 # What CI runs: build, static checks (vet + hglint with the stale-suppression
 # audit), the full test suite under the race detector, the parallel-FM
-# differential suite, the benchmark smoke gate, the daemon smoke, and the
-# crash-consistency and cluster kill/restart smokes.
-ci: build lint-strict race parfm-diff bench-smoke serve-smoke chaos-smoke cluster-smoke
+# differential suite, the benchmark smoke gate, the daemon smoke, the
+# crash-consistency and cluster kill/restart smokes, and the portfolio
+# determinism/quality smoke.
+ci: build lint-strict race parfm-diff bench-smoke serve-smoke chaos-smoke cluster-smoke portfolio-smoke

@@ -35,11 +35,15 @@ func main() {
 		tolerance       = flag.Float64("tolerance", 0.10, "allowed fractional ns/move regression in -check mode")
 		assertZeroAlloc = flag.Bool("assert-zero-allocs", false, "fail unless steady-state cases measured exactly 0 allocs/move")
 		assertSpeedups  = flag.Bool("assert-speedups", false, "fail unless parallel cases met their speedup targets (full targets arm only on hosts with enough CPUs)")
+		portfolioGate   = flag.Bool("portfolio-gate", false, "run the portfolio-vs-fixed-default quality gate instead of the perf micro-suite")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "hgbench: unexpected arguments: %v\n", flag.Args())
 		os.Exit(2)
+	}
+	if *portfolioGate {
+		os.Exit(runPortfolioGate(os.Stdout))
 	}
 	if *reps < 1 || *warmup < 0 {
 		fmt.Fprintln(os.Stderr, "hgbench: need -reps >= 1 and -warmup >= 0")

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPortfolioGate runs the -portfolio-gate suite twice: it must pass
+// (exit code 0) and — because every case is a pure function of the pinned
+// (specs, seed, starts) — produce byte-identical output on the rerun. A
+// byte of drift here means the scheduler lost determinism, which would
+// break the service's content-addressed result cache.
+func TestPortfolioGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("portfolio gate races full schedules over six profiles; skipped in -short")
+	}
+	var first, second bytes.Buffer
+	if rc := runPortfolioGate(&first); rc != 0 {
+		t.Fatalf("portfolio gate exit code %d, want 0:\n%s", rc, first.String())
+	}
+	if rc := runPortfolioGate(&second); rc != 0 {
+		t.Fatalf("portfolio gate rerun exit code %d, want 0:\n%s", rc, second.String())
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("portfolio gate output not deterministic:\nrun 1:\n%s\nrun 2:\n%s",
+			first.String(), second.String())
+	}
+	t.Logf("gate output:\n%s", first.String())
+}

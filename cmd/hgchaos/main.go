@@ -23,6 +23,10 @@
 // result — or the fully degraded local compute — must still be
 // byte-identical to the uninterrupted single-node baseline.
 //
+// The portfolio scenario proves mode=portfolio determinism: identical
+// report bytes across a repeat, a restart with a warm (advisory) outcome
+// store, a storeless daemon, and 1/2/3-worker cluster topologies.
+//
 // Exit codes: 0 all scenarios hold, 1 a crash-consistency assertion failed,
 // 2 environment/setup failure.
 package main
@@ -136,6 +140,8 @@ func run(ctx context.Context, opt options) int {
 		var rc int
 		if strings.HasPrefix(name, "cluster-") {
 			rc = runClusterScenario(ctx, opt, name, req, baseline)
+		} else if name == "portfolio" {
+			rc = runPortfolioScenario(ctx, opt)
 		} else {
 			sc, ok := scenarioByName[name]
 			if !ok {

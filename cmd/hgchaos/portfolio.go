@@ -1,0 +1,138 @@
+package main
+
+// Portfolio chaos scenario: the adaptive portfolio scheduler's outcome store
+// is strictly advisory, so mode=portfolio reports must be byte-identical
+// across a repeat (cache hit), a daemon restart sharing the checkpoint dir
+// (outcome store warm, result cache cold — the store is predicting, but a
+// prediction must not move a byte), a storeless daemon (no checkpoint dir at
+// all), and 1/2/3-worker cluster topologies where coordinator and workers
+// share one store through O_APPEND record framing.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// runPortfolioScenario executes the portfolio determinism proof. It computes
+// its own baseline (the shared flat-engine baseline does not exercise the
+// racing path). Returns 0 pass, 1 assertion failure, 2 environment failure.
+func runPortfolioScenario(ctx context.Context, opt options) int {
+	const name = "portfolio"
+	preq := fmt.Sprintf(`{"benchmark":"ibm01","scale":%g,"mode":"portfolio","starts":%d,"seed":%d}`,
+		opt.scale, opt.starts, opt.seed)
+
+	// Phase 1: cold daemon with a checkpoint dir. The first answer is the
+	// scenario baseline; the repeat must be a byte-identical cache hit.
+	cpDir := filepath.Join(opt.workdir, name, "checkpoints")
+	if err := os.MkdirAll(cpDir, 0o755); err != nil {
+		fmt.Fprintf(opt.out, "hgchaos: %s: %v\n", name, err)
+		return 2
+	}
+	d1, err := startDaemon(ctx, opt, name+"-cold", []string{"-checkpoint-dir", cpDir})
+	if err != nil {
+		fmt.Fprintf(opt.out, "hgchaos: %s: cold daemon: %v\n", name, err)
+		return 2
+	}
+	baseline, _, err := submitSync(ctx, d1.addr, preq, opt.seed)
+	if err != nil {
+		fmt.Fprintf(opt.out, "hgchaos: %s: cold request: %v\n", name, err)
+		d1.stop()
+		return 2
+	}
+	repeat, disp, err := submitSyncDisposition(ctx, d1.addr, preq, opt.seed)
+	if err != nil || disp != "hit" || !bytes.Equal(repeat, baseline) {
+		fmt.Fprintf(opt.out, "hgchaos: %s: repeat not a byte-identical cache hit (disposition %q, err %v)\n",
+			name, disp, err)
+		d1.stop()
+		return 1
+	}
+	d1.stop()
+	// The warm-store phase below is only meaningful if the race actually
+	// persisted outcomes; an empty store would make it a silent no-op.
+	if fi, err := os.Stat(filepath.Join(cpDir, "portfolio.store")); err != nil || fi.Size() == 0 {
+		fmt.Fprintf(opt.out, "hgchaos: %s: race left no outcome store in %s (err %v)\n", name, cpDir, err)
+		return 1
+	}
+	fmt.Fprintf(opt.out, "hgchaos: %s: baseline report: %d bytes, outcome store persisted\n",
+		name, len(baseline))
+
+	// Phase 2: fresh daemon on the same checkpoint dir. The outcome store is
+	// warm (it will predict the winner) but the result cache is cold, so the
+	// whole race+commit recomputes — under advisement — and must not move a
+	// byte. A store that influenced selection would poison every cache keyed
+	// on these bytes.
+	d2, err := startDaemon(ctx, opt, name+"-warm", []string{"-checkpoint-dir", cpDir})
+	if err != nil {
+		fmt.Fprintf(opt.out, "hgchaos: %s: warm-store daemon: %v\n", name, err)
+		return 2
+	}
+	body, disp, err := submitSyncDisposition(ctx, d2.addr, preq, opt.seed)
+	d2.stop()
+	if err != nil {
+		fmt.Fprintf(opt.out, "hgchaos: %s: warm-store request: %v\n", name, err)
+		return 1
+	}
+	if disp != "miss" {
+		fmt.Fprintf(opt.out, "hgchaos: %s: warm-store disposition %q, want miss (cold cache)\n", name, disp)
+		return 1
+	}
+	if !bytes.Equal(body, baseline) {
+		fmt.Fprintf(opt.out, "hgchaos: %s: warm-store report differs from baseline (%d vs %d bytes)\n",
+			name, len(body), len(baseline))
+		return 1
+	}
+	fmt.Fprintf(opt.out, "hgchaos: %s: warm store recomputed byte-identical bytes\n", name)
+
+	// Phase 3: storeless daemon — no checkpoint dir, so no store exists at
+	// all. Identical bytes close the loop: cold store == warm store == none.
+	d3, err := startDaemon(ctx, opt, name+"-storeless", nil)
+	if err != nil {
+		fmt.Fprintf(opt.out, "hgchaos: %s: storeless daemon: %v\n", name, err)
+		return 2
+	}
+	body, _, err = submitSync(ctx, d3.addr, preq, opt.seed)
+	d3.stop()
+	if err != nil {
+		fmt.Fprintf(opt.out, "hgchaos: %s: storeless request: %v\n", name, err)
+		return 1
+	}
+	if !bytes.Equal(body, baseline) {
+		fmt.Fprintf(opt.out, "hgchaos: %s: storeless report differs from baseline (%d vs %d bytes)\n",
+			name, len(body), len(baseline))
+		return 1
+	}
+	fmt.Fprintf(opt.out, "hgchaos: %s: storeless daemon byte-identical\n", name)
+
+	// Phase 4: 1-, 2- and 3-worker clusters. Coordinator and workers share
+	// one outcome store on the cluster checkpoint dir (O_APPEND record
+	// framing); wherever the job lands, the bytes must match the single-node
+	// baseline.
+	for n := 1; n <= 3; n++ {
+		clusterDir := filepath.Join(opt.workdir, fmt.Sprintf("%s-cluster-%d", name, n), "checkpoints")
+		if err := os.MkdirAll(clusterDir, 0o755); err != nil {
+			fmt.Fprintf(opt.out, "hgchaos: %s: %v\n", name, err)
+			return 2
+		}
+		c, err := startCluster(ctx, opt, fmt.Sprintf("%s-cluster-%d", name, n), n, clusterDir, nil)
+		if err != nil {
+			fmt.Fprintf(opt.out, "hgchaos: %s: %d workers: %v\n", name, n, err)
+			return 2
+		}
+		body, _, err := submitSync(ctx, c.coord.addr, preq, opt.seed)
+		c.stopAll()
+		if err != nil {
+			fmt.Fprintf(opt.out, "hgchaos: %s: %d workers: %v\n", name, n, err)
+			return 1
+		}
+		if !bytes.Equal(body, baseline) {
+			fmt.Fprintf(opt.out, "hgchaos: %s: %d-worker report differs from baseline (%d vs %d bytes)\n",
+				name, n, len(body), len(baseline))
+			return 1
+		}
+		fmt.Fprintf(opt.out, "hgchaos: %s: %d worker(s) byte-identical\n", name, n)
+	}
+	return 0
+}

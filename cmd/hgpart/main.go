@@ -57,6 +57,11 @@ func main() {
 		refineK = flag.Bool("krefine", false, "direct k-way FM refinement after recursive bisection")
 		refineT = flag.Int("refine-threads", 0, "with -krefine: use the deterministic synchronous-round parallel refiner with this many threads (output is byte-identical for every positive value; 0 = sequential refiner)")
 		seed    = flag.Uint64("seed", 1, "random seed")
+
+		usePortfolio = flag.Bool("portfolio", false, "race the curated engine portfolio for the first budget slice, then commit the rest to the winner (bisection only; ignores -engine)")
+		portfolioDB  = flag.String("portfolio-store", "", "with -portfolio: persist per-bucket arm outcomes to this file (advisory; never changes results)")
+		workBudget   = flag.Int64("work-budget", 0, "deterministic work-unit budget (0 = unbounded); with -portfolio the first quarter funds the race")
+
 		traceTo = flag.String("trace", "", "write per-pass FM trace CSV to this file (flat/clip engines)")
 		outPath = flag.String("o", "", "write the best partition assignment to this file (one side/part id per vertex line)")
 		quiet   = flag.Bool("q", false, "suppress instance statistics")
@@ -91,6 +96,15 @@ func main() {
 	if *refineT > 0 && (*k <= 2 || !*refineK) {
 		fatalUsage(fmt.Errorf("-refine-threads requires -krefine and -k > 2"))
 	}
+	if *workBudget < 0 {
+		fatalUsage(fmt.Errorf("-work-budget %d must be >= 0", *workBudget))
+	}
+	if *usePortfolio && *k > 2 {
+		fatalUsage(fmt.Errorf("-portfolio supports bisection only (-k 2)"))
+	}
+	if *portfolioDB != "" && !*usePortfolio {
+		fatalUsage(fmt.Errorf("-portfolio-store requires -portfolio"))
+	}
 
 	h, err := loadInstance(*inPath, *arePath, *ibm, *scale, *seed)
 	if err != nil {
@@ -108,6 +122,11 @@ func main() {
 
 	total := h.TotalVertexWeight()
 	bal := hgpart.NewBalance(total, *tol)
+
+	if *usePortfolio {
+		runPortfolio(h, bal, *starts, *seed, *workBudget, *portfolioDB, *outPath)
+		return
+	}
 
 	if *engine == "spectral" {
 		t0 := time.Now()
@@ -257,6 +276,61 @@ func runRobust(h *hgpart.Hypergraph, bal hgpart.Balance, engine string, starts, 
 			fmt.Fprintf(os.Stderr, "hgpart: checkpoint journal error (resume may be unreliable): %v\n", err)
 		}
 	}
+}
+
+// runPortfolio executes the -portfolio schedule: feature extraction, the
+// arm race, and the committed multistart on the winner. Everything printed
+// to stdout except the wall-clock time= line is a pure function of
+// (instance, seed, starts, work budget); advisory store output (the
+// prediction) goes to stderr so runs with cold and warm stores produce
+// identical result output.
+func runPortfolio(h *hgpart.Hypergraph, bal hgpart.Balance, starts int, seed uint64,
+	workBudget int64, storePath, outPath string) {
+	var store *hgpart.PortfolioStore
+	if storePath != "" {
+		st, err := hgpart.OpenPortfolioStore(storePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		store = st
+	}
+
+	t0 := time.Now()
+	res, err := hgpart.RunPortfolio(context.Background(), h, bal, seed, starts, workBudget, store)
+	if err != nil {
+		// With a background context the only reachable failure is an
+		// infeasible balance: no arm produced a legal partition.
+		fatalInfeasible(err)
+	}
+	race := res.Race
+	if race.Predicted != "" {
+		fmt.Fprintf(os.Stderr, "hgpart: store predicted %s (hit=%v)\n", race.Predicted, race.StoreHit)
+	}
+	fmt.Printf("portfolio starts=%d bucket=%s arms=%d\n", starts, race.Bucket.Key(), len(race.Arms))
+	for _, tr := range race.Traces {
+		marker := " "
+		if tr.Won {
+			marker = "*"
+		}
+		if !tr.OK {
+			fmt.Printf("%s %-16s starts=%d work=%d (no legal partition)\n", marker, tr.Arm, tr.Starts, tr.Work)
+			continue
+		}
+		fmt.Printf("%s %-16s starts=%d cut=%d work=%d\n", marker, tr.Arm, tr.Starts, tr.Cut, tr.Work)
+	}
+	fmt.Printf("winner=%s source=%s\n", race.Arms[race.Winner].Name, res.Source)
+	fmt.Println(res.Commit.Summary())
+	fmt.Printf("cut=%d\n", res.Final.Cut)
+	printSides(res.Final.P, h.TotalVertexWeight())
+	fmt.Printf("time=%.3fs work=%d (normalized %.3fs)\n",
+		time.Since(t0).Seconds(), res.TotalWork, float64(res.TotalWork)/2e6)
+	if store != nil {
+		if serr := store.Err(); serr != nil {
+			fmt.Fprintf(os.Stderr, "hgpart: portfolio store degraded (outcomes may not persist): %v\n", serr)
+		}
+	}
+	writeSides(outPath, h.NumVertices(), res.Final.P)
 }
 
 // checkLegal enforces the documented exit-3 contract: a best partition

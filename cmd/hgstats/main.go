@@ -6,11 +6,14 @@
 //
 //	hgstats circuit.hgr other.netD
 //	hgstats -ibm all -scale 0.1
+//	hgstats -ibm 1 -scale 0.1 -features   # portfolio feature vector as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -20,18 +23,26 @@ import (
 
 func main() {
 	var (
-		ibm   = flag.String("ibm", "", "profile number 1-18, or \"all\"")
-		mcnc  = flag.String("mcnc", "", "MCNC profile name, or \"all\"")
-		scale = flag.Float64("scale", 1.0, "downscale factor for -ibm")
-		rent  = flag.Bool("rent", false, "also estimate the Rent exponent (recursive bisection)")
+		ibm      = flag.String("ibm", "", "profile number 1-18, or \"all\"")
+		mcnc     = flag.String("mcnc", "", "MCNC profile name, or \"all\"")
+		scale    = flag.Float64("scale", 1.0, "downscale factor for -ibm")
+		rent     = flag.Bool("rent", false, "also estimate the Rent exponent (recursive bisection)")
+		features = flag.Bool("features", false, "emit the portfolio feature vector and bucket as JSON instead of the stats table")
 	)
 	flag.Parse()
 
 	if *scale <= 0 || *scale > 1 {
 		fatal(fmt.Errorf("-scale %g out of range (0,1]", *scale))
 	}
+	if *features && *rent {
+		fatal(fmt.Errorf("-features and -rent are mutually exclusive"))
+	}
 
 	report := func(h *hgpart.Hypergraph) {
+		if *features {
+			emitFeatures(h)
+			return
+		}
 		fmt.Print(hgpart.ComputeStats(h))
 		if *rent {
 			est, err := hgpart.RentAnalyze(h, hgpart.RentOptions{})
@@ -116,6 +127,29 @@ func main() {
 		}
 		report(h)
 	}
+}
+
+// emitFeatures prints one JSON document per instance: the deterministic
+// portfolio feature vector plus its discretized bucket key — the exact
+// inputs the portfolio scheduler buckets on, so operators can see which
+// bucket (and therefore which stored arm statistics) a netlist lands in.
+func emitFeatures(h *hgpart.Hypergraph) {
+	if err := writeFeatures(os.Stdout, h); err != nil {
+		fatal(err)
+	}
+}
+
+// writeFeatures renders the -features JSON document; the golden-file test
+// pins its exact bytes.
+func writeFeatures(w io.Writer, h *hgpart.Hypergraph) error {
+	f := hgpart.ExtractPortfolioFeatures(h)
+	doc := struct {
+		hgpart.PortfolioFeatures
+		Bucket string `json:"bucket"`
+	}{f, hgpart.PortfolioBucketOf(f).Key()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 func fatal(err error) {

@@ -39,6 +39,7 @@ import (
 	"hgpart/internal/netlist"
 	"hgpart/internal/partition"
 	"hgpart/internal/placer"
+	"hgpart/internal/portfolio"
 	"hgpart/internal/rng"
 )
 
@@ -331,3 +332,48 @@ func MCNCProfile(name string) (GenSpec, error) { return gen.MCNCProfile(name) }
 
 // MCNCNames lists the available MCNC profile names.
 func MCNCNames() []string { return gen.MCNCNames() }
+
+// Portfolio scheduling (DESIGN.md §15): cheap instance features bucket each
+// request, a curated portfolio of engine configurations races for the first
+// slice of the budget, and the remaining budget commits to the Pareto-best
+// arm. An optional persistent outcome store warm-starts predictions across
+// requests; it is strictly advisory and never changes results.
+type (
+	// PortfolioFeatures is the deterministic instance-feature vector.
+	PortfolioFeatures = portfolio.Features
+	// PortfolioBucket is the discretized feature grid cell.
+	PortfolioBucket = portfolio.Bucket
+	// PortfolioArm is one engine configuration in the racing portfolio.
+	PortfolioArm = portfolio.Arm
+	// PortfolioScheduler races arms and commits to the winner.
+	PortfolioScheduler = portfolio.Scheduler
+	// PortfolioRaceResult is the racing slice's outcome.
+	PortfolioRaceResult = portfolio.RaceResult
+	// PortfolioResult is the full race+commit outcome.
+	PortfolioResult = portfolio.Result
+	// PortfolioStore is the persistent per-bucket outcome store.
+	PortfolioStore = portfolio.Store
+)
+
+// ExtractPortfolioFeatures computes the deterministic feature vector in one
+// O(pins) sweep.
+func ExtractPortfolioFeatures(h *Hypergraph) PortfolioFeatures { return portfolio.Extract(h) }
+
+// PortfolioBucketOf discretizes a feature vector onto the bucket grid.
+func PortfolioBucketOf(f PortfolioFeatures) PortfolioBucket { return portfolio.BucketOf(f) }
+
+// DefaultPortfolioArms returns the curated racing portfolio.
+func DefaultPortfolioArms() []PortfolioArm { return portfolio.DefaultArms() }
+
+// OpenPortfolioStore opens (creating or repairing as needed) the CRC-framed
+// outcome store at path.
+func OpenPortfolioStore(path string) (*PortfolioStore, error) { return portfolio.OpenStore(path) }
+
+// RunPortfolio executes the full portfolio schedule — race then commit —
+// and returns the byte-deterministic result. store may be nil; warm or
+// cold, it never changes the result.
+func RunPortfolio(ctx context.Context, h *Hypergraph, bal Balance, seed uint64,
+	starts int, workBudget int64, store *PortfolioStore) (*PortfolioResult, error) {
+	s := &portfolio.Scheduler{Store: store}
+	return s.Run(ctx, h, bal, seed, starts, workBudget)
+}

@@ -1,0 +1,80 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"hgpart/internal/rng"
+)
+
+// TestScaledPreservesRatios is the property test for Scaled's rounding
+// invariants: for every published profile and a seeded spread of scale
+// factors, the spec-level pins-per-vertex ratio (Nets*AvgNetSize/Cells)
+// must survive downscaling within rounding tolerance, the distributional
+// parameters must be untouched, and the documented floors (Cells >= 8,
+// Nets >= 4, >= 1 macro when the original had any) must hold. The
+// portfolio scheduler buckets instances by exactly these ratios, so a
+// drift here silently reshuffles which stored arm statistics a scaled
+// profile consults.
+func TestScaledPreservesRatios(t *testing.T) {
+	var specs []Spec
+	for i := 1; i <= 18; i++ {
+		specs = append(specs, MustIBMProfile(i))
+	}
+	for _, name := range MCNCNames() {
+		s, err := MCNCProfile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+
+	// Fixed factors cover the documented bench range plus the extremes;
+	// seeded draws fill the space in between, deterministically.
+	factors := []float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.9, 1.0}
+	r := rng.New(7)
+	for i := 0; i < 25; i++ {
+		factors = append(factors, 0.01+0.99*r.Float64())
+	}
+
+	for _, spec := range specs {
+		for _, f := range factors {
+			s := Scaled(spec, f)
+			label := fmt.Sprintf("%s f=%.4f", spec.Name, f)
+
+			if s.Cells < 8 || s.Nets < 4 {
+				t.Fatalf("%s: floors violated: cells=%d nets=%d", label, s.Cells, s.Nets)
+			}
+			if spec.NumMacros > 0 && s.NumMacros < 1 {
+				t.Fatalf("%s: macros vanished (had %d)", label, spec.NumMacros)
+			}
+			if s.AvgNetSize != spec.AvgNetSize || s.MaxMacroFrac != spec.MaxMacroFrac ||
+				s.Locality != spec.Locality || s.GlobalNetFrac != spec.GlobalNetFrac ||
+				s.UnitArea != spec.UnitArea || s.Seed != spec.Seed {
+				t.Fatalf("%s: distributional parameters changed: %+v vs %+v", label, s, spec)
+			}
+			if f < 1 && !strings.HasPrefix(s.Name, spec.Name+"@") {
+				t.Fatalf("%s: scaled name %q lacks the @factor suffix", label, s.Name)
+			}
+
+			// The ratio invariant only binds while neither count is clamped
+			// to its floor: at the floors the ratio is allowed to drift
+			// (that is the point of the floors).
+			if s.Cells == 8 || s.Nets == 4 {
+				continue
+			}
+			want := float64(spec.Nets) * spec.AvgNetSize / float64(spec.Cells)
+			got := float64(s.Nets) * s.AvgNetSize / float64(s.Cells)
+			// Rounding moves each count by at most 0.5, so the ratio moves
+			// by at most roughly 0.5/Nets + 0.5/Cells relatively; allow 2x
+			// slack for the compounding of the two roundings.
+			tol := 2 * (0.5/float64(s.Nets) + 0.5/float64(s.Cells))
+			if rel := math.Abs(got-want) / want; rel > tol {
+				t.Fatalf("%s: pin/vertex ratio drifted %.4f%% (tol %.4f%%): %.5f -> %.5f",
+					label, 100*rel, 100*tol, want, got)
+			}
+		}
+	}
+}

@@ -39,6 +39,7 @@ var TargetPackages = []string{
 	"internal/chaos",
 	"internal/eval",
 	"internal/experiments",
+	"internal/portfolio",
 	"internal/service",
 }
 

@@ -34,6 +34,7 @@ var AlgorithmPackages = []string{
 	"internal/exact",
 	"internal/gen",
 	"internal/eval",
+	"internal/portfolio",
 }
 
 // bannedImports maps forbidden import paths to the reason they break

@@ -45,6 +45,7 @@ var TargetPackages = []string{
 	"internal/chaos",
 	"internal/core",
 	"internal/eval",
+	"internal/portfolio",
 	"internal/service",
 }
 

@@ -62,6 +62,7 @@ import (
 // harness, per DESIGN.md §13.
 var TargetPackages = []string{
 	"internal/eval",
+	"internal/portfolio",
 	"internal/service",
 }
 

@@ -1,0 +1,121 @@
+package portfolio
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"hgpart/internal/gen"
+	"hgpart/internal/hypergraph"
+)
+
+// buildTiny constructs a hand-checkable instance: 8 vertices (one 10x macro),
+// 4 nets of sizes 2, 2, 3, 5.
+func buildTiny(t *testing.T) *hypergraph.Hypergraph {
+	t.Helper()
+	b := hypergraph.NewBuilder(8, 4)
+	b.AddVertices(7, 1)
+	b.AddVertex(10)
+	b.AddEdge(1, 0, 1)
+	b.AddEdge(1, 2, 3)
+	b.AddEdge(1, 4, 5, 6)
+	b.AddEdge(1, 0, 2, 4, 6, 7)
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestExtractTiny(t *testing.T) {
+	f := Extract(buildTiny(t))
+	if f.Vertices != 8 || f.Nets != 4 || f.Pins != 12 {
+		t.Fatalf("dimensions = %d/%d/%d, want 8/4/12", f.Vertices, f.Nets, f.Pins)
+	}
+	if f.PinVertexRatio != 1.5 {
+		t.Errorf("PinVertexRatio = %v, want 1.5", f.PinVertexRatio)
+	}
+	if f.AvgNetSize != 3 {
+		t.Errorf("AvgNetSize = %v, want 3", f.AvgNetSize)
+	}
+	// Sorted sizes: 2 2 3 5. Nearest-rank: q50 -> idx 1 (=2), q90 -> idx 2
+	// (=3), q99 -> idx 2 (=3), max 5.
+	if f.NetSizeQ50 != 2 || f.NetSizeQ90 != 3 || f.NetSizeQ99 != 3 || f.MaxNetSize != 5 {
+		t.Errorf("quantiles = %d/%d/%d max %d, want 2/3/3 max 5",
+			f.NetSizeQ50, f.NetSizeQ90, f.NetSizeQ99, f.MaxNetSize)
+	}
+	// Every net spans more than 8/100 = 0 pins.
+	if f.LargeNets != 4 {
+		t.Errorf("LargeNets = %d, want 4", f.LargeNets)
+	}
+	// Total weight 17, mean 2.125; skew 10/2.125; one vertex above 4x mean.
+	if f.MacroVertices != 1 {
+		t.Errorf("MacroVertices = %d, want 1", f.MacroVertices)
+	}
+	if f.UnitArea {
+		t.Error("UnitArea = true for a macro-bearing instance")
+	}
+	if f.WeightSkew < 4.7 || f.WeightSkew > 4.71 {
+		t.Errorf("WeightSkew = %v, want ~4.706", f.WeightSkew)
+	}
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	spec := gen.Scaled(gen.MustIBMProfile(1), 0.05)
+	h, err := gen.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(Extract(h))
+	b, _ := json.Marshal(Extract(h))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("Extract is not byte-deterministic:\n%s\n%s", a, b)
+	}
+}
+
+func TestBucketKey(t *testing.T) {
+	cases := []struct {
+		f    Features
+		want string
+	}{
+		{Features{Vertices: 500, AvgNetSize: 2.8, WeightSkew: 1.0}, "s0.n0.k0.g0"},
+		{Features{Vertices: 5_000, AvgNetSize: 3.6, WeightSkew: 3, LargeNets: 2}, "s1.n1.k1.g1"},
+		{Features{Vertices: 50_000, AvgNetSize: 4.5, WeightSkew: 20}, "s2.n2.k2.g0"},
+		{Features{Vertices: 500_000, AvgNetSize: 3.4, WeightSkew: 1.5}, "s3.n1.k1.g0"},
+	}
+	for _, c := range cases {
+		if got := BucketOf(c.f).Key(); got != c.want {
+			t.Errorf("BucketOf(%+v).Key() = %q, want %q", c.f, got, c.want)
+		}
+	}
+}
+
+func TestUnitAreaProfileFeatures(t *testing.T) {
+	spec := gen.Scaled(mustMCNC(t, "struct"), 0.5)
+	h, err := gen.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Extract(h)
+	if !f.UnitArea {
+		t.Error("MCNC profile instance should be unit-area")
+	}
+	if f.WeightSkew != 1 {
+		t.Errorf("WeightSkew = %v, want 1 for unit area", f.WeightSkew)
+	}
+	if f.MacroVertices != 0 {
+		t.Errorf("MacroVertices = %d, want 0", f.MacroVertices)
+	}
+	if b := BucketOf(f); b.SkewClass != 0 {
+		t.Errorf("SkewClass = %d, want 0", b.SkewClass)
+	}
+}
+
+func mustMCNC(t *testing.T, name string) gen.Spec {
+	t.Helper()
+	s, err := gen.MCNCProfile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

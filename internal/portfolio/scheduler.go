@@ -1,0 +1,287 @@
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"hgpart/internal/eval"
+	"hgpart/internal/hypergraph"
+	"hgpart/internal/partition"
+	"hgpart/internal/rng"
+)
+
+// goldenGamma is the repo's standard SplitMix64 odd constant, used here to
+// derive per-arm and commit-phase seeds from the request seed.
+const goldenGamma = 0x9e3779b97f4a7c15
+
+// commitSalt separates the commit phase's seed space from the race's (and
+// from the fixed-default engine's plain request seed): "portfoli" in ASCII.
+const commitSalt = 0x706f7274666f6c69
+
+// ErrInfeasible reports that no arm produced a legal partition during the
+// race — the balance constraint cannot be met (the portfolio analogue of the
+// fixed engines' infeasible-tolerance failure).
+var ErrInfeasible = errors.New("portfolio: no arm produced a legal partition")
+
+// armSeed derives the deterministic root seed for arm i of a race rooted at
+// seed. Arms never share generator state, so adding or re-ordering starts
+// within one arm cannot perturb another.
+func armSeed(seed uint64, i int) uint64 {
+	return seed ^ uint64(i+1)*goldenGamma
+}
+
+// CommitSeed derives the commit phase's multistart seed from the request
+// seed. It is distinct from every armSeed and from the raw request seed, so
+// the commit explores starts the race has not already spent.
+func CommitSeed(seed uint64) uint64 { return seed ^ commitSalt }
+
+// PolishSeed derives the seed for the final polish pass applied to a
+// commit-phase best (the same seed^gamma idiom the service uses for its
+// fixed-default polish).
+func PolishSeed(seed uint64) uint64 { return CommitSeed(seed) ^ goldenGamma }
+
+// ArmTrace is the per-arm outcome of one race, in arm order. It is part of
+// the deterministic report surface: every field is a pure function of
+// (instance, seed, budget).
+type ArmTrace struct {
+	// Arm names the arm.
+	Arm string `json:"arm"`
+	// Starts is how many starts the arm ran during the race.
+	Starts int `json:"starts"`
+	// Cut is the arm's best legal cut (after the arm's own polish step);
+	// meaningful only when OK.
+	Cut int64 `json:"cut"`
+	// Work is the arm's total deterministic work units, polish included.
+	Work int64 `json:"work"`
+	// OK reports that at least one start produced a verified legal
+	// partition.
+	OK bool `json:"ok"`
+	// Won marks the winning arm.
+	Won bool `json:"won,omitempty"`
+}
+
+// RaceResult is the outcome of the racing slice: the extracted features and
+// bucket, one trace per arm, and the winning arm's best outcome.
+//
+// Predicted and StoreHit are advisory observability fields fed by the
+// outcome store — they report what the store would have guessed and whether
+// the guess matched. They feed logs and metrics only and MUST NOT enter any
+// deterministic report body: a warm store would otherwise change the bytes.
+type RaceResult struct {
+	Features Features
+	Bucket   Bucket
+	// Arms is the raced portfolio, in order; Traces is parallel to it.
+	Arms   []Arm
+	Traces []ArmTrace
+	// Winner indexes Arms/Traces; Best is the winner's best outcome (P is
+	// non-nil and verified legal).
+	Winner int
+	Best   eval.Outcome
+	// RaceWork is the total work spent racing, across all arms.
+	RaceWork int64
+	// Predicted is the store's pre-race prediction ("" when the bucket was
+	// cold or no store is attached); StoreHit reports Predicted matched the
+	// actual winner. Advisory only — see above.
+	Predicted string
+	StoreHit  bool
+}
+
+// Scheduler races a portfolio of arms and selects the winner for a commit.
+// The zero value races DefaultArms with one start per arm and no store.
+type Scheduler struct {
+	// Arms is the portfolio; nil means DefaultArms().
+	Arms []Arm
+	// RaceStarts is the per-arm start count used when the race has no work
+	// budget; <= 0 means 1.
+	RaceStarts int
+	// Store, when non-nil, records every race and supplies the advisory
+	// Predicted/StoreHit fields. It never influences winner selection.
+	Store *Store
+	// Progress, when non-nil, is called after every race start with the arm
+	// name and that start's raw cut — a heartbeat hook for watchdogs and
+	// live status views. It observes only; it cannot influence the race.
+	Progress func(arm string, cut int64)
+}
+
+// Race runs the racing slice: every arm runs starts until its share of
+// raceWork is spent (raceWork <= 0 means RaceStarts starts per arm; every
+// arm always runs at least one start), each arm's best is polished by the
+// arm's own polish step, and the winner is the lexicographic minimum of
+// (cut, work, arm index) over arms with a legal best. The result is a pure
+// function of (h, seed, raceWork): arms run sequentially, each from its own
+// derived seed, and the store — warm or cold — never affects the outcome.
+//
+// A cancelled ctx aborts the race with ctx's error; partial races are never
+// returned, so callers cannot commit to a winner chosen under a truncated
+// race (which would break determinism).
+func (s *Scheduler) Race(ctx context.Context, h *hypergraph.Hypergraph, bal partition.Balance, seed uint64, raceWork int64) (*RaceResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	arms := s.Arms
+	if len(arms) == 0 {
+		arms = DefaultArms()
+	}
+	raceStarts := s.RaceStarts
+	if raceStarts <= 0 {
+		raceStarts = 1
+	}
+	perArm := int64(0)
+	if raceWork > 0 {
+		perArm = raceWork / int64(len(arms))
+		if perArm < 1 {
+			perArm = 1
+		}
+	}
+
+	res := &RaceResult{
+		Features: Extract(h),
+		Arms:     arms,
+		Traces:   make([]ArmTrace, len(arms)),
+		Winner:   -1,
+	}
+	res.Bucket = BucketOf(res.Features)
+	if s.Store != nil {
+		res.Predicted, _ = s.Store.Predict(res.Bucket.Key())
+	}
+
+	verify := eval.VerifyOutcome(bal)
+	bests := make([]eval.Outcome, len(arms))
+	for i, arm := range arms {
+		r := rng.New(armSeed(seed, i))
+		heur := arm.NewHeuristic(h, bal, r.Split())
+		tr := ArmTrace{Arm: arm.Name}
+		var best eval.Outcome
+		for {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			o := heur.Run(r.Split())
+			tr.Starts++
+			tr.Work += o.Work
+			if s.Progress != nil {
+				s.Progress(arm.Name, o.Cut)
+			}
+			if verify(o) == nil && (!tr.OK || o.Cut < best.Cut) {
+				best = o
+				tr.OK = true
+			}
+			if perArm > 0 {
+				if tr.Work >= perArm {
+					break
+				}
+			} else if tr.Starts >= raceStarts {
+				break
+			}
+		}
+		if tr.OK {
+			// The arm's own polish (V-cycles for the multilevel arm) is part
+			// of its race cost and its reported quality, mirroring BestOfK.
+			if polish := heur.PolishBest(best.P, r.Split()); polish.P != nil {
+				tr.Work += polish.Work
+				best.Cut = polish.Cut
+			}
+			tr.Cut = best.Cut
+			bests[i] = best
+		}
+		res.Traces[i] = tr
+		res.RaceWork += tr.Work
+	}
+
+	for i, tr := range res.Traces {
+		if !tr.OK {
+			continue
+		}
+		if res.Winner < 0 {
+			res.Winner = i
+			continue
+		}
+		w := res.Traces[res.Winner]
+		if tr.Cut < w.Cut || (tr.Cut == w.Cut && tr.Work < w.Work) {
+			res.Winner = i
+		}
+	}
+	if res.Winner < 0 {
+		return nil, ErrInfeasible
+	}
+	res.Traces[res.Winner].Won = true
+	res.Best = bests[res.Winner]
+	res.StoreHit = res.Predicted != "" && res.Predicted == arms[res.Winner].Name
+	if s.Store != nil {
+		// Recording is advisory: a full disk or corrupted store must not
+		// fail the race. Errors surface via Store.Err for telemetry.
+		s.Store.RecordRace(res.Bucket.Key(), seed, res.Traces)
+	}
+	return res, nil
+}
+
+// Result is the outcome of a full Run: the race, the commit-phase report,
+// and the final polished best across both phases.
+type Result struct {
+	Race *RaceResult
+	// Commit is the commit phase's multistart report (winner arm only).
+	Commit *eval.RunReport
+	// Final is the overall best outcome (P non-nil, verified legal); Source
+	// is "race" or "commit" depending on which phase produced it.
+	Final  eval.Outcome
+	Source string
+	// TotalWork is race + commit + final polish work.
+	TotalWork int64
+}
+
+// Run executes the full portfolio schedule: race for the first quarter of
+// workBudget (or one start per arm when unbudgeted), then commit the
+// remaining budget to the winning arm as an eval.RunMultistart of starts
+// starts rooted at CommitSeed(seed). The commit runs on a single worker so
+// the work-budget cutoff is schedule-independent, making the whole Result a
+// pure function of (h, seed, starts, workBudget) — the property the smoke
+// test and the hgbench gate assert byte-for-byte.
+//
+// When the commit phase's best comes from the commit (not the race) and the
+// winning arm has a polish step, the polish is applied once, seeded from
+// PolishSeed(seed); race-sourced bests were already polished during the race.
+func (s *Scheduler) Run(ctx context.Context, h *hypergraph.Hypergraph, bal partition.Balance, seed uint64, starts int, workBudget int64) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	raceWork := int64(0)
+	if workBudget > 0 {
+		raceWork = workBudget / 4
+	}
+	race, err := s.Race(ctx, h, bal, seed, raceWork)
+	if err != nil {
+		return nil, err
+	}
+	arm := race.Arms[race.Winner]
+
+	remaining := int64(0)
+	if workBudget > 0 {
+		remaining = workBudget - race.RaceWork
+		if remaining < 1 {
+			remaining = 1 // the commit always gets at least one start
+		}
+	}
+	cseed := CommitSeed(seed)
+	rep := eval.RunMultistart(ctx, arm.Factory(h, bal, cseed), starts, cseed, eval.RunOptions{
+		Workers:    1,
+		Verify:     eval.VerifyOutcome(bal),
+		WorkBudget: remaining,
+	})
+
+	res := &Result{Race: race, Commit: rep, Final: race.Best, Source: "race",
+		TotalWork: race.RaceWork + rep.TotalWork}
+	if rep.BestIdx >= 0 && rep.Best.P != nil && rep.Best.Cut < res.Final.Cut {
+		res.Final = rep.Best
+		res.Source = "commit"
+		ph := arm.NewHeuristic(h, bal, rng.New(cseed))
+		if polish := ph.PolishBest(res.Final.P, rng.New(PolishSeed(seed))); polish.P != nil {
+			res.Final.Cut = polish.Cut
+			res.TotalWork += polish.Work
+		}
+	}
+	if res.Final.P == nil {
+		return nil, fmt.Errorf("portfolio: no final partition (commit: %s)", rep.Summary())
+	}
+	return res, nil
+}

@@ -1,0 +1,432 @@
+package portfolio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"hgpart/internal/chaos"
+)
+
+// Store is the persistent per-bucket arm-outcome store: a CRC-framed,
+// journal-v2-style append log on the checkpoint directory (DESIGN.md §15).
+// Every race appends one framed record per arm; on open, the log is replayed
+// into per-(bucket, arm) tallies that warm-start the scheduler's prediction
+// across requests and — because the file lives on the shared checkpoint dir
+// and appends are single O_APPEND writes — across cluster failover, where
+// coordinator and workers observe the same file.
+//
+// Determinism contract: the store is strictly ADVISORY. Predictions feed
+// logs and Prometheus metrics (races run, store hits) only; the race itself
+// always runs in full and alone decides the winner. A cold store and a warm
+// store therefore produce byte-identical reports, which is what lets
+// portfolio mode coexist with the result cache and the chaos harness's
+// byte-identity contracts. Consequently store corruption is never fatal:
+// a damaged header recreates the store, damaged records are counted and
+// skipped.
+//
+// File layout mirrors the eval checkpoint journal v2 (whose framing helpers
+// are deliberately unexported — this is an independent copy, same format):
+//
+//	{"kind":"header","v":1,"store":"portfolio"}
+//	@91:4c1f22aa:{"kind":"race","bucket":"s0.n1.k0.g1","arm":"clip-guarded","won":true,"cut":41,"work":193412,"seed":1}
+//
+// All I/O goes through a chaos.FS so cmd/hgchaos can drive torn writes and
+// kill/restart cycles through the same code paths production uses.
+type Store struct {
+	mu   sync.Mutex
+	fsys chaos.FS      // immutable after OpenStoreFS
+	f    chaos.File    //hglint:guardedby mu
+	w    *bufio.Writer //hglint:guardedby mu
+	// needNL means the file ends mid-line (torn tail); repair before appending.
+	needNL      bool                         //hglint:guardedby mu
+	tallies     map[string]map[string]*Tally //hglint:guardedby mu
+	quarantined int                          //hglint:guardedby mu
+	err         error                        //hglint:guardedby mu
+}
+
+// Tally aggregates one arm's recorded outcomes within one bucket.
+type Tally struct {
+	// Races and Wins count recorded races and wins for the arm.
+	Races, Wins int64
+	// BestCut is the best cut the arm ever recorded in the bucket.
+	BestCut int64
+	// Work is the cumulative recorded work.
+	Work int64
+}
+
+const storeVersion = 1
+
+type storeHeader struct {
+	Kind  string `json:"kind"`
+	V     int    `json:"v"`
+	Store string `json:"store"`
+}
+
+type raceRecord struct {
+	Kind   string `json:"kind"`
+	Bucket string `json:"bucket"`
+	Arm    string `json:"arm"`
+	Won    bool   `json:"won,omitempty"`
+	Cut    int64  `json:"cut"`
+	Work   int64  `json:"work"`
+	Seed   uint64 `json:"seed"`
+}
+
+var storeCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// storeFrame wraps a marshaled record payload in the length+CRC frame,
+// newline included — the same "@<len>:<crc32c>:<json>\n" frame as journal v2.
+func storeFrame(payload []byte) []byte {
+	crc := crc32.Checksum(payload, storeCastagnoli)
+	out := make([]byte, 0, len(payload)+16)
+	out = append(out, fmt.Sprintf("@%d:%08x:", len(payload), crc)...)
+	out = append(out, payload...)
+	return append(out, '\n')
+}
+
+// storeParseFrame validates a frame and returns its payload.
+func storeParseFrame(line []byte) ([]byte, error) {
+	if len(line) == 0 || line[0] != '@' {
+		return nil, errors.New("missing frame marker")
+	}
+	rest := line[1:]
+	i := bytes.IndexByte(rest, ':')
+	if i < 1 {
+		return nil, errors.New("missing length field")
+	}
+	var n int
+	for _, ch := range rest[:i] {
+		if ch < '0' || ch > '9' {
+			return nil, errors.New("malformed length field")
+		}
+		n = n*10 + int(ch-'0')
+		if n > 1<<30 {
+			return nil, errors.New("implausible length field")
+		}
+	}
+	rest = rest[i+1:]
+	j := bytes.IndexByte(rest, ':')
+	if j != 8 {
+		return nil, errors.New("missing crc field")
+	}
+	var want uint32
+	for _, ch := range rest[:8] {
+		var d uint32
+		switch {
+		case ch >= '0' && ch <= '9':
+			d = uint32(ch - '0')
+		case ch >= 'a' && ch <= 'f':
+			d = uint32(ch-'a') + 10
+		default:
+			return nil, errors.New("malformed crc field")
+		}
+		want = want<<4 | d
+	}
+	payload := rest[9:]
+	if len(payload) != n {
+		return nil, fmt.Errorf("length mismatch: frame says %d bytes, line has %d", n, len(payload))
+	}
+	if got := crc32.Checksum(payload, storeCastagnoli); got != want {
+		return nil, fmt.Errorf("crc mismatch: frame says %08x, payload is %08x", want, got)
+	}
+	return payload, nil
+}
+
+// OpenStore opens (or creates) the outcome store at path on the real
+// filesystem. See OpenStoreFS.
+func OpenStore(path string) (*Store, error) {
+	return OpenStoreFS(chaos.OS(), path)
+}
+
+// OpenStoreFS is OpenStore over an explicit filesystem. An existing store is
+// replayed into tallies (damaged records counted and skipped); a missing
+// file, an empty file or an invalid header recreates the store fresh — the
+// store is advisory, so losing it degrades to a cold scheduler, never to an
+// error the request path has to handle.
+func OpenStoreFS(fsys chaos.FS, path string) (*Store, error) {
+	st := &Store{fsys: fsys, tallies: make(map[string]map[string]*Tally)}
+	if err := st.load(path); err != nil {
+		// Unreadable or headerless store: recreate. A create failure is
+		// fatal — the directory itself is broken.
+		hdr := storeHeader{Kind: "header", V: storeVersion, Store: "portfolio"}
+		if cerr := createStore(fsys, path, hdr); cerr != nil {
+			return nil, cerr
+		}
+		st.mu.Lock()
+		st.tallies = make(map[string]map[string]*Tally)
+		st.quarantined = 0
+		st.needNL = false
+		st.mu.Unlock()
+	}
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("portfolio: open store: %w", err)
+	}
+	st.mu.Lock()
+	st.f = f
+	st.w = bufio.NewWriter(f)
+	st.mu.Unlock()
+	return st, nil
+}
+
+// createStore writes a store containing only the header to a temporary
+// sibling file, fsyncs it and atomically renames it over path (then fsyncs
+// the directory), so a crash can never leave a torn header.
+func createStore(fsys chaos.FS, path string, hdr storeHeader) error {
+	b, err := json.Marshal(hdr)
+	if err != nil {
+		return fmt.Errorf("portfolio: encode store header: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("portfolio: create store: %w", err)
+	}
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("portfolio: write store header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("portfolio: sync store header: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("portfolio: close store header: %w", err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("portfolio: install store: %w", err)
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// load replays an existing store into tallies. A missing file or a file
+// without a valid header returns an error so OpenStoreFS recreates it.
+func (s *Store) load(path string) error {
+	// load runs during construction, before the Store is shared; holding the
+	// lock keeps the guarded-field discipline uniform at zero contention.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.fsys.Open(path)
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("portfolio: read store: %w", err)
+	}
+	if len(data) == 0 {
+		return errors.New("portfolio: empty store")
+	}
+	torn := data[len(data)-1] != '\n'
+	s.needNL = torn
+	lines := bytes.Split(data, []byte("\n"))
+	if !torn {
+		lines = lines[:len(lines)-1]
+	}
+	var hdr storeHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil || hdr.Kind != "header" || hdr.Store != "portfolio" {
+		return fmt.Errorf("portfolio: store %s has no valid header line", path)
+	}
+	for i, line := range lines[1:] {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		if torn && i == len(lines)-2 {
+			s.quarantined++ // torn final record (crash mid-write)
+			continue
+		}
+		payload, err := storeParseFrame(line)
+		if err != nil {
+			s.quarantined++
+			continue
+		}
+		var rec raceRecord
+		if err := json.Unmarshal(payload, &rec); err != nil || rec.Kind != "race" || rec.Bucket == "" || rec.Arm == "" {
+			s.quarantined++
+			continue
+		}
+		s.applyLocked(rec)
+	}
+	return nil
+}
+
+// applyLocked folds one record into the tallies. Callers hold s.mu.
+//
+//hglint:holds s.mu
+func (s *Store) applyLocked(rec raceRecord) {
+	arms := s.tallies[rec.Bucket]
+	if arms == nil {
+		arms = make(map[string]*Tally)
+		s.tallies[rec.Bucket] = arms
+	}
+	t := arms[rec.Arm]
+	if t == nil {
+		t = &Tally{}
+		arms[rec.Arm] = t
+	}
+	t.Races++
+	if rec.Won {
+		t.Wins++
+	}
+	if t.Races == 1 || rec.Cut < t.BestCut {
+		t.BestCut = rec.Cut
+	}
+	t.Work += rec.Work
+}
+
+// RecordRace appends one framed record per arm trace and folds them into the
+// in-memory tallies. The whole race is written as one buffered batch with a
+// single flush+fsync, and each record line is a single Write once flushed —
+// the O_APPEND discipline that lets several hgserved processes share one
+// store file on the cluster's checkpoint dir without interleaving torn
+// lines. Errors are retained (see Err) rather than propagated: the store is
+// advisory and must never fail a request.
+func (s *Store) RecordRace(bucket string, seed uint64, traces []ArmTrace) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		if s.err == nil {
+			s.err = errors.New("portfolio: store is closed")
+		}
+		return
+	}
+	for _, tr := range traces {
+		if !tr.OK {
+			continue
+		}
+		rec := raceRecord{Kind: "race", Bucket: bucket, Arm: tr.Arm,
+			Won: tr.Won, Cut: tr.Cut, Work: tr.Work, Seed: seed}
+		b, err := json.Marshal(rec)
+		if err != nil {
+			if s.err == nil {
+				s.err = fmt.Errorf("portfolio: encode store record: %w", err)
+			}
+			return
+		}
+		if s.needNL {
+			if err := s.w.WriteByte('\n'); err != nil {
+				if s.err == nil {
+					s.err = fmt.Errorf("portfolio: repair torn store tail: %w", err)
+				}
+				return
+			}
+			s.needNL = false
+		}
+		if _, err := s.w.Write(storeFrame(b)); err != nil {
+			if s.err == nil {
+				s.err = fmt.Errorf("portfolio: write store record: %w", err)
+			}
+			return
+		}
+		s.applyLocked(rec)
+	}
+	if err := s.w.Flush(); err != nil {
+		if s.err == nil {
+			s.err = err
+		}
+		return
+	}
+	if err := s.f.Sync(); err != nil && s.err == nil {
+		s.err = err
+	}
+}
+
+// Predict returns the store's best guess for bucket: the arm with the most
+// recorded wins, ties broken by lower best cut, then by name — a fully
+// deterministic read of the tallies. ok is false for a cold bucket (no wins
+// recorded). The prediction is advisory telemetry; it never selects an arm.
+func (s *Store) Predict(bucket string) (arm string, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	arms := s.tallies[bucket]
+	if len(arms) == 0 {
+		return "", false
+	}
+	names := make([]string, 0, len(arms))
+	for name := range arms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := arms[name]
+		if t.Wins == 0 {
+			continue
+		}
+		if !ok {
+			arm = name
+			ok = true
+			continue
+		}
+		best := arms[arm]
+		if t.Wins > best.Wins || (t.Wins == best.Wins && t.BestCut < best.BestCut) {
+			arm = name
+		}
+	}
+	return arm, ok
+}
+
+// Tallies returns a deep copy of the per-bucket tallies, for inspection and
+// tests.
+func (s *Store) Tallies() map[string]map[string]Tally {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]map[string]Tally, len(s.tallies))
+	for bucket, arms := range s.tallies {
+		m := make(map[string]Tally, len(arms))
+		for name, t := range arms {
+			m[name] = *t
+		}
+		out[bucket] = m
+	}
+	return out
+}
+
+// Quarantined returns how many damaged records were skipped during load.
+func (s *Store) Quarantined() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantined
+}
+
+// Err returns the first write error encountered, if any. The store stays
+// advisory: a write error means future predictions warm-start from stale
+// tallies, nothing more.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close flushes and closes the store file. Idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	ferr := s.w.Flush()
+	cerr := s.f.Close()
+	s.f = nil
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}

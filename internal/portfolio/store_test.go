@@ -1,0 +1,166 @@
+package portfolio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func tmpStore(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "portfolio.store")
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	path := tmpStore(t)
+	st, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := []ArmTrace{
+		{Arm: "clip-guarded", Starts: 1, Cut: 40, Work: 100, OK: true, Won: true},
+		{Arm: "flat-lifo", Starts: 1, Cut: 55, Work: 90, OK: true},
+		{Arm: "ml-strong", Starts: 1, OK: false}, // infeasible arm: not recorded
+	}
+	st.RecordRace("s0.n0.k0.g0", 1, traces)
+	st.RecordRace("s0.n0.k0.g0", 2, traces)
+	if arm, ok := st.Predict("s0.n0.k0.g0"); !ok || arm != "clip-guarded" {
+		t.Fatalf("Predict = %q/%v, want clip-guarded/true", arm, ok)
+	}
+	if err := st.Err(); err != nil {
+		t.Fatalf("store error: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: tallies must replay from the framed log.
+	st2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Quarantined() != 0 {
+		t.Fatalf("Quarantined = %d on a clean store", st2.Quarantined())
+	}
+	tal := st2.Tallies()["s0.n0.k0.g0"]
+	if tal == nil {
+		t.Fatal("bucket missing after reopen")
+	}
+	if got := tal["clip-guarded"]; got.Races != 2 || got.Wins != 2 || got.BestCut != 40 || got.Work != 200 {
+		t.Fatalf("clip-guarded tally = %+v", got)
+	}
+	if got := tal["flat-lifo"]; got.Races != 2 || got.Wins != 0 {
+		t.Fatalf("flat-lifo tally = %+v", got)
+	}
+	if _, found := tal["ml-strong"]; found {
+		t.Fatal("infeasible arm must not be recorded")
+	}
+	if arm, ok := st2.Predict("s0.n0.k0.g0"); !ok || arm != "clip-guarded" {
+		t.Fatalf("reopened Predict = %q/%v, want clip-guarded/true", arm, ok)
+	}
+	if _, ok := st2.Predict("s9.n9.k9.g9"); ok {
+		t.Fatal("cold bucket must not predict")
+	}
+}
+
+func TestStoreQuarantinesDamage(t *testing.T) {
+	path := tmpStore(t)
+	st, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.RecordRace("b", 1, []ArmTrace{{Arm: "a1", Cut: 10, Work: 5, OK: true, Won: true}})
+	st.Close()
+
+	// Corrupt: a bit-flipped frame, an unframed line, and a torn tail.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+	good := lines[1]
+	flipped := strings.Replace(good, `"cut":10`, `"cut":99`, 1)
+	damaged := string(raw) + flipped + "not a frame\n" + good[:len(good)/2]
+	if err := os.WriteFile(path, []byte(damaged), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Quarantined() != 3 {
+		t.Fatalf("Quarantined = %d, want 3 (crc mismatch, unframed, torn tail)", st2.Quarantined())
+	}
+	if got := st2.Tallies()["b"]["a1"]; got.Races != 1 || got.BestCut != 10 {
+		t.Fatalf("intact record lost: %+v", got)
+	}
+
+	// Appending after a torn tail must repair the line boundary.
+	st2.RecordRace("b", 2, []ArmTrace{{Arm: "a1", Cut: 8, Work: 5, OK: true, Won: true}})
+	if err := st2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	st3, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if got := st3.Tallies()["b"]["a1"]; got.Races != 2 || got.BestCut != 8 {
+		t.Fatalf("post-repair tally = %+v", got)
+	}
+}
+
+func TestStoreBadHeaderRecreated(t *testing.T) {
+	path := tmpStore(t)
+	if err := os.WriteFile(path, []byte("garbage, not a store\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStore(path)
+	if err != nil {
+		t.Fatalf("advisory store must recreate on bad header, got %v", err)
+	}
+	defer st.Close()
+	if len(st.Tallies()) != 0 {
+		t.Fatal("recreated store should be empty")
+	}
+	st.RecordRace("b", 1, []ArmTrace{{Arm: "a1", Cut: 3, Work: 1, OK: true, Won: true}})
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	st2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Tallies()["b"]["a1"]; got.Wins != 1 {
+		t.Fatalf("tally after recreate+reopen = %+v", got)
+	}
+}
+
+func TestStorePredictTieBreaks(t *testing.T) {
+	path := tmpStore(t)
+	st, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	// zeta and alpha tie on wins; zeta has the lower best cut and must win
+	// despite sorting last.
+	st.RecordRace("b", 1, []ArmTrace{{Arm: "zeta", Cut: 5, Work: 1, OK: true, Won: true}})
+	st.RecordRace("b", 2, []ArmTrace{{Arm: "alpha", Cut: 9, Work: 1, OK: true, Won: true}})
+	if arm, ok := st.Predict("b"); !ok || arm != "zeta" {
+		t.Fatalf("Predict = %q/%v, want zeta (lower best cut)", arm, ok)
+	}
+	// Full tie (wins and best cut): lexicographically smaller name.
+	st.RecordRace("c", 1, []ArmTrace{{Arm: "zeta", Cut: 7, Work: 1, OK: true, Won: true}})
+	st.RecordRace("c", 2, []ArmTrace{{Arm: "alpha", Cut: 7, Work: 1, OK: true, Won: true}})
+	if arm, ok := st.Predict("c"); !ok || arm != "alpha" {
+		t.Fatalf("Predict = %q/%v, want alpha (name tie-break)", arm, ok)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"hgpart/internal/multilevel"
 	"hgpart/internal/objective"
 	"hgpart/internal/partition"
+	"hgpart/internal/portfolio"
 	"hgpart/internal/rng"
 )
 
@@ -264,6 +265,12 @@ type Manager struct {
 	cache            *Cache
 	metrics          *Metrics
 	log              *slog.Logger
+	// store is the portfolio outcome store, shared by every mode=portfolio
+	// job on this node. It lives next to the checkpoint journals so cluster
+	// workers sharing a checkpoint dir warm-start each other; nil when
+	// checkpointing is off or the store failed to open (portfolio jobs then
+	// run storeless — the store is advisory and never changes results).
+	store *portfolio.Store
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -314,6 +321,15 @@ func newManager(cfg Config, cache *Cache, metrics *Metrics, log *slog.Logger) *M
 	}
 	if m.factory == nil {
 		m.factory = buildFactory
+	}
+	if m.checkpointDir != "" {
+		path := filepath.Join(m.checkpointDir, "portfolio.store")
+		st, err := portfolio.OpenStoreFS(m.fs, path)
+		if err != nil {
+			log.Warn("portfolio store open failed; racing storeless", "path", path, "err", err)
+		} else {
+			m.store = st
+		}
 	}
 	m.cond = sync.NewCond(&m.mu)
 	m.baseCtx, m.baseCancel = context.WithCancel(context.Background())
@@ -539,6 +555,9 @@ func (m *Manager) Drain(ctx context.Context) error {
 	m.cond.Broadcast()
 	m.mu.Unlock()
 	m.wg.Wait()
+	if m.store != nil {
+		m.store.Close()
+	}
 	return nil
 }
 
@@ -555,6 +574,9 @@ func (m *Manager) Close() {
 	m.mu.Unlock()
 	m.baseCancel()
 	m.wg.Wait()
+	if m.store != nil {
+		m.store.Close()
+	}
 }
 
 func (m *Manager) removeInflight(key string) {
@@ -676,6 +698,10 @@ func buildFactory(req PartitionRequest, h *hypergraph.Hypergraph, bal partition.
 // harness under the job's context, deterministic report construction,
 // cache fill, checkpoint lifecycle and metrics.
 func (m *Manager) run(j *Job) {
+	if j.req.Mode == "portfolio" {
+		m.runPortfolio(j)
+		return
+	}
 	t0 := time.Now()
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	j.mu.Lock()

@@ -21,6 +21,12 @@ type reqKey struct {
 	code  int
 }
 
+// armKey labels one portfolio arm-win counter series.
+type armKey struct {
+	bucket string
+	arm    string
+}
+
 type Metrics struct {
 	mu            sync.Mutex
 	requests      map[reqKey]int64   //hglint:guardedby mu
@@ -37,6 +43,13 @@ type Metrics struct {
 	steals         int64 //hglint:guardedby mu
 	localFallbacks int64 //hglint:guardedby mu
 
+	// portfolio-mode counters: races run, outcome-store prediction hits, and
+	// wins per (feature bucket, arm) pair. All advisory observability — the
+	// store never influences results (DESIGN.md §15).
+	portfolioRaces     int64            //hglint:guardedby mu
+	portfolioStoreHits int64            //hglint:guardedby mu
+	portfolioWins      map[armKey]int64 //hglint:guardedby mu
+
 	// nsPerWork samples wall-nanoseconds per deterministic work unit for
 	// every executed run; quantiles expose serving-speed drift the same way
 	// hgbench's ns/move exposes benchmark drift.
@@ -46,9 +59,10 @@ type Metrics struct {
 // NewMetrics builds the registry. window bounds the ns/work sampler.
 func NewMetrics(window int) *Metrics {
 	return &Metrics{
-		requests:  make(map[reqKey]int64),
-		finished:  make(map[JobState]int64),
-		nsPerWork: perf.NewSampler(window),
+		requests:      make(map[reqKey]int64),
+		finished:      make(map[JobState]int64),
+		portfolioWins: make(map[armKey]int64),
+		nsPerWork:     perf.NewSampler(window),
 	}
 }
 
@@ -123,6 +137,18 @@ func (m *Metrics) ClusterLocalFallback() {
 	m.mu.Unlock()
 }
 
+// PortfolioRace counts one mode=portfolio race: which (bucket, arm) pair
+// won, and whether the outcome store's prediction matched the winner.
+func (m *Metrics) PortfolioRace(bucket, winner string, storeHit bool) {
+	m.mu.Lock()
+	m.portfolioRaces++
+	if storeHit {
+		m.portfolioStoreHits++
+	}
+	m.portfolioWins[armKey{bucket, winner}]++
+	m.mu.Unlock()
+}
+
 // ObserveRun records one executed multistart: wall time and deterministic
 // work, feeding the ns/work quantiles and the work-unit throughput counter.
 func (m *Metrics) ObserveRun(elapsed time.Duration, work int64) {
@@ -179,6 +205,21 @@ func (m *Metrics) Render(w io.Writer, g GaugeSnapshot) {
 	kicks, requeued := m.watchdogKicks, m.requeued
 	peerHits, dispatches := m.peerHits, m.dispatches
 	failovers, steals, localFallbacks := m.failovers, m.steals, m.localFallbacks
+	portfolioRaces, portfolioStoreHits := m.portfolioRaces, m.portfolioStoreHits
+	winKeys := make([]armKey, 0, len(m.portfolioWins))
+	for k := range m.portfolioWins {
+		winKeys = append(winKeys, k)
+	}
+	sort.Slice(winKeys, func(i, j int) bool {
+		if winKeys[i].bucket != winKeys[j].bucket {
+			return winKeys[i].bucket < winKeys[j].bucket
+		}
+		return winKeys[i].arm < winKeys[j].arm
+	})
+	wins := make(map[armKey]int64, len(m.portfolioWins))
+	for k, v := range m.portfolioWins {
+		wins[k] = v
+	}
 	m.mu.Unlock()
 
 	fmt.Fprintln(w, "# HELP hgserved_requests_total HTTP requests by route and status code.")
@@ -267,6 +308,20 @@ func (m *Metrics) Render(w io.Writer, g GaugeSnapshot) {
 	fmt.Fprintln(w, "# HELP hgserved_cluster_workers_healthy Workers currently passing heartbeats.")
 	fmt.Fprintln(w, "# TYPE hgserved_cluster_workers_healthy gauge")
 	fmt.Fprintf(w, "hgserved_cluster_workers_healthy %d\n", g.ClusterHealthy)
+
+	fmt.Fprintln(w, "# HELP hgserved_portfolio_races_total Portfolio-mode races run.")
+	fmt.Fprintln(w, "# TYPE hgserved_portfolio_races_total counter")
+	fmt.Fprintf(w, "hgserved_portfolio_races_total %d\n", portfolioRaces)
+
+	fmt.Fprintln(w, "# HELP hgserved_portfolio_store_hits_total Races where the outcome store predicted the winner.")
+	fmt.Fprintln(w, "# TYPE hgserved_portfolio_store_hits_total counter")
+	fmt.Fprintf(w, "hgserved_portfolio_store_hits_total %d\n", portfolioStoreHits)
+
+	fmt.Fprintln(w, "# HELP hgserved_portfolio_arm_wins_total Race wins by feature bucket and arm.")
+	fmt.Fprintln(w, "# TYPE hgserved_portfolio_arm_wins_total counter")
+	for _, k := range winKeys {
+		fmt.Fprintf(w, "hgserved_portfolio_arm_wins_total{bucket=%q,arm=%q} %d\n", k.bucket, k.arm, wins[k])
+	}
 
 	fmt.Fprintln(w, "# HELP hgserved_work_units_total Deterministic FM work units executed.")
 	fmt.Fprintln(w, "# TYPE hgserved_work_units_total counter")

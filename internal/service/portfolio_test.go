@@ -1,0 +1,159 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"hgpart/internal/service"
+)
+
+// portfolioReq is a fast deterministic mode=portfolio request.
+const portfolioReq = `{"benchmark":"ibm01","scale":0.1,"mode":"portfolio","starts":2,"seed":7}`
+
+// TestPortfolioModeEndToEnd is the service half of the portfolio determinism
+// contract: the same mode=portfolio request must produce byte-identical
+// reports on repeat (cache hit), on a storeless server, and on a fresh
+// server sharing the first server's checkpoint dir — where the outcome store
+// is warm but the result cache is cold, so the report is recomputed with the
+// store predicting the winner. A warm store changing a single byte would
+// poison the content-addressed cache.
+func TestPortfolioModeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	_, hs := testServer(t, func(c *service.Config) { c.CheckpointDir = dir })
+
+	resp, body := post(t, hs, portfolioReq)
+	if resp.StatusCode != 200 {
+		t.Fatalf("portfolio request failed: %d %s", resp.StatusCode, body)
+	}
+	var rep service.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if rep.Engine != "portfolio" || rep.Cut <= 0 {
+		t.Fatalf("implausible portfolio report: engine %q cut %d", rep.Engine, rep.Cut)
+	}
+	p := rep.Portfolio
+	if p == nil {
+		t.Fatal("report has no portfolio section")
+	}
+	if p.Bucket == "" || p.Winner == "" || len(p.Arms) == 0 {
+		t.Fatalf("incomplete portfolio section: %+v", p)
+	}
+	if p.Source != "race" && p.Source != "commit" {
+		t.Fatalf("portfolio source = %q", p.Source)
+	}
+	won := 0
+	for _, a := range p.Arms {
+		if a.Won {
+			won++
+			if a.Arm != p.Winner {
+				t.Fatalf("won arm %q != winner %q", a.Arm, p.Winner)
+			}
+		}
+	}
+	if won != 1 {
+		t.Fatalf("%d arms marked won, want exactly 1", won)
+	}
+
+	// Repeat: pure cache hit with identical bytes.
+	resp2, body2 := post(t, hs, portfolioReq)
+	if resp2.Header.Get("X-Hgserved-Cache") != "hit" {
+		t.Fatalf("repeat disposition %q, want hit", resp2.Header.Get("X-Hgserved-Cache"))
+	}
+	if !bytes.Equal(body, body2) {
+		t.Fatalf("cache hit differs from computed body")
+	}
+
+	// A storeless server (no checkpoint dir) must agree byte for byte: the
+	// store is advisory.
+	_, hsNoStore := testServer(t, nil)
+	resp3, body3 := post(t, hsNoStore, portfolioReq)
+	if resp3.StatusCode != 200 {
+		t.Fatalf("storeless request failed: %d %s", resp3.StatusCode, body3)
+	}
+	if !bytes.Equal(body, body3) {
+		t.Fatalf("storeless server disagrees:\n%s\nvs\n%s", body, body3)
+	}
+
+	// A fresh server on the same checkpoint dir reopens the outcome store
+	// warm (the first race persisted its outcomes) while its result cache is
+	// cold: the report is recomputed under a predicting store and must not
+	// move a byte.
+	_, hsWarm := testServer(t, func(c *service.Config) { c.CheckpointDir = dir })
+	resp4, body4 := post(t, hsWarm, portfolioReq)
+	if resp4.StatusCode != 200 {
+		t.Fatalf("warm-store request failed: %d %s", resp4.StatusCode, body4)
+	}
+	if resp4.Header.Get("X-Hgserved-Cache") != "miss" {
+		t.Fatalf("warm-store disposition %q, want miss (cold cache)", resp4.Header.Get("X-Hgserved-Cache"))
+	}
+	if !bytes.Equal(body, body4) {
+		t.Fatalf("warm-store server disagrees:\n%s\nvs\n%s", body, body4)
+	}
+}
+
+// TestPortfolioValidationAndMetrics: bad modes are 400s, and a served
+// portfolio race shows up in the Prometheus counters with its bucket/arm
+// labels.
+func TestPortfolioValidationAndMetrics(t *testing.T) {
+	_, hs := testServer(t, nil)
+
+	if resp, body := post(t, hs, `{"benchmark":"ibm01","mode":"racing"}`); resp.StatusCode != 400 {
+		t.Fatalf("unknown mode: %d %s, want 400", resp.StatusCode, body)
+	}
+	if resp, body := post(t, hs, `{"benchmark":"ibm01","mode":"portfolio","refine_threads":2}`); resp.StatusCode != 400 {
+		t.Fatalf("portfolio+refine_threads: %d %s, want 400", resp.StatusCode, body)
+	}
+
+	if resp, body := post(t, hs, portfolioReq); resp.StatusCode != 200 {
+		t.Fatalf("portfolio request failed: %d %s", resp.StatusCode, body)
+	}
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	text := buf.String()
+	for _, want := range []string{
+		"hgserved_portfolio_races_total 1",
+		"hgserved_portfolio_store_hits_total 0",
+		`hgserved_portfolio_arm_wins_total{bucket="`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestStatsHitRatio is the /v1/stats regression for the result-cache hit
+// ratio row: one miss plus one hit must render as 0.500, and the row must
+// survive the zero-lookup case (fresh server renders 0.000, not NaN).
+func TestStatsHitRatio(t *testing.T) {
+	_, hs := testServer(t, nil)
+
+	stats := func() string {
+		t.Helper()
+		resp, err := http.Get(hs.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		b.ReadFrom(resp.Body)
+		resp.Body.Close()
+		return b.String()
+	}
+
+	if text := stats(); !strings.Contains(text, "cache hit ratio") || !strings.Contains(text, "0.000") {
+		t.Fatalf("fresh /v1/stats missing zero hit ratio:\n%s", text)
+	}
+	post(t, hs, smallReq) // miss
+	post(t, hs, smallReq) // hit
+	if text := stats(); !strings.Contains(text, "0.500") {
+		t.Fatalf("/v1/stats hit ratio not 0.500 after one miss + one hit:\n%s", text)
+	}
+}

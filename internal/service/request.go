@@ -11,6 +11,7 @@ import (
 	"hgpart/internal/gen"
 	"hgpart/internal/hypergraph"
 	"hgpart/internal/netlist"
+	"hgpart/internal/portfolio"
 )
 
 // PartitionRequest is the POST /v1/partition body. Exactly one instance
@@ -37,6 +38,12 @@ type PartitionRequest struct {
 
 	// Engine is "ml" (default), "flat" or "clip".
 	Engine string `json:"engine,omitempty"`
+	// Mode selects the scheduling strategy: "" (fixed engine, the default)
+	// or "portfolio" — race the curated arm portfolio for the first slice of
+	// the budget, then commit the remainder to the winner (DESIGN.md §15).
+	// With mode=portfolio the engine/vcycles fields are ignored: the winning
+	// arm brings its own configuration.
+	Mode string `json:"mode,omitempty"`
 	// Starts is the number of independent starts (default 4).
 	Starts int `json:"starts,omitempty"`
 	// VCycles applied to the best solution with the ml engine (default 1).
@@ -133,6 +140,14 @@ func (r *PartitionRequest) validate() error {
 	case "ml", "flat", "clip":
 	default:
 		return reqErrf("engine %q must be ml, flat or clip", r.Engine)
+	}
+	switch r.Mode {
+	case "", "portfolio":
+	default:
+		return reqErrf("mode %q must be empty or portfolio", r.Mode)
+	}
+	if r.Mode == "portfolio" && r.RefineThreads > 0 {
+		return reqErrf("refine_threads is not supported with mode=portfolio")
 	}
 	if r.Workers < 0 {
 		return reqErrf("workers %d negative", r.Workers)
@@ -264,6 +279,13 @@ func cacheKey(instHash string, r *PartitionRequest) string {
 	if r.RefineThreads > 0 {
 		cfg += "|parfm=1"
 	}
+	if r.Mode == "portfolio" {
+		// The portfolio schedule replaces the fixed engine entirely; its
+		// report is a pure function of (instance, starts, tolerance, seed),
+		// so those fields stay in the key and the ignored engine/vcycles do
+		// no harm (they are normalized defaults under mode=portfolio).
+		cfg += "|mode=portfolio"
+	}
 	sum := sha256.Sum256([]byte(cfg))
 	return hex.EncodeToString(sum[:])
 }
@@ -327,4 +349,24 @@ type Report struct {
 	// BSF is the best-so-far trajectory over starts in deterministic start
 	// order (not completion order).
 	BSF []BSFEntry `json:"bsf"`
+
+	// Portfolio is present only under mode=portfolio: the racing slice's
+	// deterministic trace. Advisory store fields (prediction, store hit) are
+	// deliberately absent — they ride in metrics and logs so a warm store
+	// cannot change the report bytes.
+	Portfolio *PortfolioReport `json:"portfolio,omitempty"`
+}
+
+// PortfolioReport is the mode=portfolio race section of a Report: the
+// instance's feature bucket, one trace per raced arm, the winner, and which
+// phase (race or commit) produced the final answer. Every field is a pure
+// function of (instance, seed, budget).
+type PortfolioReport struct {
+	Bucket   string               `json:"bucket"`
+	Arms     []portfolio.ArmTrace `json:"arms"`
+	Winner   string               `json:"winner"`
+	RaceWork int64                `json:"race_work"`
+	// Source is "race" when the race winner's polished best survived the
+	// commit phase, "commit" when a commit start beat it.
+	Source string `json:"source"`
 }

@@ -586,6 +586,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	t.AddRow("cache bytes", fmt.Sprint(cs.Bytes))
 	t.AddRow("cache hits", fmt.Sprint(cs.Hits))
 	t.AddRow("cache misses", fmt.Sprint(cs.Misses))
+	ratio := 0.0
+	if lookups := cs.Hits + cs.Misses; lookups > 0 {
+		ratio = float64(cs.Hits) / float64(lookups)
+	}
+	t.AddRow("cache hit ratio", fmt.Sprintf("%.3f", ratio))
 	t.AddRow("coalesced", fmt.Sprint(cs.Coalesced))
 	t.AddRow("evictions", fmt.Sprint(cs.Evictions))
 	t.AddRow("ready", fmt.Sprint(s.ready.Load()))
