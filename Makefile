@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-strict fuzz bench bench-smoke bench-go parfm-diff serve-smoke chaos-smoke cluster-smoke portfolio-smoke ci
+.PHONY: all build test race vet lint lint-strict fuzz bench bench-smoke bench-go parfm-diff serve-smoke chaos-smoke cluster-smoke netchaos-smoke portfolio-smoke ci
 
 all: build
 
@@ -39,6 +39,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParsePaToH -fuzztime=10s ./internal/netlist
 	$(GO) test -run=^$$ -fuzz=FuzzParseNetD -fuzztime=10s ./internal/netlist
 	$(GO) test -run=^$$ -fuzz=FuzzParseBookshelf -fuzztime=10s ./internal/netlist
+	$(GO) test -run=^$$ -fuzz=FuzzParseSpec -fuzztime=10s ./internal/chaos
 
 # Reproducible micro-suite benchmark (cmd/hgbench): fixed seeds, warmup,
 # median-of-k ns/move and allocs/move for the frozen-reference vs optimized
@@ -89,6 +90,15 @@ chaos-smoke:
 cluster-smoke:
 	$(GO) test -run TestClusterSmoke -count=1 -timeout 360s ./cmd/hgchaos
 
+# Network chaos smoke (cmd/hgchaos net scenarios, DESIGN.md §16): build
+# hgserved with -race and arm its -net-chaos transport — a blackholed worker
+# trips its circuit breaker and the job reroutes, a slow peer demotes to a
+# local compute, bit-corrupted dispatch/peer responses are caught by the
+# sha256 envelope and never poison a cache, and a flapping worker's breaker
+# recovers closed. All four scenarios must reproduce the baseline bytes.
+netchaos-smoke:
+	$(GO) test -run TestNetChaosSmoke -count=1 -timeout 360s ./cmd/hgchaos
+
 # Portfolio smoke (DESIGN.md §15): under the race detector, race the arm
 # portfolio on two gen profiles with byte-identical results across repeated
 # runs and a cold/warm/reopened outcome store (internal/portfolio), the
@@ -104,6 +114,6 @@ portfolio-smoke:
 # What CI runs: build, static checks (vet + hglint with the stale-suppression
 # audit), the full test suite under the race detector, the parallel-FM
 # differential suite, the benchmark smoke gate, the daemon smoke, the
-# crash-consistency and cluster kill/restart smokes, and the portfolio
-# determinism/quality smoke.
-ci: build lint-strict race parfm-diff bench-smoke serve-smoke chaos-smoke cluster-smoke portfolio-smoke
+# crash-consistency, cluster kill/restart and network chaos smokes, and the
+# portfolio determinism/quality smoke.
+ci: build lint-strict race parfm-diff bench-smoke serve-smoke chaos-smoke cluster-smoke netchaos-smoke portfolio-smoke

@@ -27,6 +27,14 @@
 // report bytes across a repeat, a restart with a warm (advisory) outcome
 // store, a storeless daemon, and 1/2/3-worker cluster topologies.
 //
+// Network chaos scenarios (net-partition, slow-peer, corrupt-response,
+// flapping-worker) arm hgserved's -net-chaos transport instead of killing
+// processes: blackholed workers trip circuit breakers and reroute, slow
+// peers demote to local computes, bit-corrupted RPC responses are caught by
+// the sha256 envelope and retried without poisoning any cache, and a
+// flapping worker's breaker recovers closed — all with baseline-identical
+// report bytes (DESIGN.md §16).
+//
 // Exit codes: 0 all scenarios hold, 1 a crash-consistency assertion failed,
 // 2 environment/setup failure.
 package main
@@ -42,6 +50,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"slices"
 	"strings"
 	"syscall"
 	"time"
@@ -140,6 +149,8 @@ func run(ctx context.Context, opt options) int {
 		var rc int
 		if strings.HasPrefix(name, "cluster-") {
 			rc = runClusterScenario(ctx, opt, name, req, baseline)
+		} else if slices.Contains(netScenarioNames, name) {
+			rc = runNetScenario(ctx, opt, name, req, baseline)
 		} else if name == "portfolio" {
 			rc = runPortfolioScenario(ctx, opt)
 		} else {

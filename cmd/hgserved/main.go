@@ -36,6 +36,14 @@
 // -checkpoint-dir journals and graceful degradation to local computes when
 // the whole fleet is unreachable. -peers makes a worker probe sibling
 // caches before computing. Reports stay byte-identical at any topology.
+//
+// Network chaos (DESIGN.md §16): -net-chaos arms a seed-deterministic
+// fault-injecting transport on every inter-node HTTP client (dispatch RPCs,
+// peer cache probes, heartbeats) — refused connections, latency, torn or
+// bit-corrupted bodies, blackholes. Internal responses carry a sha256
+// integrity envelope, so corrupted bytes are detected and never served from
+// or written into the result cache; per-worker circuit breakers and
+// -dispatch-deadline keep the cluster deterministic while degraded.
 package main
 
 import (
@@ -77,6 +85,7 @@ func main() {
 		logJSON      = flag.Bool("log-json", false, "emit JSON logs instead of text")
 		chaosSpec    = flag.String("chaos", "", "fault-injection spec for journal I/O, e.g. \"write:.jsonl:3:torn+kill\" (testing only)")
 		chaosSeed    = flag.Uint64("chaos-seed", 1, "seed for probabilistic chaos rules")
+		netChaosSpec = flag.String("net-chaos", "", "fault-injection spec for inter-node HTTP, e.g. \"net:/v1/partition:1:corrupt\" (testing only)")
 
 		clusterWorkers  = flag.String("cluster-workers", "", "comma-separated worker addresses; non-empty runs this node as a cluster coordinator")
 		peers           = flag.String("peers", "", "comma-separated sibling worker addresses whose caches are probed before computing")
@@ -84,6 +93,7 @@ func main() {
 		heartbeatEvery  = flag.Duration("heartbeat-interval", 500*time.Millisecond, "coordinator: worker readiness probe interval")
 		dispatchRetries = flag.Int("dispatch-retries", 3, "coordinator: retry attempts per dispatch RPC before failing a job over")
 		dispatchPer     = flag.Int("dispatch-per-worker", 2, "coordinator: concurrent dispatches per worker")
+		dispatchDL      = flag.Duration("dispatch-deadline", 0, "coordinator: per-dispatch deadline, propagated to workers as X-Hg-Deadline (<=0 disables)")
 	)
 	flag.Parse()
 
@@ -125,6 +135,7 @@ func main() {
 		DispatchRetries:   *dispatchRetries,
 		DispatchPerWorker: *dispatchPer,
 		RetrySeed:         *chaosSeed,
+		DispatchDeadline:  *dispatchDL,
 	}
 	if *chaosSpec != "" {
 		rules, err := chaos.ParseSpec(*chaosSpec)
@@ -133,6 +144,14 @@ func main() {
 		}
 		cfg.FS = chaos.NewFaultFS(chaos.OS(), chaos.Config{Seed: *chaosSeed, Rules: rules})
 		log.Warn("chaos fault injection armed on journal I/O", "spec", *chaosSpec, "seed", *chaosSeed)
+	}
+	if *netChaosSpec != "" {
+		rules, err := chaos.ParseSpec(*netChaosSpec)
+		if err != nil {
+			fatal(log, "parse -net-chaos", err)
+		}
+		cfg.Transport = chaos.NewTransport(nil, chaos.Config{Seed: *chaosSeed, Rules: rules})
+		log.Warn("chaos fault injection armed on inter-node HTTP", "spec", *netChaosSpec, "seed", *chaosSeed)
 	}
 	srv := service.New(cfg)
 

@@ -4,12 +4,8 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
-	"sync"
 	"syscall"
 	"time"
-
-	"hgpart/internal/rng"
 )
 
 // Op classifies filesystem operations for fault matching.
@@ -26,6 +22,9 @@ const (
 	OpRename
 	// OpRemove matches FS.Remove calls.
 	OpRemove
+	// OpNet matches HTTP requests made through a Transport; the rule path
+	// matches against "host/path" of the request URL.
+	OpNet
 )
 
 // String returns the spec-grammar name of the op.
@@ -41,6 +40,8 @@ func (o Op) String() string {
 		return "rename"
 	case OpRemove:
 		return "remove"
+	case OpNet:
+		return "net"
 	}
 	return fmt.Sprintf("op(%d)", o)
 }
@@ -65,6 +66,17 @@ const (
 	// FaultCrash performs no I/O and invokes the crash action (default
 	// SelfKill) — the operation never returns.
 	FaultCrash
+	// FaultRefused fails an HTTP request with ECONNREFUSED before any bytes
+	// are sent — the peer's listener is gone. Net-only.
+	FaultRefused
+	// FaultCorrupt delivers the HTTP response with deterministically
+	// bit-flipped body bytes (length preserved) — a dirty link or bad NIC
+	// that checksums are supposed to catch. Net-only.
+	FaultCorrupt
+	// FaultBlackhole parks an HTTP request until its context is done, then
+	// fails with the context error — a network partition: no RST, no bytes,
+	// only the caller's deadline gets it back. Net-only.
+	FaultBlackhole
 )
 
 // String returns the spec-grammar name of the fault.
@@ -80,6 +92,12 @@ func (f Fault) String() string {
 		return "latency"
 	case FaultCrash:
 		return "kill"
+	case FaultRefused:
+		return "refused"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultBlackhole:
+		return "blackhole"
 	}
 	return fmt.Sprintf("fault(%d)", f)
 }
@@ -141,19 +159,15 @@ func (e *InjectedError) Error() string {
 // Unwrap exposes the injected errno to errors.Is/As.
 func (e *InjectedError) Unwrap() error { return e.Err }
 
-// FaultFS wraps an FS with a deterministic, seed-driven fault schedule. All
-// rule-matching state (per-rule match counters, the probability stream) is
-// guarded by one mutex, so a serialized operation sequence — like the
-// single-writer journal's — sees an exactly replayable schedule.
+// FaultFS wraps an FS with a deterministic, seed-driven fault schedule. The
+// rule-matching engine (schedule) serializes all matching state behind one
+// mutex, so a serialized operation sequence — like the single-writer
+// journal's — sees an exactly replayable schedule.
 type FaultFS struct {
 	inner FS
 	clock Clock
 	crash func()
-
-	mu    sync.Mutex
-	rules []Rule
-	count []int // matches seen per rule
-	r     *rng.RNG
+	sched *schedule
 }
 
 // NewFaultFS wraps inner with cfg's fault schedule.
@@ -166,53 +180,18 @@ func NewFaultFS(inner FS, cfg Config) *FaultFS {
 	if crash == nil {
 		crash = SelfKill
 	}
-	rules := append([]Rule(nil), cfg.Rules...)
-	for i := range rules {
-		if rules[i].Err == nil {
-			rules[i].Err = syscall.EIO
-		}
-		if rules[i].Frac <= 0 || rules[i].Frac > 1 {
-			rules[i].Frac = 0.5
-		}
-	}
 	return &FaultFS{
 		inner: inner,
 		clock: clock,
 		crash: crash,
-		rules: rules,
-		count: make([]int, len(rules)),
-		r:     rng.New(cfg.Seed),
+		sched: newSchedule(cfg),
 	}
 }
 
-// fire reports the first rule firing for (op, path), or nil. It advances
-// the match counters of every matching rule, firing or not, so rule order
-// never changes which operation a counter refers to.
+// fire reports the first rule firing for (op, path), or nil. See
+// schedule.fire for the counter-advancing discipline.
 func (f *FaultFS) fire(op Op, path string) *Rule {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	var hit *Rule
-	for i := range f.rules {
-		r := &f.rules[i]
-		if r.Op != op || (r.Path != "" && !strings.Contains(path, r.Path)) {
-			continue
-		}
-		f.count[i]++
-		if hit != nil {
-			continue
-		}
-		switch {
-		case r.Nth > 0:
-			if f.count[i] == r.Nth {
-				hit = r
-			}
-		case r.Prob > 0:
-			if f.r.Float64() < r.Prob {
-				hit = r
-			}
-		}
-	}
-	return hit
+	return f.sched.fire(op, path)
 }
 
 // apply performs a non-write fault. It returns (handled, err): handled is

@@ -1,0 +1,154 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"syscall"
+)
+
+// Body corruption is deterministic and length-preserving: the low bit of
+// every corruptStride-th body byte (starting at offset 0, so even one-byte
+// bodies are corrupted) is flipped. Detection is the integrity envelope's
+// job, not the corruption pattern's, so a simple fixed pattern keeps replays
+// exact.
+const (
+	corruptStride = 64
+	corruptMask   = 0x01
+)
+
+// Transport is a seed-deterministic fault-injecting http.RoundTripper. It
+// shares the spec grammar and rule-matching engine with FaultFS: rules with
+// Op == OpNet match against "host/path" of each outgoing request (substring,
+// empty matches all), triggered on the Nth matching request or with a seeded
+// probability. Supported faults:
+//
+//	refused      fail with ECONNREFUSED before sending
+//	latency=DUR  sleep DUR (context-aware), then forward normally
+//	torn         forward, then truncate the response body after Frac of it
+//	corrupt      forward, then flip bits in the response body (same length)
+//	blackhole    park until the request context is done (partition)
+//
+// Faults injected before the inner round trip return *InjectedError, which
+// unwraps to the underlying cause (ECONNREFUSED, context error) for
+// errors.Is. Torn and corrupt surface through the response body instead,
+// exactly like a misbehaving network would.
+type Transport struct {
+	inner http.RoundTripper
+	clock Clock
+	sched *schedule
+}
+
+// NewTransport wraps inner (nil means http.DefaultTransport) with cfg's
+// fault schedule. Only OpNet rules can match; mixing fs rules into cfg is
+// harmless but pointless.
+func NewTransport(inner http.RoundTripper, cfg Config) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = RealClock()
+	}
+	return &Transport{
+		inner: inner,
+		clock: clock,
+		sched: newSchedule(cfg),
+	}
+}
+
+// SetOnFault installs a hook invoked with a copy of every rule that fires.
+// hgserved wires this to the hgserved_net_faults_injected_total counter.
+func (t *Transport) SetOnFault(fn func(Rule)) { t.sched.setOnFault(fn) }
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	target := req.URL.Host + req.URL.Path
+	r := t.sched.fire(OpNet, target)
+	if r == nil {
+		return t.inner.RoundTrip(req)
+	}
+	switch r.Fault {
+	case FaultRefused:
+		return nil, &InjectedError{Op: OpNet, Path: target, Err: syscall.ECONNREFUSED}
+	case FaultBlackhole:
+		<-req.Context().Done()
+		return nil, &InjectedError{Op: OpNet, Path: target, Err: req.Context().Err()}
+	case FaultLatency:
+		if err := sleepCtx(req.Context(), t.clock, r.Delay); err != nil {
+			return nil, &InjectedError{Op: OpNet, Path: target, Err: err}
+		}
+		return t.inner.RoundTrip(req)
+	case FaultTorn:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = tearBody(resp.Body, resp.ContentLength, r.Frac)
+		return resp, nil
+	case FaultCorrupt:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &corruptBody{inner: resp.Body}
+		return resp, nil
+	default:
+		// Fs-only faults cannot reach here through ParseSpec; treat any
+		// hand-built rule conservatively as a plain injected error.
+		return nil, &InjectedError{Op: OpNet, Path: target, Err: r.Err}
+	}
+}
+
+// tearBody truncates body after frac of the declared content length (or a
+// fixed 512 bytes when the length is unknown), then fails the read with
+// io.ErrUnexpectedEOF — the bytes a connection reset mid-response leaves
+// behind.
+func tearBody(body io.ReadCloser, contentLength int64, frac float64) io.ReadCloser {
+	keep := int64(512)
+	if contentLength >= 0 {
+		keep = int64(float64(contentLength) * frac)
+	}
+	return &tornBody{inner: body, remaining: keep}
+}
+
+type tornBody struct {
+	inner     io.ReadCloser
+	remaining int64
+}
+
+func (b *tornBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.inner.Read(p)
+	b.remaining -= int64(n)
+	if err == io.EOF {
+		// The tear is strictly inside the body; a clean EOF would make the
+		// truncation look like a complete short response.
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *tornBody) Close() error { return b.inner.Close() }
+
+type corruptBody struct {
+	inner io.ReadCloser
+	off   int64
+}
+
+func (b *corruptBody) Read(p []byte) (int, error) {
+	n, err := b.inner.Read(p)
+	for i := 0; i < n; i++ {
+		if (b.off+int64(i))%corruptStride == 0 {
+			p[i] ^= corruptMask
+		}
+	}
+	b.off += int64(n)
+	return n, err
+}
+
+func (b *corruptBody) Close() error { return b.inner.Close() }

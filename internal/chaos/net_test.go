@@ -1,0 +1,337 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestParseSpecNetTokens(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Rule
+	}{
+		{"net::1:refused", Rule{Op: OpNet, Nth: 1, Fault: FaultRefused}},
+		{"net:readyz:2:refused", Rule{Op: OpNet, Path: "readyz", Nth: 2, Fault: FaultRefused}},
+		{"net:/v1/partition:1:corrupt", Rule{Op: OpNet, Path: "/v1/partition", Nth: 1, Fault: FaultCorrupt}},
+		{"net:9001/:p1:blackhole", Rule{Op: OpNet, Path: "9001/", Prob: 1, Fault: FaultBlackhole}},
+		{"net::3:torn", Rule{Op: OpNet, Nth: 3, Fault: FaultTorn}},
+		{"net:internal:p0.5:latency=250ms", Rule{Op: OpNet, Path: "internal", Prob: 0.5, Fault: FaultLatency, Delay: 250 * time.Millisecond}},
+	}
+	for _, tc := range cases {
+		rules, err := ParseSpec(tc.spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if len(rules) != 1 {
+			t.Errorf("ParseSpec(%q): got %d rules, want 1", tc.spec, len(rules))
+			continue
+		}
+		if rules[0] != tc.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", tc.spec, rules[0], tc.want)
+		}
+	}
+}
+
+func TestParseSpecNetRejections(t *testing.T) {
+	cases := []struct {
+		spec   string
+		reason string // substring the error must contain
+	}{
+		{"net::1:eio", "applies only to filesystem ops"},
+		{"net::1:enospc", "applies only to filesystem ops"},
+		{"net::1:short", "applies only to filesystem ops"},
+		{"net::1:kill", "applies only to filesystem ops"},
+		{"net::1:torn+kill", "a remote peer cannot crash this process"},
+		{"net::1:blackhole+kill", "a remote peer cannot crash this process"},
+		{"write::1:refused", "applies only to op net"},
+		{"sync:x:2:corrupt", "applies only to op net"},
+		{"open::p0.5:blackhole", "applies only to op net"},
+		{"net::0:refused", "must be a positive count"},
+		{"net::p2:refused", "must be in (0,1]"},
+		{"net::1:partition", "unknown fault"},
+		{"net:a:b", "want op:path:when:fault"},
+	}
+	for _, tc := range cases {
+		rules, err := ParseSpec(tc.spec)
+		if err == nil {
+			t.Errorf("ParseSpec(%q): want error containing %q, got rules %+v", tc.spec, tc.reason, rules)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.reason) {
+			t.Errorf("ParseSpec(%q) error %q does not contain %q", tc.spec, err, tc.reason)
+		}
+	}
+}
+
+// roundTrip sends one GET through tr and returns the full body (or the
+// read error) so fault effects on the body surface.
+func roundTrip(t *testing.T, tr *Transport, url string) ([]byte, error) {
+	t.Helper()
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	resp, err := tr.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+func netTestServer(t *testing.T, body []byte) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write(body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestTransportRefusedNthCounting(t *testing.T) {
+	body := []byte("payload")
+	ts := netTestServer(t, body)
+	rules, err := ParseSpec("net::2:refused")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTransport(nil, Config{Seed: 1, Rules: rules})
+
+	got, err := roundTrip(t, tr, ts.URL)
+	if err != nil || !bytes.Equal(got, body) {
+		t.Fatalf("request 1 should pass through, got (%q, %v)", got, err)
+	}
+	if _, err := roundTrip(t, tr, ts.URL); !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("request 2 should be refused, got %v", err)
+	}
+	if _, err := roundTrip(t, tr, ts.URL); err != nil {
+		t.Fatalf("request 3 should pass through, got %v", err)
+	}
+}
+
+func TestTransportPathMatchesHostAndPath(t *testing.T) {
+	ts := netTestServer(t, []byte("x"))
+	host := strings.TrimPrefix(ts.URL, "http://")
+	// Match by host:port substring (the documented "PORT/" idiom needs a
+	// path; plain host matching also works).
+	rules := []Rule{{Op: OpNet, Path: host, Nth: 1, Fault: FaultRefused}}
+	tr := NewTransport(nil, Config{Rules: rules})
+	if _, err := roundTrip(t, tr, ts.URL+"/v1/partition"); !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("host match should refuse, got %v", err)
+	}
+
+	// A rule for a different path must not match.
+	rules2, err := ParseSpec("net:/internal/:1:refused")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2 := NewTransport(nil, Config{Rules: rules2})
+	if _, err := roundTrip(t, tr2, ts.URL+"/v1/partition"); err != nil {
+		t.Fatalf("non-matching path should pass through, got %v", err)
+	}
+}
+
+func TestTransportLatency(t *testing.T) {
+	ts := netTestServer(t, []byte("slow"))
+	clock := NewFakeClock(time.Unix(0, 0))
+	rules, err := ParseSpec("net::1:latency=750ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTransport(nil, Config{Rules: rules, Clock: clock})
+	got, err := roundTrip(t, tr, ts.URL)
+	if err != nil || string(got) != "slow" {
+		t.Fatalf("latency fault must still deliver the response, got (%q, %v)", got, err)
+	}
+	sleeps := clock.Sleeps()
+	if len(sleeps) != 1 || sleeps[0] != 750*time.Millisecond {
+		t.Fatalf("want one 750ms sleep, got %v", sleeps)
+	}
+}
+
+func TestTransportLatencyHonorsContext(t *testing.T) {
+	ts := netTestServer(t, []byte("slow"))
+	rules, err := ParseSpec("net::1:latency=10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Real clock: the sleep must be abandoned when the context dies, not
+	// served in full — this is what bounds a slow-peer probe.
+	tr := NewTransport(nil, Config{Rules: rules})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := tr.RoundTrip(req); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled through the injected error, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled latency sleep took %v", elapsed)
+	}
+}
+
+func TestTransportTornBody(t *testing.T) {
+	body := bytes.Repeat([]byte("abcdefgh"), 128) // 1024 bytes, Content-Length known
+	ts := netTestServer(t, body)
+	rules, err := ParseSpec("net::1:torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTransport(nil, Config{Rules: rules})
+	got, err := roundTrip(t, tr, ts.URL)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("torn body must end in ErrUnexpectedEOF, got %v", err)
+	}
+	if len(got) != len(body)/2 {
+		t.Fatalf("torn body delivered %d bytes, want %d (Frac default 0.5)", len(got), len(body)/2)
+	}
+	if !bytes.Equal(got, body[:len(got)]) {
+		t.Fatal("torn body must be a clean prefix")
+	}
+}
+
+func TestTransportCorruptBody(t *testing.T) {
+	body := bytes.Repeat([]byte("abcdefgh"), 32) // 256 bytes spans several strides
+	ts := netTestServer(t, body)
+	spec := "net::1:corrupt"
+	run := func() []byte {
+		rules, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := NewTransport(nil, Config{Seed: 7, Rules: rules})
+		got, err := roundTrip(t, tr, ts.URL)
+		if err != nil {
+			t.Fatalf("corrupt fault must deliver a readable body, got %v", err)
+		}
+		return got
+	}
+	got := run()
+	if len(got) != len(body) {
+		t.Fatalf("corruption must preserve length: got %d, want %d", len(got), len(body))
+	}
+	if bytes.Equal(got, body) {
+		t.Fatal("corrupt fault left the body unchanged")
+	}
+	if got[0] == body[0] {
+		t.Fatal("corruption must always touch byte 0, so even tiny bodies are detectable")
+	}
+	if again := run(); !bytes.Equal(got, again) {
+		t.Fatal("corruption must be deterministic across identical runs")
+	}
+}
+
+func TestTransportBlackhole(t *testing.T) {
+	ts := netTestServer(t, []byte("x"))
+	rules, err := ParseSpec("net::1:blackhole")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTransport(nil, Config{Rules: rules})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.RoundTrip(req); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blackhole must surface the caller's deadline, got %v", err)
+	}
+}
+
+func TestTransportOnFaultHook(t *testing.T) {
+	ts := netTestServer(t, []byte("x"))
+	rules, err := ParseSpec("net::2:refused")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTransport(nil, Config{Rules: rules})
+	var mu sync.Mutex
+	var fired []Fault
+	tr.SetOnFault(func(r Rule) {
+		mu.Lock()
+		defer mu.Unlock()
+		fired = append(fired, r.Fault)
+	})
+	_, _ = roundTrip(t, tr, ts.URL) // passes
+	_, _ = roundTrip(t, tr, ts.URL) // refused
+	_, _ = roundTrip(t, tr, ts.URL) // passes (nth=2 already spent)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(fired) != 1 || fired[0] != FaultRefused {
+		t.Fatalf("hook should see exactly the one refused firing, got %v", fired)
+	}
+}
+
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		"write:.jsonl:3:torn+kill",
+		"sync:.jsonl:4:kill",
+		"write::2:enospc",
+		"write:.jsonl:p1:latency=300ms",
+		"net:9001/:p1:blackhole",
+		"net:/v1/partition:1:corrupt",
+		"net:readyz:2:refused",
+		"net::3:torn,net:internal:p0.5:latency=250ms",
+		"net::1:eio",
+		"write::1:refused",
+		"net::1:torn+kill",
+		"",
+		":::",
+		"net::p2:refused",
+		"net::0:blackhole",
+		"net::1:latency=",
+		"net::1:latency=-3s",
+		"open:x:p0.0001:eio+kill",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		rules, err := ParseSpec(spec)
+		if err != nil {
+			if rules != nil {
+				t.Fatalf("ParseSpec(%q): non-nil rules alongside error %v", spec, err)
+			}
+			return
+		}
+		if len(rules) == 0 {
+			t.Fatalf("ParseSpec(%q): nil error with zero rules", spec)
+		}
+		for _, r := range rules {
+			if (r.Nth > 0) == (r.Prob > 0) {
+				t.Fatalf("rule %+v: exactly one of Nth/Prob must be set", r)
+			}
+			if r.Prob < 0 || r.Prob > 1 {
+				t.Fatalf("rule %+v: probability out of (0,1]", r)
+			}
+			if r.Fault == FaultLatency && r.Delay <= 0 {
+				t.Fatalf("rule %+v: latency without positive delay", r)
+			}
+			if err := checkFaultOp(r, r.Fault.String()); err != nil {
+				t.Fatalf("rule %+v survived parsing but fails op check: %v", r, err)
+			}
+			if r.Op == OpNet && r.Crash {
+				t.Fatalf("rule %+v: net rule with crash flag", r)
+			}
+		}
+		// Parsing must be deterministic.
+		again, err := ParseSpec(spec)
+		if err != nil || len(again) != len(rules) {
+			t.Fatalf("ParseSpec(%q) unstable: (%v, %v) vs %d rules", spec, again, err, len(rules))
+		}
+	})
+}

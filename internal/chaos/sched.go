@@ -1,0 +1,88 @@
+package chaos
+
+import (
+	"strings"
+	"sync"
+	"syscall"
+
+	"hgpart/internal/rng"
+)
+
+// schedule is the seeded rule-matching engine shared by FaultFS and
+// Transport. All rule-matching state (per-rule match counters, the
+// probability stream) sits behind one mutex, so a serialized operation
+// sequence sees an exactly replayable schedule regardless of which wrapper
+// drives it.
+type schedule struct {
+	mu sync.Mutex
+	//hglint:guardedby mu
+	rules []Rule
+	//hglint:guardedby mu
+	count []int // matches seen per rule
+	//hglint:guardedby mu
+	r *rng.RNG
+	//hglint:guardedby mu
+	onFault func(Rule)
+}
+
+// newSchedule copies and normalizes cfg's rules (Err defaults to EIO, Frac
+// to one half) and seeds the probability stream.
+func newSchedule(cfg Config) *schedule {
+	rules := append([]Rule(nil), cfg.Rules...)
+	for i := range rules {
+		if rules[i].Err == nil {
+			rules[i].Err = syscall.EIO
+		}
+		if rules[i].Frac <= 0 || rules[i].Frac > 1 {
+			rules[i].Frac = 0.5
+		}
+	}
+	return &schedule{
+		rules: rules,
+		count: make([]int, len(rules)),
+		r:     rng.New(cfg.Seed),
+	}
+}
+
+// setOnFault installs a hook invoked (outside the schedule lock) with a copy
+// of every rule that fires. hgserved uses it to count injected faults in
+// /metrics.
+func (s *schedule) setOnFault(fn func(Rule)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onFault = fn
+}
+
+// fire reports the first rule firing for (op, path), or nil. It advances
+// the match counters of every matching rule, firing or not, so rule order
+// never changes which operation a counter refers to.
+func (s *schedule) fire(op Op, path string) *Rule {
+	s.mu.Lock()
+	var hit *Rule
+	for i := range s.rules {
+		r := &s.rules[i]
+		if r.Op != op || (r.Path != "" && !strings.Contains(path, r.Path)) {
+			continue
+		}
+		s.count[i]++
+		if hit != nil {
+			continue
+		}
+		switch {
+		case r.Nth > 0:
+			if s.count[i] == r.Nth {
+				hit = r
+			}
+		case r.Prob > 0:
+			if s.r.Float64() < r.Prob {
+				hit = r
+			}
+		}
+	}
+	hook := s.onFault
+	s.mu.Unlock()
+	if hit != nil && hook != nil {
+		hook(*hit)
+	}
+	return hit
+}

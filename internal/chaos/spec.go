@@ -14,13 +14,21 @@ import (
 //
 // where
 //
-//	op     = write | sync | open | rename | remove
-//	path   = substring the operation's path must contain ("" matches all)
+//	op     = write | sync | open | rename | remove   filesystem operations
+//	       | net                                     HTTP requests (Transport)
+//	path   = substring the operation's path must contain ("" matches all);
+//	         for net rules the match target is "host/path" of the request URL
 //	when   = N        fire on the Nth matching operation (1-based)
 //	       | pF       fire with probability F from the seeded stream
 //	fault  = eio | enospc | torn | short | kill | latency=DUR
 //	         with an optional "+kill" suffix (crash after the fault's
 //	         partial effect), e.g. torn+kill, eio+kill, latency=300ms
+//	       | refused | corrupt | blackhole            net-only faults
+//
+// Fault applicability is checked per op: eio/enospc/short/kill (and the
+// +kill suffix) are filesystem-only, refused/corrupt/blackhole are net-only;
+// torn and latency=DUR work for both. Violations are rejected with the
+// reason in the error.
 //
 // Examples:
 //
@@ -28,9 +36,16 @@ import (
 //	sync:.jsonl:4:kill          SIGKILL during journal fsync #4
 //	write::2:enospc             journal write #2 fails with ENOSPC
 //	write:.jsonl:p1:latency=300ms  every journal write takes an extra 300ms
+//	net:9001/:p1:blackhole         partition everything sent to port 9001
+//	net:/v1/partition:1:corrupt    flip bits in the first dispatch response
+//	net:readyz:2:refused           refuse the 2nd heartbeat probe
 //
-// The grammar is what hgserved's -chaos flag and cmd/hgchaos speak; see
-// DESIGN.md §11.
+// (The ":" field separator means a net path cannot contain a literal
+// host:port; match a unique substring instead — "PORT/" pins a port because
+// the match target always has a "/" right after it.)
+//
+// The grammar is what hgserved's -chaos and -net-chaos flags and cmd/hgchaos
+// speak; see DESIGN.md §11 and §16.
 func ParseSpec(spec string) ([]Rule, error) {
 	var rules []Rule
 	for _, part := range strings.Split(spec, ",") {
@@ -68,8 +83,10 @@ func parseRule(s string) (Rule, error) {
 		r.Op = OpRename
 	case "remove":
 		r.Op = OpRemove
+	case "net":
+		r.Op = OpNet
 	default:
-		return Rule{}, fmt.Errorf("unknown op %q (want write|sync|open|rename|remove)", fields[0])
+		return Rule{}, fmt.Errorf("unknown op %q (want write|sync|open|rename|remove|net)", fields[0])
 	}
 
 	r.Path = fields[1]
@@ -91,6 +108,9 @@ func parseRule(s string) (Rule, error) {
 
 	fault := fields[3]
 	if base, ok := strings.CutSuffix(fault, "+kill"); ok {
+		if r.Op == OpNet {
+			return Rule{}, fmt.Errorf("suffix \"+kill\" applies only to filesystem ops (a remote peer cannot crash this process)")
+		}
 		r.Crash = true
 		fault = base
 	}
@@ -115,8 +135,35 @@ func parseRule(s string) (Rule, error) {
 		}
 		r.Fault = FaultLatency
 		r.Delay = d
+	case fault == "refused":
+		r.Fault = FaultRefused
+	case fault == "corrupt":
+		r.Fault = FaultCorrupt
+	case fault == "blackhole":
+		r.Fault = FaultBlackhole
 	default:
-		return Rule{}, fmt.Errorf("unknown fault %q (want eio|enospc|torn|short|kill|latency=DUR, optionally +kill)", fault)
+		return Rule{}, fmt.Errorf("unknown fault %q (want eio|enospc|torn|short|kill|latency=DUR, optionally +kill; or refused|corrupt|blackhole for op net)", fault)
+	}
+	if err := checkFaultOp(r, fault); err != nil {
+		return Rule{}, err
 	}
 	return r, nil
+}
+
+// checkFaultOp rejects fault/op combinations that have no defined effect:
+// the net transport has no partial-write or errno semantics, and the
+// filesystem has no connections to refuse or partition.
+func checkFaultOp(r Rule, token string) error {
+	netOnly := r.Fault == FaultRefused || r.Fault == FaultCorrupt || r.Fault == FaultBlackhole
+	if r.Op == OpNet {
+		switch r.Fault {
+		case FaultErr, FaultShort, FaultCrash:
+			return fmt.Errorf("fault %q applies only to filesystem ops (net faults: refused|corrupt|blackhole|torn|latency=DUR)", token)
+		}
+		return nil
+	}
+	if netOnly {
+		return fmt.Errorf("fault %q applies only to op net (filesystem faults: eio|enospc|torn|short|kill|latency=DUR)", token)
+	}
+	return nil
 }

@@ -61,6 +61,7 @@ import (
 // enforced: the concurrent serving/cluster layer and the checkpointing
 // harness, per DESIGN.md §13.
 var TargetPackages = []string{
+	"internal/chaos",
 	"internal/eval",
 	"internal/portfolio",
 	"internal/service",

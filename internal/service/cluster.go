@@ -9,6 +9,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -31,8 +32,10 @@ type ClusterConfig struct {
 	HeartbeatInterval time.Duration
 	// HeartbeatTimeout bounds one probe; <= 0 means 1s.
 	HeartbeatTimeout time.Duration
-	// FailThreshold is how many consecutive probe failures mark a worker
-	// unhealthy; <= 0 means 2. A single probe success marks it healthy again.
+	// FailThreshold is how many consecutive probe failures trip a worker's
+	// circuit breaker open; <= 0 means 2. Recovery is deterministic and
+	// probe-driven: the first heartbeat success half-opens the breaker
+	// (trial dispatches resume), the second closes it.
 	FailThreshold int
 	// DispatchPerWorker is the number of concurrent dispatches per worker
 	// (match the workers' own pool size to keep them saturated without
@@ -47,6 +50,13 @@ type ClusterConfig struct {
 	DispatchRetries int
 	// RetrySeed seeds the deterministic dispatch-retry jitter streams.
 	RetrySeed uint64
+	// DispatchDeadline bounds each dispatch RPC attempt end-to-end and is
+	// propagated to the worker as an absolute X-Hg-Deadline header, so a
+	// worker whose coordinator has failed over abandons the job (its journal
+	// keeps the completed starts for the redispatch). <= 0 disables both the
+	// bound and the header — a blackholed dispatch then waits until the
+	// coordinator shuts down.
+	DispatchDeadline time.Duration
 }
 
 func (c *ClusterConfig) withDefaults() ClusterConfig {
@@ -188,14 +198,50 @@ func (cj *clusterJob) Status() JobStatus {
 	return st
 }
 
-// workerHealth is the coordinator's view of one worker node.
+// breakerState is one worker's deterministic circuit-breaker position. All
+// transitions are event-driven — consecutive-failure counts and heartbeat
+// successes, never timers or randomness — so a replayed fault schedule
+// walks the breaker through an identical state sequence.
+//
+//	closed --(FailThreshold consecutive probe fails, or a dispatch
+//	          failover)--> open
+//	open --(one probe success)--> half-open     (trial dispatches resume)
+//	half-open --(one probe success)--> closed
+//	half-open --(any probe fail or dispatch failover)--> open
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerHalfOpen
+	breakerOpen
+)
+
+// String renders the GET /v1/cluster form of the state.
+func (b breakerState) String() string {
+	switch b {
+	case breakerClosed:
+		return "closed"
+	case breakerHalfOpen:
+		return "half-open"
+	case breakerOpen:
+		return "open"
+	}
+	return fmt.Sprintf("breaker(%d)", b)
+}
+
+// workerHealth is the coordinator's view of one worker node. Its fields are
+// guarded by the owning Coordinator's mu (it lives only in the health map).
 type workerHealth struct {
 	addr      string
-	healthy   bool
+	breaker   breakerState
 	fails     int // consecutive probe failures
 	lastErr   string
 	lastProbe time.Time
 }
+
+// dispatchable reports whether the worker may receive jobs: closed breakers
+// take normal traffic, half-open ones take trial traffic, open ones none.
+func (h *workerHealth) dispatchable() bool { return h.breaker != breakerOpen }
 
 // Coordinator routes partition jobs across a worker fleet by consistent
 // hashing on the content-addressed cache key. Determinism makes this
@@ -206,8 +252,15 @@ type workerHealth struct {
 //   - every dispatch RPC runs under chaos.Retry (seeded jitter, Retry-After
 //     aware), so transient worker 503s/429s and connection blips are ridden
 //     out without failing the job;
-//   - a heartbeat prober marks workers unhealthy after consecutive readiness
-//     failures and healthy again on the first success;
+//   - every worker response is verified against its sha256 integrity
+//     envelope before the bytes are cached or served — a corrupted response
+//     is a retryable failure, never a poisoned cache entry;
+//   - a per-worker circuit breaker (see breakerState) opens after
+//     FailThreshold consecutive heartbeat failures or a dispatch failover
+//     and recovers through half-open deterministically, probe by probe;
+//   - with DispatchDeadline set, each dispatch attempt carries an absolute
+//     X-Hg-Deadline the worker honors, so jobs whose coordinator has moved
+//     on are abandoned (journal retained) instead of computed for no one;
 //   - when a worker dies mid-job (retries exhausted on a transport error)
 //     the job fails over to the next healthy node in ring order, which
 //     resumes from the job's v2 CRC checkpoint journal on the shared
@@ -258,7 +311,7 @@ func newCoordinator(cfg ClusterConfig, s *Server) *Coordinator {
 		cfg:      cfg,
 		srv:      s,
 		ring:     NewRing(cfg.Workers, cfg.Replicas),
-		client:   &http.Client{},
+		client:   &http.Client{Transport: s.cfg.Transport},
 		log:      s.log,
 		health:   make(map[string]*workerHealth),
 		queues:   make(map[string][]*clusterJob),
@@ -271,7 +324,7 @@ func newCoordinator(cfg ClusterConfig, s *Server) *Coordinator {
 	// a dispatcher started for worker 1 reads c.health under c.mu right away,
 	// so interleaving these unlocked map writes with the spawns would race.
 	for _, addr := range c.ring.Nodes() {
-		c.health[addr] = &workerHealth{addr: addr, healthy: true}
+		c.health[addr] = &workerHealth{addr: addr, breaker: breakerClosed}
 	}
 	for _, addr := range c.ring.Nodes() {
 		for i := 0; i < cfg.DispatchPerWorker; i++ {
@@ -345,7 +398,7 @@ func (c *Coordinator) Submit(req PartitionRequest, inst *hypergraph.Hypergraph,
 	target := ""
 	anyHealthy := false
 	for _, addr := range c.ring.Order(key) {
-		if !c.health[addr].healthy {
+		if !c.health[addr].dispatchable() {
 			continue
 		}
 		anyHealthy = true
@@ -454,7 +507,7 @@ func (c *Coordinator) next(home string) *clusterJob {
 		if c.closed {
 			return nil
 		}
-		if c.health[home].healthy {
+		if c.health[home].dispatchable() {
 			if q := c.queues[home]; len(q) > 0 {
 				cj := q[0]
 				c.queues[home] = q[1:]
@@ -486,9 +539,11 @@ func (c *Coordinator) next(home string) *clusterJob {
 }
 
 // dispatch POSTs the job to worker synchronously under chaos.Retry. A 200
-// finishes the job with the worker's report bytes; a non-retryable HTTP
-// error forwards the worker's verdict; exhausted retries on transport
-// errors mean the worker is dead — mark it unhealthy and fail the job over.
+// that passes the integrity envelope finishes the job with the worker's
+// report bytes; a corrupted or oversized response is retried like a
+// transport error; a non-retryable HTTP error forwards the worker's
+// verdict; exhausted retries mean the worker is dead — trip its breaker
+// and fail the job over.
 func (c *Coordinator) dispatch(worker string, cj *clusterJob) {
 	cj.markRunning(worker)
 	c.srv.metrics.ClusterDispatch()
@@ -509,29 +564,58 @@ func (c *Coordinator) dispatch(worker string, cj *clusterJob) {
 		Seed:        c.cfg.RetrySeed ^ ringHash(cj.Key) ^ uint64(attempt),
 	}
 	err := retry.Do(c.baseCtx, func() (time.Duration, bool, error) {
-		req, rerr := http.NewRequestWithContext(c.baseCtx, http.MethodPost,
+		// Each attempt gets a fresh deadline: a retry after a worker 504 must
+		// grant the redispatch its full budget, not the stale remainder.
+		rpcCtx := c.baseCtx
+		cancel := context.CancelFunc(func() {})
+		deadline := ""
+		if c.cfg.DispatchDeadline > 0 {
+			dl := time.Now().Add(c.cfg.DispatchDeadline)
+			rpcCtx, cancel = context.WithDeadline(c.baseCtx, dl)
+			deadline = strconv.FormatInt(dl.UnixMilli(), 10)
+		}
+		defer cancel()
+		req, rerr := http.NewRequestWithContext(rpcCtx, http.MethodPost,
 			"http://"+worker+"/v1/partition", bytes.NewReader(cj.forward))
 		if rerr != nil {
 			return 0, false, rerr
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if deadline != "" {
+			req.Header.Set(deadlineHeader, deadline)
+		}
 		resp, rerr := c.client.Do(req)
 		if rerr != nil {
 			return 0, true, rerr
 		}
 		defer resp.Body.Close()
-		b, rerr := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+		b, rerr := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody+1))
 		if rerr != nil {
 			return 0, true, rerr
 		}
+		if int64(len(b)) > maxPeerBody {
+			return 0, true, fmt.Errorf("worker %s: response exceeds the %d-byte body bound", worker, int64(maxPeerBody))
+		}
 		switch resp.StatusCode {
 		case http.StatusOK:
+			if !integrityOK(resp.Header, b) {
+				// Corrupted in transit. The bytes must not reach the cache or
+				// a client; retrying (and eventually failing over) recomputes.
+				c.srv.metrics.IntegrityFailure("dispatch")
+				c.log.Warn("cluster: dispatch response failed the sha256 envelope; recomputing",
+					"job", cj.ID, "worker", worker)
+				return 0, true, fmt.Errorf("worker %s: response body failed the sha256 integrity check", worker)
+			}
 			body = b
 			remoteJob = resp.Header.Get("X-Hgserved-Job")
 			return 0, false, nil
 		case http.StatusServiceUnavailable, http.StatusTooManyRequests:
 			ra, _ := chaos.RetryAfterHeader(resp.Header.Get("Retry-After"))
 			return ra, true, fmt.Errorf("worker %s: HTTP %d", worker, resp.StatusCode)
+		case http.StatusGatewayTimeout:
+			// The worker abandoned on our own propagated deadline; the journal
+			// kept its completed starts, so redispatching is cheap.
+			return 0, true, fmt.Errorf("worker %s: abandoned on the propagated deadline (HTTP 504)", worker)
 		default:
 			// The worker judged the request itself bad; no other worker would
 			// disagree. Forward its verdict instead of failing over.
@@ -563,9 +647,9 @@ func errorMessage(body []byte, fallback string) string {
 	return fallback
 }
 
-// failover reacts to a dead worker: mark it unhealthy (draining its queue
-// onto survivors) and reroute this job to the next healthy node in ring
-// order — or compute locally when none remains.
+// failover reacts to a dead worker: trip its breaker open (draining its
+// queue onto survivors) and reroute this job to the next dispatchable node
+// in ring order — or compute locally when none remains.
 func (c *Coordinator) failover(worker string, cj *clusterJob, cause error) {
 	c.mu.Lock()
 	if c.closed {
@@ -576,7 +660,7 @@ func (c *Coordinator) failover(worker string, cj *clusterJob, cause error) {
 	c.failovers++
 	c.srv.metrics.ClusterFailover()
 	c.log.Warn("cluster: dispatch failed; failing job over", "job", cj.ID, "worker", worker, "err", cause)
-	c.markUnhealthyLocked(worker, cause)
+	c.tripBreakerLocked(worker, cause)
 	c.enqueueLocked(cj)
 	c.mu.Unlock()
 }
@@ -595,7 +679,7 @@ func (c *Coordinator) enqueueLocked(cj *clusterJob) {
 		return
 	}
 	for _, addr := range c.ring.Order(cj.Key) {
-		if c.health[addr].healthy {
+		if c.health[addr].dispatchable() {
 			c.queues[addr] = append(c.queues[addr], cj)
 			c.cond.Broadcast()
 			return
@@ -692,9 +776,12 @@ func (c *Coordinator) probe(addr string) error {
 	return nil
 }
 
-// noteProbe folds one heartbeat result into the worker's health state. One
-// success recovers an unhealthy worker; FailThreshold consecutive failures
-// take a healthy one out of rotation (its queued jobs reroute immediately).
+// noteProbe folds one heartbeat result into the worker's breaker. Success
+// walks open → half-open → closed one probe at a time; a failure trips a
+// half-open breaker straight back open, and FailThreshold consecutive
+// failures trip a closed one (its queued jobs reroute immediately). All
+// transitions are counter-driven — no wall-clock cooldowns — so a replayed
+// probe sequence reproduces the exact breaker history.
 func (c *Coordinator) noteProbe(addr string, probeErr error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -702,8 +789,13 @@ func (c *Coordinator) noteProbe(addr string, probeErr error) {
 	h.lastProbe = time.Now()
 	if probeErr == nil {
 		h.fails = 0
-		if !h.healthy {
-			h.healthy = true
+		switch h.breaker {
+		case breakerOpen:
+			h.breaker = breakerHalfOpen
+			c.log.Info("cluster: worker half-open; trial dispatches resume", "worker", addr)
+			c.cond.Broadcast()
+		case breakerHalfOpen:
+			h.breaker = breakerClosed
 			h.lastErr = ""
 			c.log.Info("cluster: worker recovered", "worker", addr)
 			c.cond.Broadcast()
@@ -712,21 +804,25 @@ func (c *Coordinator) noteProbe(addr string, probeErr error) {
 	}
 	h.fails++
 	h.lastErr = probeErr.Error()
-	if h.healthy && h.fails >= c.cfg.FailThreshold {
-		c.markUnhealthyLocked(addr, fmt.Errorf("heartbeat: %d consecutive failures: %w", h.fails, probeErr))
+	switch {
+	case h.breaker == breakerHalfOpen:
+		c.tripBreakerLocked(addr, fmt.Errorf("heartbeat failed during half-open trial: %w", probeErr))
+	case h.breaker == breakerClosed && h.fails >= c.cfg.FailThreshold:
+		c.tripBreakerLocked(addr, fmt.Errorf("heartbeat: %d consecutive failures: %w", h.fails, probeErr))
 	}
 }
 
-// markUnhealthyLocked takes a worker out of rotation and reroutes its
-// queued jobs. Called with c.mu held.
-func (c *Coordinator) markUnhealthyLocked(addr string, cause error) {
+// tripBreakerLocked opens a worker's breaker (from closed or half-open),
+// taking it out of rotation and rerouting its queued jobs. Called with c.mu
+// held.
+func (c *Coordinator) tripBreakerLocked(addr string, cause error) {
 	h := c.health[addr]
 	h.lastErr = cause.Error()
-	if !h.healthy {
+	if h.breaker == breakerOpen {
 		return
 	}
-	h.healthy = false
-	c.log.Warn("cluster: worker unhealthy", "worker", addr, "err", cause)
+	h.breaker = breakerOpen
+	c.log.Warn("cluster: breaker open; worker out of rotation", "worker", addr, "err", cause)
 	q := c.queues[addr]
 	c.queues[addr] = nil
 	for _, cj := range q {
@@ -735,10 +831,13 @@ func (c *Coordinator) markUnhealthyLocked(addr string, cause error) {
 	c.cond.Broadcast()
 }
 
-// WorkerStatus is one row of the GET /v1/cluster document.
+// WorkerStatus is one row of the GET /v1/cluster document. Healthy means
+// dispatchable (breaker closed or half-open); Breaker exposes the exact
+// breaker position.
 type WorkerStatus struct {
 	Addr             string `json:"addr"`
 	Healthy          bool   `json:"healthy"`
+	Breaker          string `json:"breaker"`
 	ConsecutiveFails int    `json:"consecutive_fails,omitempty"`
 	QueueDepth       int    `json:"queue_depth"`
 	LastError        string `json:"last_error,omitempty"`
@@ -770,26 +869,40 @@ func (c *Coordinator) Status() ClusterStatus {
 		h := c.health[addr]
 		st.Workers = append(st.Workers, WorkerStatus{
 			Addr:             addr,
-			Healthy:          h.healthy,
+			Healthy:          h.dispatchable(),
+			Breaker:          h.breaker.String(),
 			ConsecutiveFails: h.fails,
 			QueueDepth:       len(c.queues[addr]),
 			LastError:        h.lastErr,
 		})
-		if h.healthy {
+		if h.dispatchable() {
 			st.Healthy++
 		}
 	}
 	return st
 }
 
-// healthyCount returns the number of currently healthy workers (metrics).
+// healthyCount returns the number of currently dispatchable workers
+// (metrics).
 func (c *Coordinator) healthyCount() (healthy, total int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, h := range c.health {
-		if h.healthy {
+		if h.dispatchable() {
 			healthy++
 		}
 	}
 	return healthy, len(c.health)
+}
+
+// breakerStates snapshots each worker's breaker position for the
+// hgserved_breaker_state gauge.
+func (c *Coordinator) breakerStates() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.health))
+	for addr, h := range c.health {
+		out[addr] = int(h.breaker)
+	}
+	return out
 }

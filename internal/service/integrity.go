@@ -1,0 +1,53 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// The cluster RPC plane does not trust the transport (DESIGN.md §16):
+//
+//   - integrityHeader carries hex(sha256(body)) on every internal response
+//     (reports and peer cache hits). Receivers verify before using the
+//     bytes: a corrupted peer cache hit is demoted to a miss and a
+//     corrupted dispatch result is retried/failed over, so corruption can
+//     never poison the content-addressed result cache.
+//   - deadlineHeader carries the coordinator's absolute dispatch deadline
+//     (unix milliseconds). A worker that receives an already-expired
+//     deadline — or crosses it mid-job — abandons with 504; its journal
+//     keeps the completed starts for the redispatch.
+const (
+	integrityHeader = "X-Hg-Body-Sha256"
+	deadlineHeader  = "X-Hg-Deadline"
+)
+
+// bodySHA returns the integrity envelope value for body.
+func bodySHA(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}
+
+// integrityOK verifies body against the response's integrity envelope. A
+// missing header passes: the envelope authenticates bytes when present, it
+// is not a handshake (mixed-version fleets interoperate during a rollout).
+func integrityOK(h http.Header, body []byte) bool {
+	want := h.Get(integrityHeader)
+	return want == "" || want == bodySHA(body)
+}
+
+// parseDeadline extracts the propagated coordinator deadline, if any.
+func parseDeadline(h http.Header) (time.Time, bool, error) {
+	v := h.Get(deadlineHeader)
+	if v == "" {
+		return time.Time{}, false, nil
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return time.Time{}, false, fmt.Errorf("malformed %s header %q (want unix milliseconds)", deadlineHeader, v)
+	}
+	return time.UnixMilli(ms), true, nil
+}

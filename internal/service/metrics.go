@@ -50,6 +50,14 @@ type Metrics struct {
 	portfolioStoreHits int64            //hglint:guardedby mu
 	portfolioWins      map[armKey]int64 //hglint:guardedby mu
 
+	// net-chaos / RPC-integrity counters (DESIGN.md §16): faults the chaos
+	// transport injected by kind, internal responses that failed the sha256
+	// envelope by source ("peer" or "dispatch"), and jobs abandoned because
+	// the coordinator's propagated deadline passed.
+	netFaults         map[string]int64 //hglint:guardedby mu
+	integrityFailures map[string]int64 //hglint:guardedby mu
+	deadlineAbandons  int64            //hglint:guardedby mu
+
 	// nsPerWork samples wall-nanoseconds per deterministic work unit for
 	// every executed run; quantiles expose serving-speed drift the same way
 	// hgbench's ns/move exposes benchmark drift.
@@ -59,10 +67,12 @@ type Metrics struct {
 // NewMetrics builds the registry. window bounds the ns/work sampler.
 func NewMetrics(window int) *Metrics {
 	return &Metrics{
-		requests:      make(map[reqKey]int64),
-		finished:      make(map[JobState]int64),
-		portfolioWins: make(map[armKey]int64),
-		nsPerWork:     perf.NewSampler(window),
+		requests:          make(map[reqKey]int64),
+		finished:          make(map[JobState]int64),
+		portfolioWins:     make(map[armKey]int64),
+		netFaults:         make(map[string]int64),
+		integrityFailures: make(map[string]int64),
+		nsPerWork:         perf.NewSampler(window),
 	}
 }
 
@@ -137,6 +147,30 @@ func (m *Metrics) ClusterLocalFallback() {
 	m.mu.Unlock()
 }
 
+// NetFaultInjected counts one fault the chaos transport injected, by the
+// fault's spec-grammar name ("refused", "corrupt", ...).
+func (m *Metrics) NetFaultInjected(fault string) {
+	m.mu.Lock()
+	m.netFaults[fault]++
+	m.mu.Unlock()
+}
+
+// IntegrityFailure counts one internal response whose body failed the
+// sha256 envelope check; source is "peer" or "dispatch".
+func (m *Metrics) IntegrityFailure(source string) {
+	m.mu.Lock()
+	m.integrityFailures[source]++
+	m.mu.Unlock()
+}
+
+// DeadlineAbandon counts one job abandoned because the coordinator's
+// propagated X-Hg-Deadline had passed.
+func (m *Metrics) DeadlineAbandon() {
+	m.mu.Lock()
+	m.deadlineAbandons++
+	m.mu.Unlock()
+}
+
 // PortfolioRace counts one mode=portfolio race: which (bucket, arm) pair
 // won, and whether the outcome store's prediction matched the winner.
 func (m *Metrics) PortfolioRace(bucket, winner string, storeHit bool) {
@@ -172,6 +206,9 @@ type GaugeSnapshot struct {
 	// both zero on non-coordinator nodes.
 	ClusterWorkers int
 	ClusterHealthy int
+	// Breakers maps worker address to circuit-breaker state (0 closed,
+	// 1 half-open, 2 open); nil on non-coordinator nodes.
+	Breakers map[string]int
 }
 
 // Render writes all metrics in Prometheus text format, keys sorted so
@@ -206,6 +243,25 @@ func (m *Metrics) Render(w io.Writer, g GaugeSnapshot) {
 	peerHits, dispatches := m.peerHits, m.dispatches
 	failovers, steals, localFallbacks := m.failovers, m.steals, m.localFallbacks
 	portfolioRaces, portfolioStoreHits := m.portfolioRaces, m.portfolioStoreHits
+	deadlineAbandons := m.deadlineAbandons
+	faultKeys := make([]string, 0, len(m.netFaults))
+	for k := range m.netFaults {
+		faultKeys = append(faultKeys, k)
+	}
+	sort.Strings(faultKeys)
+	netFaults := make(map[string]int64, len(m.netFaults))
+	for k, v := range m.netFaults {
+		netFaults[k] = v
+	}
+	integrityKeys := make([]string, 0, len(m.integrityFailures))
+	for k := range m.integrityFailures {
+		integrityKeys = append(integrityKeys, k)
+	}
+	sort.Strings(integrityKeys)
+	integrityFailures := make(map[string]int64, len(m.integrityFailures))
+	for k, v := range m.integrityFailures {
+		integrityFailures[k] = v
+	}
 	winKeys := make([]armKey, 0, len(m.portfolioWins))
 	for k := range m.portfolioWins {
 		winKeys = append(winKeys, k)
@@ -308,6 +364,33 @@ func (m *Metrics) Render(w io.Writer, g GaugeSnapshot) {
 	fmt.Fprintln(w, "# HELP hgserved_cluster_workers_healthy Workers currently passing heartbeats.")
 	fmt.Fprintln(w, "# TYPE hgserved_cluster_workers_healthy gauge")
 	fmt.Fprintf(w, "hgserved_cluster_workers_healthy %d\n", g.ClusterHealthy)
+
+	fmt.Fprintln(w, "# HELP hgserved_net_faults_injected_total Faults injected by the chaos net transport, by fault kind.")
+	fmt.Fprintln(w, "# TYPE hgserved_net_faults_injected_total counter")
+	for _, k := range faultKeys {
+		fmt.Fprintf(w, "hgserved_net_faults_injected_total{fault=%q} %d\n", k, netFaults[k])
+	}
+
+	fmt.Fprintln(w, "# HELP hgserved_integrity_failures_total Internal responses failing the sha256 body envelope, by source.")
+	fmt.Fprintln(w, "# TYPE hgserved_integrity_failures_total counter")
+	for _, k := range integrityKeys {
+		fmt.Fprintf(w, "hgserved_integrity_failures_total{source=%q} %d\n", k, integrityFailures[k])
+	}
+
+	fmt.Fprintln(w, "# HELP hgserved_breaker_state Per-worker circuit breaker state (0 closed, 1 half-open, 2 open).")
+	fmt.Fprintln(w, "# TYPE hgserved_breaker_state gauge")
+	breakerKeys := make([]string, 0, len(g.Breakers))
+	for k := range g.Breakers {
+		breakerKeys = append(breakerKeys, k)
+	}
+	sort.Strings(breakerKeys)
+	for _, k := range breakerKeys {
+		fmt.Fprintf(w, "hgserved_breaker_state{worker=%q} %d\n", k, g.Breakers[k])
+	}
+
+	fmt.Fprintln(w, "# HELP hgserved_deadline_abandons_total Jobs abandoned because the coordinator's propagated deadline passed.")
+	fmt.Fprintln(w, "# TYPE hgserved_deadline_abandons_total counter")
+	fmt.Fprintf(w, "hgserved_deadline_abandons_total %d\n", deadlineAbandons)
 
 	fmt.Fprintln(w, "# HELP hgserved_portfolio_races_total Portfolio-mode races run.")
 	fmt.Fprintln(w, "# TYPE hgserved_portfolio_races_total counter")

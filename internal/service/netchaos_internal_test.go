@@ -1,0 +1,116 @@
+package service
+
+// In-package tests for the DESIGN.md §16 plumbing that has no public seam:
+// the peer probe's body bound, the integrity/deadline header helpers, and
+// the exact Prometheus lines the new counters render.
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// peerServing builds a PeerSet probing one fake sibling that answers every
+// cache lookup with body (integrity header included), bounded at maxBody.
+func peerServing(t *testing.T, body []byte, maxBody int64) *PeerSet {
+	t.Helper()
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(integrityHeader, bodySHA(body))
+		w.Write(body)
+	}))
+	t.Cleanup(peer.Close)
+	p := NewPeerSet([]string{strings.TrimPrefix(peer.URL, "http://")},
+		time.Second, nil, NewMetrics(8), discardLogger())
+	p.maxBody = maxBody
+	return p
+}
+
+// The satellite regression: a peer streaming more than the body bound is a
+// miss — never a truncated "hit" — while a body exactly at the bound passes.
+func TestPeerLookupBoundsResponseBody(t *testing.T) {
+	const key = "deadbeefdeadbeef"
+	oversized := peerServing(t, bytes.Repeat([]byte("x"), 4096), 1024)
+	if _, ok := oversized.Lookup(context.Background(), key); ok {
+		t.Fatal("a 4096-byte body against a 1024-byte bound must be a miss")
+	}
+
+	exact := bytes.Repeat([]byte("y"), 1024)
+	fits := peerServing(t, exact, 1024)
+	got, ok := fits.Lookup(context.Background(), key)
+	if !ok || !bytes.Equal(got, exact) {
+		t.Fatalf("a body exactly at the bound must be a verbatim hit (ok=%v, %d bytes)", ok, len(got))
+	}
+}
+
+func TestIntegrityHelpers(t *testing.T) {
+	body := []byte("report bytes")
+	h := http.Header{}
+	if !integrityOK(h, body) {
+		t.Fatal("a missing envelope header must pass (mixed-version rollout)")
+	}
+	h.Set(integrityHeader, bodySHA(body))
+	if !integrityOK(h, body) {
+		t.Fatal("a matching sha256 envelope must pass")
+	}
+	if integrityOK(h, []byte("report byteZ")) {
+		t.Fatal("a mismatched body must fail the envelope")
+	}
+}
+
+func TestParseDeadlineHeader(t *testing.T) {
+	if _, ok, err := parseDeadline(http.Header{}); ok || err != nil {
+		t.Fatalf("absent header: ok=%v err=%v, want no deadline and no error", ok, err)
+	}
+	h := http.Header{}
+	h.Set(deadlineHeader, "1754000000000")
+	dl, ok, err := parseDeadline(h)
+	if err != nil || !ok || dl.UnixMilli() != 1754000000000 {
+		t.Fatalf("valid header: dl=%v ok=%v err=%v", dl, ok, err)
+	}
+	h.Set(deadlineHeader, "soon")
+	if _, _, err := parseDeadline(h); err == nil || !strings.Contains(err.Error(), "unix milliseconds") {
+		t.Fatalf("malformed header error %v should name the expected format", err)
+	}
+}
+
+// The metrics-surface satellite: every new series renders with its exact
+// name, labels sorted, including the per-worker breaker gauge.
+func TestMetricsRenderNetChaosSurface(t *testing.T) {
+	m := NewMetrics(8)
+	m.NetFaultInjected("refused")
+	m.NetFaultInjected("refused")
+	m.NetFaultInjected("corrupt")
+	m.IntegrityFailure("peer")
+	m.IntegrityFailure("dispatch")
+	m.DeadlineAbandon()
+
+	var buf bytes.Buffer
+	m.Render(&buf, GaugeSnapshot{Breakers: map[string]int{"w2:9001": 2, "w1:9001": 0}})
+	out := buf.String()
+	for _, want := range []string{
+		`hgserved_net_faults_injected_total{fault="corrupt"} 1`,
+		`hgserved_net_faults_injected_total{fault="refused"} 2`,
+		`hgserved_integrity_failures_total{source="dispatch"} 1`,
+		`hgserved_integrity_failures_total{source="peer"} 1`,
+		`hgserved_breaker_state{worker="w1:9001"} 0`,
+		`hgserved_breaker_state{worker="w2:9001"} 2`,
+		"hgserved_deadline_abandons_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, `worker="w1:9001"`) > strings.Index(out, `worker="w2:9001"`) {
+		t.Fatal("breaker gauge labels must render in sorted order")
+	}
+}

@@ -1,0 +1,307 @@
+package service_test
+
+// DESIGN.md §16 contract tests: the integrity envelope demotes corrupted
+// internal responses to retries/misses without ever touching the result
+// cache, the per-worker circuit breaker recovers deterministically through
+// half-open, and propagated dispatch deadlines abandon work whose
+// coordinator has moved on. All failures here are injected — either by the
+// chaos net transport or by hand-built misbehaving peers — so every
+// assertion also pins byte-identity against an unfaulted baseline.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"hgpart/internal/chaos"
+	"hgpart/internal/service"
+)
+
+// getText fetches a plain-text endpoint (e.g. /metrics) as a string.
+func getText(t *testing.T, hs *httptest.Server, path string) string {
+	t.Helper()
+	resp, err := http.Get(hs.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return string(b)
+}
+
+// waitBreaker polls GET /v1/cluster until the named worker's breaker reports
+// the wanted state.
+func waitBreaker(t *testing.T, hs *httptest.Server, addr, want string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var st service.ClusterStatus
+		if code := getJSON(t, hs, "/v1/cluster", &st); code != 200 {
+			t.Fatalf("GET /v1/cluster: %d", code)
+		}
+		for _, w := range st.Workers {
+			if w.Addr == addr && w.Breaker == want {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker %s never reached breaker state %q: %+v", addr, want, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// mustRules parses a chaos spec or fails the test.
+func mustRules(t *testing.T, spec string) []chaos.Rule {
+	t.Helper()
+	rules, err := chaos.ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", spec, err)
+	}
+	return rules
+}
+
+// The breaker recovery satellite: probes are stepped one at a time through a
+// test-controlled /readyz, so the exact transition sequence closed → open →
+// half-open → closed is observable, local fallback covers the outage, and a
+// post-recovery submission routes back to the worker.
+func TestClusterBreakerHeartbeatRecovery(t *testing.T) {
+	_, single := testServer(t, nil)
+	_, baseline := post(t, single, smallReq)
+
+	_, worker := testServer(t, nil)
+	wu, err := url.Parse(worker.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := httputil.NewSingleHostReverseProxy(wu)
+
+	// Each /readyz probe blocks until the test feeds it a status code, so the
+	// breaker walks its state machine exactly one probe at a time. Everything
+	// else proxies to the real worker.
+	codes := make(chan int)
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.WriteHeader(<-codes)
+			return
+		}
+		proxy.ServeHTTP(w, r)
+	}))
+	t.Cleanup(front.Close)
+	frontAddr := strings.TrimPrefix(front.URL, "http://")
+
+	_, hs := testServer(t, func(c *service.Config) {
+		c.Cluster = service.ClusterConfig{
+			Workers:           []string{frontAddr},
+			HeartbeatInterval: 10 * time.Millisecond,
+			// Probes block on the test's channel; the timeout must not turn
+			// that deliberate pause into a counted failure.
+			HeartbeatTimeout: 30 * time.Second,
+			FailThreshold:    2,
+			DispatchRetries:  1,
+			RetrySeed:        1,
+		}
+	})
+
+	// FailThreshold consecutive probe failures trip the breaker open.
+	codes <- 503
+	codes <- 503
+	waitBreaker(t, hs, frontAddr, "open")
+
+	// With the only worker out of rotation the coordinator degrades to a
+	// local compute — byte-identical, disposition visible.
+	resp, body := post(t, hs, smallReq)
+	if resp.StatusCode != 200 || resp.Header.Get("X-Hgserved-Cache") != "local-fallback" {
+		t.Fatalf("open-breaker submit: status %d disposition %q, want 200/local-fallback",
+			resp.StatusCode, resp.Header.Get("X-Hgserved-Cache"))
+	}
+	if !bytes.Equal(body, baseline) {
+		t.Fatal("local-fallback body differs from single-node baseline")
+	}
+
+	// One probe success half-opens; the next closes. Both states must be
+	// visible in /v1/cluster, in order.
+	codes <- 200
+	waitBreaker(t, hs, frontAddr, "half-open")
+	codes <- 200
+	waitBreaker(t, hs, frontAddr, "closed")
+	go func() { // keep later probes unblocked
+		for {
+			select {
+			case codes <- 200:
+			case <-time.After(10 * time.Second):
+				return
+			}
+		}
+	}()
+	waitClusterHealthy(t, hs, 1)
+
+	// A fresh request (different seed, so no coordinator cache hit) routes to
+	// the recovered worker instead of falling back locally.
+	req2 := `{"benchmark":"ibm01","scale":0.1,"engine":"flat","starts":3,"seed":8}`
+	resp2, body2 := post(t, hs, req2)
+	if resp2.StatusCode != 200 {
+		t.Fatalf("post-recovery submit: status %d, body %s", resp2.StatusCode, body2)
+	}
+	var st service.JobStatus
+	if code := getJSON(t, hs, "/v1/jobs/"+resp2.Header.Get("X-Hgserved-Job"), &st); code != 200 {
+		t.Fatalf("job status fetch: %d", code)
+	}
+	if st.Worker != frontAddr {
+		t.Fatalf("post-recovery job ran on %q, want routed to recovered worker %q", st.Worker, frontAddr)
+	}
+}
+
+// A bit-corrupted dispatch response fails the sha256 envelope, is retried to
+// a clean success, and never reaches the coordinator's result cache: the
+// repeat request is a cache hit with the uncorrupted bytes.
+func TestDispatchCorruptionRetriesAndNeverPoisonsCache(t *testing.T) {
+	_, single := testServer(t, nil)
+	_, baseline := post(t, single, smallReq)
+
+	_, worker := testServer(t, nil)
+	workerAddr := strings.TrimPrefix(worker.URL, "http://")
+	_, hs := testServer(t, func(c *service.Config) {
+		c.Transport = chaos.NewTransport(nil, chaos.Config{
+			Seed:  1,
+			Rules: mustRules(t, "net:/v1/partition:1:corrupt"),
+		})
+		c.Cluster = service.ClusterConfig{
+			Workers:           []string{workerAddr},
+			HeartbeatInterval: 20 * time.Millisecond,
+			DispatchRetries:   3,
+			RetrySeed:         1,
+		}
+	})
+	waitClusterHealthy(t, hs, 1)
+
+	resp, body := post(t, hs, smallReq)
+	if resp.StatusCode != 200 {
+		t.Fatalf("corrupted-then-retried dispatch: status %d, body %s", resp.StatusCode, body)
+	}
+	if !bytes.Equal(body, baseline) {
+		t.Fatal("body after integrity retry differs from baseline")
+	}
+
+	metrics := getText(t, hs, "/metrics")
+	for _, want := range []string{
+		`hgserved_integrity_failures_total{source="dispatch"} 1`,
+		`hgserved_net_faults_injected_total{fault="corrupt"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// The cache holds only verified bytes: a repeat is a hit, still identical.
+	resp2, body2 := post(t, hs, smallReq)
+	if resp2.Header.Get("X-Hgserved-Cache") != "hit" || !bytes.Equal(body2, baseline) {
+		t.Fatalf("repeat: disposition %q identical=%v, want an unpoisoned cache hit",
+			resp2.Header.Get("X-Hgserved-Cache"), bytes.Equal(body2, baseline))
+	}
+}
+
+// A peer whose cache response fails the integrity envelope is demoted to a
+// miss: the worker computes locally, serves correct bytes, and counts the
+// failure under source="peer".
+func TestPeerIntegrityMismatchDemotesToMiss(t *testing.T) {
+	_, single := testServer(t, nil)
+	_, baseline := post(t, single, smallReq)
+
+	// A lying peer: 200 for every cache key, body and sha disagreeing.
+	liar := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Hg-Body-Sha256", strings.Repeat("0", 64))
+		fmt.Fprint(w, `{"fake":"report"}`)
+	}))
+	t.Cleanup(liar.Close)
+
+	_, hs := testServer(t, func(c *service.Config) {
+		c.Peers = []string{strings.TrimPrefix(liar.URL, "http://")}
+		c.PeerTimeout = 500 * time.Millisecond
+	})
+	resp, body := post(t, hs, smallReq)
+	if resp.StatusCode != 200 || resp.Header.Get("X-Hgserved-Cache") != "miss" {
+		t.Fatalf("status %d disposition %q, want 200/miss (corrupt peer must demote, not poison)",
+			resp.StatusCode, resp.Header.Get("X-Hgserved-Cache"))
+	}
+	if !bytes.Equal(body, baseline) {
+		t.Fatal("locally recomputed body differs from baseline")
+	}
+	if m := getText(t, hs, "/metrics"); !strings.Contains(m, `hgserved_integrity_failures_total{source="peer"} 1`) {
+		t.Fatalf("metrics missing peer integrity failure:\n%s", m)
+	}
+}
+
+// postWithDeadline submits a partition request carrying an X-Hg-Deadline
+// header, the way a dispatching coordinator would.
+func postWithDeadline(t *testing.T, hs *httptest.Server, body, deadline string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/partition", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Hg-Deadline", deadline)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /v1/partition: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// A propagated deadline already in the past abandons the job before any
+// compute starts: HTTP 504, counted in the abandon metric.
+func TestDeadlineExpiredOnArrival(t *testing.T) {
+	_, hs := testServer(t, nil)
+	past := fmt.Sprint(time.Now().Add(-time.Second).UnixMilli())
+	resp, body := postWithDeadline(t, hs, smallReq, past)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, body %s; want 504", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "already passed") {
+		t.Fatalf("504 body %q should say the deadline already passed", body)
+	}
+	if m := getText(t, hs, "/metrics"); !strings.Contains(m, "hgserved_deadline_abandons_total 1") {
+		t.Fatalf("metrics missing deadline abandon:\n%s", m)
+	}
+
+	// A malformed deadline is a client error, not a silent ignore.
+	respBad, _ := postWithDeadline(t, hs, smallReq, "not-a-timestamp")
+	if respBad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed deadline: status %d, want 400", respBad.StatusCode)
+	}
+}
+
+// A deadline that passes mid-compute abandons the synchronous wait with a
+// 504; the job is cancelled rather than computed for a coordinator that has
+// already failed the job over.
+func TestDeadlineAbandonsMidJob(t *testing.T) {
+	_, hs := testServer(t, nil)
+	slow := `{"benchmark":"ibm01","scale":0.25,"engine":"flat","starts":40,"seed":11}`
+	soon := fmt.Sprint(time.Now().Add(150 * time.Millisecond).UnixMilli())
+	resp, body := postWithDeadline(t, hs, slow, soon)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, body %s; want 504 mid-job abandon", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "abandoned") {
+		t.Fatalf("504 body %q should describe the abandon", body)
+	}
+	if m := getText(t, hs, "/metrics"); !strings.Contains(m, "hgserved_deadline_abandons_total 1") {
+		t.Fatalf("metrics missing deadline abandon:\n%s", m)
+	}
+}

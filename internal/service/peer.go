@@ -23,24 +23,30 @@ import (
 type PeerSet struct {
 	addrs   []string
 	timeout time.Duration
+	// maxBody bounds one probe's response read (default maxPeerBody); a
+	// body exceeding it is a miss, never a truncated "hit".
+	maxBody int64
 	client  *http.Client
 	metrics *Metrics
 	log     *slog.Logger
 }
 
 // maxPeerBody bounds a peer cache response read; reports are small (tens of
-// KB) and a misbehaving peer must not balloon memory.
+// KB) and a misbehaving peer must not balloon the coordinator's memory.
 const maxPeerBody = 32 << 20
 
 // NewPeerSet builds the peering client. timeout <= 0 defaults to 250ms.
-func NewPeerSet(addrs []string, timeout time.Duration, metrics *Metrics, log *slog.Logger) *PeerSet {
+// transport, when non-nil, replaces http.DefaultTransport — cmd/hgserved
+// threads the chaos net transport through here under -net-chaos.
+func NewPeerSet(addrs []string, timeout time.Duration, transport http.RoundTripper, metrics *Metrics, log *slog.Logger) *PeerSet {
 	if timeout <= 0 {
 		timeout = 250 * time.Millisecond
 	}
 	return &PeerSet{
 		addrs:   append([]string(nil), addrs...),
 		timeout: timeout,
-		client:  &http.Client{},
+		maxBody: maxPeerBody,
+		client:  &http.Client{Transport: transport},
 		metrics: metrics,
 		log:     log,
 	}
@@ -81,8 +87,20 @@ func (p *PeerSet) lookupOne(ctx context.Context, addr, key string) ([]byte, bool
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 		return nil, false
 	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+	// Read one byte past the bound so an oversized body is distinguishable
+	// from one that exactly fits — the former is a misbehaving peer and must
+	// be a miss, not a silently truncated report.
+	body, err := io.ReadAll(io.LimitReader(resp.Body, p.maxBody+1))
 	if err != nil || len(body) == 0 {
+		return nil, false
+	}
+	if int64(len(body)) > p.maxBody {
+		p.log.Warn("peer cache response exceeds the body bound; ignoring", "peer", addr, "limit", p.maxBody)
+		return nil, false
+	}
+	if !integrityOK(resp.Header, body) {
+		p.metrics.IntegrityFailure("peer")
+		p.log.Warn("peer cache response failed the sha256 envelope; demoting to miss", "peer", addr, "key", key[:12])
 		return nil, false
 	}
 	return body, true

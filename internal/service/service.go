@@ -83,6 +83,12 @@ type Config struct {
 	// crash-consistency experiments exercise the same code paths production
 	// uses.
 	FS chaos.FS
+	// Transport, when non-nil, replaces http.DefaultTransport for every
+	// inter-node client — cluster dispatch, peer cache probes, heartbeat
+	// probers. cmd/hgserved installs a chaos.Transport here under -net-chaos
+	// so degraded-network experiments exercise the exact RPC paths
+	// production uses (DESIGN.md §16).
+	Transport http.RoundTripper
 	// Peers lists sibling worker addresses ("host:port") whose result caches
 	// are consulted on a local miss before computing. Reports are
 	// content-addressed and deterministic, so a peer's bytes are exactly the
@@ -171,8 +177,14 @@ func New(cfg Config) *Server {
 		metrics: NewMetrics(cfg.MetricsWindow),
 	}
 	s.manager = newManager(cfg, s.cache, s.metrics, log)
+	// A chaos transport reports each injected fault into /metrics; wire the
+	// hook before any coordinator or peer client can send a request.
+	if ct, ok := cfg.Transport.(*chaos.Transport); ok {
+		metrics := s.metrics
+		ct.SetOnFault(func(r chaos.Rule) { metrics.NetFaultInjected(r.Fault.String()) })
+	}
 	if len(cfg.Peers) > 0 {
-		s.peers = NewPeerSet(cfg.Peers, cfg.PeerTimeout, s.metrics, log)
+		s.peers = NewPeerSet(cfg.Peers, cfg.PeerTimeout, cfg.Transport, s.metrics, log)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/partition", s.instrument("partition", s.handlePartition))
@@ -336,6 +348,20 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		errorBody(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// A coordinator stamps dispatches with its absolute deadline; honoring
+	// it here means a worker never computes for a coordinator that has
+	// already failed over (the journal keeps completed starts either way).
+	deadline, hasDeadline, derr := parseDeadline(r.Header)
+	if derr != nil {
+		errorBody(w, http.StatusBadRequest, derr.Error())
+		return
+	}
+	if hasDeadline && !time.Now().Before(deadline) {
+		s.metrics.DeadlineAbandon()
+		errorBody(w, http.StatusGatewayTimeout,
+			"propagated coordinator deadline already passed; job abandoned before start")
+		return
+	}
 	h, instName, err := req.resolveInstance()
 	if err != nil {
 		var pe *netlist.ParseError
@@ -407,12 +433,27 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	var abandon <-chan time.Time
+	if hasDeadline {
+		timer := time.NewTimer(time.Until(deadline))
+		defer timer.Stop()
+		abandon = timer.C
+	}
 	select {
 	case <-job.Done():
 	case <-r.Context().Done():
 		// The client went away; the job keeps running and will fill the
 		// cache for the next asker.
 		errorBody(w, 499, "client closed request; job "+job.ID+" continues")
+		return
+	case <-abandon:
+		// Unlike a vanished client, a passed deadline cancels the compute:
+		// nobody is waiting for these bytes, and the redispatch resumes from
+		// the job's journal instead of re-earning the completed starts.
+		s.metrics.DeadlineAbandon()
+		s.manager.Cancel(job.ID)
+		errorBody(w, http.StatusGatewayTimeout,
+			"propagated coordinator deadline passed; job "+job.ID+" abandoned (completed starts stay journaled)")
 		return
 	}
 	code, reportBytes, errMsg := job.Result()
@@ -507,15 +548,18 @@ func (s *Server) handlePeerCache(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(integrityHeader, bodySHA(body))
 	_, _ = w.Write(body)
 }
 
 // writeReport sends the deterministic report bytes verbatim. Cache
 // disposition and job id ride in headers so the body stays byte-identical
-// across hit, miss and coalesced paths.
+// across hit, miss and coalesced paths; the sha256 integrity envelope lets
+// a coordinator or peer detect bytes corrupted in transit.
 func (s *Server) writeReport(w http.ResponseWriter, body []byte, disposition, jobID string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Hgserved-Cache", disposition)
+	w.Header().Set(integrityHeader, bodySHA(body))
 	if jobID != "" {
 		w.Header().Set("X-Hgserved-Job", jobID)
 	}
@@ -608,6 +652,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cluster != nil {
 		g.ClusterHealthy, g.ClusterWorkers = s.cluster.healthyCount()
+		g.Breakers = s.cluster.breakerStates()
 	}
 	s.metrics.Render(w, g)
 }
